@@ -1,0 +1,186 @@
+(* Command-line driver regenerating every figure of the paper plus the
+   ablation suite. `experiments all` reproduces the full evaluation. *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Master seed for workload generation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let seeds_arg =
+  let doc = "Replication seeds (comma-separated)." in
+  Arg.(value & opt (list int) [ 42; 43 ] & info [ "seeds" ] ~docv:"SEEDS" ~doc)
+
+let alpha_arg =
+  let doc = "LMTF/P-LMTF sample size alpha." in
+  Arg.(value & opt int 4 & info [ "alpha" ] ~docv:"ALPHA" ~doc)
+
+let samples_arg =
+  let doc = "Probe flows per Fig.1 point." in
+  Arg.(value & opt int 400 & info [ "samples" ] ~docv:"N" ~doc)
+
+let util_arg =
+  let doc = "Background fabric-utilisation target (0-0.95)." in
+  Arg.(value & opt float 0.70 & info [ "util" ] ~docv:"U" ~doc)
+
+let events_arg =
+  let doc = "Number of queued update events." in
+  Arg.(value & opt int 30 & info [ "events" ] ~docv:"N" ~doc)
+
+let no_churn_arg =
+  let doc = "Keep the background static (no churn)." in
+  Arg.(value & flag & info [ "no-churn" ] ~doc)
+
+let summary_cmd =
+  let run seed alpha util n_events no_churn =
+    let scenario = Scenario.prepare ~utilization:util ~seed () in
+    Format.printf "network: %a@." Net_state.pp scenario.Scenario.net;
+    let events = Scenario.events scenario ~n:n_events in
+    let policies =
+      [
+        Policy.Fifo;
+        Policy.Lmtf { alpha };
+        Policy.Plmtf { alpha };
+        Policy.Flow_level Policy.Round_robin;
+      ]
+    in
+    let summaries =
+      List.map
+        (fun policy ->
+          let churn =
+            if no_churn then None
+            else Some (Scenario.churn ~target:util ~seed:(seed + 2) scenario)
+          in
+          Metrics.of_run
+            (Engine.run ?churn ~seed:(seed + 1)
+               ~net:(Net_state.copy scenario.Scenario.net)
+               ~events policy))
+        policies
+    in
+    List.iter (fun s -> Format.printf "%a@." Metrics.pp_summary s) summaries;
+    match summaries with
+    | baseline :: others ->
+        Format.printf "%a@."
+          (fun ppf -> Metrics.pp_comparison ppf ~baseline)
+          others
+    | [] -> ()
+  in
+  Cmd.v
+    (Cmd.info "summary"
+       ~doc:"One-shot policy comparison with configurable workload")
+    Term.(const run $ seed_arg $ alpha_arg $ util_arg $ events_arg $ no_churn_arg)
+
+let fig1_cmd =
+  let run seed samples = Nu_expt.Fig1.run ~seed ~samples () in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Success probability of migration-free insertion")
+    Term.(const run $ seed_arg $ samples_arg)
+
+let fig2_cmd =
+  Cmd.v
+    (Cmd.info "fig2" ~doc:"Worked example: flow-level vs event-level order")
+    Term.(const Nu_expt.Fig2.run $ const ())
+
+let fig3_cmd =
+  Cmd.v
+    (Cmd.info "fig3" ~doc:"Worked example: FIFO vs cost-ordered execution")
+    Term.(const Nu_expt.Fig3.run $ const ())
+
+let fig4_cmd =
+  let run seeds = Nu_expt.Fig4.run ~seeds () in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Flow-level vs event-level as events grow")
+    Term.(const run $ seeds_arg)
+
+let fig5_cmd =
+  let run seeds = Nu_expt.Fig5.run ~seeds () in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Flow-level vs event-level as the queue grows")
+    Term.(const run $ seeds_arg)
+
+let fig6_cmd =
+  let run seeds alpha = Nu_expt.Fig6.run ~seeds ~alpha () in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"LMTF/P-LMTF reductions vs FIFO and plan time")
+    Term.(const run $ seeds_arg $ alpha_arg)
+
+let fig7_cmd =
+  let run seeds alpha = Nu_expt.Fig7.run ~seeds ~alpha () in
+  Cmd.v
+    (Cmd.info "fig7" ~doc:"P-LMTF vs FIFO across event types and utilisation")
+    Term.(const run $ seeds_arg $ alpha_arg)
+
+let fig8_cmd =
+  let run seeds alpha = Nu_expt.Fig8.run ~seeds ~alpha () in
+  Cmd.v
+    (Cmd.info "fig8" ~doc:"Queuing-delay reductions vs FIFO")
+    Term.(const run $ seeds_arg $ alpha_arg)
+
+let fig9_cmd =
+  let run seed alpha = Nu_expt.Fig9.run ~seed ~alpha () in
+  Cmd.v
+    (Cmd.info "fig9" ~doc:"Per-event queuing delay under the three policies")
+    Term.(const run $ seed_arg $ alpha_arg)
+
+let mixed_cmd =
+  let run seed alpha = Nu_expt.Mixed_issues.run ~seed ~alpha () in
+  Cmd.v
+    (Cmd.info "mixed"
+       ~doc:"Extension: queue mixing additions, VM migrations, switch upgrades and link failures")
+    Term.(const run $ seed_arg $ alpha_arg)
+
+let arrivals_cmd =
+  let run seed alpha = Nu_expt.Arrival_study.run ~seed ~alpha () in
+  Cmd.v
+    (Cmd.info "arrivals"
+       ~doc:"Extension: Poisson event arrivals — ECT vs offered load")
+    Term.(const run $ seed_arg $ alpha_arg)
+
+let ablation_cmd =
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Design-choice ablations (alpha, greedy order, admission, routing)")
+    Term.(const Nu_expt.Ablation.run_all $ const ())
+
+let all_cmd =
+  let run seeds alpha =
+    Nu_expt.Fig2.run ();
+    Nu_expt.Fig3.run ();
+    Nu_expt.Fig1.run ();
+    Nu_expt.Fig4.run ~seeds ();
+    Nu_expt.Fig5.run ~seeds ();
+    Nu_expt.Fig6.run ~seeds ~alpha ();
+    Nu_expt.Fig7.run ~seeds ~alpha ();
+    Nu_expt.Fig8.run ~seeds ~alpha ();
+    Nu_expt.Fig9.run ~alpha ();
+    Nu_expt.Mixed_issues.run ~alpha ();
+    Nu_expt.Arrival_study.run ~alpha ();
+    Nu_expt.Ablation.run_all ()
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every figure and the ablations")
+    Term.(const run $ seeds_arg $ alpha_arg)
+
+let main =
+  Cmd.group
+    (Cmd.info "experiments" ~version:"1.0.0"
+       ~doc:
+         "Trace-driven evaluation of event-level network update (ICDCS'17 \
+          reproduction)")
+    [
+      fig1_cmd;
+      fig2_cmd;
+      fig3_cmd;
+      fig4_cmd;
+      fig5_cmd;
+      fig6_cmd;
+      fig7_cmd;
+      fig8_cmd;
+      fig9_cmd;
+      summary_cmd;
+      mixed_cmd;
+      arrivals_cmd;
+      ablation_cmd;
+      all_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

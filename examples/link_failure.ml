@@ -1,0 +1,41 @@
+(* Link failure: the third update issue from the paper's introduction
+   ("network failures"). A fabric link dies; every flow crossing it must
+   be evacuated as one update event, and the dead link must not be used
+   by the reroutes or by the make-room migrations.
+
+   Run with: dune exec examples/link_failure.exe *)
+
+let () =
+  let scenario = Scenario.prepare ~utilization:0.60 ~seed:17 () in
+  let net = scenario.Scenario.net in
+  let g = Net_state.graph net in
+
+  (* Fail the busiest fabric link (and its reverse direction). *)
+  let busiest =
+    List.fold_left
+      (fun best id ->
+        if Net_state.used net id > Net_state.used net best then id else best)
+      (List.hd (Net_state.fabric_edges net))
+      (Net_state.fabric_edges net)
+  in
+  let e = Graph.edge g busiest in
+  Format.printf "failing link %d -> %d (%.0f Mbps in use, %d flows)@."
+    e.Graph.src e.Graph.dst (Net_state.used net busiest)
+    (List.length (Net_state.flows_on_edge net busiest));
+  Net_state.disable_edge net busiest;
+  (match Graph.reverse_edge g e with
+  | Some r -> Net_state.disable_edge net r.Graph.id
+  | None -> ());
+
+  let event = Event.link_failure_event net ~id:0 ~arrival_s:0.0 ~edge:busiest in
+  let plan = Planner.plan net event in
+  Format.printf "%a@." Planner.pp plan;
+  Format.printf
+    "link drained: %b (%d flows rerouted, %d unsatisfiable, %.1f Mbit \
+     migrated to make room)@."
+    (Net_state.flows_on_edge net busiest = [])
+    (Event.work_count event - plan.Planner.failed_count)
+    plan.Planner.failed_count plan.Planner.cost_mbit;
+  match Net_state.invariants_ok net with
+  | Ok () -> Format.printf "network invariants hold@."
+  | Error e -> failwith e

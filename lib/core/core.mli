@@ -1,0 +1,114 @@
+(** Event-level network update: public facade.
+
+    One-stop module re-exporting the whole stack. Downstream users can
+    depend on [core] alone and reach every layer:
+
+    {ul
+    {- randomness and statistics: {!Prng}, {!Dist}, {!Descriptive}, {!Cdf};}
+    {- network graph: {!Graph}, {!Path}, {!Bfs}, {!Dijkstra}, {!Yen},
+       {!Pqueue};}
+    {- fabrics: {!Topology}, {!Fat_tree}, {!Leaf_spine};}
+    {- traffic: {!Flow_record}, {!Ip_map}, {!Yahoo_trace}, {!Benson_trace},
+       {!Event_gen};}
+    {- network state: {!Net_state}, {!Routing}, {!Background};}
+    {- the paper's contribution: {!Event}, {!Migration}, {!Planner},
+       {!Ordering};}
+    {- consistent-update dataplane: {!Rule}, {!Switch_table}, {!Fabric},
+       {!Two_phase};}
+    {- inter-event scheduling: {!Policy}, {!Exec_model}, {!Engine},
+       {!Metrics}.}}
+
+    The typical flow is {!Scenario.prepare} (build a loaded Fat-Tree),
+    {!Scenario.events} (a workload), {!Engine.run} (simulate a policy),
+    {!Metrics.of_run} (report). *)
+
+module Prng = Nu_stats.Prng
+module Dist = Nu_stats.Dist
+module Descriptive = Nu_stats.Descriptive
+module Cdf = Nu_stats.Cdf
+module Graph = Nu_graph.Graph
+module Path = Nu_graph.Path
+module Bfs = Nu_graph.Bfs
+module Dijkstra = Nu_graph.Dijkstra
+module Yen = Nu_graph.Yen
+module Pqueue = Nu_graph.Pqueue
+module Topology = Nu_topo.Topology
+module Fat_tree = Nu_topo.Fat_tree
+module Leaf_spine = Nu_topo.Leaf_spine
+module Jellyfish = Nu_topo.Jellyfish
+module Flow_record = Nu_traffic.Flow_record
+module Ip_map = Nu_traffic.Ip_map
+module Yahoo_trace = Nu_traffic.Yahoo_trace
+module Benson_trace = Nu_traffic.Benson_trace
+module Event_gen = Nu_traffic.Event_gen
+module Net_state = Nu_net.Net_state
+module Routing = Nu_net.Routing
+module Background = Nu_net.Background
+module Event = Nu_update.Event
+module Migration = Nu_update.Migration
+module Planner = Nu_update.Planner
+module Ordering = Nu_update.Ordering
+module Rule = Nu_dataplane.Rule
+module Switch_table = Nu_dataplane.Switch_table
+module Fabric = Nu_dataplane.Fabric
+module Two_phase = Nu_dataplane.Two_phase
+module Policy = Nu_sched.Policy
+module Exec_model = Nu_sched.Exec_model
+module Engine = Nu_sched.Engine
+module Metrics = Nu_sched.Metrics
+
+(** Canned experiment scenarios: a loaded Fat-Tree plus generator
+    plumbing, so quickstarts and benches need three calls, not thirty. *)
+module Scenario : sig
+  type t = {
+    fat_tree : Fat_tree.t;
+    topology : Topology.t;
+    net : Net_state.t;  (** Loaded with background traffic. *)
+    rng : Prng.t;  (** Stream for workload generation. *)
+    host_count : int;
+    background_report : Background.report;
+  }
+
+  val access_cap_for : float -> float
+  (** Host-access-link utilisation cap used during the background fill
+      for a given fabric target: min(0.95, max(0.75, target + 0.15)).
+      Access links are on every candidate path of their host, so
+      congestion there cannot be fixed by migration; capping keeps the
+      update contention on the fabric (DESIGN.md §3). *)
+
+  type background = Yahoo | Benson
+  (** Which synthetic trace fills the background (paper Fig. 1 uses
+      both). *)
+
+  val prepare :
+    ?k:int ->
+    ?utilization:float ->
+    ?seed:int ->
+    ?background:background ->
+    unit ->
+    t
+  (** Build a k-ary Fat-Tree (default 8, the paper's setting), fill it
+      with background traffic to the fabric-utilisation target (default
+      0.70) using random-fit (ECMP-like) spreading under the access cap.
+      Fully deterministic in [seed]. *)
+
+  val event_flow_params : Benson_trace.params
+  (** Flow characteristics of generated update events: the Benson
+      mixture with elephants capped at 100 Mbps (paper §V-A). *)
+
+  val events :
+    ?shape:Event_gen.shape ->
+    ?arrivals:Event_gen.arrival_process ->
+    t ->
+    n:int ->
+    Event.t list
+  (** Generate the update-event queue (default: heterogeneous 10-100
+      flow events, all queued at t = 0). Flow ids are namespaced above
+      the background's. *)
+
+  val churn : ?target:float -> ?seed:int -> t -> Engine.churn
+  (** Background-churn configuration for {!Engine.run}: flows expire
+      after their duration and the fill replenishes to [target] (default
+      0.70). Seeded explicitly so different policies compared on copies
+      of one scenario see the same churn process. *)
+end

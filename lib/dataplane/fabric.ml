@@ -1,0 +1,92 @@
+type t = { graph : Graph.t; tables : Switch_table.t array }
+
+let create graph =
+  {
+    graph;
+    tables = Array.init (Graph.node_count graph) (fun _ -> Switch_table.create ());
+  }
+
+let graph t = t.graph
+
+let table t node =
+  if node < 0 || node >= Array.length t.tables then
+    invalid_arg "Fabric.table: node id";
+  t.tables.(node)
+
+let install_path_rules t ~flow_id ~version path =
+  List.iter
+    (fun (e : Graph.edge) ->
+      Switch_table.install t.tables.(e.src)
+        (Rule.v ~flow_id ~version ~out_edge:e.id))
+    (Path.edges path)
+
+let uninstall_path_rules t ~flow_id ~version path =
+  List.iter
+    (fun (e : Graph.edge) ->
+      ignore (Switch_table.uninstall t.tables.(e.src) ~flow_id ~version))
+    (Path.edges path)
+
+let set_ingress t ~flow_id ~ingress ~version =
+  Switch_table.set_stamp (table t ingress) ~flow_id ~version
+
+let total_rules t =
+  Array.fold_left (fun acc tbl -> acc + Switch_table.rule_count tbl) 0 t.tables
+
+let of_net net =
+  let t = create (Net_state.graph net) in
+  Net_state.iter_flows net (fun placed ->
+      let flow_id = placed.Net_state.record.Flow_record.id in
+      install_path_rules t ~flow_id ~version:0 placed.Net_state.path;
+      set_ingress t ~flow_id ~ingress:(Path.src placed.Net_state.path)
+        ~version:0);
+  t
+
+type outcome =
+  | Arrived of { at : int; hops : int }
+  | Black_hole of { at : int }
+  | Looped of { at : int }
+
+let forward t ~flow_id ~src =
+  match Switch_table.stamp (table t src) ~flow_id with
+  | None -> Black_hole { at = src }
+  | Some version ->
+      let visited = Hashtbl.create 16 in
+      let rec walk node hops =
+        if Hashtbl.mem visited node then Looped { at = node }
+        else begin
+          Hashtbl.replace visited node ();
+          match Switch_table.lookup t.tables.(node) ~flow_id ~version with
+          | None -> Arrived { at = node; hops }
+          | Some rule ->
+              let e = Graph.edge t.graph rule.Rule.out_edge in
+              if e.src <> node then Looped { at = node }
+                (* a rule pointing at a non-incident edge is corrupt;
+                   surfaced as a routing anomaly *)
+              else walk e.dst (hops + 1)
+        end
+      in
+      walk src 0
+
+let verify_flow t net ~flow_id =
+  match Net_state.flow net flow_id with
+  | None -> Error (Printf.sprintf "flow %d is not placed" flow_id)
+  | Some placed -> (
+      let src = Path.src placed.Net_state.path in
+      let dst = Path.dst placed.Net_state.path in
+      match forward t ~flow_id ~src with
+      | Arrived { at; _ } when at = dst -> Ok ()
+      | Arrived { at; _ } ->
+          Error (Printf.sprintf "flow %d stranded at node %d (wants %d)" flow_id at dst)
+      | Black_hole { at } ->
+          Error (Printf.sprintf "flow %d black-holed at node %d" flow_id at)
+      | Looped { at } ->
+          Error (Printf.sprintf "flow %d loops at node %d" flow_id at))
+
+let verify_all t net =
+  let err = ref None in
+  Net_state.iter_flows net (fun placed ->
+      if !err = None then
+        match verify_flow t net ~flow_id:placed.Net_state.record.Flow_record.id with
+        | Ok () -> ()
+        | Error e -> err := Some e);
+  match !err with None -> Ok () | Some e -> Error e

@@ -1,0 +1,51 @@
+(** The simulated dataplane: one {!Switch_table} per node.
+
+    This is what the control-plane abstractions are verified against: a
+    packet of flow f enters at the ingress, gets stamped with the
+    ingress's current version tag, and is then forwarded hop by hop by
+    (flow, version)-matching rules. The walker detects loops and
+    black holes — the two anomalies per-packet consistency is supposed to
+    exclude (Reitblatt et al.). *)
+
+type t
+
+val create : Graph.t -> t
+(** Empty tables on every node. *)
+
+val graph : t -> Graph.t
+val table : t -> int -> Switch_table.t
+(** Table of a node id. *)
+
+val install_path_rules : t -> flow_id:int -> version:int -> Path.t -> unit
+(** Install the forwarding rule of every hop of [path] under [version].
+    Does not touch the ingress stamp. *)
+
+val uninstall_path_rules : t -> flow_id:int -> version:int -> Path.t -> unit
+(** Remove those rules (missing rules are ignored). *)
+
+val set_ingress : t -> flow_id:int -> ingress:int -> version:int -> unit
+(** Atomically (re)stamp the flow's packets at its ingress node. *)
+
+val total_rules : t -> int
+
+val of_net : Net_state.t -> t
+(** Build the dataplane matching a network state: version-0 rules along
+    every placed flow's path, ingress stamp at the path source. *)
+
+type outcome =
+  | Arrived of { at : int; hops : int }
+      (** The packet left the rule-covered region at node [at] (for a
+          correct configuration, the flow's destination host). *)
+  | Black_hole of { at : int }
+      (** No ingress stamp — the flow cannot even be injected. *)
+  | Looped of { at : int }  (** The walk revisited node [at]. *)
+
+val forward : t -> flow_id:int -> src:int -> outcome
+(** Walk a packet of [flow_id] injected at [src]. *)
+
+val verify_flow : t -> Net_state.t -> flow_id:int -> (unit, string) result
+(** The packet walk must arrive exactly at the flow's destination node.
+    Errors name the failing node. *)
+
+val verify_all : t -> Net_state.t -> (unit, string) result
+(** {!verify_flow} over every placed flow. *)

@@ -1,0 +1,21 @@
+type t = { flow_id : int; version : int; out_edge : int }
+
+let v ~flow_id ~version ~out_edge =
+  if flow_id < 0 then invalid_arg "Rule.v: flow_id";
+  if version < 0 then invalid_arg "Rule.v: version";
+  if out_edge < 0 then invalid_arg "Rule.v: out_edge";
+  { flow_id; version; out_edge }
+
+let matches t ~flow_id ~version = t.flow_id = flow_id && t.version = version
+
+let compare a b =
+  match Stdlib.compare a.flow_id b.flow_id with
+  | 0 -> (
+      match Stdlib.compare a.version b.version with
+      | 0 -> Stdlib.compare a.out_edge b.out_edge
+      | c -> c)
+  | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "rule[flow %d v%d -> edge %d]" t.flow_id t.version
+    t.out_edge

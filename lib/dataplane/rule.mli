@@ -1,0 +1,24 @@
+(** Forwarding rules.
+
+    The simulated SDN dataplane matches packets on (flow id, version
+    tag): version tags are the mechanism of per-flow consistent updates
+    (Reitblatt et al., the paper's related-work category "consistent
+    update") — a packet stamped with version v at the ingress is
+    forwarded by v-tagged rules everywhere, so it traverses either the
+    old or the new configuration, never a mix. *)
+
+type t = {
+  flow_id : int;
+  version : int;  (** Configuration version this rule belongs to. *)
+  out_edge : int;  (** Edge id the packet is forwarded onto. *)
+}
+
+val v : flow_id:int -> version:int -> out_edge:int -> t
+(** Checked constructor: non-negative fields. *)
+
+val matches : t -> flow_id:int -> version:int -> bool
+
+val compare : t -> t -> int
+(** Orders by (flow id, version, out edge). *)
+
+val pp : Format.formatter -> t -> unit

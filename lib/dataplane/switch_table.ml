@@ -1,0 +1,35 @@
+type t = {
+  rules : (int * int, Rule.t) Hashtbl.t;  (* (flow, version) -> rule *)
+  stamps : (int, int) Hashtbl.t;  (* flow -> ingress version stamp *)
+}
+
+let create () = { rules = Hashtbl.create 64; stamps = Hashtbl.create 8 }
+
+let install t (rule : Rule.t) =
+  Hashtbl.replace t.rules (rule.Rule.flow_id, rule.Rule.version) rule
+
+let uninstall t ~flow_id ~version =
+  let existed = Hashtbl.mem t.rules (flow_id, version) in
+  Hashtbl.remove t.rules (flow_id, version);
+  existed
+
+let lookup t ~flow_id ~version = Hashtbl.find_opt t.rules (flow_id, version)
+
+let rules t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.rules [] |> List.sort Rule.compare
+
+let rule_count t = Hashtbl.length t.rules
+
+let versions_of t ~flow_id =
+  Hashtbl.fold
+    (fun (fid, version) _ acc -> if fid = flow_id then version :: acc else acc)
+    t.rules []
+  |> List.sort compare
+
+let set_stamp t ~flow_id ~version = Hashtbl.replace t.stamps flow_id version
+let stamp t ~flow_id = Hashtbl.find_opt t.stamps flow_id
+let clear_stamp t ~flow_id = Hashtbl.remove t.stamps flow_id
+
+let pp ppf t =
+  Format.fprintf ppf "table[%d rules, %d ingress flows]" (rule_count t)
+    (Hashtbl.length t.stamps)

@@ -1,0 +1,41 @@
+(** One switch's flow table.
+
+    Rules are keyed by (flow id, version). Ingress switches additionally
+    hold the *stamp* — the version tag they write onto a flow's packets;
+    flipping the stamp is the single atomic step of a two-phase update.
+    Capacity accounting (rule-memory occupancy) is tracked because the
+    cost of keeping two rule generations alive is the classic objection
+    to two-phase updates (paper §VI: "reduce the overhead of keeping new
+    and old configurations at related switches"). *)
+
+type t
+
+val create : unit -> t
+
+val install : t -> Rule.t -> unit
+(** Idempotent: re-installing an identical rule is a no-op. *)
+
+val uninstall : t -> flow_id:int -> version:int -> bool
+(** Remove the rule for (flow, version); returns whether it existed. *)
+
+val lookup : t -> flow_id:int -> version:int -> Rule.t option
+
+val rules : t -> Rule.t list
+(** All installed rules, sorted. *)
+
+val rule_count : t -> int
+
+val versions_of : t -> flow_id:int -> int list
+(** Versions installed for a flow, ascending. *)
+
+val set_stamp : t -> flow_id:int -> version:int -> unit
+(** Declare this switch the ingress of [flow_id], stamping packets with
+    [version]. *)
+
+val stamp : t -> flow_id:int -> int option
+(** Current ingress stamp for a flow at this switch, if it is the
+    flow's ingress. *)
+
+val clear_stamp : t -> flow_id:int -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(** Ablations for the design choices DESIGN.md §7 calls out.
+
+    Not in the paper's figures, but each isolates a knob the paper fixes
+    implicitly: the sample size α (the paper asserts α = 2 already works,
+    citing the power of two choices), the greedy order inside the
+    migration-set approximation, the admission mode (desired-path-first
+    vs scan-first), and the path-selection policy. *)
+
+val alpha_sweep : ?seeds:int list -> ?alphas:int list -> unit -> unit
+(** LMTF and P-LMTF average/tail ECT reduction vs FIFO as α sweeps
+    (default 1, 2, 4, 8) — 30 events, churn on. *)
+
+val migration_order : ?seed:int -> unit -> unit
+(** For one planning pass over 30 events: Cost(U), move count and plan
+    units under each {!Migration.order}. *)
+
+val admission_mode : ?seed:int -> unit -> unit
+(** Desired-first vs scan-first planning: cost and failure profile. *)
+
+val routing_policy : ?seed:int -> unit -> unit
+(** First-fit / widest / least-loaded / random-fit relocation targets:
+    cost and plan-unit profile over one planning pass. *)
+
+val reorder_overhead : ?seeds:int list -> unit -> unit
+(** The "intrinsic" full-reordering baseline vs LMTF vs FIFO: ECT/cost
+    reductions and the plan-time blow-up the paper's §III-C predicts. *)
+
+val co_fit_vs_utilization : ?seed:int -> ?utilizations:float list -> unit -> unit
+(** P-LMTF's opportunistic-fit acceptance as static utilisation grows —
+    the mechanism behind EXPERIMENTS.md note 6 (reductions decay because
+    nothing fits alongside the head at 90% load). *)
+
+val run_all : unit -> unit

@@ -1,0 +1,23 @@
+(** Fig. 8 — event queuing delay reductions vs FIFO.
+
+    For 10-50 queued heterogeneous events (α = 4, utilisation
+    fluctuating 50-70%), the paper reports reductions in average and
+    worst-case event queuing delay: LMTF 20-40% (average) and 10-30%
+    (worst case); P-LMTF 67-83% and 60-74%. *)
+
+type point = {
+  n_events : int;
+  lmtf_avg_q_red : float;
+  lmtf_worst_q_red : float;
+  plmtf_avg_q_red : float;
+  plmtf_worst_q_red : float;
+}
+
+val compute :
+  ?seeds:int list ->
+  ?alpha:int ->
+  ?event_counts:int list ->
+  unit ->
+  point list
+
+val run : ?seeds:int list -> ?alpha:int -> unit -> unit

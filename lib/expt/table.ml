@@ -1,0 +1,44 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reverse order *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count mismatch";
+  t.rows <- cells :: t.rows
+
+let fmt_float v = Printf.sprintf "%.4g" v
+let add_floats t values = add_row t (List.map fmt_float values)
+let add_mixed t label values = add_row t (label :: List.map fmt_float values)
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let widths =
+    List.fold_left
+      (fun widths row ->
+        List.map2 (fun w cell -> max w (String.length cell)) widths row)
+      (List.map (fun _ -> 0) t.columns)
+      all
+  in
+  let render_row prefix row =
+    let cells =
+      List.map2
+        (fun w cell -> cell ^ String.make (w - String.length cell) ' ')
+        widths row
+    in
+    prefix ^ String.concat "  " cells
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("## " ^ t.title ^ "\n");
+  Buffer.add_string buf (render_row "# " t.columns ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row "  " row ^ "\n")) rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (to_string t);
+  flush stdout

@@ -1,0 +1,24 @@
+(** Aligned text tables for experiment output.
+
+    Every figure regenerator prints its series through this module so the
+    harness output is uniform and machine-parsable (a header line starting
+    with '#', then whitespace-aligned columns). *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** Start a table. [columns] are header labels. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; must match the column count. *)
+
+val add_floats : t -> float list -> unit
+(** Row of "%.4g"-formatted numbers. *)
+
+val add_mixed : t -> string -> float list -> unit
+(** Row with a leading label cell then numbers. *)
+
+val print : t -> unit
+(** Render to stdout with aligned columns. *)
+
+val to_string : t -> string

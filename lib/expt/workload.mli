@@ -1,0 +1,37 @@
+(** Shared plumbing for the figure regenerators.
+
+    Each experiment needs the same skeleton: a loaded Fat-Tree at some
+    utilisation, a queue of generated update events, a set of policies
+    to compare on byte-identical initial states, and replication across
+    seeds. This module owns that skeleton; the [FigN] modules only
+    declare their sweeps. *)
+
+type setup = {
+  utilization : float;  (** Background fabric-utilisation target. *)
+  n_events : int;
+  shape : Event_gen.shape;
+  seed : int;
+  churn : bool;  (** Dynamic background (Fig. 6/8/9) or static (Fig. 7). *)
+  exec : Exec_model.t;
+}
+
+val default_setup : setup
+(** 70% utilisation, 30 heterogeneous events, seed 42, churn on,
+    default execution model. *)
+
+val run_policies : setup -> Policy.t list -> Metrics.summary list
+(** Prepare one scenario, then run every policy from a copy of the same
+    prepared state and identical sampling seed. Order follows the input
+    list. *)
+
+val averaged :
+  setup -> seeds:int list -> Policy.t list ->
+  (Policy.t * Metrics.summary list) list
+(** Replicate {!run_policies} across seeds; returns, per policy, the
+    per-seed summaries (callers aggregate whichever field they plot). *)
+
+val mean_of : ('a -> float) -> 'a list -> float
+(** Average a field over replicate summaries. *)
+
+val reduction_pct : baseline:float -> float -> float
+(** Percent reduction vs baseline. *)

@@ -1,0 +1,109 @@
+let default_usable (_ : Graph.edge) = true
+
+(* One BFS from [src]; returns the hop-distance array (-1 = unreachable). *)
+let distances g usable src =
+  let n = Graph.node_count g in
+  let dist = Array.make n (-1) in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    List.iter
+      (fun (e : Graph.edge) ->
+        if usable e && dist.(e.dst) < 0 then begin
+          dist.(e.dst) <- dist.(v) + 1;
+          Queue.push e.dst q
+        end)
+      (Graph.out_edges g v)
+  done;
+  dist
+
+let distance g ?(usable = default_usable) ~src ~dst () =
+  let dist = distances g usable src in
+  if dist.(dst) < 0 then None else Some dist.(dst)
+
+let shortest_path g ?(usable = default_usable) ~src ~dst () =
+  if src = dst then None
+  else begin
+    let n = Graph.node_count g in
+    let parent_edge : Graph.edge option array = Array.make n None in
+    let seen = Array.make n false in
+    seen.(src) <- true;
+    let q = Queue.create () in
+    Queue.push src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun (e : Graph.edge) ->
+          if usable e && not seen.(e.dst) then begin
+            seen.(e.dst) <- true;
+            parent_edge.(e.dst) <- Some e;
+            if e.dst = dst then found := true;
+            Queue.push e.dst q
+          end)
+        (Graph.out_edges g v)
+    done;
+    if not seen.(dst) then None
+    else begin
+      let rec collect v acc =
+        match parent_edge.(v) with
+        | None -> acc
+        | Some e -> collect e.src (e :: acc)
+      in
+      Some (Path.make g (collect dst []))
+    end
+  end
+
+let all_shortest_paths g ?(usable = default_usable) ?(max_paths = 64) ~src ~dst
+    () =
+  if src = dst then []
+  else begin
+    (* Distances from every node to [dst] over the reversed graph; a
+       forward edge (u,v) lies on a shortest path iff
+       dist_to_dst u = dist_to_dst v + 1. *)
+    let n = Graph.node_count g in
+    let dist_to_dst = Array.make n (-1) in
+    dist_to_dst.(dst) <- 0;
+    let q = Queue.create () in
+    Queue.push dst q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun (e : Graph.edge) ->
+          if usable e && dist_to_dst.(e.src) < 0 then begin
+            dist_to_dst.(e.src) <- dist_to_dst.(v) + 1;
+            Queue.push e.src q
+          end)
+        (Graph.in_edges g v)
+    done;
+    if dist_to_dst.(src) < 0 then []
+    else begin
+      let results = ref [] and count = ref 0 in
+      (* DFS along the shortest-path DAG, insertion order of out-edges. *)
+      let rec walk v acc =
+        if !count < max_paths then begin
+          if v = dst then begin
+            results := Path.make g (List.rev acc) :: !results;
+            incr count
+          end
+          else
+            List.iter
+              (fun (e : Graph.edge) ->
+                if
+                  usable e
+                  && dist_to_dst.(e.dst) >= 0
+                  && dist_to_dst.(e.dst) = dist_to_dst.(v) - 1
+                then walk e.dst (e :: acc))
+              (Graph.out_edges g v)
+        end
+      in
+      walk src [];
+      List.rev !results
+    end
+  end
+
+let reachable g ?(usable = default_usable) ~src () =
+  let dist = distances g usable src in
+  Array.map (fun d -> d >= 0) dist

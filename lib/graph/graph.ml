@@ -1,0 +1,112 @@
+type edge = { id : int; src : int; dst : int; capacity : float }
+
+type t = {
+  mutable nodes : int;
+  mutable edges : edge array;  (* used prefix is [0, n_edges) *)
+  mutable n_edges : int;
+  mutable out_adj : edge list array;  (* reverse insertion order inside *)
+  mutable in_adj : edge list array;
+}
+
+let dummy_edge = { id = -1; src = -1; dst = -1; capacity = 0.0 }
+
+let create ?(initial_nodes = 0) () =
+  if initial_nodes < 0 then invalid_arg "Graph.create";
+  {
+    nodes = initial_nodes;
+    edges = Array.make 64 dummy_edge;
+    n_edges = 0;
+    out_adj = Array.make (max 16 initial_nodes) [];
+    in_adj = Array.make (max 16 initial_nodes) [];
+  }
+
+let node_count t = t.nodes
+let edge_count t = t.n_edges
+
+let ensure_adj t n =
+  let cap = Array.length t.out_adj in
+  if n > cap then begin
+    let cap' = max n (2 * cap) in
+    let grow a = Array.init cap' (fun i -> if i < cap then a.(i) else []) in
+    t.out_adj <- grow t.out_adj;
+    t.in_adj <- grow t.in_adj
+  end
+
+let add_node t =
+  let id = t.nodes in
+  t.nodes <- id + 1;
+  ensure_adj t t.nodes;
+  id
+
+let add_nodes t n =
+  if n < 0 then invalid_arg "Graph.add_nodes";
+  t.nodes <- t.nodes + n;
+  ensure_adj t t.nodes
+
+let add_edge t ~src ~dst ~capacity =
+  if src < 0 || src >= t.nodes then invalid_arg "Graph.add_edge: src";
+  if dst < 0 || dst >= t.nodes then invalid_arg "Graph.add_edge: dst";
+  if capacity < 0.0 then invalid_arg "Graph.add_edge: capacity";
+  let id = t.n_edges in
+  if id = Array.length t.edges then begin
+    let edges' = Array.make (2 * id) dummy_edge in
+    Array.blit t.edges 0 edges' 0 id;
+    t.edges <- edges'
+  end;
+  let e = { id; src; dst; capacity } in
+  t.edges.(id) <- e;
+  t.n_edges <- id + 1;
+  t.out_adj.(src) <- e :: t.out_adj.(src);
+  t.in_adj.(dst) <- e :: t.in_adj.(dst);
+  id
+
+let add_link t ~a ~b ~capacity =
+  let ab = add_edge t ~src:a ~dst:b ~capacity in
+  let ba = add_edge t ~src:b ~dst:a ~capacity in
+  (ab, ba)
+
+let edge t id =
+  if id < 0 || id >= t.n_edges then invalid_arg "Graph.edge: id out of range";
+  t.edges.(id)
+
+let out_edges t v =
+  if v < 0 || v >= t.nodes then invalid_arg "Graph.out_edges";
+  List.rev t.out_adj.(v)
+
+let in_edges t v =
+  if v < 0 || v >= t.nodes then invalid_arg "Graph.in_edges";
+  List.rev t.in_adj.(v)
+
+let out_degree t v =
+  if v < 0 || v >= t.nodes then invalid_arg "Graph.out_degree";
+  List.length t.out_adj.(v)
+
+let find_edge t ~src ~dst =
+  if src < 0 || src >= t.nodes then None
+  else
+    let rec last_match acc = function
+      | [] -> acc
+      | e :: rest ->
+          last_match (if e.dst = dst then Some e else acc) rest
+    in
+    (* out_adj holds reverse insertion order; the last match in that order
+       is the first-inserted edge. *)
+    last_match None t.out_adj.(src)
+
+let iter_edges t f =
+  for i = 0 to t.n_edges - 1 do
+    f t.edges.(i)
+  done
+
+let fold_edges t ~init ~f =
+  let acc = ref init in
+  iter_edges t (fun e -> acc := f !acc e);
+  !acc
+
+let reverse_edge t e = find_edge t ~src:e.dst ~dst:e.src
+
+let total_capacity t = fold_edges t ~init:0.0 ~f:(fun acc e -> acc +. e.capacity)
+
+let pp ppf t =
+  Format.fprintf ppf "graph[%d nodes, %d edges, %.0f Mbps total]" t.nodes
+    t.n_edges (total_capacity t)

@@ -1,0 +1,66 @@
+(** Directed capacitated multigraph.
+
+    This is the paper's network model G = (V, E): V is a set of switches
+    (and hosts), E a set of links with capacity c_ij. Nodes and edges are
+    dense integer ids so that per-edge state (residual bandwidth, flow
+    lists) can live in flat arrays owned by higher layers ({!Nu_net}).
+
+    The structure is append-only: topologies are built once and never
+    shrink. Link failure is modelled by higher layers as an edge filter,
+    not by mutation, which keeps a single graph shareable across
+    concurrent what-if computations. *)
+
+type t
+
+type edge = private {
+  id : int;  (** Dense id in [0, edge_count). *)
+  src : int;
+  dst : int;
+  capacity : float;  (** Link capacity, Mbit/s. *)
+}
+
+val create : ?initial_nodes:int -> unit -> t
+(** Fresh empty graph. [initial_nodes] pre-declares that many nodes. *)
+
+val add_node : t -> int
+(** Append a node; returns its id. *)
+
+val add_nodes : t -> int -> unit
+(** Append that many nodes at once. *)
+
+val add_edge : t -> src:int -> dst:int -> capacity:float -> int
+(** Append a directed edge and return its id. Requires both endpoints to
+    exist and [capacity >= 0]. Parallel edges are allowed. *)
+
+val add_link : t -> a:int -> b:int -> capacity:float -> int * int
+(** Convenience for network links: adds the two directed edges (a->b,
+    b->a) and returns both ids. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val edge : t -> int -> edge
+(** Edge by id. Raises [Invalid_argument] on an out-of-range id. *)
+
+val out_edges : t -> int -> edge list
+(** Outgoing edges of a node, in insertion order. *)
+
+val in_edges : t -> int -> edge list
+(** Incoming edges of a node, in insertion order. *)
+
+val out_degree : t -> int -> int
+
+val find_edge : t -> src:int -> dst:int -> edge option
+(** First edge from [src] to [dst], if any. *)
+
+val iter_edges : t -> (edge -> unit) -> unit
+val fold_edges : t -> init:'a -> f:('a -> edge -> 'a) -> 'a
+
+val reverse_edge : t -> edge -> edge option
+(** The paired opposite-direction edge, if one exists (first match). *)
+
+val total_capacity : t -> float
+(** Sum of all directed edge capacities. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line size summary. *)

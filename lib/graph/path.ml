@@ -1,0 +1,74 @@
+type t = { edges : Graph.edge list; edge_id_set : (int, unit) Hashtbl.t }
+
+let make _g edges =
+  (match edges with
+  | [] -> invalid_arg "Path.make: empty"
+  | (first : Graph.edge) :: _ ->
+      let rec check prev_dst seen = function
+        | [] -> ()
+        | (e : Graph.edge) :: rest ->
+            if e.src <> prev_dst then
+              invalid_arg "Path.make: edges are not contiguous";
+            if List.mem e.dst seen then invalid_arg "Path.make: node loop";
+            check e.dst (e.dst :: seen) rest
+      in
+      check first.src [ first.src ] edges);
+  let edge_id_set = Hashtbl.create (List.length edges) in
+  List.iter (fun (e : Graph.edge) -> Hashtbl.replace edge_id_set e.id ()) edges;
+  { edges; edge_id_set }
+
+let of_nodes g node_list =
+  match node_list with
+  | [] | [ _ ] -> invalid_arg "Path.of_nodes: need at least two nodes"
+  | first :: rest ->
+      let rec resolve prev acc = function
+        | [] -> List.rev acc
+        | v :: tl -> (
+            match Graph.find_edge g ~src:prev ~dst:v with
+            | None -> invalid_arg "Path.of_nodes: missing edge"
+            | Some e -> resolve v (e :: acc) tl)
+      in
+      make g (resolve first [] rest)
+
+let edges t = t.edges
+
+let src t =
+  match t.edges with
+  | e :: _ -> e.Graph.src
+  | [] -> assert false
+
+let dst t =
+  let rec last = function
+    | [ (e : Graph.edge) ] -> e.dst
+    | _ :: rest -> last rest
+    | [] -> assert false
+  in
+  last t.edges
+
+let edge_ids t = List.map (fun (e : Graph.edge) -> e.id) t.edges
+
+let nodes t =
+  match t.edges with
+  | [] -> assert false
+  | first :: _ ->
+      first.Graph.src :: List.map (fun (e : Graph.edge) -> e.dst) t.edges
+
+let hops t = List.length t.edges
+let mentions_edge t id = Hashtbl.mem t.edge_id_set id
+let mentions_node t v = List.mem v (nodes t)
+
+let bottleneck t ~capacity_of =
+  List.fold_left
+    (fun acc e -> min acc (capacity_of e))
+    infinity t.edges
+
+let equal a b = edge_ids a = edge_ids b
+let compare a b = Stdlib.compare (edge_ids a) (edge_ids b)
+
+let pp ppf t =
+  let ns = nodes t in
+  Format.fprintf ppf "%a"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "->")
+       Format.pp_print_int)
+    ns

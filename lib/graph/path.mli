@@ -1,0 +1,50 @@
+(** Network paths.
+
+    A path is a contiguous, loop-free sequence of directed edges. Flows
+    (paper §III-A) are unsplittable: each flow is pinned to exactly one
+    path p ∈ P(f), so paths are the unit of placement, congestion checking
+    and migration. *)
+
+type t
+
+val make : Graph.t -> Graph.edge list -> t
+(** [make g edges] validates contiguity ([dst] of each edge equals [src]
+    of the next), non-emptiness and node-simplicity (no repeated node,
+    i.e. loop-free), and builds the path. Raises [Invalid_argument]
+    otherwise. *)
+
+val of_nodes : Graph.t -> int list -> t
+(** [of_nodes g [v0; v1; ...; vn]] resolves each consecutive pair to the
+    first matching edge. Raises [Invalid_argument] if some hop has no
+    edge or the node list is shorter than 2. *)
+
+val src : t -> int
+val dst : t -> int
+
+val edges : t -> Graph.edge list
+(** Edges in traversal order. *)
+
+val edge_ids : t -> int list
+
+val nodes : t -> int list
+(** Visited nodes in order, [src] first, [dst] last. *)
+
+val hops : t -> int
+(** Number of edges. *)
+
+val mentions_edge : t -> int -> bool
+(** [mentions_edge p id] is true when edge [id] lies on [p]. *)
+
+val mentions_node : t -> int -> bool
+
+val bottleneck : t -> capacity_of:(Graph.edge -> float) -> float
+(** Minimum of [capacity_of] over the path's edges — e.g. residual
+    bandwidth of the path. *)
+
+val equal : t -> t -> bool
+(** Structural equality on edge id sequences. *)
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [v0->v1->...->vn]. *)

@@ -1,0 +1,274 @@
+type placed = { record : Flow_record.t; path : Path.t }
+
+type t = {
+  topo : Topology.t;
+  residual : float array;  (* indexed by edge id *)
+  flows : (int, placed) Hashtbl.t;  (* flow id -> placement *)
+  on_edge : (int, unit) Hashtbl.t array;  (* edge id -> flow-id set *)
+  disabled : bool array;  (* administratively failed edges *)
+  fabric : int list Lazy.t;  (* switch-to-switch edge ids *)
+}
+
+let compute_fabric topo =
+  let g = topo.Topology.graph in
+  let host = Array.make (Graph.node_count g) false in
+  Array.iter (fun h -> host.(h) <- true) topo.Topology.hosts;
+  Graph.fold_edges g ~init:[] ~f:(fun acc (e : Graph.edge) ->
+      if host.(e.src) || host.(e.dst) then acc else e.id :: acc)
+  |> List.rev
+
+let create topo =
+  let g = topo.Topology.graph in
+  let residual =
+    Array.init (Graph.edge_count g) (fun id -> (Graph.edge g id).capacity)
+  in
+  {
+    topo;
+    residual;
+    flows = Hashtbl.create 1024;
+    on_edge = Array.init (Graph.edge_count g) (fun _ -> Hashtbl.create 8);
+    disabled = Array.make (Graph.edge_count g) false;
+    fabric = lazy (compute_fabric topo);
+  }
+
+let copy t =
+  {
+    topo = t.topo;
+    residual = Array.copy t.residual;
+    flows = Hashtbl.copy t.flows;
+    on_edge = Array.map Hashtbl.copy t.on_edge;
+    disabled = Array.copy t.disabled;
+    fabric = t.fabric;
+  }
+
+let topology t = t.topo
+let graph t = t.topo.Topology.graph
+
+let residual t edge_id =
+  if edge_id < 0 || edge_id >= Array.length t.residual then
+    invalid_arg "Net_state.residual: edge id";
+  t.residual.(edge_id)
+
+let used t edge_id = (Graph.edge (graph t) edge_id).capacity -. residual t edge_id
+
+let edge_utilization t edge_id =
+  let cap = (Graph.edge (graph t) edge_id).capacity in
+  if cap <= 0.0 then 0.0 else used t edge_id /. cap
+
+let mean_utilization ?edges t =
+  let ids =
+    match edges with
+    | Some ids -> ids
+    | None -> List.init (Graph.edge_count (graph t)) (fun i -> i)
+  in
+  match ids with
+  | [] -> 0.0
+  | _ ->
+      let sum = List.fold_left (fun acc id -> acc +. edge_utilization t id) 0.0 ids in
+      sum /. float_of_int (List.length ids)
+
+let max_utilization t =
+  let m = ref 0.0 in
+  for id = 0 to Graph.edge_count (graph t) - 1 do
+    m := max !m (edge_utilization t id)
+  done;
+  !m
+
+let check_edge_id t id name =
+  if id < 0 || id >= Array.length t.disabled then
+    invalid_arg ("Net_state." ^ name ^ ": edge id")
+
+let disable_edge t id =
+  check_edge_id t id "disable_edge";
+  t.disabled.(id) <- true
+
+let enable_edge t id =
+  check_edge_id t id "enable_edge";
+  t.disabled.(id) <- false
+
+let edge_disabled t id =
+  check_edge_id t id "edge_disabled";
+  t.disabled.(id)
+
+let fabric_edges t = Lazy.force t.fabric
+let mean_fabric_utilization t = mean_utilization ~edges:(fabric_edges t) t
+
+let flow t id = Hashtbl.find_opt t.flows id
+let flow_count t = Hashtbl.length t.flows
+let is_placed t id = Hashtbl.mem t.flows id
+let iter_flows t f = Hashtbl.iter (fun _ placed -> f placed) t.flows
+
+let flows_on_edge t edge_id =
+  if edge_id < 0 || edge_id >= Array.length t.on_edge then
+    invalid_arg "Net_state.flows_on_edge: edge id";
+  let ids = Hashtbl.fold (fun id () acc -> id :: acc) t.on_edge.(edge_id) [] in
+  let ids = List.sort compare ids in
+  List.map (fun id -> Hashtbl.find t.flows id) ids
+
+let flows_through_node t v =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun id placed -> if Path.mentions_node placed.path v then acc := id :: !acc)
+    t.flows;
+  List.map (fun id -> Hashtbl.find t.flows id) (List.sort compare !acc)
+
+let endpoints t (record : Flow_record.t) =
+  let hosts = t.topo.Topology.hosts in
+  let n = Array.length hosts in
+  if record.src < 0 || record.src >= n || record.dst < 0 || record.dst >= n
+  then invalid_arg "Net_state.endpoints: host index out of range";
+  (hosts.(record.src), hosts.(record.dst))
+
+let path_enabled t path =
+  List.for_all (fun (e : Graph.edge) -> not t.disabled.(e.id)) (Path.edges path)
+
+let candidate_paths t record =
+  let src, dst = endpoints t record in
+  List.filter (path_enabled t) (t.topo.Topology.candidate_paths ~src ~dst)
+
+let path_feasible t path ~demand =
+  List.for_all
+    (fun (e : Graph.edge) -> (not t.disabled.(e.id)) && t.residual.(e.id) >= demand)
+    (Path.edges path)
+
+let congested_links t path ~demand =
+  List.filter
+    (fun (e : Graph.edge) -> t.residual.(e.id) < demand)
+    (Path.edges path)
+
+let capacity_gap t (e : Graph.edge) ~demand = demand -. t.residual.(e.id)
+
+type place_error = Duplicate_flow | Congested of Graph.edge list
+
+let occupy t placed =
+  let demand = Flow_record.demand_mbps placed.record in
+  List.iter
+    (fun (e : Graph.edge) ->
+      t.residual.(e.id) <- t.residual.(e.id) -. demand;
+      Hashtbl.replace t.on_edge.(e.id) placed.record.id ())
+    (Path.edges placed.path)
+
+let release t placed =
+  let demand = Flow_record.demand_mbps placed.record in
+  List.iter
+    (fun (e : Graph.edge) ->
+      t.residual.(e.id) <- t.residual.(e.id) +. demand;
+      Hashtbl.remove t.on_edge.(e.id) placed.record.id)
+    (Path.edges placed.path)
+
+let place t record path =
+  if Hashtbl.mem t.flows record.Flow_record.id then Error Duplicate_flow
+  else begin
+    let src, dst = endpoints t record in
+    if Path.src path <> src || Path.dst path <> dst then
+      invalid_arg "Net_state.place: path does not connect the flow endpoints";
+    let demand = Flow_record.demand_mbps record in
+    let dead =
+      List.filter (fun (e : Graph.edge) -> t.disabled.(e.id)) (Path.edges path)
+    in
+    match dead @ congested_links t path ~demand with
+    | _ :: _ as blocked -> Error (Congested blocked)
+    | [] ->
+        let placed = { record; path } in
+        Hashtbl.replace t.flows record.id placed;
+        occupy t placed;
+        Ok ()
+  end
+
+let remove t id =
+  match Hashtbl.find_opt t.flows id with
+  | None -> Error `Not_found
+  | Some placed ->
+      Hashtbl.remove t.flows id;
+      release t placed;
+      Ok placed
+
+let reroute ?(admit_disabled = false) t id new_path =
+  match Hashtbl.find_opt t.flows id with
+  | None -> invalid_arg "Net_state.reroute: flow not placed"
+  | Some placed ->
+      (* Judge feasibility with the flow's own usage released, then
+         either commit the move or restore the original placement. *)
+      Hashtbl.remove t.flows id;
+      release t placed;
+      let demand = Flow_record.demand_mbps placed.record in
+      let dead =
+        if admit_disabled then []
+        else
+          List.filter
+            (fun (e : Graph.edge) -> t.disabled.(e.id))
+            (Path.edges new_path)
+      in
+      (match dead @ congested_links t new_path ~demand with
+      | _ :: _ as blocked ->
+          Hashtbl.replace t.flows id placed;
+          occupy t placed;
+          Error (Congested blocked)
+      | [] ->
+          let src, dst = endpoints t placed.record in
+          if Path.src new_path <> src || Path.dst new_path <> dst then begin
+            Hashtbl.replace t.flows id placed;
+            occupy t placed;
+            invalid_arg "Net_state.reroute: path does not connect endpoints"
+          end
+          else begin
+            let placed' = { placed with path = new_path } in
+            Hashtbl.replace t.flows id placed';
+            occupy t placed';
+            Ok placed.path
+          end)
+
+let invariants_ok t =
+  let g = graph t in
+  let expected =
+    Array.init (Graph.edge_count g) (fun id -> (Graph.edge g id).capacity)
+  in
+  let err = ref None in
+  Hashtbl.iter
+    (fun id placed ->
+      if placed.record.Flow_record.id <> id && !err = None then
+        err := Some (Printf.sprintf "flow %d stored under wrong key" id);
+      let demand = Flow_record.demand_mbps placed.record in
+      List.iter
+        (fun (e : Graph.edge) ->
+          expected.(e.id) <- expected.(e.id) -. demand;
+          if not (Hashtbl.mem t.on_edge.(e.id) id) && !err = None then
+            err := Some (Printf.sprintf "flow %d missing from edge %d" id e.id))
+        (Path.edges placed.path))
+    t.flows;
+  Array.iteri
+    (fun id expect ->
+      if !err = None then begin
+        if abs_float (expect -. t.residual.(id)) > 1e-6 then
+          err :=
+            Some
+              (Printf.sprintf "edge %d residual %.6f, expected %.6f" id
+                 t.residual.(id) expect);
+        if expect < -1e-6 then
+          err := Some (Printf.sprintf "edge %d oversubscribed" id)
+      end)
+    expected;
+  (* Every on-edge entry must refer to a placed flow crossing that edge. *)
+  Array.iteri
+    (fun edge_id set ->
+      Hashtbl.iter
+        (fun fid () ->
+          if !err = None then
+            match Hashtbl.find_opt t.flows fid with
+            | None ->
+                err := Some (Printf.sprintf "edge %d lists ghost flow %d" edge_id fid)
+            | Some placed ->
+                if not (Path.mentions_edge placed.path edge_id) then
+                  err :=
+                    Some
+                      (Printf.sprintf "edge %d lists flow %d not crossing it"
+                         edge_id fid))
+        set)
+    t.on_edge;
+  match !err with Some msg -> Error msg | None -> Ok ()
+
+let pp ppf t =
+  Format.fprintf ppf "net[%s: %d flows, mean util %.1f%%, max util %.1f%%]"
+    t.topo.Topology.name (flow_count t)
+    (100.0 *. mean_utilization t)
+    (100.0 *. max_utilization t)

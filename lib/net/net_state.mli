@@ -1,0 +1,140 @@
+(** Mutable network state: flow placements and residual link bandwidth.
+
+    This is the object every paper concept is defined against: the
+    congestion-free invariants of §III-A (each placed flow is unsplit,
+    consumes its demand d^f on every edge of its single path p, and every
+    link keeps c_ij >= 0), the congested-link set E^c of Definition 1,
+    and the what-if copies the planner's cost estimation runs on.
+
+    All mutating operations either succeed atomically or leave the state
+    unchanged and report why — no partial placements. *)
+
+type t
+
+type placed = { record : Flow_record.t; path : Path.t }
+(** A flow pinned to its path. The demand on every edge of [path] is
+    [Flow_record.demand_mbps record]. *)
+
+val create : Topology.t -> t
+(** Empty network over a topology: all residuals at link capacity. *)
+
+val copy : t -> t
+(** Deep copy; the copy can be mutated freely (what-if planning). *)
+
+val topology : t -> Topology.t
+val graph : t -> Graph.t
+
+(** {2 Capacity accounting} *)
+
+val residual : t -> int -> float
+(** Residual bandwidth c_ij of an edge id, Mbps. *)
+
+val used : t -> int -> float
+(** [capacity - residual] of an edge id. *)
+
+val edge_utilization : t -> int -> float
+(** [used / capacity], in [0, 1]. Zero-capacity edges report 0. *)
+
+val mean_utilization : ?edges:int list -> t -> float
+(** Mean utilisation over the given edge ids (default: every edge) —
+    the paper's "network utilization". *)
+
+val max_utilization : t -> float
+
+(** {2 Link administrative state} *)
+
+val disable_edge : t -> int -> unit
+(** Mark an edge id failed/unusable: it disappears from
+    {!candidate_paths}, fails {!path_feasible}, and rejects {!place} /
+    {!reroute}. Flows already crossing it stay placed (their traffic is
+    being lost until an update reroutes them) — build a
+    link-failure update event to evacuate them. Idempotent. *)
+
+val enable_edge : t -> int -> unit
+(** Undo {!disable_edge}. Idempotent. *)
+
+val edge_disabled : t -> int -> bool
+
+val fabric_edges : t -> int list
+(** Edge ids whose two endpoints are both switches — the aggregation
+    fabric. The paper's "network utilization" is measured here: host
+    access links are capacity-bound by a single server and are kept out
+    of the utilisation probe (see DESIGN.md §3). Computed once per state
+    family and cached. *)
+
+val mean_fabric_utilization : t -> float
+(** [mean_utilization ~edges:(fabric_edges t) t]. *)
+
+(** {2 Flow queries} *)
+
+val flow : t -> int -> placed option
+(** Placed flow by flow id. *)
+
+val flow_count : t -> int
+val is_placed : t -> int -> bool
+
+val iter_flows : t -> (placed -> unit) -> unit
+(** Iteration order is unspecified; use {!flows_on_edge} for
+    deterministic per-link lists. *)
+
+val flows_on_edge : t -> int -> placed list
+(** Flows whose path crosses the edge id, sorted by flow id. *)
+
+val flows_through_node : t -> int -> placed list
+(** Flows whose path visits the node (as switch or endpoint), sorted by
+    flow id. Used to build switch-upgrade update events. *)
+
+val endpoints : t -> Flow_record.t -> int * int
+(** Graph node ids of a record's (src, dst) host indices. Raises
+    [Invalid_argument] if an index is out of range. *)
+
+val candidate_paths : t -> Flow_record.t -> Path.t list
+(** The topology's ranked candidate set P(f) for the record's endpoints,
+    minus any path crossing a disabled edge. *)
+
+(** {2 Feasibility and congestion} *)
+
+val path_feasible : t -> Path.t -> demand:float -> bool
+(** True when every edge of the path is enabled and has
+    residual >= demand. *)
+
+val congested_links : t -> Path.t -> demand:float -> Graph.edge list
+(** E^c: edges of the path whose residual is strictly below [demand], in
+    path order (Definition 1). *)
+
+val capacity_gap : t -> Graph.edge -> demand:float -> float
+(** [demand - residual] of an edge — how much bandwidth migrations must
+    free on it. Non-positive means the edge already fits the demand. *)
+
+(** {2 Mutations} *)
+
+type place_error =
+  | Duplicate_flow  (** A flow with this id is already placed. *)
+  | Congested of Graph.edge list
+      (** The path lacks capacity on these edges. *)
+
+val place : t -> Flow_record.t -> Path.t -> (unit, place_error) result
+(** Atomically place the flow on the path (checks the endpoints match the
+    path and capacity suffices everywhere). *)
+
+val remove : t -> int -> (placed, [ `Not_found ]) result
+(** Remove a flow by id, restoring its bandwidth. *)
+
+val reroute :
+  ?admit_disabled:bool -> t -> int -> Path.t -> (Path.t, place_error) result
+(** [reroute t id new_path] migrates flow [id]: feasibility of
+    [new_path] is judged with the flow's current usage already released
+    (so partially-overlapping moves work). Returns the old path. Raises
+    [Invalid_argument] when [id] is not placed. On error the placement is
+    unchanged. [admit_disabled] (default false) skips the disabled-edge
+    check — exclusively for rollback paths that must restore a placement
+    that legitimately predates a link failure; capacity is still
+    checked. *)
+
+val invariants_ok : t -> (unit, string) result
+(** Recomputes every residual from scratch and checks the §III-A
+    congestion-free constraints; O(flows x diameter + edges). For tests
+    and debugging. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line occupancy summary. *)

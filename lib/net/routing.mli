@@ -1,0 +1,54 @@
+(** Path-selection policies over a candidate set P(f).
+
+    The planner needs two decisions repeatedly: which path to try for a
+    new flow, and which path to move a migrated flow to. Both are "pick
+    from P(f) subject to feasibility" problems; the policy controls the
+    tie-breaking and therefore load spread. First-fit is the paper's
+    implicit default (desired path first); the alternatives exist for the
+    ablation benches. *)
+
+type policy =
+  | First_fit  (** First feasible candidate in ranked order. *)
+  | Widest  (** Feasible candidate with maximum bottleneck residual. *)
+  | Least_loaded  (** Feasible candidate with minimum peak utilisation. *)
+  | Random_fit  (** Uniformly random feasible candidate (needs [rng]). *)
+
+val policy_name : policy -> string
+
+val all_policies : policy list
+
+val select :
+  ?rng:Prng.t ->
+  ?policy:policy ->
+  Net_state.t ->
+  Flow_record.t ->
+  Path.t option
+(** Choose a feasible path for the record among
+    {!Net_state.candidate_paths}. [None] when no candidate is feasible.
+    Default policy [First_fit]. [Random_fit] raises [Invalid_argument]
+    without an [rng]. *)
+
+val select_from :
+  ?rng:Prng.t ->
+  ?policy:policy ->
+  Net_state.t ->
+  demand:float ->
+  Path.t list ->
+  Path.t option
+(** Same choice rule over an explicit candidate list (used when the
+    candidate set is restricted, e.g. migration targets that must avoid
+    the congested links). *)
+
+val desired_path : Net_state.t -> Flow_record.t -> Path.t option
+(** The flow's *desired* path regardless of feasibility: the candidate
+    picked by {!ecmp_index} over the flow's 5-tuple stand-in
+    (id, src, dst) — what a hash-based ECMP dataplane would assign, and
+    the path the paper checks for congestion first. [None] only when the
+    candidate set is empty. *)
+
+val ecmp_index : Flow_record.t -> n:int -> int
+(** Deterministic hash of (id, src, dst) into [0, n). Requires [n >= 1]. *)
+
+val nth_candidate : Path.t list -> ecmp:int -> Path.t option
+(** Pick a list element by ECMP index (identity ordering); [None] on an
+    empty list. *)

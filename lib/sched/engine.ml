@@ -1,0 +1,466 @@
+type event_result = {
+  event_id : int;
+  arrival_s : float;
+  start_s : float;
+  completion_s : float;
+  cost_mbit : float;
+  plan_work_units : int;
+  failed_items : int;
+  co_scheduled : bool;
+}
+
+let ect r = r.completion_s -. r.arrival_s
+let queuing_delay r = r.start_s -. r.arrival_s
+
+type round_info = {
+  round_start_s : float;
+  executed : int list;
+  co_count : int;
+  round_units : int;
+  fabric_utilization : float;
+}
+
+type run_result = {
+  policy : Policy.t;
+  events : event_result array;
+  rounds : int;
+  rounds_log : round_info list;
+  total_plan_units : int;
+  total_plan_time_s : float;
+  total_cost_mbit : float;
+  makespan_s : float;
+  final_fabric_utilization : float;
+  planning_wall_s : float;
+}
+
+type churn = {
+  make_flow : id:int -> Flow_record.t;
+  target_utilization : float;
+  max_placements_per_round : int;
+  first_id : int;
+}
+
+(* Shared per-run mutable accounting. *)
+type ctx = {
+  net : Net_state.t;
+  exec : Exec_model.t;
+  config : Planner.config;
+  rng : Prng.t;
+  churn : churn option;
+  expiry : int Pqueue.t;  (* flow id keyed by departure instant *)
+  co_max_cost_mbit : float;
+  mutable next_churn_id : int;
+  mutable units : int;  (* plan-time-billable probes *)
+  mutable wall : float;  (* real planner CPU seconds *)
+}
+
+(* Expire flows whose departure has passed, then refill the background to
+   the churn setpoint. Called at each service round boundary. *)
+let sync_background ctx now =
+  match ctx.churn with
+  | None -> ()
+  | Some ch ->
+      let rec expire () =
+        match Pqueue.peek ctx.expiry with
+        | Some (dep, flow_id) when dep <= now ->
+            ignore (Pqueue.pop ctx.expiry);
+            (* The flow may already be gone (e.g. double registration);
+               removal is idempotent through the error case. *)
+            (match Net_state.remove ctx.net flow_id with
+            | Ok _ | Error `Not_found -> ());
+            expire ()
+        | Some _ | None -> ()
+      in
+      expire ();
+      let attempts = ref 0 and placed = ref 0 in
+      let max_attempts = 3 * ch.max_placements_per_round in
+      while
+        !placed < ch.max_placements_per_round
+        && !attempts < max_attempts
+        && Net_state.mean_fabric_utilization ctx.net < ch.target_utilization
+      do
+        incr attempts;
+        let id = ctx.next_churn_id in
+        ctx.next_churn_id <- id + 1;
+        let record = ch.make_flow ~id in
+        match Routing.select ~rng:ctx.rng ctx.net record with
+        | None -> ()
+        | Some path -> (
+            match Net_state.place ctx.net record path with
+            | Ok () ->
+                incr placed;
+                Pqueue.push ctx.expiry
+                  (now +. record.Flow_record.duration_s)
+                  record.Flow_record.id
+            | Error _ -> ())
+      done
+
+(* Register departures for the flows an executed plan installed. *)
+let schedule_departures ctx ~completion (plan : Planner.t) =
+  if Option.is_some ctx.churn then
+    List.iter
+      (fun (item : Planner.item_plan) ->
+        match (item.outcome, item.work) with
+        | Planner.Installed _, Event.Install r ->
+            Pqueue.push ctx.expiry
+              (completion +. r.Flow_record.duration_s)
+              r.Flow_record.id
+        | _ -> ())
+      plan.Planner.items
+
+let timed ctx f =
+  let t0 = Sys.time () in
+  let v = f () in
+  ctx.wall <- ctx.wall +. (Sys.time () -. t0);
+  v
+
+(* Plan-and-revert probe; billed. *)
+let estimate ctx ev =
+  let est =
+    timed ctx (fun () -> Planner.cost_of ~rng:ctx.rng ~config:ctx.config ctx.net ev)
+  in
+  ctx.units <- ctx.units + est.Planner.est_work_units;
+  est
+
+(* Apply a plan for execution. [billed] is false when the scheduler
+   already paid for an estimate of this event this round and reuses it.
+   [frozen] marks flows other plans of the same round are installing.
+   [config] overrides the planner configuration (P-LMTF's co-attempts
+   use scan-first admission). *)
+let apply ?frozen ?config ctx ~billed ev =
+  let config = Option.value config ~default:ctx.config in
+  let plan =
+    timed ctx (fun () -> Planner.plan ~rng:ctx.rng ~config ?frozen ctx.net ev)
+  in
+  if billed then ctx.units <- ctx.units + plan.Planner.work_units;
+  plan
+
+(* Flows a plan installs or reroutes as event work. These are mid-update
+   during the round, so a co-scheduled plan must not migrate them. *)
+let work_flow_ids (plan : Planner.t) =
+  List.filter_map
+    (fun (item : Planner.item_plan) ->
+      match (item.outcome, item.work) with
+      | Planner.Installed _, Event.Install r -> Some r.Flow_record.id
+      | Planner.Rerouted _, Event.Reroute { flow_id; _ } -> Some flow_id
+      | _ -> None)
+    plan.Planner.items
+
+
+(* One service round: the (event, applied plan, co_scheduled) batch. *)
+let decide ctx policy queue =
+  match (policy, queue) with
+  | _, [] -> invalid_arg "Engine.decide: empty queue"
+  | Policy.Fifo, head :: _ -> [ (head, apply ctx ~billed:true head, false) ]
+  | Policy.Reorder, _ ->
+      let costed = List.map (fun ev -> (estimate ctx ev, ev)) queue in
+      let winner =
+        List.fold_left
+          (fun (best_est, best_ev) (est, ev) ->
+            if
+              est.Planner.est_cost_mbit < best_est.Planner.est_cost_mbit
+              || (est.Planner.est_cost_mbit = best_est.Planner.est_cost_mbit
+                  && Event.compare_by_arrival ev best_ev < 0)
+            then (est, ev)
+            else (best_est, best_ev))
+          (match costed with c :: _ -> (fst c, snd c) | [] -> assert false)
+          costed
+      in
+      [ (snd winner, apply ctx ~billed:false (snd winner), false) ]
+  | Policy.Lmtf { alpha }, head :: tail | Policy.Plmtf { alpha }, head :: tail
+    ->
+      let sampled =
+        if tail = [] then []
+        else begin
+          let arr = Array.of_list tail in
+          let picks =
+            Prng.sample_without_replacement ctx.rng alpha (Array.length arr)
+          in
+          List.map (fun i -> arr.(i)) picks
+        end
+      in
+      let candidates = head :: sampled in
+      let costed = List.map (fun ev -> (estimate ctx ev, ev)) candidates in
+      let best_est, winner =
+        List.fold_left
+          (fun (best_est, best_ev) (est, ev) ->
+            if
+              est.Planner.est_cost_mbit < best_est.Planner.est_cost_mbit
+              || (est.Planner.est_cost_mbit = best_est.Planner.est_cost_mbit
+                  && Event.compare_by_arrival ev best_ev < 0)
+            then (est, ev)
+            else (best_est, best_ev))
+          (match costed with c :: _ -> (fst c, snd c) | [] -> assert false)
+          costed
+      in
+      ignore best_est;
+      let winner_plan = apply ctx ~billed:false winner in
+      let batch = [ (winner, winner_plan, false) ] in
+      (match policy with
+      | Policy.Lmtf _ -> batch
+      | Policy.Plmtf _ ->
+          (* Opportunistic updating: visit the remaining candidates in
+             arrival order; co-execute each that stays fully satisfiable
+             on the state left by the plans already in the batch and does
+             not migrate a flow some batch member is installing or
+             rerouting this round. Bandwidth consistency is automatic:
+             each plan is computed on the shared state. *)
+          let protected = Hashtbl.create 64 in
+          List.iter
+            (fun id -> Hashtbl.replace protected id ())
+            (work_flow_ids winner_plan);
+          let others =
+            List.sort Event.compare_by_arrival
+              (List.filter (fun ev -> ev.Event.id <> winner.Event.id) candidates)
+          in
+          (* "Can be updated together" is a fit check: the candidate's
+             flows must be accommodated in the capacity left around the
+             in-flight batch, essentially without displacing anything —
+             so co-attempts plan scan-first and are accepted only up to
+             a small migration budget. *)
+          let co_config = { ctx.config with Planner.admission = Planner.Scan_first } in
+          let co =
+            List.filter_map
+              (fun ev ->
+                let plan =
+                  apply ctx ~billed:true ~config:co_config
+                    ~frozen:(Hashtbl.mem protected) ev
+                in
+                if
+                  plan.Planner.failed_count = 0
+                  && plan.Planner.cost_mbit <= ctx.co_max_cost_mbit
+                then begin
+                  List.iter
+                    (fun id -> Hashtbl.replace protected id ())
+                    (work_flow_ids plan);
+                  Some (ev, plan, true)
+                end
+                else begin
+                  timed ctx (fun () -> Planner.revert ctx.net plan);
+                  None
+                end)
+              others
+          in
+          batch @ co
+      | _ -> assert false)
+  | Policy.Flow_level _, _ ->
+      invalid_arg "Engine.decide: flow-level handled separately"
+
+let run_event_level ctx policy events =
+  let pending = ref (List.sort Event.compare_by_arrival events) in
+  let queue = ref [] in
+  let now = ref 0.0 in
+  let rounds = ref 0 in
+  let results = ref [] in
+  let log = ref [] in
+  let promote () =
+    let arrived, later =
+      List.partition (fun ev -> ev.Event.arrival_s <= !now) !pending
+    in
+    pending := later;
+    queue := !queue @ arrived
+  in
+  promote ();
+  while !queue <> [] || !pending <> [] do
+    if !queue = [] then begin
+      (match !pending with
+      | ev :: _ -> now := max !now ev.Event.arrival_s
+      | [] -> assert false);
+      promote ()
+    end;
+    sync_background ctx !now;
+    let round_start_s = !now in
+    let round_utilization = Net_state.mean_fabric_utilization ctx.net in
+    let units_before = ctx.units in
+    let batch = decide ctx policy !queue in
+    incr rounds;
+    let round_units = ctx.units - units_before in
+    log :=
+      {
+        round_start_s;
+        executed = List.map (fun (ev, _, _) -> ev.Event.id) batch;
+        co_count =
+          List.length (List.filter (fun (_, _, co) -> co) batch);
+        round_units;
+        fabric_utilization = round_utilization;
+      }
+      :: !log;
+    let plan_time = Exec_model.plan_time ctx.exec ~work_units:round_units in
+    let start_s = !now +. plan_time in
+    (* The service is free again when the *chosen* event completes;
+       co-scheduled events run in parallel in the network and may finish
+       after the next round has already begun (the "parallel update" of
+       §IV-C). Their flows are already installed, so later planning sees
+       a consistent state. *)
+    let head_finish = ref start_s in
+    List.iter
+      (fun (ev, plan, co_scheduled) ->
+        let completion_s = start_s +. Exec_model.execution_time ctx.exec plan in
+        schedule_departures ctx ~completion:completion_s plan;
+        results :=
+          {
+            event_id = ev.Event.id;
+            arrival_s = ev.Event.arrival_s;
+            start_s;
+            completion_s;
+            cost_mbit = plan.Planner.cost_mbit;
+            plan_work_units = plan.Planner.work_units;
+            failed_items = plan.Planner.failed_count;
+            co_scheduled;
+          }
+          :: !results;
+        if not co_scheduled then head_finish := max !head_finish completion_s)
+      batch;
+    let executed = List.map (fun (ev, _, _) -> ev.Event.id) batch in
+    queue := List.filter (fun ev -> not (List.mem ev.Event.id executed)) !queue;
+    now := !head_finish;
+    promote ()
+  done;
+  (!results, !rounds, List.rev !log)
+
+(* Flow-level baseline: the queue holds individual flows. *)
+type flow_item = {
+  fi_event : int;
+  fi_arrival : float;
+  fi_intra : int;
+  fi_work : Event.work;
+}
+
+let flow_level_items order events =
+  let items =
+    List.concat_map
+      (fun ev ->
+        List.mapi
+          (fun i w ->
+            {
+              fi_event = ev.Event.id;
+              fi_arrival = ev.Event.arrival_s;
+              fi_intra = i;
+              fi_work = w;
+            })
+          ev.Event.work)
+      events
+  in
+  let key item =
+    match order with
+    | Policy.Round_robin -> (item.fi_arrival, item.fi_intra, item.fi_event)
+    | Policy.By_arrival -> (item.fi_arrival, item.fi_event, item.fi_intra)
+  in
+  List.sort (fun a b -> compare (key a) (key b)) items
+
+let run_flow_level ctx order events =
+  let items = ref (flow_level_items order events) in
+  let now = ref 0.0 in
+  let rounds = ref 0 in
+  (* Per-event aggregation. *)
+  let first_start = Hashtbl.create 64 in
+  let last_completion = Hashtbl.create 64 in
+  let cost = Hashtbl.create 64 in
+  let units = Hashtbl.create 64 in
+  let failed = Hashtbl.create 64 in
+  let add tbl k v plus =
+    Hashtbl.replace tbl k (match Hashtbl.find_opt tbl k with
+      | None -> v
+      | Some old -> plus old v)
+  in
+  while !items <> [] do
+    match !items with
+    | [] -> assert false
+    | item :: rest ->
+        items := rest;
+        now := max !now item.fi_arrival;
+        sync_background ctx !now;
+        let pseudo =
+          {
+            Event.id = item.fi_event;
+            arrival_s = item.fi_arrival;
+            kind = Event.Additions;
+            work = [ item.fi_work ];
+          }
+        in
+        let plan = apply ctx ~billed:true pseudo in
+        incr rounds;
+        let plan_time =
+          Exec_model.plan_time ctx.exec ~work_units:plan.Planner.work_units
+        in
+        let start_s = !now +. plan_time in
+        let completion_s = start_s +. Exec_model.execution_time ctx.exec plan in
+        schedule_departures ctx ~completion:completion_s plan;
+        now := completion_s;
+        add first_start item.fi_event start_s min;
+        add last_completion item.fi_event completion_s max;
+        add cost item.fi_event plan.Planner.cost_mbit ( +. );
+        add units item.fi_event plan.Planner.work_units ( + );
+        add failed item.fi_event plan.Planner.failed_count ( + )
+  done;
+  let results =
+    List.map
+      (fun ev ->
+        let id = ev.Event.id in
+        {
+          event_id = id;
+          arrival_s = ev.Event.arrival_s;
+          start_s = (try Hashtbl.find first_start id with Not_found -> ev.Event.arrival_s);
+          completion_s =
+            (try Hashtbl.find last_completion id with Not_found -> ev.Event.arrival_s);
+          cost_mbit = (try Hashtbl.find cost id with Not_found -> 0.0);
+          plan_work_units = (try Hashtbl.find units id with Not_found -> 0);
+          failed_items = (try Hashtbl.find failed id with Not_found -> 0);
+          co_scheduled = false;
+        })
+      events
+  in
+  (results, !rounds, [])
+
+let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
+    ?(seed = 7) ?churn ?(co_max_cost_mbit = 0.0) ~net ~events policy =
+  (match Policy.validate policy with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.run: " ^ msg));
+  let rng = match rng with Some r -> r | None -> Prng.create seed in
+  let ctx =
+    {
+      net;
+      exec;
+      config;
+      rng;
+      churn;
+      expiry = Pqueue.create ();
+      co_max_cost_mbit;
+      next_churn_id = (match churn with Some c -> c.first_id | None -> 0);
+      units = 0;
+      wall = 0.0;
+    }
+  in
+  (* Flows already in the network run out their remaining duration. *)
+  (match churn with
+  | Some _ ->
+      Net_state.iter_flows net (fun placed ->
+          Pqueue.push ctx.expiry placed.Net_state.record.Flow_record.duration_s
+            placed.Net_state.record.Flow_record.id)
+  | None -> ());
+  let results, rounds, rounds_log =
+    match policy with
+    | Policy.Flow_level order -> run_flow_level ctx order events
+    | _ -> run_event_level ctx policy events
+  in
+  let events_arr = Array.of_list results in
+  Array.sort (fun a b -> compare a.event_id b.event_id) events_arr;
+  let makespan =
+    Array.fold_left (fun acc r -> max acc r.completion_s) 0.0 events_arr
+  in
+  let total_cost =
+    Array.fold_left (fun acc r -> acc +. r.cost_mbit) 0.0 events_arr
+  in
+  {
+    policy;
+    events = events_arr;
+    rounds;
+    rounds_log;
+    total_plan_units = ctx.units;
+    total_plan_time_s = Exec_model.plan_time exec ~work_units:ctx.units;
+    total_cost_mbit = total_cost;
+    makespan_s = makespan;
+    final_fabric_utilization = Net_state.mean_fabric_utilization net;
+    planning_wall_s = ctx.wall;
+  }

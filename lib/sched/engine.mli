@@ -1,0 +1,96 @@
+(** Discrete-event simulation of an update queue under a policy.
+
+    The service loop mirrors the paper's setting: update events arrive
+    into a queue; each round the policy picks the event (or, for P-LMTF,
+    the batch) to execute next; planning consumes virtual plan time,
+    execution consumes virtual execution time; costs are recomputed
+    against the *live* network state each round, because earlier
+    executions change later costs (§IV-A). Placed flows persist for the
+    whole run — the paper keeps background traffic static, and the update
+    horizon is short relative to flow lifetimes (DESIGN.md §3).
+
+    The run mutates the supplied network state (events get installed);
+    pass {!Nu_net.Net_state.copy} of a prepared state to compare policies
+    on identical initial conditions. *)
+
+type event_result = {
+  event_id : int;
+  arrival_s : float;
+  start_s : float;  (** Execution start (after its round's plan time). *)
+  completion_s : float;
+  cost_mbit : float;  (** Cost(U) actually paid at execution. *)
+  plan_work_units : int;  (** Planner probes spent on the executed plan. *)
+  failed_items : int;  (** Work items that stayed unsatisfiable. *)
+  co_scheduled : bool;  (** Ran alongside a P-LMTF head event. *)
+}
+
+val ect : event_result -> float
+(** Event completion time: [completion_s - arrival_s]. *)
+
+val queuing_delay : event_result -> float
+(** [start_s - arrival_s]. *)
+
+type round_info = {
+  round_start_s : float;  (** Decision instant (after background sync). *)
+  executed : int list;  (** Event ids of the round's batch, head first. *)
+  co_count : int;  (** How many of them were co-scheduled. *)
+  round_units : int;  (** Planner probes paid this round. *)
+  fabric_utilization : float;  (** Probe at the decision instant. *)
+}
+(** One service round of an event-level policy — the run's audit trail.
+    Lets experiments observe the utilisation trajectory (the paper's
+    "utilization fluctuates between 50% and 70%") and the batch sizes
+    P-LMTF achieves. Flow-level runs, whose rounds are individual flows,
+    do not produce a log. *)
+
+type run_result = {
+  policy : Policy.t;
+  events : event_result array;  (** Sorted by event id. *)
+  rounds : int;  (** Service rounds executed. *)
+  rounds_log : round_info list;
+      (** Chronological; empty for flow-level runs. *)
+  total_plan_units : int;
+      (** Every planner probe across the run: estimates, co-scheduling
+          attempts and executed plans. *)
+  total_plan_time_s : float;  (** [total_plan_units] x unit cost. *)
+  total_cost_mbit : float;
+  makespan_s : float;  (** Completion of the last event. *)
+  final_fabric_utilization : float;
+  planning_wall_s : float;  (** Real CPU seconds spent in the planner. *)
+}
+
+type churn = {
+  make_flow : id:int -> Flow_record.t;
+      (** Marginals of fresh background flows (endpoints included). *)
+  target_utilization : float;  (** Fabric-utilisation refill setpoint. *)
+  max_placements_per_round : int;  (** Caps the per-round refill work. *)
+  first_id : int;  (** Ids for churn flows; must not collide. *)
+}
+(** Background dynamics. When enabled, every placed flow expires
+    [duration_s] after it is installed (flows present at t=0 expire at
+    their remaining duration), and at each service round the engine
+    readmits fresh flows until the fabric utilisation recovers the
+    setpoint. This is the "network traffic dynamics" of §IV-A that makes
+    a waiting event's cost drift between rounds — the fluctuation LMTF
+    exploits. Without churn the background is static (§V-D). *)
+
+val run :
+  ?exec:Exec_model.t ->
+  ?config:Planner.config ->
+  ?rng:Prng.t ->
+  ?seed:int ->
+  ?churn:churn ->
+  ?co_max_cost_mbit:float ->
+  net:Net_state.t ->
+  events:Event.t list ->
+  Policy.t ->
+  run_result
+(** Simulate the queue to completion. [events] need not be sorted. [rng]
+    (or [seed], default 7; [rng] wins) drives LMTF/P-LMTF sampling and
+    churn — given equal seeds, runs are exactly reproducible.
+    [co_max_cost_mbit] (default 0) bounds opportunistic updating: a
+    candidate is co-scheduled only when a scan-first plan alongside the
+    in-flight batch fits within that migration budget — i.e. the
+    candidate's flows can be accommodated in the residual capacity
+    without displacing anything (§IV-C's "can be updated with the first
+    event together"). Raises [Invalid_argument] on an invalid policy. *)

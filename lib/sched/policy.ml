@@ -1,0 +1,23 @@
+type flow_order = Round_robin | By_arrival
+
+type t =
+  | Fifo
+  | Reorder
+  | Lmtf of { alpha : int }
+  | Plmtf of { alpha : int }
+  | Flow_level of flow_order
+
+let name = function
+  | Fifo -> "fifo"
+  | Reorder -> "reorder"
+  | Lmtf { alpha } -> Printf.sprintf "lmtf(a=%d)" alpha
+  | Plmtf { alpha } -> Printf.sprintf "p-lmtf(a=%d)" alpha
+  | Flow_level Round_robin -> "flow-level(rr)"
+  | Flow_level By_arrival -> "flow-level(arrival)"
+
+let default_alpha = 4
+
+let validate = function
+  | Lmtf { alpha } | Plmtf { alpha } ->
+      if alpha < 1 then Error "alpha must be >= 1" else Ok ()
+  | Fifo | Reorder | Flow_level _ -> Ok ()

@@ -1,0 +1,28 @@
+(** Empirical cumulative distribution functions for reporting.
+
+    Figure 9 of the paper plots per-event queuing delay series; producing
+    a CDF of metric samples is the standard way to compare schedulers.
+    This is the reporting-side counterpart of {!Dist.empirical} (which is
+    the sampling side). *)
+
+type t
+
+val of_samples : float array -> t
+(** Build an ECDF from raw observations. Raises [Invalid_argument] on an
+    empty array. *)
+
+val eval : t -> float -> float
+(** [eval t x] is P(X <= x), a step function in [0, 1]. *)
+
+val inverse : t -> float -> float
+(** [inverse t p] is the p-quantile, [p] in [0, 1]. *)
+
+val points : t -> (float * float) array
+(** The ECDF as [(value, cumulative probability)] steps, deduplicated on
+    value, suitable for plotting or for {!Dist.empirical_of_cdf}. *)
+
+val size : t -> int
+(** Number of underlying samples. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact rendering: a fixed set of quantiles. *)

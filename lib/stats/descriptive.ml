@@ -1,0 +1,109 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg ("Descriptive." ^ name ^ ": empty")
+
+let total xs =
+  (* Kahan summation keeps the large ECT sums accurate when mixing
+     microsecond plan times with multi-second transfer times. *)
+  let sum = ref 0.0 and comp = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !sum +. y in
+      comp := (t -. !sum) -. y;
+      sum := t)
+    xs;
+  !sum
+
+let mean xs =
+  check_nonempty "mean" xs;
+  total xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "variance" xs;
+  let m = mean xs in
+  let acc = Array.map (fun x -> (x -. m) *. (x -. m)) xs in
+  total acc /. float_of_int (Array.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let min_value xs =
+  check_nonempty "min_value" xs;
+  Array.fold_left min xs.(0) xs
+
+let max_value xs =
+  check_nonempty "max_value" xs;
+  Array.fold_left max xs.(0) xs
+
+let percentile xs p =
+  check_nonempty "percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Descriptive.percentile: p";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = int_of_float (ceil rank) in
+    if lo = hi then sorted.(lo)
+    else
+      let frac = rank -. float_of_int lo in
+      sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let median xs = percentile xs 50.0
+
+let geometric_mean xs =
+  check_nonempty "geometric_mean" xs;
+  let logs =
+    Array.map
+      (fun x ->
+        if x <= 0.0 then
+          invalid_arg "Descriptive.geometric_mean: non-positive sample"
+        else log x)
+      xs
+  in
+  exp (total logs /. float_of_int (Array.length xs))
+
+let normalize_by_max xs =
+  check_nonempty "normalize_by_max" xs;
+  let mx = max_value xs in
+  if mx <= 0.0 then invalid_arg "Descriptive.normalize_by_max: max <= 0";
+  Array.map (fun x -> x /. mx) xs
+
+let reduction_vs ~baseline v =
+  if baseline <= 0.0 then invalid_arg "Descriptive.reduction_vs: baseline";
+  (baseline -. v) /. baseline
+
+let speedup_vs ~baseline v =
+  if v <= 0.0 then invalid_arg "Descriptive.speedup_vs: v";
+  baseline /. v
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+
+let summarize xs =
+  check_nonempty "summarize" xs;
+  {
+    count = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = min_value xs;
+    p50 = percentile xs 50.0;
+    p95 = percentile xs 95.0;
+    p99 = percentile xs 99.0;
+    max = max_value xs;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "n=%d mean=%.4g sd=%.4g min=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g"
+    s.count s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max

@@ -1,0 +1,60 @@
+(** Descriptive statistics over float samples.
+
+    The evaluation reports average and tail (p95/p99/max) event completion
+    times, queuing delays and cost totals. All functions are total over
+    non-empty inputs and raise [Invalid_argument] on empty inputs, keeping
+    "no data" failures loud rather than silently producing NaN. *)
+
+val mean : float array -> float
+(** Arithmetic mean. *)
+
+val total : float array -> float
+(** Kahan-compensated sum. *)
+
+val variance : float array -> float
+(** Population variance (division by n). *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val min_value : float array -> float
+val max_value : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0, 100]: linear interpolation between
+    closest ranks (the common "type 7" estimator). [percentile xs 100.0]
+    equals [max_value xs]. The input is not modified. *)
+
+val median : float array -> float
+(** [percentile xs 50.0]. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean; requires strictly positive samples. *)
+
+val normalize_by_max : float array -> float array
+(** Divide every sample by the maximum; the paper reports figure series
+    normalised by the flow-level method's maximum. Requires max > 0. *)
+
+val reduction_vs : baseline:float -> float -> float
+(** [reduction_vs ~baseline v] is the fractional reduction
+    [(baseline - v) / baseline] — the paper's "X% reduction against FIFO"
+    metric. Requires [baseline > 0]. *)
+
+val speedup_vs : baseline:float -> float -> float
+(** [speedup_vs ~baseline v = baseline /. v] — the paper's "10x faster".
+    Requires [v > 0]. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+  max : float;
+}
+(** One-shot summary used by the experiment harness tables. *)
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,51 @@
+(** Random variates for the distributions the traces need.
+
+    The Yahoo! and Benson-style traces are heavy-tailed: flow sizes follow
+    a Pareto-like law (a few elephant flows carry most bytes) and durations
+    and inter-arrivals are log-normal / exponential. This module provides
+    the samplers plus an empirical distribution that replays an arbitrary
+    CDF, which is how a recorded trace histogram would be consumed. *)
+
+val exponential : Prng.t -> rate:float -> float
+(** [exponential rng ~rate] draws from Exp(rate); mean [1/rate].
+    Requires [rate > 0]. *)
+
+val pareto : Prng.t -> shape:float -> scale:float -> float
+(** [pareto rng ~shape ~scale] draws from a Pareto law with minimum value
+    [scale] and tail index [shape]; heavy-tailed for [shape <= 2].
+    Requires both positive. *)
+
+val bounded_pareto : Prng.t -> shape:float -> lo:float -> hi:float -> float
+(** Pareto truncated to [lo, hi] by inverse-CDF on the truncated law
+    (not rejection), so the draw is O(1). Requires [0 < lo < hi]. *)
+
+val lognormal : Prng.t -> mu:float -> sigma:float -> float
+(** [lognormal rng ~mu ~sigma] draws exp(N(mu, sigma^2)). *)
+
+val normal : Prng.t -> mu:float -> sigma:float -> float
+(** Gaussian via Box–Muller (polar form). *)
+
+val uniform : Prng.t -> lo:float -> hi:float -> float
+(** Alias of {!Prng.float_in} for symmetry with the other samplers. *)
+
+val zipf : Prng.t -> n:int -> s:float -> int
+(** [zipf rng ~n ~s] draws a rank in [1, n] with probability proportional
+    to [1/rank^s], by inversion on a precomputed table-free approximation
+    (rejection sampling, Devroye). Requires [n >= 1] and [s >= 0]. *)
+
+type empirical
+(** Empirical distribution: replays samples according to an observed CDF. *)
+
+val empirical_of_samples : float array -> empirical
+(** Build from raw observations (copied and sorted). Raises
+    [Invalid_argument] on an empty array. *)
+
+val empirical_of_cdf : (float * float) array -> empirical
+(** Build from explicit [(value, cumulative_probability)] knots, which must
+    be sorted by probability and end at probability 1.0 (within 1e-9). *)
+
+val empirical_draw : empirical -> Prng.t -> float
+(** Inverse-CDF draw with linear interpolation between knots. *)
+
+val empirical_mean : empirical -> float
+(** Mean of the stored knots, weighted by probability mass. *)

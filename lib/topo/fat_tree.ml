@@ -1,0 +1,158 @@
+(* Node numbering (dense, by layer):
+     [0, half^2)                         core switches
+     [core_n, core_n + k*half)           aggregation (pod-major)
+     [agg_off + k*half, ... + k*half)    edge (pod-major)
+     [host_off, host_off + k^3/4)        hosts (edge-major)
+   where half = k/2. *)
+
+type t = {
+  k : int;
+  half : int;
+  graph : Graph.t;
+  link_capacity : float;
+  agg_off : int;
+  edge_off : int;
+  host_off : int;
+  node_total : int;
+}
+
+let create ?(k = 8) ?(link_capacity = 1000.0) () =
+  if k <= 0 || k mod 2 <> 0 then
+    invalid_arg "Fat_tree.create: k must be a positive even integer";
+  if link_capacity <= 0.0 then invalid_arg "Fat_tree.create: link_capacity";
+  let half = k / 2 in
+  let core_n = half * half in
+  let agg_n = k * half and edge_n = k * half in
+  let host_n = k * half * half in
+  let node_total = core_n + agg_n + edge_n + host_n in
+  let graph = Graph.create ~initial_nodes:node_total () in
+  let agg_off = core_n in
+  let edge_off = agg_off + agg_n in
+  let host_off = edge_off + edge_n in
+  let t = { k; half; graph; link_capacity; agg_off; edge_off; host_off; node_total } in
+  let link a b = ignore (Graph.add_link graph ~a ~b ~capacity:link_capacity) in
+  for pod = 0 to k - 1 do
+    for j = 0 to half - 1 do
+      let agg = agg_off + (pod * half) + j in
+      let edge = edge_off + (pod * half) + j in
+      (* Intra-pod complete bipartite layer. *)
+      for j' = 0 to half - 1 do
+        link (agg_off + (pod * half) + j') edge
+      done;
+      (* Aggregation j uplinks to cores [j*half, (j+1)*half). *)
+      for c = 0 to half - 1 do
+        link ((j * half) + c) agg
+      done;
+      (* Hosts under this edge switch. *)
+      for h = 0 to half - 1 do
+        link edge (host_off + (((pod * half) + j) * half) + h)
+      done
+    done
+  done;
+  t
+
+let k t = t.k
+let graph t = t.graph
+let link_capacity t = t.link_capacity
+let host_count t = t.k * t.half * t.half
+let switch_count t = (t.half * t.half) + (2 * t.k * t.half)
+
+let core t i =
+  if i < 0 || i >= t.half * t.half then invalid_arg "Fat_tree.core";
+  i
+
+let aggregation t ~pod j =
+  if pod < 0 || pod >= t.k || j < 0 || j >= t.half then
+    invalid_arg "Fat_tree.aggregation";
+  t.agg_off + (pod * t.half) + j
+
+let edge t ~pod j =
+  if pod < 0 || pod >= t.k || j < 0 || j >= t.half then
+    invalid_arg "Fat_tree.edge";
+  t.edge_off + (pod * t.half) + j
+
+let host t i =
+  if i < 0 || i >= host_count t then invalid_arg "Fat_tree.host";
+  t.host_off + i
+
+let host_index t v =
+  if v < t.host_off || v >= t.node_total then
+    invalid_arg "Fat_tree.host_index: not a host";
+  v - t.host_off
+
+let edge_switch_of_host t v =
+  let i = host_index t v in
+  t.edge_off + (i / t.half)
+
+let pod_of_host t v =
+  let i = host_index t v in
+  i / (t.half * t.half)
+
+type node_kind = Core | Aggregation of int | Edge of int | Host of int
+
+let kind t v =
+  if v < 0 || v >= t.node_total then invalid_arg "Fat_tree.kind"
+  else if v < t.agg_off then Core
+  else if v < t.edge_off then Aggregation ((v - t.agg_off) / t.half)
+  else if v < t.host_off then Edge ((v - t.edge_off) / t.half)
+  else Host (v - t.host_off)
+
+(* Resolve the (known to exist) edge between two adjacent fabric nodes. *)
+let hop t a b =
+  match Graph.find_edge t.graph ~src:a ~dst:b with
+  | Some e -> e
+  | None -> invalid_arg "Fat_tree.hop: nodes are not adjacent"
+
+let path_of_nodes t ns =
+  let rec resolve prev acc = function
+    | [] -> List.rev acc
+    | v :: rest -> resolve v (hop t prev v :: acc) rest
+  in
+  match ns with
+  | [] | [ _ ] -> invalid_arg "Fat_tree.path_of_nodes"
+  | first :: rest -> Path.make t.graph (resolve first [] rest)
+
+let ecmp_paths t ~src ~dst =
+  let si = host_index t src and di = host_index t dst in
+  if si = di then []
+  else begin
+    let src_edge = edge_switch_of_host t src in
+    let dst_edge = edge_switch_of_host t dst in
+    if src_edge = dst_edge then [ path_of_nodes t [ src; src_edge; dst ] ]
+    else begin
+      let src_pod = pod_of_host t src and dst_pod = pod_of_host t dst in
+      if src_pod = dst_pod then
+        (* One path per aggregation switch of the shared pod. *)
+        List.init t.half (fun j ->
+            let agg = aggregation t ~pod:src_pod j in
+            path_of_nodes t [ src; src_edge; agg; dst_edge; dst ])
+      else begin
+        (* One path per (aggregation choice j, core under j) pair. *)
+        let paths = ref [] in
+        for j = t.half - 1 downto 0 do
+          for c = t.half - 1 downto 0 do
+            let agg_up = aggregation t ~pod:src_pod j in
+            let core_sw = (j * t.half) + c in
+            let agg_down = aggregation t ~pod:dst_pod j in
+            paths :=
+              path_of_nodes t
+                [ src; src_edge; agg_up; core_sw; agg_down; dst_edge; dst ]
+              :: !paths
+          done
+        done;
+        !paths
+      end
+    end
+  end
+
+let to_topology t =
+  let hosts = Array.init (host_count t) (fun i -> host t i) in
+  let switches = Array.init (switch_count t) (fun i -> i) in
+  {
+    Topology.name = Printf.sprintf "fat-tree(k=%d)" t.k;
+    graph = t.graph;
+    hosts;
+    switches;
+    candidate_paths = (fun ~src ~dst -> ecmp_paths t ~src ~dst);
+    diameter = 6;
+  }

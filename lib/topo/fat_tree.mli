@@ -1,0 +1,72 @@
+(** k-ary Fat-Tree datacenter fabric (Leiserson; Al-Fares et al. layout).
+
+    The paper's testbed: an 8-pod Fat-Tree with 1 Gbps links — 5k²/4
+    switches and k³/4 servers for parameter k. The fabric is three-layered:
+
+    - (k/2)² core switches;
+    - k pods, each with k/2 aggregation and k/2 edge switches, connected
+      as a complete bipartite graph inside the pod;
+    - each edge switch attaches k/2 hosts;
+    - aggregation switch j of every pod uplinks to core switches
+      [j·k/2, (j+1)·k/2).
+
+    All host-to-host shortest paths are computed analytically (not by
+    search): 1 path for same-edge pairs, k/2 paths for same-pod pairs and
+    (k/2)² paths for inter-pod pairs — the ECMP set the paper's planner
+    draws candidate paths P(f) from. *)
+
+type t
+
+val create : ?k:int -> ?link_capacity:float -> unit -> t
+(** [create ~k ~link_capacity ()] builds the fabric. [k] must be a
+    positive even integer (default 8, the paper's setting);
+    [link_capacity] is in Mbit/s (default 1000 = 1 Gbps). *)
+
+val k : t -> int
+val graph : t -> Graph.t
+val link_capacity : t -> float
+
+val host_count : t -> int
+(** k³/4. *)
+
+val switch_count : t -> int
+(** 5k²/4. *)
+
+(** Node-id accessors. All indices are range-checked. *)
+
+val core : t -> int -> int
+(** [core t i] with [i] in [0, (k/2)²). *)
+
+val aggregation : t -> pod:int -> int -> int
+(** [aggregation t ~pod j] with [pod] in [0,k), [j] in [0, k/2). *)
+
+val edge : t -> pod:int -> int -> int
+(** [edge t ~pod j], same ranges as {!aggregation}. *)
+
+val host : t -> int -> int
+(** [host t i] with [i] in [0, k³/4): node id of the i-th host. *)
+
+val host_index : t -> int -> int
+(** Inverse of {!host}: index of a host node id. Raises
+    [Invalid_argument] when the node is not a host. *)
+
+val pod_of_host : t -> int -> int
+(** Pod number of a host node id. *)
+
+val edge_switch_of_host : t -> int -> int
+(** Edge switch a host node id attaches to. *)
+
+type node_kind = Core | Aggregation of int | Edge of int | Host of int
+(** Payload: pod number for switches, host index for hosts. *)
+
+val kind : t -> int -> node_kind
+(** Classify a node id. *)
+
+val ecmp_paths : t -> src:int -> dst:int -> Path.t list
+(** All shortest paths between two host node ids, in deterministic order.
+    Raises [Invalid_argument] if either id is not a host. Empty for
+    [src = dst]. *)
+
+val to_topology : t -> Topology.t
+(** Adapt to the generic {!Topology.t} interface; [candidate_paths] is
+    {!ecmp_paths}. *)

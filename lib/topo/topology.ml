@@ -1,0 +1,53 @@
+type t = {
+  name : string;
+  graph : Graph.t;
+  hosts : int array;
+  switches : int array;
+  candidate_paths : src:int -> dst:int -> Path.t list;
+  diameter : int;
+}
+
+let host_count t = Array.length t.hosts
+let switch_count t = Array.length t.switches
+
+let is_host t v = Array.exists (fun h -> h = v) t.hosts
+
+let validate t =
+  let n = Graph.node_count t.graph in
+  let seen = Array.make n 0 in
+  Array.iter (fun h -> seen.(h) <- seen.(h) + 1) t.hosts;
+  Array.iter (fun s -> seen.(s) <- seen.(s) + 1) t.switches;
+  let bad = ref None in
+  Array.iteri
+    (fun v c ->
+      if c <> 1 && !bad = None then
+        bad := Some (Printf.sprintf "node %d appears %d times" v c))
+    seen;
+  match !bad with
+  | Some msg -> Error msg
+  | None ->
+      let err = ref None in
+      let check_pair src dst =
+        if !err = None && src <> dst then begin
+          match t.candidate_paths ~src ~dst with
+          | [] ->
+              err :=
+                Some (Printf.sprintf "no candidate path %d -> %d" src dst)
+          | paths ->
+              List.iter
+                (fun p ->
+                  if !err = None && (Path.src p <> src || Path.dst p <> dst)
+                  then
+                    err :=
+                      Some
+                        (Printf.sprintf "path %d -> %d connects %d -> %d" src
+                           dst (Path.src p) (Path.dst p)))
+                paths
+        end
+      in
+      Array.iter (fun a -> Array.iter (fun b -> check_pair a b) t.hosts) t.hosts;
+      (match !err with Some msg -> Error msg | None -> Ok ())
+
+let pp ppf t =
+  Format.fprintf ppf "%s[%d hosts, %d switches, %a, diameter %d]" t.name
+    (host_count t) (switch_count t) Graph.pp t.graph t.diameter

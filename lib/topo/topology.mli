@@ -1,0 +1,33 @@
+(** Topology interface consumed by the planner and schedulers.
+
+    A topology is a built graph plus the fabric-specific knowledge the
+    update machinery needs: which nodes are hosts, and the ranked
+    candidate path set P(f) between two hosts. Fabric constructors
+    ({!Fat_tree}, {!Leaf_spine}) produce values of this type; everything
+    above this layer is fabric-agnostic. *)
+
+type t = {
+  name : string;
+  graph : Graph.t;
+  hosts : int array;  (** Node ids that can source/sink flows. *)
+  switches : int array;  (** Every non-host node. *)
+  candidate_paths : src:int -> dst:int -> Path.t list;
+      (** Ranked candidate path set P(f) for a host pair; deterministic
+          order, typically the ECMP shortest-path set. Empty when
+          [src = dst]. *)
+  diameter : int;  (** Maximum host-to-host hop distance D. *)
+}
+
+val host_count : t -> int
+val switch_count : t -> int
+
+val is_host : t -> int -> bool
+(** Membership test against [hosts] (linear scan; host arrays are small). *)
+
+val validate : t -> (unit, string) result
+(** Structural sanity: hosts and switches partition the node range, every
+    host pair with [src <> dst] has at least one candidate path, and all
+    candidate paths actually connect the pair. Intended for tests and for
+    custom user-built topologies; cost is O(hosts^2) path-set calls. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,181 @@
+type move = {
+  flow_id : int;
+  from_path : Path.t;
+  to_path : Path.t;
+  size_mbit : float;
+  demand_mbps : float;
+}
+
+type order =
+  | Best_fit_first
+  | Smallest_size_first
+  | Largest_demand_first
+  | Best_ratio_first
+
+let order_name = function
+  | Best_fit_first -> "best-fit-first"
+  | Smallest_size_first -> "smallest-size-first"
+  | Largest_demand_first -> "largest-demand-first"
+  | Best_ratio_first -> "best-ratio-first"
+
+let all_orders =
+  [ Best_fit_first; Smallest_size_first; Largest_demand_first; Best_ratio_first ]
+
+type blocked = Cannot_free of Graph.edge
+
+let moves_cost_mbit moves =
+  List.fold_left (fun acc m -> acc +. m.size_mbit) 0.0 moves
+
+let static_key order (p : Net_state.placed) =
+  let size = p.record.Flow_record.size_mbit in
+  let demand = Flow_record.demand_mbps p.record in
+  match order with
+  | Smallest_size_first -> size
+  | Largest_demand_first -> -.demand
+  | Best_ratio_first | Best_fit_first -> size /. demand
+
+(* Pick the next flow to migrate for the remaining [gap] and return it
+   with the rest of the pool. Best-fit is gap-dependent: prefer the
+   smallest flow that closes the gap alone; otherwise fall back to the
+   best size/demand ratio. The other orders are static. *)
+let select_next order ~gap candidates =
+  match candidates with
+  | [] -> None
+  | _ ->
+      let better key a b = if key b < key a then b else a in
+      let choice =
+        match order with
+        | Best_fit_first -> (
+            let covering =
+              List.filter
+                (fun (p : Net_state.placed) ->
+                  Flow_record.demand_mbps p.record >= gap)
+                candidates
+            in
+            match covering with
+            | first :: rest ->
+                List.fold_left
+                  (better (fun (p : Net_state.placed) ->
+                       p.record.Flow_record.size_mbit))
+                  first rest
+            | [] -> (
+                match candidates with
+                | first :: rest ->
+                    List.fold_left (better (static_key order)) first rest
+                | [] -> assert false))
+        | _ -> (
+            match candidates with
+            | first :: rest ->
+                List.fold_left (better (static_key order)) first rest
+            | [] -> assert false)
+      in
+      let rest =
+        List.filter
+          (fun (p : Net_state.placed) ->
+            p.record.Flow_record.id <> choice.record.Flow_record.id)
+          candidates
+      in
+      Some (choice, rest)
+
+(* Relocation targets must leave the desired path entirely and be
+   congestion-free for the migrated flow. Feasibility is judged by
+   Net_state.reroute itself (which releases the flow's current usage
+   first), so partially-overlapping current/target paths are handled. *)
+let try_relocate ?policy ?rng ?(forbidden = fun _ -> false) ~work_units net
+    ~desired_path (p : Net_state.placed) =
+  let flow_id = p.record.Flow_record.id in
+  let off_desired cand =
+    not
+      (List.exists
+         (fun (e : Graph.edge) -> Path.mentions_edge cand e.id)
+         (Path.edges desired_path))
+  in
+  let candidates =
+    List.filter
+      (fun cand ->
+        off_desired cand
+        && (not (forbidden cand))
+        && not (Path.equal cand p.path))
+      (Net_state.candidate_paths net p.record)
+  in
+  (* Rank candidates under the chosen policy using current residuals
+     (ignoring the flow's own usage, which only makes the ranking
+     conservative), then attempt reroutes in that order. *)
+  let demand = Flow_record.demand_mbps p.record in
+  let ranked =
+    match Routing.select_from ?rng ?policy net ~demand candidates with
+    | Some best -> best :: List.filter (fun c -> not (Path.equal c best)) candidates
+    | None -> candidates
+  in
+  let rec attempt = function
+    | [] -> None
+    | cand :: rest -> (
+        incr work_units;
+        match Net_state.reroute net flow_id cand with
+        | Ok old_path ->
+            Some
+              {
+                flow_id;
+                from_path = old_path;
+                to_path = cand;
+                size_mbit = p.record.size_mbit;
+                demand_mbps = demand;
+              }
+        | Error _ -> attempt rest)
+  in
+  attempt ranked
+
+let clear_path ?(order = Best_fit_first) ?policy ?rng ?forbidden
+    ?(work_units = ref 0) net ~demand ~path ~exclude =
+  let applied = ref [] in
+  let rollback () =
+    List.iter
+      (fun m ->
+        (* admit_disabled: the origin path may cross a link that failed
+           after the flow was placed there; rollback must restore the
+           placement regardless. *)
+        match Net_state.reroute ~admit_disabled:true net m.flow_id m.from_path with
+        | Ok _ -> ()
+        | Error _ -> assert false (* reverse order restores capacity *))
+      !applied
+  in
+  let moved = Hashtbl.create 16 in
+  let congested = Net_state.congested_links net path ~demand in
+  let rec clear_links = function
+    | [] -> Ok (List.rev !applied)
+    | (e : Graph.edge) :: rest ->
+        if Net_state.capacity_gap net e ~demand <= 0.0 then clear_links rest
+        else begin
+          let candidates =
+            List.filter
+              (fun (p : Net_state.placed) ->
+                let id = p.record.Flow_record.id in
+                (not (exclude id)) && not (Hashtbl.mem moved id))
+              (Net_state.flows_on_edge net e.id)
+          in
+          let rec free_gap pool =
+            let gap = Net_state.capacity_gap net e ~demand in
+            if gap <= 0.0 then `Cleared
+            else begin
+              match select_next order ~gap pool with
+              | None -> `Stuck
+              | Some (cand, rest) -> (
+                  match
+                    try_relocate ?policy ?rng ?forbidden ~work_units net
+                      ~desired_path:path cand
+                  with
+                  | Some move ->
+                      applied := move :: !applied;
+                      Hashtbl.replace moved move.flow_id ();
+                      free_gap rest
+                  | None -> free_gap rest)
+            end
+          in
+          match free_gap candidates with
+          | `Cleared -> clear_links rest
+          | `Stuck ->
+              rollback ();
+              Error (Cannot_free e)
+        end
+  in
+  clear_links congested

@@ -1,0 +1,81 @@
+type move_spec = { flow_id : int; to_path : Path.t }
+
+type schedule = {
+  rounds : move_spec list list;
+  depth : int;
+  width : int;
+}
+
+type error = Deadlock of move_spec list | Unknown_flow of int
+
+let of_moves moves =
+  List.map
+    (fun (m : Migration.move) ->
+      { flow_id = m.Migration.flow_id; to_path = m.Migration.to_path })
+    moves
+
+let schedule net moves =
+  (* Work on a scratch copy: executing a move = rerouting the flow, which
+     frees its old links for later rounds. *)
+  let scratch = Net_state.copy net in
+  let unknown =
+    List.find_opt (fun m -> not (Net_state.is_placed scratch m.flow_id)) moves
+  in
+  match unknown with
+  | Some m -> Error (Unknown_flow m.flow_id)
+  | None ->
+      let rec build rounds remaining =
+        match remaining with
+        | [] ->
+            let rounds = List.rev rounds in
+            Ok
+              {
+                rounds;
+                depth = List.length rounds;
+                width = List.fold_left (fun a r -> max a (List.length r)) 0 rounds;
+              }
+        | _ ->
+            (* A move is executable when rerouting succeeds against the
+               current scratch state. Collect this round greedily in move
+               order; each success immediately frees capacity, which is
+               fine: those moves run concurrently and make-before-break
+               ordering within a round only helps. *)
+            let executed, blocked =
+              List.partition
+                (fun m ->
+                  match Net_state.reroute scratch m.flow_id m.to_path with
+                  | Ok _ -> true
+                  | Error _ -> false
+                  | exception Invalid_argument _ -> false)
+                remaining
+            in
+            if executed = [] then Error (Deadlock blocked)
+            else build (executed :: rounds) blocked
+      in
+      build [] moves
+
+let verify net s =
+  let scratch = Net_state.copy net in
+  let err = ref None in
+  List.iteri
+    (fun round_idx round ->
+      List.iter
+        (fun m ->
+          if !err = None then
+            match Net_state.reroute scratch m.flow_id m.to_path with
+            | Ok _ -> ()
+            | Error _ ->
+                err :=
+                  Some
+                    (Printf.sprintf "round %d: move of flow %d is infeasible"
+                       round_idx m.flow_id)
+            | exception Invalid_argument msg ->
+                err := Some (Printf.sprintf "round %d: %s" round_idx msg))
+        round)
+    s.rounds;
+  match !err with None -> Ok () | Some e -> Error e
+
+let pp_schedule ppf s =
+  Format.fprintf ppf "ordering[%d moves in %d rounds, width %d]"
+    (List.fold_left (fun a r -> a + List.length r) 0 s.rounds)
+    s.depth s.width

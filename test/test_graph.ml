@@ -1,0 +1,395 @@
+(* nu_graph: graph structure, paths, priority queue, search algorithms. *)
+
+(* A diamond: 0 -> 1 -> 3 and 0 -> 2 -> 3, plus a long detour 0 -> 4 -> 5 -> 3. *)
+let diamond () =
+  let g = Graph.create ~initial_nodes:6 () in
+  let e01 = Graph.add_edge g ~src:0 ~dst:1 ~capacity:10.0 in
+  let e13 = Graph.add_edge g ~src:1 ~dst:3 ~capacity:10.0 in
+  let e02 = Graph.add_edge g ~src:0 ~dst:2 ~capacity:5.0 in
+  let e23 = Graph.add_edge g ~src:2 ~dst:3 ~capacity:5.0 in
+  let e04 = Graph.add_edge g ~src:0 ~dst:4 ~capacity:100.0 in
+  let e45 = Graph.add_edge g ~src:4 ~dst:5 ~capacity:100.0 in
+  let e53 = Graph.add_edge g ~src:5 ~dst:3 ~capacity:100.0 in
+  (g, (e01, e13, e02, e23, e04, e45, e53))
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                               *)
+
+let test_graph_counts () =
+  let g, _ = diamond () in
+  Alcotest.(check int) "nodes" 6 (Graph.node_count g);
+  Alcotest.(check int) "edges" 7 (Graph.edge_count g)
+
+let test_graph_add_node () =
+  let g = Graph.create () in
+  Alcotest.(check int) "first id" 0 (Graph.add_node g);
+  Alcotest.(check int) "second id" 1 (Graph.add_node g);
+  Graph.add_nodes g 3;
+  Alcotest.(check int) "bulk" 5 (Graph.node_count g)
+
+let test_graph_edge_accessor () =
+  let g, (e01, _, _, _, _, _, _) = diamond () in
+  let e = Graph.edge g e01 in
+  Alcotest.(check int) "src" 0 e.Graph.src;
+  Alcotest.(check int) "dst" 1 e.Graph.dst;
+  Alcotest.(check (float 0.0)) "capacity" 10.0 e.Graph.capacity;
+  Alcotest.check_raises "bad id" (Invalid_argument "Graph.edge: id out of range")
+    (fun () -> ignore (Graph.edge g 99))
+
+let test_graph_adjacency_order () =
+  let g, _ = diamond () in
+  let outs = Graph.out_edges g 0 in
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 4 ]
+    (List.map (fun (e : Graph.edge) -> e.Graph.dst) outs);
+  let ins = Graph.in_edges g 3 in
+  Alcotest.(check (list int)) "in edges" [ 1; 2; 5 ]
+    (List.map (fun (e : Graph.edge) -> e.Graph.src) ins);
+  Alcotest.(check int) "out degree" 3 (Graph.out_degree g 0)
+
+let test_graph_find_edge () =
+  let g, (e01, _, _, _, _, _, _) = diamond () in
+  (match Graph.find_edge g ~src:0 ~dst:1 with
+  | Some e -> Alcotest.(check int) "found" e01 e.Graph.id
+  | None -> Alcotest.fail "edge exists");
+  Alcotest.(check bool) "absent" true (Graph.find_edge g ~src:1 ~dst:0 = None)
+
+let test_graph_find_edge_first_inserted () =
+  let g = Graph.create ~initial_nodes:2 () in
+  let first = Graph.add_edge g ~src:0 ~dst:1 ~capacity:1.0 in
+  let _second = Graph.add_edge g ~src:0 ~dst:1 ~capacity:2.0 in
+  match Graph.find_edge g ~src:0 ~dst:1 with
+  | Some e -> Alcotest.(check int) "first parallel edge" first e.Graph.id
+  | None -> Alcotest.fail "edge exists"
+
+let test_graph_add_link_and_reverse () =
+  let g = Graph.create ~initial_nodes:2 () in
+  let ab, ba = Graph.add_link g ~a:0 ~b:1 ~capacity:7.0 in
+  let e_ab = Graph.edge g ab in
+  (match Graph.reverse_edge g e_ab with
+  | Some r -> Alcotest.(check int) "reverse id" ba r.Graph.id
+  | None -> Alcotest.fail "reverse exists")
+
+let test_graph_invalid_edges () =
+  let g = Graph.create ~initial_nodes:2 () in
+  Alcotest.check_raises "bad src" (Invalid_argument "Graph.add_edge: src")
+    (fun () -> ignore (Graph.add_edge g ~src:5 ~dst:0 ~capacity:1.0));
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Graph.add_edge: capacity") (fun () ->
+      ignore (Graph.add_edge g ~src:0 ~dst:1 ~capacity:(-1.0)))
+
+let test_graph_total_capacity () =
+  let g, _ = diamond () in
+  Alcotest.(check (float 1e-9)) "sum" 330.0 (Graph.total_capacity g)
+
+let test_graph_fold_iter () =
+  let g, _ = diamond () in
+  let n = Graph.fold_edges g ~init:0 ~f:(fun acc _ -> acc + 1) in
+  Alcotest.(check int) "fold counts edges" 7 n;
+  let seen = ref [] in
+  Graph.iter_edges g (fun e -> seen := e.Graph.id :: !seen);
+  Alcotest.(check (list int)) "iter order" [ 0; 1; 2; 3; 4; 5; 6 ]
+    (List.rev !seen)
+
+let test_graph_growth () =
+  (* Force multiple internal array reallocations. *)
+  let g = Graph.create () in
+  Graph.add_nodes g 200;
+  for i = 0 to 198 do
+    ignore (Graph.add_edge g ~src:i ~dst:(i + 1) ~capacity:1.0)
+  done;
+  Alcotest.(check int) "edges" 199 (Graph.edge_count g);
+  Alcotest.(check int) "node degree" 1 (Graph.out_degree g 0)
+
+(* ------------------------------------------------------------------ *)
+(* Path                                                                *)
+
+let test_path_of_nodes () =
+  let g, _ = diamond () in
+  let p = Path.of_nodes g [ 0; 1; 3 ] in
+  Alcotest.(check int) "src" 0 (Path.src p);
+  Alcotest.(check int) "dst" 3 (Path.dst p);
+  Alcotest.(check int) "hops" 2 (Path.hops p);
+  Alcotest.(check (list int)) "nodes" [ 0; 1; 3 ] (Path.nodes p)
+
+let test_path_validation () =
+  let g, _ = diamond () in
+  Alcotest.check_raises "empty" (Invalid_argument "Path.make: empty")
+    (fun () -> ignore (Path.make g []));
+  Alcotest.check_raises "short" (Invalid_argument "Path.of_nodes: need at least two nodes")
+    (fun () -> ignore (Path.of_nodes g [ 0 ]));
+  Alcotest.check_raises "missing edge"
+    (Invalid_argument "Path.of_nodes: missing edge") (fun () ->
+      ignore (Path.of_nodes g [ 0; 3 ]))
+
+let test_path_non_contiguous () =
+  let g, _ = diamond () in
+  let e01 = Graph.edge g 0 and e23 = Graph.edge g 3 in
+  Alcotest.check_raises "gap" (Invalid_argument "Path.make: edges are not contiguous")
+    (fun () -> ignore (Path.make g [ e01; e23 ]))
+
+let test_path_loop_rejected () =
+  let g = Graph.create ~initial_nodes:3 () in
+  let a = Graph.add_edge g ~src:0 ~dst:1 ~capacity:1.0 in
+  let b = Graph.add_edge g ~src:1 ~dst:0 ~capacity:1.0 in
+  let c = Graph.add_edge g ~src:0 ~dst:2 ~capacity:1.0 in
+  Alcotest.check_raises "loop" (Invalid_argument "Path.make: node loop")
+    (fun () ->
+      ignore (Path.make g [ Graph.edge g a; Graph.edge g b; Graph.edge g c ]))
+
+let test_path_mentions () =
+  let g, (e01, e13, e02, _, _, _, _) = diamond () in
+  let p = Path.of_nodes g [ 0; 1; 3 ] in
+  Alcotest.(check bool) "has e01" true (Path.mentions_edge p e01);
+  Alcotest.(check bool) "has e13" true (Path.mentions_edge p e13);
+  Alcotest.(check bool) "no e02" false (Path.mentions_edge p e02);
+  Alcotest.(check bool) "node 1" true (Path.mentions_node p 1);
+  Alcotest.(check bool) "node 2" false (Path.mentions_node p 2)
+
+let test_path_bottleneck () =
+  let g, _ = diamond () in
+  let p = Path.of_nodes g [ 0; 2; 3 ] in
+  Alcotest.(check (float 0.0)) "bottleneck" 5.0
+    (Path.bottleneck p ~capacity_of:(fun e -> e.Graph.capacity))
+
+let test_path_equal_compare () =
+  let g, _ = diamond () in
+  let p1 = Path.of_nodes g [ 0; 1; 3 ] in
+  let p2 = Path.of_nodes g [ 0; 1; 3 ] in
+  let p3 = Path.of_nodes g [ 0; 2; 3 ] in
+  Alcotest.(check bool) "equal" true (Path.equal p1 p2);
+  Alcotest.(check bool) "not equal" false (Path.equal p1 p3);
+  Alcotest.(check bool) "compare consistent" true (Path.compare p1 p2 = 0)
+
+let test_path_pp () =
+  let g, _ = diamond () in
+  let p = Path.of_nodes g [ 0; 1; 3 ] in
+  Alcotest.(check string) "render" "0->1->3" (Format.asprintf "%a" Path.pp p)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+
+let test_pqueue_ordering () =
+  let q = Pqueue.create () in
+  Pqueue.push q 3.0 "c";
+  Pqueue.push q 1.0 "a";
+  Pqueue.push q 2.0 "b";
+  Alcotest.(check (option (pair (float 0.0) string))) "peek" (Some (1.0, "a"))
+    (Pqueue.peek q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop a" (Some (1.0, "a"))
+    (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop b" (Some (2.0, "b"))
+    (Pqueue.pop q);
+  Alcotest.(check (option (pair (float 0.0) string))) "pop c" (Some (3.0, "c"))
+    (Pqueue.pop q);
+  Alcotest.(check bool) "empty" true (Pqueue.pop q = None)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  Pqueue.push q 1.0 "first";
+  Pqueue.push q 1.0 "second";
+  Pqueue.push q 1.0 "third";
+  let order = List.init 3 (fun _ -> snd (Option.get (Pqueue.pop q))) in
+  Alcotest.(check (list string)) "fifo on ties" [ "first"; "second"; "third" ]
+    order
+
+let test_pqueue_size_clear () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Pqueue.push q 1.0 1;
+  Pqueue.push q 2.0 2;
+  Alcotest.(check int) "size" 2 (Pqueue.size q);
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops in sorted order" ~count:200
+    QCheck.(list (float_range (-100.) 100.))
+    (fun prios ->
+      let q = Pqueue.create () in
+      List.iteri (fun i p -> Pqueue.push q p i) prios;
+      let rec drain acc =
+        match Pqueue.pop q with
+        | None -> List.rev acc
+        | Some (p, _) -> drain (p :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare prios)
+
+(* ------------------------------------------------------------------ *)
+(* Bfs                                                                 *)
+
+let test_bfs_distance () =
+  let g, _ = diamond () in
+  Alcotest.(check (option int)) "0->3" (Some 2) (Bfs.distance g ~src:0 ~dst:3 ());
+  Alcotest.(check (option int)) "0->5" (Some 2) (Bfs.distance g ~src:0 ~dst:5 ());
+  Alcotest.(check (option int)) "3->0 unreachable" None
+    (Bfs.distance g ~src:3 ~dst:0 ())
+
+let test_bfs_shortest_path () =
+  let g, _ = diamond () in
+  match Bfs.shortest_path g ~src:0 ~dst:3 () with
+  | Some p ->
+      Alcotest.(check int) "two hops" 2 (Path.hops p);
+      Alcotest.(check int) "ends at 3" 3 (Path.dst p)
+  | None -> Alcotest.fail "path exists"
+
+let test_bfs_all_shortest () =
+  let g, _ = diamond () in
+  let paths = Bfs.all_shortest_paths g ~src:0 ~dst:3 () in
+  Alcotest.(check int) "two 2-hop paths" 2 (List.length paths);
+  List.iter (fun p -> Alcotest.(check int) "hops" 2 (Path.hops p)) paths
+
+let test_bfs_max_paths () =
+  let g, _ = diamond () in
+  let paths = Bfs.all_shortest_paths g ~max_paths:1 ~src:0 ~dst:3 () in
+  Alcotest.(check int) "truncated" 1 (List.length paths)
+
+let test_bfs_usable_filter () =
+  let g, (e01, _, _, _, _, _, _) = diamond () in
+  let usable (e : Graph.edge) = e.Graph.id <> e01 in
+  let paths = Bfs.all_shortest_paths g ~usable ~src:0 ~dst:3 () in
+  Alcotest.(check int) "one survives" 1 (List.length paths);
+  match Bfs.shortest_path g ~usable ~src:0 ~dst:3 () with
+  | Some p -> Alcotest.(check bool) "avoids filtered edge" false (Path.mentions_edge p e01)
+  | None -> Alcotest.fail "alternative exists"
+
+let test_bfs_same_node () =
+  let g, _ = diamond () in
+  Alcotest.(check bool) "no self path" true (Bfs.shortest_path g ~src:0 ~dst:0 () = None);
+  Alcotest.(check (list pass)) "no self list" []
+    (Bfs.all_shortest_paths g ~src:0 ~dst:0 ())
+
+let test_bfs_reachable () =
+  let g, _ = diamond () in
+  let r = Bfs.reachable g ~src:0 () in
+  Alcotest.(check bool) "reaches 3" true r.(3);
+  let r3 = Bfs.reachable g ~src:3 () in
+  Alcotest.(check bool) "3 cannot reach 0" false r3.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Dijkstra                                                            *)
+
+let test_dijkstra_weighted () =
+  let g, _ = diamond () in
+  (* Make the top route expensive: weight = 100/capacity. *)
+  let weight (e : Graph.edge) = 100.0 /. e.Graph.capacity in
+  match Dijkstra.shortest_path g ~weight ~src:0 ~dst:3 () with
+  | Some (p, w) ->
+      Alcotest.(check (list int)) "takes the detour (cheapest)" [ 0; 4; 5; 3 ]
+        (Path.nodes p);
+      Alcotest.(check (float 1e-9)) "weight" 3.0 w
+  | None -> Alcotest.fail "path exists"
+
+let test_dijkstra_hops () =
+  let g, _ = diamond () in
+  match Dijkstra.shortest_path g ~weight:(fun _ -> 1.0) ~src:0 ~dst:3 () with
+  | Some (p, w) ->
+      Alcotest.(check int) "two hops" 2 (Path.hops p);
+      Alcotest.(check (float 1e-9)) "weight 2" 2.0 w
+  | None -> Alcotest.fail "path exists"
+
+let test_dijkstra_negative_weight () =
+  let g, _ = diamond () in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Dijkstra.shortest_path: negative weight") (fun () ->
+      ignore (Dijkstra.shortest_path g ~weight:(fun _ -> -1.0) ~src:0 ~dst:3 ()))
+
+let test_dijkstra_unreachable () =
+  let g, _ = diamond () in
+  Alcotest.(check bool) "none" true
+    (Dijkstra.shortest_path g ~weight:(fun _ -> 1.0) ~src:3 ~dst:0 () = None)
+
+let test_widest_path () =
+  let g, _ = diamond () in
+  match Dijkstra.widest_path g ~width:(fun e -> e.Graph.capacity) ~src:0 ~dst:3 () with
+  | Some (p, w) ->
+      Alcotest.(check (float 1e-9)) "bottleneck 100" 100.0 w;
+      Alcotest.(check (list int)) "detour route" [ 0; 4; 5; 3 ] (Path.nodes p)
+  | None -> Alcotest.fail "path exists"
+
+let test_widest_prefers_short_on_tie () =
+  let g = Graph.create ~initial_nodes:4 () in
+  ignore (Graph.add_edge g ~src:0 ~dst:1 ~capacity:10.0);
+  ignore (Graph.add_edge g ~src:1 ~dst:3 ~capacity:10.0);
+  ignore (Graph.add_edge g ~src:0 ~dst:2 ~capacity:10.0);
+  ignore (Graph.add_edge g ~src:2 ~dst:1 ~capacity:10.0);
+  match Dijkstra.widest_path g ~width:(fun e -> e.Graph.capacity) ~src:0 ~dst:3 () with
+  | Some (p, _) -> Alcotest.(check int) "short route" 2 (Path.hops p)
+  | None -> Alcotest.fail "path exists"
+
+(* ------------------------------------------------------------------ *)
+(* Yen                                                                 *)
+
+let test_yen_enumerates () =
+  let g, _ = diamond () in
+  let paths = Yen.k_shortest g ~k:3 ~src:0 ~dst:3 () in
+  Alcotest.(check int) "three loopless paths" 3 (List.length paths);
+  let weights = List.map snd paths in
+  Alcotest.(check bool) "ascending" true (weights = List.sort compare weights);
+  let distinct =
+    List.sort_uniq compare (List.map (fun (p, _) -> Path.edge_ids p) paths)
+  in
+  Alcotest.(check int) "distinct" 3 (List.length distinct)
+
+let test_yen_k_larger_than_paths () =
+  let g, _ = diamond () in
+  let paths = Yen.k_shortest g ~k:10 ~src:0 ~dst:3 () in
+  Alcotest.(check int) "only 3 exist" 3 (List.length paths)
+
+let test_yen_k_zero () =
+  let g, _ = diamond () in
+  Alcotest.(check (list pass)) "empty" [] (Yen.k_shortest g ~k:0 ~src:0 ~dst:3 ())
+
+let test_yen_weighted_order () =
+  let g, _ = diamond () in
+  let weight (e : Graph.edge) = 100.0 /. e.Graph.capacity in
+  match Yen.k_shortest g ~weight ~k:3 ~src:0 ~dst:3 () with
+  | (first, w) :: _ ->
+      Alcotest.(check (list int)) "cheapest first" [ 0; 4; 5; 3 ]
+        (Path.nodes first);
+      Alcotest.(check (float 1e-9)) "weight" 3.0 w
+  | [] -> Alcotest.fail "paths exist"
+
+let suite =
+  [
+    ("graph counts", `Quick, test_graph_counts);
+    ("graph add node", `Quick, test_graph_add_node);
+    ("graph edge accessor", `Quick, test_graph_edge_accessor);
+    ("graph adjacency order", `Quick, test_graph_adjacency_order);
+    ("graph find edge", `Quick, test_graph_find_edge);
+    ("graph parallel edges", `Quick, test_graph_find_edge_first_inserted);
+    ("graph link + reverse", `Quick, test_graph_add_link_and_reverse);
+    ("graph invalid edges", `Quick, test_graph_invalid_edges);
+    ("graph total capacity", `Quick, test_graph_total_capacity);
+    ("graph fold/iter", `Quick, test_graph_fold_iter);
+    ("graph growth", `Quick, test_graph_growth);
+    ("path of_nodes", `Quick, test_path_of_nodes);
+    ("path validation", `Quick, test_path_validation);
+    ("path non-contiguous", `Quick, test_path_non_contiguous);
+    ("path loop rejected", `Quick, test_path_loop_rejected);
+    ("path mentions", `Quick, test_path_mentions);
+    ("path bottleneck", `Quick, test_path_bottleneck);
+    ("path equality", `Quick, test_path_equal_compare);
+    ("path pp", `Quick, test_path_pp);
+    ("pqueue ordering", `Quick, test_pqueue_ordering);
+    ("pqueue fifo ties", `Quick, test_pqueue_fifo_ties);
+    ("pqueue size/clear", `Quick, test_pqueue_size_clear);
+    QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+    ("bfs distance", `Quick, test_bfs_distance);
+    ("bfs shortest path", `Quick, test_bfs_shortest_path);
+    ("bfs all shortest", `Quick, test_bfs_all_shortest);
+    ("bfs max paths", `Quick, test_bfs_max_paths);
+    ("bfs usable filter", `Quick, test_bfs_usable_filter);
+    ("bfs same node", `Quick, test_bfs_same_node);
+    ("bfs reachable", `Quick, test_bfs_reachable);
+    ("dijkstra weighted", `Quick, test_dijkstra_weighted);
+    ("dijkstra hops", `Quick, test_dijkstra_hops);
+    ("dijkstra negative weight", `Quick, test_dijkstra_negative_weight);
+    ("dijkstra unreachable", `Quick, test_dijkstra_unreachable);
+    ("widest path", `Quick, test_widest_path);
+    ("widest short tie", `Quick, test_widest_prefers_short_on_tie);
+    ("yen enumerates", `Quick, test_yen_enumerates);
+    ("yen k too large", `Quick, test_yen_k_larger_than_paths);
+    ("yen k zero", `Quick, test_yen_k_zero);
+    ("yen weighted order", `Quick, test_yen_weighted_order);
+  ]

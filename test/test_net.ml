@@ -1,0 +1,472 @@
+(* nu_net: network state machine, routing policies, background fill. *)
+
+let topo4 () = Fat_tree.to_topology (Fat_tree.create ~k:4 ())
+
+(* A record between two fat-tree host *indices*. *)
+let flow ?(id = 0) ?(demand = 100.0) ?(duration = 10.0) src dst =
+  Flow_record.v ~id ~src ~dst ~size_mbit:(demand *. duration)
+    ~duration_s:duration ~arrival_s:0.0
+
+let place_exn net record =
+  match Routing.select net record with
+  | None -> Alcotest.fail "no feasible path"
+  | Some path -> (
+      match Net_state.place net record path with
+      | Ok () -> path
+      | Error _ -> Alcotest.fail "placement failed")
+
+(* ------------------------------------------------------------------ *)
+(* Net_state                                                           *)
+
+let test_place_accounting () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~demand:100.0 0 15 in
+  let path = place_exn net r in
+  List.iter
+    (fun (e : Graph.edge) ->
+      Alcotest.(check (float 1e-9)) "residual decremented" 900.0
+        (Net_state.residual net e.Graph.id);
+      Alcotest.(check (float 1e-9)) "used" 100.0 (Net_state.used net e.Graph.id))
+    (Path.edges path);
+  Alcotest.(check int) "flow count" 1 (Net_state.flow_count net);
+  Alcotest.(check bool) "is placed" true (Net_state.is_placed net 0)
+
+let test_remove_restores () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~demand:50.0 0 15 in
+  let path = place_exn net r in
+  (match Net_state.remove net 0 with
+  | Ok placed -> Alcotest.(check bool) "returns placement" true (Path.equal placed.Net_state.path path)
+  | Error `Not_found -> Alcotest.fail "was placed");
+  List.iter
+    (fun (e : Graph.edge) ->
+      Alcotest.(check (float 1e-9)) "restored" 1000.0 (Net_state.residual net e.Graph.id))
+    (Path.edges path);
+  Alcotest.(check bool) "remove twice" true (Net_state.remove net 0 = Error `Not_found)
+
+let test_duplicate_rejected () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow 0 15 in
+  let path = place_exn net r in
+  Alcotest.(check bool) "duplicate" true
+    (Net_state.place net r path = Error Net_state.Duplicate_flow)
+
+let test_congested_error () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~demand:800.0 0 1 in
+  let path = place_exn net r in
+  let r2 = flow ~id:1 ~demand:800.0 0 1 in
+  match Net_state.place net r2 path with
+  | Error (Net_state.Congested blocked) ->
+      Alcotest.(check bool) "reports blocked edges" true (blocked <> []);
+      List.iter
+        (fun (e : Graph.edge) ->
+          Alcotest.(check bool) "on path" true (Path.mentions_edge path e.Graph.id))
+        blocked
+  | _ -> Alcotest.fail "expected congestion"
+
+let test_place_wrong_endpoints () =
+  let net = Net_state.create (topo4 ()) in
+  let r01 = flow 0 1 in
+  let path_0_2 =
+    match Net_state.candidate_paths net (flow ~id:9 0 2) with
+    | p :: _ -> p
+    | [] -> Alcotest.fail "paths exist"
+  in
+  Alcotest.check_raises "endpoint mismatch"
+    (Invalid_argument "Net_state.place: path does not connect the flow endpoints")
+    (fun () -> ignore (Net_state.place net r01 path_0_2))
+
+let test_reroute_releases_own_usage () =
+  (* A flow of 800 Mbps can move to a partially overlapping path even
+     though shared access links cannot hold 2x800. *)
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~demand:800.0 0 15 in
+  let _ = place_exn net r in
+  let alternatives = Net_state.candidate_paths net r in
+  let current = (Option.get (Net_state.flow net 0)).Net_state.path in
+  let other = List.find (fun p -> not (Path.equal p current)) alternatives in
+  (match Net_state.reroute net 0 other with
+  | Ok old -> Alcotest.(check bool) "returns old" true (Path.equal old current)
+  | Error _ -> Alcotest.fail "overlapping reroute must succeed");
+  match Net_state.invariants_ok net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_reroute_infeasible_keeps_state () =
+  let net = Net_state.create (topo4 ()) in
+  let blocker = flow ~id:7 ~demand:900.0 2 3 in
+  let _ = place_exn net blocker in
+  let r = flow ~id:0 ~demand:200.0 0 1 in
+  let _ = place_exn net r in
+  (* Try to reroute the 0->1 flow onto a same-edge path: there is only
+     one path for same-edge pairs, so target the blocked host pair
+     instead via a manual path through the blocker's access link. *)
+  let blocked_path =
+    match Net_state.candidate_paths net (flow ~id:9 ~demand:1.0 2 3) with
+    | p :: _ -> p
+    | [] -> Alcotest.fail "exists"
+  in
+  ignore blocked_path;
+  (* Rerouting an unknown flow raises. *)
+  Alcotest.check_raises "unknown flow"
+    (Invalid_argument "Net_state.reroute: flow not placed") (fun () ->
+      ignore (Net_state.reroute net 99 blocked_path))
+
+let test_flows_on_edge_sorted () =
+  let net = Net_state.create (topo4 ()) in
+  let r1 = flow ~id:5 ~demand:10.0 0 1 in
+  let r2 = flow ~id:2 ~demand:10.0 0 1 in
+  let p1 = place_exn net r1 in
+  let _ = place_exn net r2 in
+  let first_edge = List.hd (Path.edges p1) in
+  let on = Net_state.flows_on_edge net first_edge.Graph.id in
+  Alcotest.(check (list int)) "sorted ids" [ 2; 5 ]
+    (List.map (fun (p : Net_state.placed) -> p.Net_state.record.Flow_record.id) on)
+
+let test_flows_through_node () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~id:1 ~demand:10.0 0 15 in
+  let path = place_exn net r in
+  let mid = List.nth (Path.nodes path) 2 in
+  let through = Net_state.flows_through_node net mid in
+  Alcotest.(check int) "found" 1 (List.length through)
+
+let test_utilization_math () =
+  let topo = topo4 () in
+  let net = Net_state.create topo in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Net_state.mean_utilization net);
+  let r = flow ~demand:500.0 0 15 in
+  let path = place_exn net r in
+  let e0 = (List.hd (Path.edges path)).Graph.id in
+  Alcotest.(check (float 1e-9)) "edge util" 0.5 (Net_state.edge_utilization net e0);
+  Alcotest.(check bool) "mean positive" true (Net_state.mean_utilization net > 0.0);
+  Alcotest.(check (float 1e-9)) "max util" 0.5 (Net_state.max_utilization net)
+
+let test_mean_utilization_subset () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~demand:500.0 0 15 in
+  let path = place_exn net r in
+  let path_ids = List.map (fun (e : Graph.edge) -> e.Graph.id) (Path.edges path) in
+  Alcotest.(check (float 1e-9)) "subset all on path" 0.5
+    (Net_state.mean_utilization ~edges:path_ids net);
+  Alcotest.(check (float 1e-9)) "empty subset" 0.0
+    (Net_state.mean_utilization ~edges:[] net)
+
+let test_fabric_edges () =
+  let topo = topo4 () in
+  let net = Net_state.create topo in
+  let fabric = Net_state.fabric_edges net in
+  (* k=4: 32 directed edge-agg + 32 directed agg-core. *)
+  Alcotest.(check int) "fabric edge count" 64 (List.length fabric);
+  List.iter
+    (fun id ->
+      let e = Graph.edge (Net_state.graph net) id in
+      Alcotest.(check bool) "no host endpoint" false
+        (Topology.is_host topo e.Graph.src || Topology.is_host topo e.Graph.dst))
+    fabric
+
+let test_copy_independent () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~demand:100.0 0 15 in
+  let _ = place_exn net r in
+  let snapshot = Net_state.copy net in
+  let r2 = flow ~id:1 ~demand:100.0 1 14 in
+  let _ = place_exn net r2 in
+  Alcotest.(check int) "copy unchanged" 1 (Net_state.flow_count snapshot);
+  Alcotest.(check int) "original changed" 2 (Net_state.flow_count net);
+  (match Net_state.remove snapshot 0 with Ok _ -> () | Error _ -> Alcotest.fail "copy mutable");
+  Alcotest.(check bool) "original keeps flow" true (Net_state.is_placed net 0)
+
+let test_capacity_gap () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~demand:900.0 0 1 in
+  let path = place_exn net r in
+  let e = List.hd (Path.edges path) in
+  Alcotest.(check (float 1e-9)) "gap" 100.0
+    (Net_state.capacity_gap net e ~demand:200.0);
+  Alcotest.(check bool) "fits" true (Net_state.capacity_gap net e ~demand:50.0 <= 0.0)
+
+let test_endpoints_mapping () =
+  let topo = topo4 () in
+  let net = Net_state.create topo in
+  let r = flow 3 12 in
+  let src, dst = Net_state.endpoints net r in
+  Alcotest.(check int) "src node" topo.Topology.hosts.(3) src;
+  Alcotest.(check int) "dst node" topo.Topology.hosts.(12) dst;
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Net_state.endpoints: host index out of range") (fun () ->
+      ignore (Net_state.endpoints net (flow 0 99)))
+
+let prop_random_ops_keep_invariants =
+  QCheck.Test.make ~name:"random place/remove keeps invariants" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      let net = Net_state.create (topo4 ()) in
+      let rng = Prng.create seed in
+      let placed = ref [] in
+      for i = 0 to 150 do
+        if Prng.unit_float rng < 0.7 || !placed = [] then begin
+          let src = Prng.int rng 16 in
+          let dst = (src + 1 + Prng.int rng 15) mod 16 in
+          let r = flow ~id:i ~demand:(Prng.float_in rng 1.0 300.0) src dst in
+          match Routing.select ~rng ~policy:Routing.Random_fit net r with
+          | None -> ()
+          | Some path -> (
+              match Net_state.place net r path with
+              | Ok () -> placed := i :: !placed
+              | Error _ -> ())
+        end
+        else begin
+          match !placed with
+          | id :: rest ->
+              (match Net_state.remove net id with
+              | Ok _ -> placed := rest
+              | Error `Not_found -> ())
+          | [] -> ()
+        end
+      done;
+      Net_state.invariants_ok net = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+
+let test_routing_first_fit () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~demand:10.0 0 15 in
+  let candidates = Net_state.candidate_paths net r in
+  (match Routing.select net r with
+  | Some p -> Alcotest.(check bool) "first candidate" true (Path.equal p (List.hd candidates))
+  | None -> Alcotest.fail "feasible");
+  Alcotest.(check int) "inter-pod candidates" 4 (List.length candidates)
+
+let test_routing_widest () =
+  let net = Net_state.create (topo4 ()) in
+  (* Load the fabric links of the probe's first candidate using a sibling
+     host pair (1 -> 14 shares edge switches with 0 -> 15), so the probe's
+     own access links stay untouched and widest must avoid the loaded
+     fabric. *)
+  let sibling = flow ~id:50 ~demand:400.0 1 14 in
+  let sibling_first = List.hd (Net_state.candidate_paths net sibling) in
+  (match Net_state.place net sibling sibling_first with
+  | Ok () -> ()
+  | Error _ -> assert false);
+  let r = flow ~id:51 ~demand:10.0 0 15 in
+  let loaded_fabric =
+    List.filter
+      (fun (e : Graph.edge) ->
+        not
+          (Topology.is_host (Net_state.topology net) e.Graph.src
+          || Topology.is_host (Net_state.topology net) e.Graph.dst))
+      (Path.edges sibling_first)
+  in
+  match Routing.select ~policy:Routing.Widest net r with
+  | Some p ->
+      List.iter
+        (fun (e : Graph.edge) ->
+          Alcotest.(check bool) "avoids loaded fabric" false
+            (Path.mentions_edge p e.Graph.id))
+        loaded_fabric
+  | None -> Alcotest.fail "feasible"
+
+let test_routing_least_loaded () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~demand:10.0 0 15 in
+  match Routing.select ~policy:Routing.Least_loaded net r with
+  | Some _ -> ()
+  | None -> Alcotest.fail "feasible"
+
+let test_routing_random_needs_rng () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~demand:10.0 0 15 in
+  Alcotest.check_raises "no rng"
+    (Invalid_argument "Routing.select_from: Random_fit needs an rng") (fun () ->
+      ignore (Routing.select ~policy:Routing.Random_fit net r))
+
+let test_routing_random_feasible () =
+  let net = Net_state.create (topo4 ()) in
+  let rng = Prng.create 3 in
+  let r = flow ~demand:10.0 0 15 in
+  for _ = 1 to 20 do
+    match Routing.select ~rng ~policy:Routing.Random_fit net r with
+    | Some p -> Alcotest.(check bool) "feasible" true (Net_state.path_feasible net p ~demand:10.0)
+    | None -> Alcotest.fail "feasible"
+  done
+
+let test_routing_infeasible_none () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~demand:2000.0 0 15 in
+  Alcotest.(check bool) "demand above capacity" true (Routing.select net r = None)
+
+let test_ecmp_index () =
+  let r = flow ~id:77 3 9 in
+  let i1 = Routing.ecmp_index r ~n:16 and i2 = Routing.ecmp_index r ~n:16 in
+  Alcotest.(check int) "deterministic" i1 i2;
+  Alcotest.(check bool) "in range" true (i1 >= 0 && i1 < 16);
+  Alcotest.check_raises "n >= 1" (Invalid_argument "Routing.ecmp_index: n")
+    (fun () -> ignore (Routing.ecmp_index r ~n:0))
+
+let test_desired_path_stable () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~demand:10.0 0 15 in
+  let d1 = Routing.desired_path net r and d2 = Routing.desired_path net r in
+  match (d1, d2) with
+  | Some a, Some b -> Alcotest.(check bool) "stable" true (Path.equal a b)
+  | _ -> Alcotest.fail "desired path exists"
+
+let test_select_from_restricted () =
+  let net = Net_state.create (topo4 ()) in
+  Alcotest.(check bool) "empty candidates" true
+    (Routing.select_from net ~demand:1.0 [] = None)
+
+(* ------------------------------------------------------------------ *)
+(* Background                                                          *)
+
+let test_background_fill_reaches_target () =
+  let net = Net_state.create (topo4 ()) in
+  let rng = Prng.create 10 in
+  let report =
+    Background.fill net ~target:0.3
+      ~utilization:Net_state.mean_fabric_utilization
+      ~make_flow:(fun ~id ~scale ->
+        Background.yahoo_flow_maker rng ~host_count:16 ~id ~scale)
+      ~first_id:0
+  in
+  Alcotest.(check bool) "reached" true (report.Background.achieved_utilization >= 0.3);
+  Alcotest.(check bool) "placed some" true (report.Background.placed > 0);
+  Alcotest.(check int) "ids recorded" report.Background.placed
+    (List.length report.Background.placed_ids);
+  match Net_state.invariants_ok net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_background_accept_veto () =
+  let net = Net_state.create (topo4 ()) in
+  let rng = Prng.create 10 in
+  let report =
+    Background.fill net ~target:0.5 ~accept:(fun _ _ _ -> false)
+      ~max_consecutive_failures:5
+      ~make_flow:(fun ~id ~scale ->
+        Background.yahoo_flow_maker rng ~host_count:16 ~id ~scale)
+      ~first_id:0
+  in
+  Alcotest.(check int) "nothing placed" 0 report.Background.placed;
+  Alcotest.(check bool) "rejections counted" true (report.Background.rejected > 0)
+
+let test_background_invalid_target () =
+  let net = Net_state.create (topo4 ()) in
+  Alcotest.check_raises "target >= 1" (Invalid_argument "Background.fill: target")
+    (fun () ->
+      ignore
+        (Background.fill net ~target:1.0
+           ~make_flow:(fun ~id ~scale ->
+             ignore scale;
+             flow ~id 0 1)
+           ~first_id:0))
+
+let test_background_scaling () =
+  let rng = Prng.create 10 in
+  let r1 = Background.yahoo_flow_maker rng ~host_count:16 ~id:0 ~scale:1.0 in
+  let rng = Prng.create 10 in
+  let r2 = Background.yahoo_flow_maker rng ~host_count:16 ~id:0 ~scale:0.5 in
+  Alcotest.(check (float 1e-9)) "demand halved"
+    (Flow_record.demand_mbps r1 /. 2.0)
+    (Flow_record.demand_mbps r2);
+  Alcotest.(check (float 1e-9)) "duration preserved" r1.Flow_record.duration_s
+    r2.Flow_record.duration_s
+
+let test_background_cap_respected () =
+  (* Fill with an access-link cap and verify no host link exceeds it. *)
+  let topo = topo4 () in
+  let net = Net_state.create topo in
+  let rng = Prng.create 11 in
+  let cap = 0.5 in
+  let accept net (r : Flow_record.t) path =
+    let d = Flow_record.demand_mbps r in
+    List.for_all
+      (fun (e : Graph.edge) ->
+        (not (Topology.is_host topo e.Graph.src || Topology.is_host topo e.Graph.dst))
+        || (Net_state.used net e.Graph.id +. d) /. e.Graph.capacity <= cap)
+      (Path.edges path)
+  in
+  let _ =
+    Background.fill net ~target:0.4 ~accept
+      ~utilization:Net_state.mean_fabric_utilization
+      ~make_flow:(fun ~id ~scale ->
+        Background.yahoo_flow_maker rng ~host_count:16 ~id ~scale)
+      ~first_id:0
+  in
+  Graph.iter_edges (Net_state.graph net) (fun e ->
+      if Topology.is_host topo e.Graph.src || Topology.is_host topo e.Graph.dst
+      then
+        Alcotest.(check bool) "host link under cap" true
+          (Net_state.edge_utilization net e.Graph.id <= cap +. 1e-9))
+
+let test_disable_edge () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~demand:10.0 0 15 in
+  let all = Net_state.candidate_paths net r in
+  let victim = List.hd all in
+  let victim_edge = (List.nth (Path.edges victim) 2).Graph.id in
+  Net_state.disable_edge net victim_edge;
+  Alcotest.(check bool) "flag set" true (Net_state.edge_disabled net victim_edge);
+  let remaining = Net_state.candidate_paths net r in
+  Alcotest.(check int) "one candidate dropped" (List.length all - 1)
+    (List.length remaining);
+  Alcotest.(check bool) "victim infeasible" false
+    (Net_state.path_feasible net victim ~demand:10.0);
+  (match Net_state.place net r victim with
+  | Error (Net_state.Congested blocked) ->
+      Alcotest.(check bool) "dead edge reported" true
+        (List.exists (fun (e : Graph.edge) -> e.Graph.id = victim_edge) blocked)
+  | _ -> Alcotest.fail "placement over a dead link must fail");
+  Net_state.enable_edge net victim_edge;
+  Alcotest.(check bool) "re-enabled" false (Net_state.edge_disabled net victim_edge);
+  Alcotest.(check int) "candidates restored" (List.length all)
+    (List.length (Net_state.candidate_paths net r))
+
+let test_disable_edge_copy () =
+  let net = Net_state.create (topo4 ()) in
+  Net_state.disable_edge net 0;
+  let snap = Net_state.copy net in
+  Net_state.enable_edge net 0;
+  Alcotest.(check bool) "copy keeps its own flag" true
+    (Net_state.edge_disabled snap 0);
+  Alcotest.check_raises "bad id" (Invalid_argument "Net_state.disable_edge: edge id")
+    (fun () -> Net_state.disable_edge net 99999)
+
+let suite =
+  [
+    ("place accounting", `Quick, test_place_accounting);
+    ("disable edge", `Quick, test_disable_edge);
+    ("disable edge copy", `Quick, test_disable_edge_copy);
+    ("remove restores", `Quick, test_remove_restores);
+    ("duplicate rejected", `Quick, test_duplicate_rejected);
+    ("congested error", `Quick, test_congested_error);
+    ("wrong endpoints", `Quick, test_place_wrong_endpoints);
+    ("reroute releases own usage", `Quick, test_reroute_releases_own_usage);
+    ("reroute unknown flow", `Quick, test_reroute_infeasible_keeps_state);
+    ("flows on edge sorted", `Quick, test_flows_on_edge_sorted);
+    ("flows through node", `Quick, test_flows_through_node);
+    ("utilization math", `Quick, test_utilization_math);
+    ("mean utilization subset", `Quick, test_mean_utilization_subset);
+    ("fabric edges", `Quick, test_fabric_edges);
+    ("copy independent", `Quick, test_copy_independent);
+    ("capacity gap", `Quick, test_capacity_gap);
+    ("endpoints mapping", `Quick, test_endpoints_mapping);
+    QCheck_alcotest.to_alcotest prop_random_ops_keep_invariants;
+    ("routing first fit", `Quick, test_routing_first_fit);
+    ("routing widest", `Quick, test_routing_widest);
+    ("routing least loaded", `Quick, test_routing_least_loaded);
+    ("routing random needs rng", `Quick, test_routing_random_needs_rng);
+    ("routing random feasible", `Quick, test_routing_random_feasible);
+    ("routing infeasible", `Quick, test_routing_infeasible_none);
+    ("ecmp index", `Quick, test_ecmp_index);
+    ("desired path stable", `Quick, test_desired_path_stable);
+    ("select_from empty", `Quick, test_select_from_restricted);
+    ("background fill", `Quick, test_background_fill_reaches_target);
+    ("background veto", `Quick, test_background_accept_veto);
+    ("background invalid target", `Quick, test_background_invalid_target);
+    ("background scaling", `Quick, test_background_scaling);
+    ("background cap respected", `Quick, test_background_cap_respected);
+  ]

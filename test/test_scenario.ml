@@ -1,0 +1,76 @@
+(* Core.Scenario: the canned experiment fixtures. Heavier than the unit
+   suites (each prepare fills a k=8 Fat-Tree), so most cases are `Slow. *)
+
+let test_prepare_reaches_target () =
+  let s = Scenario.prepare ~utilization:0.5 ~seed:3 () in
+  Alcotest.(check bool) "fabric utilization at target" true
+    (Net_state.mean_fabric_utilization s.Scenario.net >= 0.5 -. 1e-6);
+  Alcotest.(check int) "hosts" 128 s.Scenario.host_count;
+  match Net_state.invariants_ok s.Scenario.net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_prepare_access_cap () =
+  let s = Scenario.prepare ~utilization:0.5 ~seed:3 () in
+  let topo = s.Scenario.topology in
+  Graph.iter_edges (Net_state.graph s.Scenario.net) (fun e ->
+      if Topology.is_host topo e.Graph.src || Topology.is_host topo e.Graph.dst
+      then
+        Alcotest.(check bool) "access link under cap" true
+          (Net_state.edge_utilization s.Scenario.net e.Graph.id
+          <= Scenario.access_cap_for 0.5 +. 1e-9))
+
+let test_prepare_deterministic () =
+  let a = Scenario.prepare ~utilization:0.4 ~seed:9 () in
+  let b = Scenario.prepare ~utilization:0.4 ~seed:9 () in
+  Alcotest.(check int) "same flow count"
+    (Net_state.flow_count a.Scenario.net)
+    (Net_state.flow_count b.Scenario.net);
+  let res net =
+    Array.init
+      (Graph.edge_count (Net_state.graph net))
+      (fun i -> Net_state.residual net i)
+  in
+  Alcotest.(check bool) "same residuals" true (res a.Scenario.net = res b.Scenario.net)
+
+let test_prepare_benson_background () =
+  let s = Scenario.prepare ~utilization:0.3 ~seed:5 ~background:Scenario.Benson () in
+  Alcotest.(check bool) "filled" true
+    (s.Scenario.background_report.Background.placed > 0)
+
+let test_events_shapes () =
+  let s = Scenario.prepare ~utilization:0.3 ~seed:5 () in
+  let events = Scenario.events ~shape:(Event_gen.Range (5, 9)) s ~n:7 in
+  Alcotest.(check int) "count" 7 (List.length events);
+  List.iter
+    (fun ev ->
+      let n = Event.work_count ev in
+      Alcotest.(check bool) "flows in range" true (n >= 5 && n <= 9))
+    events;
+  (* Flow ids must not collide with background ids. *)
+  List.iter
+    (fun ev ->
+      List.iter
+        (fun (r : Flow_record.t) ->
+          Alcotest.(check bool) "namespaced ids" true (r.Flow_record.id >= 1_000_000))
+        (Event.install_records ev))
+    events
+
+let test_churn_deterministic () =
+  let s = Scenario.prepare ~utilization:0.3 ~seed:5 () in
+  let c1 = Scenario.churn ~seed:11 s in
+  let c2 = Scenario.churn ~seed:11 s in
+  let f1 = c1.Engine.make_flow ~id:10_000_000 in
+  let f2 = c2.Engine.make_flow ~id:10_000_000 in
+  Alcotest.(check bool) "same stream" true (f1 = f2);
+  Alcotest.(check int) "id namespace" 10_000_000 c1.Engine.first_id
+
+let suite =
+  [
+    ("prepare reaches target", `Slow, test_prepare_reaches_target);
+    ("prepare access cap", `Slow, test_prepare_access_cap);
+    ("prepare deterministic", `Slow, test_prepare_deterministic);
+    ("prepare benson", `Slow, test_prepare_benson_background);
+    ("events shapes", `Slow, test_events_shapes);
+    ("churn deterministic", `Slow, test_churn_deterministic);
+  ]

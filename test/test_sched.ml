@@ -1,0 +1,363 @@
+(* nu_sched: execution model, policies, engine, metrics. *)
+
+let topo4 () = Fat_tree.to_topology (Fat_tree.create ~k:4 ())
+
+let flow ?(id = 0) ?(demand = 50.0) ?(duration = 10.0) ?(arrival = 0.0) src dst
+    =
+  Flow_record.v ~id ~src ~dst ~size_mbit:(demand *. duration)
+    ~duration_s:duration ~arrival_s:arrival
+
+(* A small deterministic workload: [n] events of [m] small flows each. *)
+let workload ?(n = 6) ?(m = 5) ?(arrival = fun _ -> 0.0) () =
+  let next = ref 0 in
+  List.init n (fun i ->
+      let flows =
+        List.init m (fun j ->
+            let id = !next in
+            incr next;
+            let src = (i + j) mod 16 in
+            let dst = (src + 3 + j) mod 16 in
+            let dst = if dst = src then (dst + 1) mod 16 else dst in
+            flow ~id ~demand:(10.0 +. float_of_int (j * 5)) ~arrival:(arrival i)
+              src dst)
+      in
+      Event.of_spec { Event_gen.event_id = i; arrival_s = arrival i; flows })
+
+let loaded_net () =
+  let net = Net_state.create (topo4 ()) in
+  let next = ref 1000 in
+  for src = 0 to 7 do
+    let dst = 15 - src in
+    let r = flow ~id:!next ~demand:300.0 src dst in
+    incr next;
+    match Routing.select net r with
+    | Some p -> ( match Net_state.place net r p with Ok () -> () | Error _ -> ())
+    | None -> ()
+  done;
+  net
+
+(* ------------------------------------------------------------------ *)
+(* Exec_model                                                          *)
+
+let test_exec_plan_time () =
+  let m = Exec_model.default in
+  Alcotest.(check (float 1e-12)) "linear" (m.Exec_model.plan_unit_cost_s *. 100.0)
+    (Exec_model.plan_time m ~work_units:100);
+  Alcotest.check_raises "negative" (Invalid_argument "Exec_model.plan_time")
+    (fun () -> ignore (Exec_model.plan_time m ~work_units:(-1)))
+
+let test_exec_execution_time () =
+  let net = loaded_net () in
+  let ev = Event.of_spec { Event_gen.event_id = 0; arrival_s = 0.0; flows = [ flow ~id:0 0 15 ] } in
+  let plan = Planner.plan net ev in
+  let m = Exec_model.default in
+  let t = Exec_model.execution_time m plan in
+  (* One flow: no intra-event speedup applies. *)
+  let expected =
+    (float_of_int plan.Planner.rule_hops *. m.Exec_model.rule_install_s
+    +. plan.Planner.transfer_mbit /. m.Exec_model.migration_rate_mbps)
+  in
+  Alcotest.(check (float 1e-9)) "single flow no parallelism" expected t
+
+let test_exec_parallelism_cap () =
+  let net = loaded_net () in
+  let flows = List.init 10 (fun i -> flow ~id:i ~demand:5.0 (i mod 8) ((i + 5) mod 16)) in
+  let ev = Event.of_spec { Event_gen.event_id = 0; arrival_s = 0.0; flows } in
+  let plan = Planner.plan net ev in
+  let seq = Exec_model.execution_time Exec_model.sequential plan in
+  let par = Exec_model.execution_time Exec_model.default plan in
+  Alcotest.(check bool) "parallel faster" true (par < seq);
+  Alcotest.(check (float 1e-9)) "factor 8" (seq /. 8.0) par
+
+let test_exec_validation () =
+  let net = loaded_net () in
+  let ev = Event.of_spec { Event_gen.event_id = 0; arrival_s = 0.0; flows = [ flow ~id:0 0 15 ] } in
+  let plan = Planner.plan net ev in
+  Alcotest.check_raises "parallelism < 1"
+    (Invalid_argument "Exec_model.execution_time: parallelism < 1") (fun () ->
+      ignore
+        (Exec_model.execution_time
+           { Exec_model.default with Exec_model.intra_event_parallelism = 0.5 }
+           plan))
+
+(* ------------------------------------------------------------------ *)
+(* Policy                                                              *)
+
+let test_policy_names () =
+  Alcotest.(check string) "fifo" "fifo" (Policy.name Policy.Fifo);
+  Alcotest.(check string) "lmtf" "lmtf(a=4)" (Policy.name (Policy.Lmtf { alpha = 4 }));
+  Alcotest.(check string) "plmtf" "p-lmtf(a=2)" (Policy.name (Policy.Plmtf { alpha = 2 }));
+  Alcotest.(check string) "reorder" "reorder" (Policy.name Policy.Reorder);
+  Alcotest.(check string) "flow rr" "flow-level(rr)"
+    (Policy.name (Policy.Flow_level Policy.Round_robin))
+
+let test_policy_validate () =
+  Alcotest.(check bool) "valid" true (Policy.validate (Policy.Lmtf { alpha = 1 }) = Ok ());
+  Alcotest.(check bool) "invalid" true (Policy.validate (Policy.Plmtf { alpha = 0 }) <> Ok ());
+  Alcotest.(check int) "paper alpha" 4 Policy.default_alpha
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let run_policy ?(events = workload ()) policy =
+  Engine.run ~net:(loaded_net ()) ~events ~seed:5 policy
+
+let test_engine_completes_all () =
+  List.iter
+    (fun policy ->
+      let run = run_policy policy in
+      Alcotest.(check int) "all events reported" 6 (Array.length run.Engine.events);
+      Array.iter
+        (fun (r : Engine.event_result) ->
+          Alcotest.(check bool) "completion after start" true
+            (r.Engine.completion_s >= r.Engine.start_s);
+          Alcotest.(check bool) "start after arrival" true
+            (r.Engine.start_s >= r.Engine.arrival_s))
+        run.Engine.events)
+    [
+      Policy.Fifo;
+      Policy.Reorder;
+      Policy.Lmtf { alpha = 2 };
+      Policy.Plmtf { alpha = 2 };
+      Policy.Flow_level Policy.Round_robin;
+      Policy.Flow_level Policy.By_arrival;
+    ]
+
+let test_engine_results_sorted_by_id () =
+  let run = run_policy Policy.Fifo in
+  Array.iteri
+    (fun i (r : Engine.event_result) -> Alcotest.(check int) "sorted" i r.Engine.event_id)
+    run.Engine.events
+
+let test_engine_fifo_order () =
+  (* Under FIFO with batch arrivals, start times must follow event id
+     order (arrival order) strictly, one event at a time. *)
+  let run = run_policy Policy.Fifo in
+  let starts = Array.map (fun r -> r.Engine.start_s) run.Engine.events in
+  Array.iteri
+    (fun i s -> if i > 0 then Alcotest.(check bool) "monotone starts" true (s >= starts.(i - 1)))
+    starts;
+  Alcotest.(check int) "one round per event" 6 run.Engine.rounds
+
+let test_engine_deterministic () =
+  let r1 = run_policy (Policy.Lmtf { alpha = 2 }) in
+  let r2 = run_policy (Policy.Lmtf { alpha = 2 }) in
+  Alcotest.(check bool) "same seed same run" true
+    (Array.for_all2
+       (fun (a : Engine.event_result) (b : Engine.event_result) ->
+         a.Engine.completion_s = b.Engine.completion_s
+         && a.Engine.cost_mbit = b.Engine.cost_mbit)
+       r1.Engine.events r2.Engine.events)
+
+let test_engine_seed_changes_lmtf () =
+  let events = workload ~n:10 () in
+  let a = Engine.run ~net:(loaded_net ()) ~events ~seed:1 (Policy.Lmtf { alpha = 2 }) in
+  let b = Engine.run ~net:(loaded_net ()) ~events ~seed:2 (Policy.Lmtf { alpha = 2 }) in
+  (* Different sampling usually yields different schedules; allow equality
+     but require the runs to be well-formed. *)
+  Alcotest.(check int) "a complete" 10 (Array.length a.Engine.events);
+  Alcotest.(check int) "b complete" 10 (Array.length b.Engine.events)
+
+let test_engine_ect_accessors () =
+  let run = run_policy Policy.Fifo in
+  Array.iter
+    (fun (r : Engine.event_result) ->
+      Alcotest.(check (float 1e-9)) "ect" (r.Engine.completion_s -. r.Engine.arrival_s)
+        (Engine.ect r);
+      Alcotest.(check (float 1e-9)) "queuing" (r.Engine.start_s -. r.Engine.arrival_s)
+        (Engine.queuing_delay r))
+    run.Engine.events
+
+let test_engine_poisson_arrivals_respected () =
+  let events = workload ~arrival:(fun i -> float_of_int i *. 100.0) () in
+  let run = Engine.run ~net:(loaded_net ()) ~events ~seed:5 Policy.Fifo in
+  Array.iter
+    (fun (r : Engine.event_result) ->
+      Alcotest.(check bool) "never starts before arrival" true
+        (r.Engine.start_s >= r.Engine.arrival_s))
+    run.Engine.events;
+  (* Long gaps: the service idles, so each event starts shortly after
+     its own arrival. *)
+  Array.iter
+    (fun (r : Engine.event_result) ->
+      Alcotest.(check bool) "no queueing with sparse arrivals" true
+        (Engine.queuing_delay r < 100.0))
+    run.Engine.events
+
+let test_engine_flow_level_slower_on_average () =
+  let events = workload ~n:8 ~m:6 () in
+  let fifo = Engine.run ~net:(loaded_net ()) ~events ~seed:5 Policy.Fifo in
+  let fl =
+    Engine.run ~net:(loaded_net ()) ~events ~seed:5
+      (Policy.Flow_level Policy.Round_robin)
+  in
+  let avg (r : Engine.run_result) =
+    Descriptive.mean (Array.map Engine.ect r.Engine.events)
+  in
+  Alcotest.(check bool) "event-level no slower" true (avg fifo <= avg fl)
+
+let test_engine_invalid_policy () =
+  Alcotest.check_raises "alpha 0" (Invalid_argument "Engine.run: alpha must be >= 1")
+    (fun () ->
+      ignore (Engine.run ~net:(loaded_net ()) ~events:(workload ()) (Policy.Lmtf { alpha = 0 })))
+
+let test_engine_plan_accounting () =
+  let fifo = run_policy Policy.Fifo in
+  let lmtf = run_policy (Policy.Lmtf { alpha = 2 }) in
+  Alcotest.(check bool) "lmtf pays more planning" true
+    (lmtf.Engine.total_plan_units > fifo.Engine.total_plan_units);
+  Alcotest.(check (float 1e-9)) "plan time = units x cost"
+    (Exec_model.plan_time Exec_model.default ~work_units:fifo.Engine.total_plan_units)
+    fifo.Engine.total_plan_time_s
+
+let test_engine_total_cost_matches_events () =
+  let run = run_policy (Policy.Lmtf { alpha = 2 }) in
+  let sum = Array.fold_left (fun a (r : Engine.event_result) -> a +. r.Engine.cost_mbit) 0.0 run.Engine.events in
+  Alcotest.(check (float 1e-6)) "total" sum run.Engine.total_cost_mbit
+
+let test_engine_churn_expires_and_refills () =
+  let net = loaded_net () in
+  let maker_rng = Prng.create 77 in
+  let churn =
+    {
+      Engine.make_flow =
+        (fun ~id ->
+          (Yahoo_trace.generate ~first_id:id maker_rng ~host_count:16 ~n:1).(0));
+      target_utilization = 0.2;
+      max_placements_per_round = 50;
+      first_id = 50_000;
+    }
+  in
+  let events = workload ~n:6 () in
+  let run = Engine.run ~net ~events ~seed:5 ~churn Policy.Fifo in
+  Alcotest.(check int) "completes" 6 (Array.length run.Engine.events);
+  (match Net_state.invariants_ok net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "utilization maintained" true
+    (run.Engine.final_fabric_utilization >= 0.0)
+
+let test_engine_plmtf_co_schedules () =
+  (* Many small events on a lightly loaded network: P-LMTF must manage
+     to co-schedule at least one event. *)
+  let events = workload ~n:10 ~m:3 () in
+  let run = Engine.run ~net:(loaded_net ()) ~events ~seed:5 (Policy.Plmtf { alpha = 4 }) in
+  let co =
+    Array.fold_left
+      (fun acc (r : Engine.event_result) -> if r.Engine.co_scheduled then acc + 1 else acc)
+      0 run.Engine.events
+  in
+  Alcotest.(check bool) "co-scheduling happens" true (co > 0);
+  Alcotest.(check bool) "fewer rounds than events" true (run.Engine.rounds < 10)
+
+let test_engine_flow_level_orders_differ () =
+  let events = workload ~n:4 ~m:4 ~arrival:(fun i -> float_of_int i *. 0.001) () in
+  let rr = Engine.run ~net:(loaded_net ()) ~events ~seed:5 (Policy.Flow_level Policy.Round_robin) in
+  let ba = Engine.run ~net:(loaded_net ()) ~events ~seed:5 (Policy.Flow_level Policy.By_arrival) in
+  (* By-arrival groups each event's flows, so the first event finishes
+     earlier than under round-robin interleaving. *)
+  let first_ect (r : Engine.run_result) = Engine.ect r.Engine.events.(0) in
+  Alcotest.(check bool) "grouping helps the first event" true
+    (first_ect ba <= first_ect rr)
+
+let test_engine_round_log () =
+  let run = run_policy Policy.Fifo in
+  Alcotest.(check int) "one entry per round" run.Engine.rounds
+    (List.length run.Engine.rounds_log);
+  let all_executed =
+    List.concat_map (fun ri -> ri.Engine.executed) run.Engine.rounds_log
+  in
+  Alcotest.(check int) "every event logged once" 6
+    (List.length (List.sort_uniq compare all_executed));
+  List.iter
+    (fun (ri : Engine.round_info) ->
+      Alcotest.(check bool) "utilization in range" true
+        (ri.Engine.fabric_utilization >= 0.0
+        && ri.Engine.fabric_utilization <= 1.0);
+      Alcotest.(check bool) "units non-negative" true (ri.Engine.round_units >= 0))
+    run.Engine.rounds_log;
+  (* Round starts are chronological. *)
+  let starts = List.map (fun ri -> ri.Engine.round_start_s) run.Engine.rounds_log in
+  Alcotest.(check bool) "chronological" true
+    (List.sort compare starts = starts)
+
+let test_engine_round_log_plmtf_batches () =
+  let events = workload ~n:10 ~m:3 () in
+  let run = Engine.run ~net:(loaded_net ()) ~events ~seed:5 (Policy.Plmtf { alpha = 4 }) in
+  let co_total =
+    List.fold_left (fun a ri -> a + ri.Engine.co_count) 0 run.Engine.rounds_log
+  in
+  let co_results =
+    Array.fold_left
+      (fun a (r : Engine.event_result) -> if r.Engine.co_scheduled then a + 1 else a)
+      0 run.Engine.events
+  in
+  Alcotest.(check int) "log and results agree on co-scheduling" co_results co_total
+
+let test_engine_flow_level_empty_log () =
+  let run = run_policy (Policy.Flow_level Policy.Round_robin) in
+  Alcotest.(check int) "no event-level rounds" 0 (List.length run.Engine.rounds_log)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_metrics_summary () =
+  let run = run_policy Policy.Fifo in
+  let s = Metrics.of_run run in
+  Alcotest.(check int) "events" 6 s.Metrics.n_events;
+  Alcotest.(check bool) "avg <= tail" true (s.Metrics.avg_ect_s <= s.Metrics.tail_ect_s);
+  Alcotest.(check bool) "p95 <= tail" true (s.Metrics.p95_ect_s <= s.Metrics.tail_ect_s);
+  Alcotest.(check bool) "queuing <= ect" true (s.Metrics.avg_queuing_s <= s.Metrics.avg_ect_s);
+  Alcotest.(check string) "policy name" "fifo" s.Metrics.policy_name;
+  Alcotest.(check bool) "makespan >= tail" true (s.Metrics.makespan_s >= s.Metrics.tail_ect_s -. 1e-9)
+
+let test_metrics_arrays () =
+  let run = run_policy Policy.Fifo in
+  Alcotest.(check int) "ects" 6 (Array.length (Metrics.ects run));
+  Alcotest.(check int) "delays" 6 (Array.length (Metrics.queuing_delays run))
+
+let test_metrics_reduction () =
+  Alcotest.(check (float 1e-9)) "reduction" 0.5 (Metrics.reduction ~baseline:10.0 5.0);
+  Alcotest.(check (float 1e-9)) "speedup" 2.0 (Metrics.speedup ~baseline:10.0 5.0)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let test_metrics_comparison_renders () =
+  let fifo = Metrics.of_run (run_policy Policy.Fifo) in
+  let lmtf = Metrics.of_run (run_policy (Policy.Lmtf { alpha = 2 })) in
+  let out = Format.asprintf "%a" (fun ppf -> Metrics.pp_comparison ppf ~baseline:fifo) [ lmtf ] in
+  Alcotest.(check bool) "mentions policy" true (contains ~needle:"lmtf" out)
+
+let suite =
+  [
+    ("exec plan time", `Quick, test_exec_plan_time);
+    ("exec execution time", `Quick, test_exec_execution_time);
+    ("exec parallelism", `Quick, test_exec_parallelism_cap);
+    ("exec validation", `Quick, test_exec_validation);
+    ("policy names", `Quick, test_policy_names);
+    ("policy validate", `Quick, test_policy_validate);
+    ("engine completes all", `Quick, test_engine_completes_all);
+    ("engine sorted results", `Quick, test_engine_results_sorted_by_id);
+    ("engine fifo order", `Quick, test_engine_fifo_order);
+    ("engine deterministic", `Quick, test_engine_deterministic);
+    ("engine seed variation", `Quick, test_engine_seed_changes_lmtf);
+    ("engine ect accessors", `Quick, test_engine_ect_accessors);
+    ("engine sparse arrivals", `Quick, test_engine_poisson_arrivals_respected);
+    ("engine flow-level slower", `Quick, test_engine_flow_level_slower_on_average);
+    ("engine invalid policy", `Quick, test_engine_invalid_policy);
+    ("engine plan accounting", `Quick, test_engine_plan_accounting);
+    ("engine total cost", `Quick, test_engine_total_cost_matches_events);
+    ("engine churn", `Quick, test_engine_churn_expires_and_refills);
+    ("engine plmtf co-schedules", `Quick, test_engine_plmtf_co_schedules);
+    ("engine flow order variants", `Quick, test_engine_flow_level_orders_differ);
+    ("engine round log", `Quick, test_engine_round_log);
+    ("engine round log plmtf", `Quick, test_engine_round_log_plmtf_batches);
+    ("engine flow-level log", `Quick, test_engine_flow_level_empty_log);
+    ("metrics summary", `Quick, test_metrics_summary);
+    ("metrics arrays", `Quick, test_metrics_arrays);
+    ("metrics reduction", `Quick, test_metrics_reduction);
+    ("metrics comparison", `Quick, test_metrics_comparison_renders);
+  ]

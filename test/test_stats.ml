@@ -1,0 +1,372 @@
+(* nu_stats: PRNG, distributions, descriptive statistics, CDF. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_approx msg tolerance expected actual =
+  Alcotest.(check (float tolerance)) msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+
+let test_prng_determinism () =
+  let a = Prng.create 123 and b = Prng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_prng_copy_independent () =
+  let a = Prng.create 7 in
+  let b = Prng.copy a in
+  let va = Prng.bits64 a in
+  let vb = Prng.bits64 b in
+  Alcotest.(check int64) "copy starts at same state" va vb;
+  ignore (Prng.bits64 a);
+  let a3 = Prng.bits64 a in
+  let b2 = Prng.bits64 b in
+  Alcotest.(check bool) "streams diverge after different draws" true (a3 <> b2)
+
+let test_prng_split_independent () =
+  let parent = Prng.create 7 in
+  let child = Prng.split parent in
+  let xs = List.init 50 (fun _ -> Prng.bits64 parent) in
+  let ys = List.init 50 (fun _ -> Prng.bits64 child) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let test_prng_int_bounds_invalid () =
+  let rng = Prng.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_prng_int_in () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 500 do
+    let v = Prng.int_in rng 10 20 in
+    Alcotest.(check bool) "in range" true (v >= 10 && v <= 20)
+  done
+
+let test_prng_int_in_covers_endpoints () =
+  let rng = Prng.create 5 in
+  let seen = Array.make 3 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int_in rng 0 2) <- true
+  done;
+  Alcotest.(check bool) "all values reached" true (Array.for_all Fun.id seen)
+
+let test_prng_unit_float () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 500 do
+    let v = Prng.unit_float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_prng_float_in () =
+  let rng = Prng.create 11 in
+  for _ = 1 to 200 do
+    let v = Prng.float_in rng (-2.0) 3.0 in
+    Alcotest.(check bool) "in range" true (v >= -2.0 && v < 3.0)
+  done
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 3 in
+  let a = Array.init 30 Fun.id in
+  let b = Array.copy a in
+  Prng.shuffle rng b;
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" a sorted
+
+let test_prng_sample_without_replacement () =
+  let rng = Prng.create 9 in
+  for _ = 1 to 50 do
+    let picks = Prng.sample_without_replacement rng 5 20 in
+    Alcotest.(check int) "count" 5 (List.length picks);
+    Alcotest.(check int) "distinct" 5
+      (List.length (List.sort_uniq compare picks));
+    List.iter
+      (fun p -> Alcotest.(check bool) "in range" true (p >= 0 && p < 20))
+      picks
+  done
+
+let test_prng_sample_all_when_k_ge_n () =
+  let rng = Prng.create 9 in
+  let picks = Prng.sample_without_replacement rng 10 4 in
+  Alcotest.(check (list int)) "whole range" [ 0; 1; 2; 3 ]
+    (List.sort compare picks)
+
+let test_prng_choose () =
+  let rng = Prng.create 2 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 50 do
+    let v = Prng.choose rng arr in
+    Alcotest.(check bool) "member" true (Array.exists (( = ) v) arr)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.choose: empty array")
+    (fun () -> ignore (Prng.choose rng [||]))
+
+let prop_int_within_bound =
+  QCheck.Test.make ~name:"prng int stays within bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+(* ------------------------------------------------------------------ *)
+(* Dist                                                                *)
+
+let mean_of n f =
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. f ()
+  done;
+  !acc /. float_of_int n
+
+let test_exponential_mean () =
+  let rng = Prng.create 4 in
+  let m = mean_of 20_000 (fun () -> Dist.exponential rng ~rate:2.0) in
+  check_approx "mean 1/rate" 0.02 0.5 m
+
+let test_exponential_positive () =
+  let rng = Prng.create 4 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Dist.exponential rng ~rate:0.5 > 0.0)
+  done
+
+let test_exponential_invalid () =
+  let rng = Prng.create 4 in
+  Alcotest.check_raises "rate 0"
+    (Invalid_argument "Dist.exponential: rate must be positive") (fun () ->
+      ignore (Dist.exponential rng ~rate:0.0))
+
+let test_pareto_min () =
+  let rng = Prng.create 6 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "above scale" true
+      (Dist.pareto rng ~shape:1.5 ~scale:3.0 >= 3.0)
+  done
+
+let test_bounded_pareto_range () =
+  let rng = Prng.create 8 in
+  for _ = 1 to 2000 do
+    let v = Dist.bounded_pareto rng ~shape:1.1 ~lo:1.0 ~hi:400.0 in
+    Alcotest.(check bool) "in bounds" true (v >= 1.0 && v <= 400.0 +. 1e-9)
+  done
+
+let test_bounded_pareto_skew () =
+  (* Heavy tail: the median must sit far below the midpoint. *)
+  let rng = Prng.create 8 in
+  let samples = Array.init 5000 (fun _ ->
+      Dist.bounded_pareto rng ~shape:1.1 ~lo:1.0 ~hi:400.0) in
+  let median = Descriptive.median samples in
+  Alcotest.(check bool) "median below 5" true (median < 5.0)
+
+let test_lognormal_positive_median () =
+  let rng = Prng.create 10 in
+  let samples = Array.init 20_000 (fun _ -> Dist.lognormal rng ~mu:(log 30.0) ~sigma:1.0) in
+  Array.iter (fun v -> assert (v > 0.0)) samples;
+  let median = Descriptive.median samples in
+  check_approx "median e^mu" 2.0 30.0 median
+
+let test_normal_moments () =
+  let rng = Prng.create 12 in
+  let samples = Array.init 30_000 (fun _ -> Dist.normal rng ~mu:5.0 ~sigma:2.0) in
+  check_approx "mean" 0.05 5.0 (Descriptive.mean samples);
+  check_approx "stddev" 0.05 2.0 (Descriptive.stddev samples)
+
+let test_zipf_range_and_skew () =
+  let rng = Prng.create 14 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 5000 do
+    let v = Dist.zipf rng ~n:10 ~s:1.2 in
+    Alcotest.(check bool) "in [1,10]" true (v >= 1 && v <= 10);
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most frequent" true
+    (counts.(1) > counts.(2) && counts.(2) > counts.(5))
+
+let test_zipf_s_zero_uniformish () =
+  let rng = Prng.create 14 in
+  for _ = 1 to 200 do
+    let v = Dist.zipf rng ~n:5 ~s:0.0 in
+    Alcotest.(check bool) "in [1,5]" true (v >= 1 && v <= 5)
+  done
+
+let test_empirical_samples_range () =
+  let e = Dist.empirical_of_samples [| 3.0; 1.0; 2.0 |] in
+  let rng = Prng.create 16 in
+  for _ = 1 to 500 do
+    let v = Dist.empirical_draw e rng in
+    Alcotest.(check bool) "within observed range" true (v >= 1.0 && v <= 3.0)
+  done
+
+let test_empirical_cdf_validation () =
+  Alcotest.check_raises "must end at 1"
+    (Invalid_argument "Dist.empirical_of_cdf: CDF must end at 1.0") (fun () ->
+      ignore (Dist.empirical_of_cdf [| (1.0, 0.5) |]));
+  Alcotest.check_raises "sorted"
+    (Invalid_argument "Dist.empirical_of_cdf: probabilities must be sorted")
+    (fun () -> ignore (Dist.empirical_of_cdf [| (1.0, 0.8); (2.0, 0.2) |]))
+
+let test_empirical_mean () =
+  let e = Dist.empirical_of_cdf [| (10.0, 0.5); (20.0, 1.0) |] in
+  check_float "mass-weighted mean" 15.0 (Dist.empirical_mean e)
+
+(* ------------------------------------------------------------------ *)
+(* Descriptive                                                         *)
+
+let test_mean_total () =
+  check_float "mean" 2.5 (Descriptive.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "total" 10.0 (Descriptive.total [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_empty_raises () =
+  Alcotest.check_raises "mean" (Invalid_argument "Descriptive.mean: empty")
+    (fun () -> ignore (Descriptive.mean [||]))
+
+let test_percentiles () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "median interpolates" 2.5 (Descriptive.median xs);
+  check_float "p0 = min" 1.0 (Descriptive.percentile xs 0.0);
+  check_float "p100 = max" 4.0 (Descriptive.percentile xs 100.0);
+  check_float "p25" 1.75 (Descriptive.percentile xs 25.0)
+
+let test_percentile_unsorted_input () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  check_float "sorts internally" 2.5 (Descriptive.median xs);
+  Alcotest.(check (float 0.0)) "input untouched" 4.0 xs.(0)
+
+let test_variance_stddev () =
+  let xs = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check_float "variance" 4.0 (Descriptive.variance xs);
+  check_float "stddev" 2.0 (Descriptive.stddev xs)
+
+let test_normalize_by_max () =
+  let n = Descriptive.normalize_by_max [| 2.0; 8.0; 4.0 |] in
+  Alcotest.(check (array (float 1e-9))) "normalised" [| 0.25; 1.0; 0.5 |] n
+
+let test_reduction_speedup () =
+  check_float "reduction" 0.75 (Descriptive.reduction_vs ~baseline:4.0 1.0);
+  check_float "speedup" 4.0 (Descriptive.speedup_vs ~baseline:4.0 1.0)
+
+let test_geometric_mean () =
+  check_float "gm" 4.0 (Descriptive.geometric_mean [| 2.0; 8.0 |]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Descriptive.geometric_mean: non-positive sample")
+    (fun () -> ignore (Descriptive.geometric_mean [| 1.0; 0.0 |]))
+
+let test_summarize () =
+  let s = Descriptive.summarize [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check int) "count" 3 s.Descriptive.count;
+  check_float "mean" 2.0 s.Descriptive.mean;
+  check_float "min" 1.0 s.Descriptive.min;
+  check_float "max" 3.0 s.Descriptive.max
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(
+      pair
+        (array_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+        (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (xs, (p1, p2)) ->
+      let lo = min p1 p2 and hi = max p1 p2 in
+      Descriptive.percentile xs lo <= Descriptive.percentile xs hi +. 1e-9)
+
+let prop_mean_between_min_max =
+  QCheck.Test.make ~name:"mean lies within [min,max]" ~count:200
+    QCheck.(array_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let m = Descriptive.mean xs in
+      m >= Descriptive.min_value xs -. 1e-6
+      && m <= Descriptive.max_value xs +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Cdf                                                                 *)
+
+let test_cdf_eval () =
+  let c = Cdf.of_samples [| 1.0; 2.0; 2.0; 4.0 |] in
+  check_float "below min" 0.0 (Cdf.eval c 0.5);
+  check_float "at 1" 0.25 (Cdf.eval c 1.0);
+  check_float "at 2" 0.75 (Cdf.eval c 2.0);
+  check_float "at max" 1.0 (Cdf.eval c 4.0);
+  check_float "above max" 1.0 (Cdf.eval c 100.0)
+
+let test_cdf_inverse () =
+  let c = Cdf.of_samples [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "q25" 1.0 (Cdf.inverse c 0.25);
+  check_float "q50" 2.0 (Cdf.inverse c 0.5);
+  check_float "q100" 4.0 (Cdf.inverse c 1.0)
+
+let test_cdf_points_dedup () =
+  let c = Cdf.of_samples [| 2.0; 2.0; 1.0 |] in
+  let pts = Cdf.points c in
+  Alcotest.(check int) "two distinct values" 2 (Array.length pts);
+  let v, p = pts.(1) in
+  check_float "last value" 2.0 v;
+  check_float "last prob" 1.0 p
+
+let test_cdf_size () =
+  Alcotest.(check int) "size" 3 (Cdf.size (Cdf.of_samples [| 1.; 2.; 3. |]))
+
+let prop_cdf_eval_monotone =
+  QCheck.Test.make ~name:"ecdf is monotone" ~count:200
+    QCheck.(
+      pair
+        (array_of_size (Gen.int_range 1 40) (float_range (-50.) 50.))
+        (pair (float_range (-60.) 60.) (float_range (-60.) 60.)))
+    (fun (xs, (x1, x2)) ->
+      let c = Cdf.of_samples xs in
+      let lo = min x1 x2 and hi = max x1 x2 in
+      Cdf.eval c lo <= Cdf.eval c hi)
+
+let suite =
+  [
+    ("prng determinism", `Quick, test_prng_determinism);
+    ("prng seed sensitivity", `Quick, test_prng_seed_sensitivity);
+    ("prng copy", `Quick, test_prng_copy_independent);
+    ("prng split", `Quick, test_prng_split_independent);
+    ("prng int invalid", `Quick, test_prng_int_bounds_invalid);
+    ("prng int_in range", `Quick, test_prng_int_in);
+    ("prng int_in endpoints", `Quick, test_prng_int_in_covers_endpoints);
+    ("prng unit_float", `Quick, test_prng_unit_float);
+    ("prng float_in", `Quick, test_prng_float_in);
+    ("prng shuffle", `Quick, test_prng_shuffle_permutation);
+    ("prng sampling", `Quick, test_prng_sample_without_replacement);
+    ("prng sampling k>=n", `Quick, test_prng_sample_all_when_k_ge_n);
+    ("prng choose", `Quick, test_prng_choose);
+    QCheck_alcotest.to_alcotest prop_int_within_bound;
+    ("exponential mean", `Slow, test_exponential_mean);
+    ("exponential positive", `Quick, test_exponential_positive);
+    ("exponential invalid", `Quick, test_exponential_invalid);
+    ("pareto min", `Quick, test_pareto_min);
+    ("bounded pareto range", `Quick, test_bounded_pareto_range);
+    ("bounded pareto skew", `Quick, test_bounded_pareto_skew);
+    ("lognormal median", `Slow, test_lognormal_positive_median);
+    ("normal moments", `Slow, test_normal_moments);
+    ("zipf", `Quick, test_zipf_range_and_skew);
+    ("zipf s=0", `Quick, test_zipf_s_zero_uniformish);
+    ("empirical samples", `Quick, test_empirical_samples_range);
+    ("empirical cdf validation", `Quick, test_empirical_cdf_validation);
+    ("empirical mean", `Quick, test_empirical_mean);
+    ("mean/total", `Quick, test_mean_total);
+    ("empty raises", `Quick, test_empty_raises);
+    ("percentiles", `Quick, test_percentiles);
+    ("percentile input untouched", `Quick, test_percentile_unsorted_input);
+    ("variance", `Quick, test_variance_stddev);
+    ("normalize", `Quick, test_normalize_by_max);
+    ("reduction/speedup", `Quick, test_reduction_speedup);
+    ("geometric mean", `Quick, test_geometric_mean);
+    ("summarize", `Quick, test_summarize);
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_mean_between_min_max;
+    ("cdf eval", `Quick, test_cdf_eval);
+    ("cdf inverse", `Quick, test_cdf_inverse);
+    ("cdf points dedup", `Quick, test_cdf_points_dedup);
+    ("cdf size", `Quick, test_cdf_size);
+    QCheck_alcotest.to_alcotest prop_cdf_eval_monotone;
+  ]

@@ -1,0 +1,265 @@
+(* nu_topo: Fat-Tree and leaf-spine fabrics, topology interface. *)
+
+let ft4 () = Fat_tree.create ~k:4 ()
+let ft8 () = Fat_tree.create ~k:8 ()
+
+let test_fat_tree_counts () =
+  let t = ft4 () in
+  Alcotest.(check int) "hosts k=4" 16 (Fat_tree.host_count t);
+  Alcotest.(check int) "switches k=4" 20 (Fat_tree.switch_count t);
+  let t8 = ft8 () in
+  Alcotest.(check int) "hosts k=8" 128 (Fat_tree.host_count t8);
+  Alcotest.(check int) "switches k=8" 80 (Fat_tree.switch_count t8);
+  (* 5k^2/4 and k^3/4 from the paper. *)
+  Alcotest.(check int) "5k^2/4" (5 * 8 * 8 / 4) (Fat_tree.switch_count t8);
+  Alcotest.(check int) "k^3/4" (8 * 8 * 8 / 4) (Fat_tree.host_count t8)
+
+let test_fat_tree_edge_count () =
+  (* k=4: host links 16, edge-agg 4 per pod x 4 pods, agg-core 2 per agg x 8
+     aggs; each link is two directed edges. *)
+  let t = ft4 () in
+  Alcotest.(check int) "directed edges" ((16 + 16 + 16) * 2)
+    (Graph.edge_count (Fat_tree.graph t))
+
+let test_fat_tree_invalid_k () =
+  Alcotest.check_raises "odd k"
+    (Invalid_argument "Fat_tree.create: k must be a positive even integer")
+    (fun () -> ignore (Fat_tree.create ~k:3 ()));
+  Alcotest.check_raises "zero k"
+    (Invalid_argument "Fat_tree.create: k must be a positive even integer")
+    (fun () -> ignore (Fat_tree.create ~k:0 ()))
+
+let test_fat_tree_kinds () =
+  let t = ft4 () in
+  Alcotest.(check bool) "core" true (Fat_tree.kind t 0 = Fat_tree.Core);
+  Alcotest.(check bool) "agg pod0" true
+    (Fat_tree.kind t (Fat_tree.aggregation t ~pod:0 0) = Fat_tree.Aggregation 0);
+  Alcotest.(check bool) "edge pod3" true
+    (Fat_tree.kind t (Fat_tree.edge t ~pod:3 1) = Fat_tree.Edge 3);
+  Alcotest.(check bool) "host" true
+    (Fat_tree.kind t (Fat_tree.host t 5) = Fat_tree.Host 5)
+
+let test_fat_tree_host_index_roundtrip () =
+  let t = ft4 () in
+  for i = 0 to Fat_tree.host_count t - 1 do
+    Alcotest.(check int) "roundtrip" i (Fat_tree.host_index t (Fat_tree.host t i))
+  done;
+  Alcotest.check_raises "not a host"
+    (Invalid_argument "Fat_tree.host_index: not a host") (fun () ->
+      ignore (Fat_tree.host_index t 0))
+
+let test_fat_tree_pod_of_host () =
+  let t = ft4 () in
+  (* k=4: 4 hosts per pod (2 edge switches x 2 hosts). *)
+  Alcotest.(check int) "host 0 pod" 0 (Fat_tree.pod_of_host t (Fat_tree.host t 0));
+  Alcotest.(check int) "host 4 pod" 1 (Fat_tree.pod_of_host t (Fat_tree.host t 4));
+  Alcotest.(check int) "host 15 pod" 3 (Fat_tree.pod_of_host t (Fat_tree.host t 15))
+
+let test_fat_tree_ecmp_same_edge () =
+  let t = ft4 () in
+  (* hosts 0 and 1 share edge switch 0 of pod 0. *)
+  let paths = Fat_tree.ecmp_paths t ~src:(Fat_tree.host t 0) ~dst:(Fat_tree.host t 1) in
+  Alcotest.(check int) "single path" 1 (List.length paths);
+  Alcotest.(check int) "2 hops" 2 (Path.hops (List.hd paths))
+
+let test_fat_tree_ecmp_same_pod () =
+  let t = ft4 () in
+  (* hosts 0 and 2 are in pod 0 under different edge switches. *)
+  let paths = Fat_tree.ecmp_paths t ~src:(Fat_tree.host t 0) ~dst:(Fat_tree.host t 2) in
+  Alcotest.(check int) "k/2 paths" 2 (List.length paths);
+  List.iter (fun p -> Alcotest.(check int) "4 hops" 4 (Path.hops p)) paths
+
+let test_fat_tree_ecmp_inter_pod () =
+  let t = ft4 () in
+  let src = Fat_tree.host t 0 and dst = Fat_tree.host t 15 in
+  let paths = Fat_tree.ecmp_paths t ~src ~dst in
+  Alcotest.(check int) "(k/2)^2 paths" 4 (List.length paths);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "6 hops" 6 (Path.hops p);
+      Alcotest.(check int) "starts at src" src (Path.src p);
+      Alcotest.(check int) "ends at dst" dst (Path.dst p))
+    paths;
+  let distinct = List.sort_uniq compare (List.map Path.edge_ids paths) in
+  Alcotest.(check int) "all distinct" 4 (List.length distinct)
+
+let test_fat_tree_ecmp_self () =
+  let t = ft4 () in
+  Alcotest.(check (list pass)) "no self paths" []
+    (Fat_tree.ecmp_paths t ~src:(Fat_tree.host t 0) ~dst:(Fat_tree.host t 0))
+
+let test_fat_tree_ecmp_not_host () =
+  let t = ft4 () in
+  Alcotest.check_raises "switch id rejected"
+    (Invalid_argument "Fat_tree.host_index: not a host") (fun () ->
+      ignore (Fat_tree.ecmp_paths t ~src:0 ~dst:(Fat_tree.host t 1)))
+
+let test_fat_tree_topology_valid () =
+  let topo = Fat_tree.to_topology (ft4 ()) in
+  (match Topology.validate topo with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "hosts" 16 (Topology.host_count topo);
+  Alcotest.(check int) "switches" 20 (Topology.switch_count topo);
+  Alcotest.(check int) "diameter" 6 topo.Topology.diameter
+
+let test_fat_tree_link_capacity () =
+  let t = Fat_tree.create ~k:4 ~link_capacity:250.0 () in
+  Alcotest.(check (float 0.0)) "capacity" 250.0 (Fat_tree.link_capacity t);
+  Graph.iter_edges (Fat_tree.graph t) (fun e ->
+      Alcotest.(check (float 0.0)) "uniform" 250.0 e.Graph.capacity)
+
+let test_fat_tree_edge_switch_of_host () =
+  let t = ft4 () in
+  let h0 = Fat_tree.host t 0 in
+  let sw = Fat_tree.edge_switch_of_host t h0 in
+  Alcotest.(check bool) "edge kind" true
+    (match Fat_tree.kind t sw with Fat_tree.Edge _ -> true | _ -> false);
+  Alcotest.(check bool) "adjacent" true
+    (Graph.find_edge (Fat_tree.graph t) ~src:h0 ~dst:sw <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Leaf-spine                                                          *)
+
+let test_leaf_spine_counts () =
+  let t = Leaf_spine.create ~leaves:4 ~spines:2 ~hosts_per_leaf:3 () in
+  Alcotest.(check int) "hosts" 12 (Leaf_spine.host_count t);
+  Alcotest.(check int) "leaves" 4 (Leaf_spine.leaves t);
+  Alcotest.(check int) "spines" 2 (Leaf_spine.spines t);
+  (* links: 4x2 leaf-spine + 12 host links, two directed edges each. *)
+  Alcotest.(check int) "edges" ((8 + 12) * 2)
+    (Graph.edge_count (Leaf_spine.graph t))
+
+let test_leaf_spine_paths () =
+  let t = Leaf_spine.create ~leaves:4 ~spines:3 ~hosts_per_leaf:2 () in
+  let intra =
+    Leaf_spine.paths t ~src:(Leaf_spine.host t 0) ~dst:(Leaf_spine.host t 1)
+  in
+  Alcotest.(check int) "intra-leaf single" 1 (List.length intra);
+  Alcotest.(check int) "intra hops" 2 (Path.hops (List.hd intra));
+  let inter =
+    Leaf_spine.paths t ~src:(Leaf_spine.host t 0) ~dst:(Leaf_spine.host t 7)
+  in
+  Alcotest.(check int) "one per spine" 3 (List.length inter);
+  List.iter (fun p -> Alcotest.(check int) "4 hops" 4 (Path.hops p)) inter
+
+let test_leaf_spine_topology_valid () =
+  let topo = Leaf_spine.to_topology (Leaf_spine.create ~leaves:3 ~spines:2 ~hosts_per_leaf:2 ()) in
+  match Topology.validate topo with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_leaf_spine_invalid () =
+  Alcotest.check_raises "bad counts"
+    (Invalid_argument "Leaf_spine.create: counts must be positive") (fun () ->
+      ignore (Leaf_spine.create ~leaves:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Jellyfish                                                           *)
+
+let small_jf () =
+  Jellyfish.create ~switches:8 ~ports_per_switch:5 ~inter_switch_ports:3
+    ~candidate_paths_per_pair:4 ~seed:7 ()
+
+let test_jellyfish_counts () =
+  let t = small_jf () in
+  Alcotest.(check int) "switches" 8 (Jellyfish.switch_count t);
+  Alcotest.(check int) "hosts" 16 (Jellyfish.host_count t);
+  (* 8x3/2 switch links + 16 host links, two directed edges each. *)
+  Alcotest.(check int) "edges" ((12 + 16) * 2) (Graph.edge_count (Jellyfish.graph t))
+
+let test_jellyfish_regular () =
+  let t = small_jf () in
+  Alcotest.(check bool) "r-regular" true (Jellyfish.degree_ok t)
+
+let test_jellyfish_deterministic () =
+  let a = small_jf () and b = small_jf () in
+  let sig_of t =
+    Graph.fold_edges (Jellyfish.graph t) ~init:[] ~f:(fun acc e ->
+        (e.Graph.src, e.Graph.dst) :: acc)
+  in
+  Alcotest.(check bool) "same seed same graph" true (sig_of a = sig_of b)
+
+let test_jellyfish_paths () =
+  let t = small_jf () in
+  let src = Jellyfish.host t 0 and dst = Jellyfish.host t 15 in
+  let paths = Jellyfish.paths t ~src ~dst in
+  Alcotest.(check bool) "nonempty, bounded" true
+    (List.length paths >= 1 && List.length paths <= 4);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "src" src (Path.src p);
+      Alcotest.(check int) "dst" dst (Path.dst p))
+    paths;
+  (* Memoised: second call is the same list. *)
+  Alcotest.(check bool) "memoised" true (Jellyfish.paths t ~src ~dst == paths)
+
+let test_jellyfish_topology_valid () =
+  let topo = Jellyfish.to_topology (small_jf ()) in
+  match Topology.validate topo with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_jellyfish_invalid_params () =
+  Alcotest.check_raises "ports" (Invalid_argument "Jellyfish.create: inter_switch_ports")
+    (fun () -> ignore (Jellyfish.create ~ports_per_switch:4 ~inter_switch_ports:4 ~seed:1 ()));
+  Alcotest.check_raises "odd stubs" (Invalid_argument "Jellyfish.create: odd stub count")
+    (fun () ->
+      ignore
+        (Jellyfish.create ~switches:5 ~ports_per_switch:8 ~inter_switch_ports:3
+           ~seed:1 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Topology interface                                                  *)
+
+let test_topology_is_host () =
+  let topo = Fat_tree.to_topology (ft4 ()) in
+  let host0 = topo.Topology.hosts.(0) in
+  Alcotest.(check bool) "host" true (Topology.is_host topo host0);
+  Alcotest.(check bool) "switch" false (Topology.is_host topo 0)
+
+let test_topology_validate_catches_bad_paths () =
+  let base = Fat_tree.to_topology (ft4 ()) in
+  let broken = { base with Topology.candidate_paths = (fun ~src:_ ~dst:_ -> []) } in
+  match Topology.validate broken with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "validation must fail on empty candidate sets"
+
+let test_topology_validate_catches_overlap () =
+  let base = Fat_tree.to_topology (ft4 ()) in
+  (* A node listed as both host and switch must be rejected. *)
+  let bad = { base with Topology.switches = Array.append base.Topology.switches [| base.Topology.hosts.(0) |] } in
+  match Topology.validate bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "validation must fail on overlapping partitions"
+
+let suite =
+  [
+    ("fat-tree counts", `Quick, test_fat_tree_counts);
+    ("fat-tree edge count", `Quick, test_fat_tree_edge_count);
+    ("fat-tree invalid k", `Quick, test_fat_tree_invalid_k);
+    ("fat-tree kinds", `Quick, test_fat_tree_kinds);
+    ("fat-tree host roundtrip", `Quick, test_fat_tree_host_index_roundtrip);
+    ("fat-tree pods", `Quick, test_fat_tree_pod_of_host);
+    ("fat-tree ecmp same edge", `Quick, test_fat_tree_ecmp_same_edge);
+    ("fat-tree ecmp same pod", `Quick, test_fat_tree_ecmp_same_pod);
+    ("fat-tree ecmp inter pod", `Quick, test_fat_tree_ecmp_inter_pod);
+    ("fat-tree ecmp self", `Quick, test_fat_tree_ecmp_self);
+    ("fat-tree ecmp non-host", `Quick, test_fat_tree_ecmp_not_host);
+    ("fat-tree topology valid", `Quick, test_fat_tree_topology_valid);
+    ("fat-tree link capacity", `Quick, test_fat_tree_link_capacity);
+    ("fat-tree edge switch", `Quick, test_fat_tree_edge_switch_of_host);
+    ("leaf-spine counts", `Quick, test_leaf_spine_counts);
+    ("leaf-spine paths", `Quick, test_leaf_spine_paths);
+    ("leaf-spine valid", `Quick, test_leaf_spine_topology_valid);
+    ("leaf-spine invalid", `Quick, test_leaf_spine_invalid);
+    ("jellyfish counts", `Quick, test_jellyfish_counts);
+    ("jellyfish regular", `Quick, test_jellyfish_regular);
+    ("jellyfish deterministic", `Quick, test_jellyfish_deterministic);
+    ("jellyfish paths", `Quick, test_jellyfish_paths);
+    ("jellyfish topology valid", `Slow, test_jellyfish_topology_valid);
+    ("jellyfish invalid", `Quick, test_jellyfish_invalid_params);
+    ("topology is_host", `Quick, test_topology_is_host);
+    ("topology validate bad paths", `Quick, test_topology_validate_catches_bad_paths);
+    ("topology validate overlap", `Quick, test_topology_validate_catches_overlap);
+  ]

@@ -1,0 +1,309 @@
+(* nu_traffic: flow records, IP mapping, trace generators, event specs. *)
+
+(* ------------------------------------------------------------------ *)
+(* Flow_record                                                         *)
+
+let mk ?(id = 0) ?(src = 1) ?(dst = 2) ?(size = 10.0) ?(dur = 2.0) ?(arr = 0.0)
+    () =
+  Flow_record.v ~id ~src ~dst ~size_mbit:size ~duration_s:dur ~arrival_s:arr
+
+let test_record_demand () =
+  let r = mk ~size:10.0 ~dur:2.0 () in
+  Alcotest.(check (float 1e-9)) "demand" 5.0 (Flow_record.demand_mbps r);
+  Alcotest.(check (float 1e-9)) "departure" 2.0 (Flow_record.departure_s r)
+
+let test_record_validation () =
+  Alcotest.check_raises "src=dst" (Invalid_argument "Flow_record.v: src = dst")
+    (fun () -> ignore (mk ~src:3 ~dst:3 ()));
+  Alcotest.check_raises "size" (Invalid_argument "Flow_record.v: size must be positive")
+    (fun () -> ignore (mk ~size:0.0 ()));
+  Alcotest.check_raises "duration"
+    (Invalid_argument "Flow_record.v: duration must be positive") (fun () ->
+      ignore (mk ~dur:(-1.0) ()));
+  Alcotest.check_raises "arrival" (Invalid_argument "Flow_record.v: negative arrival")
+    (fun () -> ignore (mk ~arr:(-0.1) ()));
+  Alcotest.check_raises "endpoint"
+    (Invalid_argument "Flow_record.v: negative endpoint") (fun () ->
+      ignore (mk ~src:(-1) ()))
+
+let test_record_ordering () =
+  let a = mk ~id:1 ~arr:1.0 () and b = mk ~id:2 ~arr:2.0 () in
+  Alcotest.(check bool) "by arrival" true (Flow_record.compare_by_arrival a b < 0);
+  let c = mk ~id:3 ~arr:1.0 () in
+  Alcotest.(check bool) "ties by id" true (Flow_record.compare_by_arrival a c < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Ip_map                                                              *)
+
+let test_ip_parse_roundtrip () =
+  List.iter
+    (fun s ->
+      match Ip_map.ip_of_string s with
+      | Some ip -> Alcotest.(check string) "roundtrip" s (Ip_map.string_of_ip ip)
+      | None -> Alcotest.fail ("parse " ^ s))
+    [ "0.0.0.0"; "10.0.1.17"; "255.255.255.255"; "192.168.13.9" ]
+
+let test_ip_parse_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("reject " ^ s) true (Ip_map.ip_of_string s = None))
+    [ "256.0.0.1"; "1.2.3"; "a.b.c.d"; "1.2.3.4.5"; ""; "-1.2.3.4" ]
+
+let test_ip_host_range () =
+  for i = 0 to 500 do
+    let h = Ip_map.host_of_ip ~host_count:128 (Int32.of_int (i * 7919)) in
+    Alcotest.(check bool) "in range" true (h >= 0 && h < 128)
+  done
+
+let test_ip_host_deterministic () =
+  let ip = Int32.of_int 12345 in
+  Alcotest.(check int) "stable"
+    (Ip_map.host_of_ip ~host_count:64 ip)
+    (Ip_map.host_of_ip ~host_count:64 ip)
+
+let test_ip_pair_distinct () =
+  for i = 0 to 500 do
+    let ip = Int32.of_int (i * 131) in
+    let s, d = Ip_map.host_pair ~host_count:16 ~src_ip:ip ~dst_ip:ip in
+    Alcotest.(check bool) "never equal" true (s <> d)
+  done
+
+let test_ip_spread () =
+  (* The hash must hit a large fraction of hosts over many addresses. *)
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 2000 do
+    Hashtbl.replace seen (Ip_map.host_of_ip ~host_count:128 (Int32.of_int (i * 65537))) ()
+  done;
+  Alcotest.(check bool) "covers most hosts" true (Hashtbl.length seen > 100)
+
+(* ------------------------------------------------------------------ *)
+(* Trace generators                                                    *)
+
+let test_yahoo_shape () =
+  let rng = Prng.create 5 in
+  let flows = Yahoo_trace.generate rng ~host_count:64 ~n:500 in
+  Alcotest.(check int) "count" 500 (Array.length flows);
+  Array.iteri
+    (fun i (f : Flow_record.t) ->
+      Alcotest.(check int) "sequential ids" i f.Flow_record.id;
+      Alcotest.(check bool) "endpoints in range" true
+        (f.src >= 0 && f.src < 64 && f.dst >= 0 && f.dst < 64 && f.src <> f.dst);
+      let d = Flow_record.demand_mbps f in
+      Alcotest.(check bool) "demand in bounds" true (d >= 1.0 && d <= 400.0 +. 1e-6);
+      Alcotest.(check bool) "duration positive" true (f.duration_s > 0.0))
+    flows;
+  let sorted = Array.for_all Fun.id (Array.mapi
+    (fun i (f : Flow_record.t) ->
+      i = 0 || flows.(i - 1).Flow_record.arrival_s <= f.Flow_record.arrival_s)
+    flows) in
+  Alcotest.(check bool) "arrivals nondecreasing" true sorted
+
+let test_yahoo_first_id () =
+  let rng = Prng.create 5 in
+  let flows = Yahoo_trace.generate ~first_id:1000 rng ~host_count:64 ~n:3 in
+  Alcotest.(check (list int)) "offset ids" [ 1000; 1001; 1002 ]
+    (Array.to_list (Array.map (fun (f : Flow_record.t) -> f.Flow_record.id) flows))
+
+let test_yahoo_deterministic () =
+  let a = Yahoo_trace.generate (Prng.create 9) ~host_count:32 ~n:50 in
+  let b = Yahoo_trace.generate (Prng.create 9) ~host_count:32 ~n:50 in
+  Alcotest.(check bool) "same seed same trace" true (a = b)
+
+let test_yahoo_invalid () =
+  Alcotest.check_raises "hosts" (Invalid_argument "Yahoo_trace.generate: host_count")
+    (fun () -> ignore (Yahoo_trace.generate (Prng.create 1) ~host_count:1 ~n:1))
+
+let test_benson_shape () =
+  let rng = Prng.create 6 in
+  let flows = Benson_trace.generate rng ~host_count:64 ~n:500 in
+  Alcotest.(check int) "count" 500 (Array.length flows);
+  let mice =
+    Array.to_list flows
+    |> List.filter (fun f -> Flow_record.demand_mbps f <= 10.0 +. 1e-6)
+  in
+  (* mice fraction 0.8 with generous slack *)
+  Alcotest.(check bool) "mice dominate" true (List.length mice > 300);
+  Array.iter
+    (fun (f : Flow_record.t) ->
+      let d = Flow_record.demand_mbps f in
+      Alcotest.(check bool) "within elephant cap" true (d <= 200.0 +. 1e-6))
+    flows
+
+let test_benson_mixture_params () =
+  let params =
+    { Benson_trace.default_params with Benson_trace.mice_fraction = 0.0 }
+  in
+  let rng = Prng.create 6 in
+  let flows = Benson_trace.generate ~params rng ~host_count:64 ~n:100 in
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool) "all elephants" true
+        (Flow_record.demand_mbps f >= 10.0 -. 1e-6))
+    flows
+
+let test_benson_draw_flow_endpoints () =
+  let rng = Prng.create 7 in
+  let f = Benson_trace.draw_flow rng ~id:42 ~src:3 ~dst:9 ~arrival_s:1.5 in
+  Alcotest.(check int) "id" 42 f.Flow_record.id;
+  Alcotest.(check int) "src" 3 f.Flow_record.src;
+  Alcotest.(check int) "dst" 9 f.Flow_record.dst;
+  Alcotest.(check (float 0.0)) "arrival" 1.5 f.Flow_record.arrival_s
+
+(* ------------------------------------------------------------------ *)
+(* Event_gen                                                           *)
+
+let test_event_gen_counts () =
+  let rng = Prng.create 8 in
+  let specs = Event_gen.generate rng ~host_count:64 ~n_events:20 in
+  Alcotest.(check int) "events" 20 (List.length specs);
+  List.iter
+    (fun (s : Event_gen.spec) ->
+      let n = List.length s.Event_gen.flows in
+      Alcotest.(check bool) "heterogeneous 10-100" true (n >= 10 && n <= 100))
+    specs
+
+let test_event_gen_synchronous () =
+  let rng = Prng.create 8 in
+  let specs =
+    Event_gen.generate ~shape:Event_gen.Synchronous rng ~host_count:64
+      ~n_events:20
+  in
+  List.iter
+    (fun (s : Event_gen.spec) ->
+      let n = List.length s.Event_gen.flows in
+      Alcotest.(check bool) "synchronous 50-60" true (n >= 50 && n <= 60))
+    specs
+
+let test_event_gen_fixed_and_range () =
+  let rng = Prng.create 8 in
+  Alcotest.(check int) "fixed" 7 (Event_gen.flows_per_event (Event_gen.Fixed 7) rng);
+  for _ = 1 to 50 do
+    let v = Event_gen.flows_per_event (Event_gen.Range (3, 5)) rng in
+    Alcotest.(check bool) "range" true (v >= 3 && v <= 5)
+  done;
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Event_gen.flows_per_event: Range") (fun () ->
+      ignore (Event_gen.flows_per_event (Event_gen.Range (5, 3)) rng))
+
+let test_event_gen_batch_arrivals () =
+  let rng = Prng.create 8 in
+  let specs = Event_gen.generate rng ~host_count:64 ~n_events:5 in
+  List.iter
+    (fun (s : Event_gen.spec) ->
+      Alcotest.(check (float 0.0)) "batch at t=0" 0.0 s.Event_gen.arrival_s)
+    specs
+
+let test_event_gen_poisson_arrivals () =
+  let rng = Prng.create 8 in
+  let specs =
+    Event_gen.generate ~arrivals:(Event_gen.Poisson 1.0) rng ~host_count:64
+      ~n_events:10
+  in
+  let arrivals = List.map (fun (s : Event_gen.spec) -> s.Event_gen.arrival_s) specs in
+  Alcotest.(check bool) "nondecreasing" true
+    (List.sort compare arrivals = arrivals);
+  Alcotest.(check bool) "actually advances" true
+    (List.nth arrivals 9 > 0.0)
+
+let test_event_gen_unique_flow_ids () =
+  let rng = Prng.create 8 in
+  let specs = Event_gen.generate ~first_flow_id:500 rng ~host_count:64 ~n_events:10 in
+  let ids =
+    List.concat_map
+      (fun (s : Event_gen.spec) ->
+        List.map (fun (f : Flow_record.t) -> f.Flow_record.id) s.Event_gen.flows)
+      specs
+  in
+  Alcotest.(check int) "unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  Alcotest.(check int) "starts at first_flow_id" 500
+    (List.fold_left min max_int ids)
+
+let test_event_gen_flow_arrival_matches_event () =
+  let rng = Prng.create 8 in
+  let specs =
+    Event_gen.generate ~arrivals:(Event_gen.Poisson 2.0) rng ~host_count:64
+      ~n_events:5
+  in
+  List.iter
+    (fun (s : Event_gen.spec) ->
+      List.iter
+        (fun (f : Flow_record.t) ->
+          Alcotest.(check (float 0.0)) "flow arrival = event arrival"
+            s.Event_gen.arrival_s f.Flow_record.arrival_s)
+        s.Event_gen.flows)
+    specs
+
+let test_event_gen_totals () =
+  let rng = Prng.create 8 in
+  let specs = Event_gen.generate rng ~host_count:64 ~n_events:4 in
+  let by_hand =
+    List.fold_left (fun a (s : Event_gen.spec) -> a + List.length s.Event_gen.flows) 0 specs
+  in
+  Alcotest.(check int) "total flows" by_hand (Event_gen.total_flow_count specs);
+  let first = List.hd specs in
+  Alcotest.(check bool) "demand positive" true
+    (Event_gen.total_demand_mbps first > 0.0)
+
+let prop_event_flows_valid =
+  QCheck.Test.make ~name:"generated event flows are valid records" ~count:50
+    QCheck.(pair small_int (int_range 1 20))
+    (fun (seed, n_events) ->
+      let rng = Prng.create seed in
+      let specs = Event_gen.generate rng ~host_count:32 ~n_events in
+      List.for_all
+        (fun (s : Event_gen.spec) ->
+          List.for_all
+            (fun (f : Flow_record.t) ->
+              f.Flow_record.src <> f.Flow_record.dst
+              && f.Flow_record.src < 32 && f.Flow_record.dst < 32
+              && f.Flow_record.size_mbit > 0.0
+              && f.Flow_record.duration_s > 0.0)
+            s.Event_gen.flows)
+        specs)
+
+let test_pp_smoke () =
+  let r = mk ~id:3 ~src:1 ~dst:2 ~size:10.0 ~dur:2.0 () in
+  let s = Format.asprintf "%a" Flow_record.pp r in
+  Alcotest.(check bool) "mentions id" true (String.length s > 0);
+  let spec = { Event_gen.event_id = 7; arrival_s = 1.5; flows = [ r ] } in
+  let s2 = Format.asprintf "%a" Event_gen.pp_spec spec in
+  Alcotest.(check bool) "spec renders" true (String.length s2 > 0)
+
+let test_dist_uniform_bounds () =
+  let rng = Prng.create 21 in
+  for _ = 1 to 300 do
+    let v = Dist.uniform rng ~lo:2.0 ~hi:5.0 in
+    Alcotest.(check bool) "in range" true (v >= 2.0 && v < 5.0)
+  done
+
+let suite =
+  [
+    ("record demand", `Quick, test_record_demand);
+    ("pp smoke", `Quick, test_pp_smoke);
+    ("dist uniform", `Quick, test_dist_uniform_bounds);
+    ("record validation", `Quick, test_record_validation);
+    ("record ordering", `Quick, test_record_ordering);
+    ("ip parse roundtrip", `Quick, test_ip_parse_roundtrip);
+    ("ip parse invalid", `Quick, test_ip_parse_invalid);
+    ("ip host range", `Quick, test_ip_host_range);
+    ("ip deterministic", `Quick, test_ip_host_deterministic);
+    ("ip pair distinct", `Quick, test_ip_pair_distinct);
+    ("ip spread", `Quick, test_ip_spread);
+    ("yahoo shape", `Quick, test_yahoo_shape);
+    ("yahoo first id", `Quick, test_yahoo_first_id);
+    ("yahoo deterministic", `Quick, test_yahoo_deterministic);
+    ("yahoo invalid", `Quick, test_yahoo_invalid);
+    ("benson shape", `Quick, test_benson_shape);
+    ("benson mixture", `Quick, test_benson_mixture_params);
+    ("benson endpoints", `Quick, test_benson_draw_flow_endpoints);
+    ("event counts", `Quick, test_event_gen_counts);
+    ("event synchronous", `Quick, test_event_gen_synchronous);
+    ("event fixed/range", `Quick, test_event_gen_fixed_and_range);
+    ("event batch", `Quick, test_event_gen_batch_arrivals);
+    ("event poisson", `Quick, test_event_gen_poisson_arrivals);
+    ("event unique ids", `Quick, test_event_gen_unique_flow_ids);
+    ("event flow arrivals", `Quick, test_event_gen_flow_arrival_matches_event);
+    ("event totals", `Quick, test_event_gen_totals);
+    QCheck_alcotest.to_alcotest prop_event_flows_valid;
+  ]
