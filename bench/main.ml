@@ -34,36 +34,51 @@ let run_policy policy =
        ~events policy)
 
 (* ------------------------------------------------------------------ *)
-(* Micro-benchmarks. *)
+(* Micro-benchmarks.
 
-let substrate_tests =
-  let s = Lazy.force scenario in
-  let net = s.Core.Scenario.net in
-  let ft = s.Core.Scenario.fat_tree in
-  let rng = Core.Prng.create 99 in
+   Fixtures are allocated through Test.make_with_resource so the
+   scenario lazy is forced when a benchmark starts, not while this list
+   is being constructed at module load (which would bill fixture setup
+   to startup), and so each test gets its own PRNG rather than sharing
+   stream state with its neighbours. *)
+
+let substrate_tests () =
   [
-    Test.make ~name:"prng-bits64"
-      (Staged.stage (fun () -> ignore (Core.Prng.bits64 rng)));
-    Test.make ~name:"dist-bounded-pareto"
-      (Staged.stage (fun () ->
+    Test.make_with_resource ~name:"prng-bits64" Test.uniq
+      ~allocate:(fun () -> Core.Prng.create 99)
+      ~free:ignore
+      (Staged.stage (fun rng -> ignore (Core.Prng.bits64 rng)));
+    Test.make_with_resource ~name:"dist-bounded-pareto" Test.uniq
+      ~allocate:(fun () -> Core.Prng.create 100)
+      ~free:ignore
+      (Staged.stage (fun rng ->
            ignore (Core.Dist.bounded_pareto rng ~shape:1.1 ~lo:1.0 ~hi:400.0)));
-    Test.make ~name:"fat-tree-ecmp-interpod"
-      (Staged.stage (fun () ->
+    Test.make_with_resource ~name:"fat-tree-ecmp-interpod" Test.uniq
+      ~allocate:(fun () -> (Lazy.force scenario).Core.Scenario.fat_tree)
+      ~free:ignore
+      (Staged.stage (fun ft ->
            ignore
              (Core.Fat_tree.ecmp_paths ft ~src:(Core.Fat_tree.host ft 0)
                 ~dst:(Core.Fat_tree.host ft 127))));
-    Test.make ~name:"net-state-copy"
-      (Staged.stage (fun () -> ignore (Core.Net_state.copy net)));
-    Test.make ~name:"planner-cost-of"
-      (Staged.stage (fun () ->
-           ignore (Core.Planner.cost_of net (Lazy.force bench_event))));
-    Test.make ~name:"planner-plan-revert"
-      (Staged.stage (fun () ->
-           let plan = Core.Planner.plan net (Lazy.force bench_event) in
+    Test.make_with_resource ~name:"net-state-copy" Test.uniq
+      ~allocate:(fun () -> (Lazy.force scenario).Core.Scenario.net)
+      ~free:ignore
+      (Staged.stage (fun net -> ignore (Core.Net_state.copy net)));
+    Test.make_with_resource ~name:"planner-cost-of" Test.uniq
+      ~allocate:(fun () ->
+        ((Lazy.force scenario).Core.Scenario.net, Lazy.force bench_event))
+      ~free:ignore
+      (Staged.stage (fun (net, ev) -> ignore (Core.Planner.cost_of net ev)));
+    Test.make_with_resource ~name:"planner-plan-revert" Test.uniq
+      ~allocate:(fun () ->
+        ((Lazy.force scenario).Core.Scenario.net, Lazy.force bench_event))
+      ~free:ignore
+      (Staged.stage (fun (net, ev) ->
+           let plan = Core.Planner.plan net ev in
            Core.Planner.revert net plan));
   ]
 
-let figure_tests =
+let figure_tests () =
   [
     Test.make ~name:"fig1-probe-50-flows"
       (Staged.stage (fun () ->
@@ -128,7 +143,9 @@ let run_benchmarks tests =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false
       ~kde:(Some 10) ()
   in
+  let counters_before = Core.Obs.Counters.snapshot () in
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"bench" tests) in
+  let counters_after = Core.Obs.Counters.snapshot () in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
   let rows = List.sort compare rows in
@@ -146,11 +163,17 @@ let run_benchmarks tests =
         | None -> "-"
       in
       Printf.printf "%-44s %16s %10s\n" name ns r2)
-    rows
+    rows;
+  (* Work-unit accounting for the whole benchmark pass: how many planner
+     probes, migrations, state copies etc. the measured iterations
+     consumed, next to their ns/run. *)
+  Format.printf "%a@."
+    Core.Obs.Counters.pp_table
+    (Core.Obs.Counters.diff ~before:counters_before ~after:counters_after)
 
 let () =
   print_endline "=== Part 1: Bechamel micro-benchmarks (ns/run) ===";
-  run_benchmarks (substrate_tests @ figure_tests);
+  run_benchmarks (substrate_tests () @ figure_tests ());
   print_newline ();
   print_endline "=== Part 2: full figure regeneration (paper evaluation) ===";
   Nu_expt.Fig2.run ();

@@ -31,44 +31,158 @@ let no_churn_arg =
   let doc = "Keep the background static (no churn)." in
   Arg.(value & flag & info [ "no-churn" ] ~doc)
 
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing shared by summary / report / all.            *)
+
+let trace_arg =
+  let doc =
+    "Record a span trace of the run and write it to $(docv) in Chrome \
+     trace_event format (open in chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let counters_arg =
+  let doc = "Print the observability counter table after the run." in
+  Arg.(value & flag & info [ "counters" ] ~doc)
+
+(* Run [f] under the requested instrumentation: capture spans in memory
+   and export them as a Chrome trace on exit; print the counter delta
+   attributable to [f]. *)
+let with_obs ~trace ~counters f =
+  let before = Obs.Counters.snapshot () in
+  let captured =
+    match trace with
+    | None -> None
+    | Some path ->
+        let sink, events = Obs.Trace.memory () in
+        Obs.Trace.install sink;
+        Some (path, events)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match captured with
+      | Some (path, events) ->
+          Obs.Trace.uninstall ();
+          let evs = events () in
+          Obs.Export.write_chrome path evs;
+          Format.printf "trace: wrote %d span events to %s@."
+            (List.length evs) path
+      | None -> ());
+      if counters then
+        Format.printf "%a@." Obs.Counters.pp_table
+          (Obs.Counters.diff ~before ~after:(Obs.Counters.snapshot ())))
+    f
+
+let policy_arg =
+  let doc =
+    "Policy for the report run: $(b,fifo), $(b,reorder), $(b,lmtf), \
+     $(b,plmtf), $(b,flow-rr) or $(b,flow-arrival)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("fifo", `Fifo);
+             ("reorder", `Reorder);
+             ("lmtf", `Lmtf);
+             ("plmtf", `Plmtf);
+             ("flow-rr", `Flow_rr);
+             ("flow-arrival", `Flow_arrival);
+           ])
+        `Plmtf
+    & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let out_arg =
+  let doc = "Write the JSON report to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
 let summary_cmd =
-  let run seed alpha util n_events no_churn =
-    let scenario = Scenario.prepare ~utilization:util ~seed () in
-    Format.printf "network: %a@." Net_state.pp scenario.Scenario.net;
-    let events = Scenario.events scenario ~n:n_events in
-    let policies =
-      [
-        Policy.Fifo;
-        Policy.Lmtf { alpha };
-        Policy.Plmtf { alpha };
-        Policy.Flow_level Policy.Round_robin;
-      ]
-    in
-    let summaries =
-      List.map
-        (fun policy ->
-          let churn =
-            if no_churn then None
-            else Some (Scenario.churn ~target:util ~seed:(seed + 2) scenario)
-          in
-          Metrics.of_run
-            (Engine.run ?churn ~seed:(seed + 1)
-               ~net:(Net_state.copy scenario.Scenario.net)
-               ~events policy))
-        policies
-    in
-    List.iter (fun s -> Format.printf "%a@." Metrics.pp_summary s) summaries;
-    match summaries with
-    | baseline :: others ->
-        Format.printf "%a@."
-          (fun ppf -> Metrics.pp_comparison ppf ~baseline)
-          others
-    | [] -> ()
+  let run seed alpha util n_events no_churn trace counters =
+    with_obs ~trace ~counters (fun () ->
+        let scenario = Scenario.prepare ~utilization:util ~seed () in
+        Format.printf "network: %a@." Net_state.pp scenario.Scenario.net;
+        let events = Scenario.events scenario ~n:n_events in
+        let policies =
+          [
+            Policy.Fifo;
+            Policy.Lmtf { alpha };
+            Policy.Plmtf { alpha };
+            Policy.Flow_level Policy.Round_robin;
+          ]
+        in
+        let summaries =
+          List.map
+            (fun policy ->
+              let churn =
+                if no_churn then None
+                else Some (Scenario.churn ~target:util ~seed:(seed + 2) scenario)
+              in
+              Metrics.of_run
+                (Engine.run ?churn ~seed:(seed + 1)
+                   ~net:(Net_state.copy scenario.Scenario.net)
+                   ~events policy))
+            policies
+        in
+        List.iter (fun s -> Format.printf "%a@." Metrics.pp_summary s) summaries;
+        match summaries with
+        | baseline :: others ->
+            Format.printf "%a@."
+              (fun ppf -> Metrics.pp_comparison ppf ~baseline)
+              others
+        | [] -> ())
   in
   Cmd.v
     (Cmd.info "summary"
        ~doc:"One-shot policy comparison with configurable workload")
-    Term.(const run $ seed_arg $ alpha_arg $ util_arg $ events_arg $ no_churn_arg)
+    Term.(
+      const run $ seed_arg $ alpha_arg $ util_arg $ events_arg $ no_churn_arg
+      $ trace_arg $ counters_arg)
+
+let report_cmd =
+  let run seed alpha util n_events no_churn policy_tag out trace counters =
+    with_obs ~trace ~counters (fun () ->
+        let scenario = Scenario.prepare ~utilization:util ~seed () in
+        let events = Scenario.events scenario ~n:n_events in
+        let policy =
+          match policy_tag with
+          | `Fifo -> Policy.Fifo
+          | `Reorder -> Policy.Reorder
+          | `Lmtf -> Policy.Lmtf { alpha }
+          | `Plmtf -> Policy.Plmtf { alpha }
+          | `Flow_rr -> Policy.Flow_level Policy.Round_robin
+          | `Flow_arrival -> Policy.Flow_level Policy.By_arrival
+        in
+        let churn =
+          if no_churn then None
+          else Some (Scenario.churn ~target:util ~seed:(seed + 2) scenario)
+        in
+        let before = Obs.Counters.snapshot () in
+        let run_result =
+          Engine.run ?churn ~seed:(seed + 1)
+            ~net:(Net_state.copy scenario.Scenario.net)
+            ~events policy
+        in
+        let run_counters =
+          Obs.Counters.diff ~before ~after:(Obs.Counters.snapshot ())
+        in
+        let json = Run_report.to_json ~counters:run_counters run_result in
+        match out with
+        | None -> print_endline (Obs.Json.to_string json)
+        | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc (Obs.Json.to_string json);
+                output_char oc '\n');
+            Format.printf "report: wrote %s@." path)
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Emit one run as a JSON artifact: summary, per-event results, \
+          round log and counter snapshot")
+    Term.(
+      const run $ seed_arg $ alpha_arg $ util_arg $ events_arg $ no_churn_arg
+      $ policy_arg $ out_arg $ trace_arg $ counters_arg)
 
 let fig1_cmd =
   let run seed samples = Nu_expt.Fig1.run ~seed ~samples () in
@@ -142,23 +256,24 @@ let ablation_cmd =
     Term.(const Nu_expt.Ablation.run_all $ const ())
 
 let all_cmd =
-  let run seeds alpha =
-    Nu_expt.Fig2.run ();
-    Nu_expt.Fig3.run ();
-    Nu_expt.Fig1.run ();
-    Nu_expt.Fig4.run ~seeds ();
-    Nu_expt.Fig5.run ~seeds ();
-    Nu_expt.Fig6.run ~seeds ~alpha ();
-    Nu_expt.Fig7.run ~seeds ~alpha ();
-    Nu_expt.Fig8.run ~seeds ~alpha ();
-    Nu_expt.Fig9.run ~alpha ();
-    Nu_expt.Mixed_issues.run ~alpha ();
-    Nu_expt.Arrival_study.run ~alpha ();
-    Nu_expt.Ablation.run_all ()
+  let run seeds alpha trace counters =
+    with_obs ~trace ~counters (fun () ->
+        Nu_expt.Fig2.run ();
+        Nu_expt.Fig3.run ();
+        Nu_expt.Fig1.run ();
+        Nu_expt.Fig4.run ~seeds ();
+        Nu_expt.Fig5.run ~seeds ();
+        Nu_expt.Fig6.run ~seeds ~alpha ();
+        Nu_expt.Fig7.run ~seeds ~alpha ();
+        Nu_expt.Fig8.run ~seeds ~alpha ();
+        Nu_expt.Fig9.run ~alpha ();
+        Nu_expt.Mixed_issues.run ~alpha ();
+        Nu_expt.Arrival_study.run ~alpha ();
+        Nu_expt.Ablation.run_all ())
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every figure and the ablations")
-    Term.(const run $ seeds_arg $ alpha_arg)
+    Term.(const run $ seeds_arg $ alpha_arg $ trace_arg $ counters_arg)
 
 let main =
   Cmd.group
@@ -177,6 +292,7 @@ let main =
       fig8_cmd;
       fig9_cmd;
       summary_cmd;
+      report_cmd;
       mixed_cmd;
       arrivals_cmd;
       ablation_cmd;

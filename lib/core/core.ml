@@ -56,6 +56,8 @@ module Policy = Nu_sched.Policy
 module Exec_model = Nu_sched.Exec_model
 module Engine = Nu_sched.Engine
 module Metrics = Nu_sched.Metrics
+module Run_report = Nu_sched.Run_report
+module Obs = Nu_obs
 
 (** Canned experiment scenarios: a loaded Fat-Tree plus generator
     plumbing, so quickstarts and benches need three calls, not thirty. *)

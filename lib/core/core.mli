@@ -56,6 +56,12 @@ module Policy = Nu_sched.Policy
 module Exec_model = Nu_sched.Exec_model
 module Engine = Nu_sched.Engine
 module Metrics = Nu_sched.Metrics
+module Run_report = Nu_sched.Run_report
+
+module Obs = Nu_obs
+(** Observability: {!Nu_obs.Trace} spans, {!Nu_obs.Counters},
+    {!Nu_obs.Export} (JSONL / Chrome-trace) and the {!Nu_obs.Json}
+    codec. *)
 
 (** Canned experiment scenarios: a loaded Fat-Tree plus generator
     plumbing, so quickstarts and benches need three calls, not thirty. *)

@@ -32,6 +32,7 @@ let create topo =
   }
 
 let copy t =
+  Nu_obs.Counters.incr Nu_obs.Counters.State_copies;
   {
     topo = t.topo;
     residual = Array.copy t.residual;
@@ -123,6 +124,7 @@ let path_enabled t path =
   List.for_all (fun (e : Graph.edge) -> not t.disabled.(e.id)) (Path.edges path)
 
 let candidate_paths t record =
+  Nu_obs.Counters.incr Nu_obs.Counters.Path_enumerations;
   let src, dst = endpoints t record in
   List.filter (path_enabled t) (t.topo.Topology.candidate_paths ~src ~dst)
 

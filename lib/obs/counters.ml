@@ -1,0 +1,98 @@
+type key =
+  | Planner_plans
+  | Planner_probes
+  | Plan_reverts
+  | Cost_estimates
+  | Migration_moves
+  | Clear_attempts
+  | Path_enumerations
+  | State_copies
+  | Engine_rounds
+  | Events_executed
+  | Co_scheduled_events
+  | Churn_placements
+
+let index = function
+  | Planner_plans -> 0
+  | Planner_probes -> 1
+  | Plan_reverts -> 2
+  | Cost_estimates -> 3
+  | Migration_moves -> 4
+  | Clear_attempts -> 5
+  | Path_enumerations -> 6
+  | State_copies -> 7
+  | Engine_rounds -> 8
+  | Events_executed -> 9
+  | Co_scheduled_events -> 10
+  | Churn_placements -> 11
+
+let all =
+  [
+    Planner_plans;
+    Planner_probes;
+    Plan_reverts;
+    Cost_estimates;
+    Migration_moves;
+    Clear_attempts;
+    Path_enumerations;
+    State_copies;
+    Engine_rounds;
+    Events_executed;
+    Co_scheduled_events;
+    Churn_placements;
+  ]
+
+let size = List.length all
+
+let name = function
+  | Planner_plans -> "planner_plans"
+  | Planner_probes -> "planner_probes"
+  | Plan_reverts -> "plan_reverts"
+  | Cost_estimates -> "cost_estimates"
+  | Migration_moves -> "migration_moves"
+  | Clear_attempts -> "clear_attempts"
+  | Path_enumerations -> "path_enumerations"
+  | State_copies -> "state_copies"
+  | Engine_rounds -> "engine_rounds"
+  | Events_executed -> "events_executed"
+  | Co_scheduled_events -> "co_scheduled_events"
+  | Churn_placements -> "churn_placements"
+
+let counts = Array.make size 0
+
+let incr k =
+  let i = index k in
+  counts.(i) <- counts.(i) + 1
+
+let add k n =
+  let i = index k in
+  counts.(i) <- counts.(i) + n
+
+let get k = counts.(index k)
+let reset () = Array.fill counts 0 size 0
+
+type snapshot = int array
+
+let snapshot () = Array.copy counts
+
+let diff ~before ~after =
+  if Array.length before <> size || Array.length after <> size then
+    invalid_arg "Counters.diff: snapshot size mismatch";
+  Array.init size (fun i -> after.(i) - before.(i))
+
+let value snap k = snap.(index k)
+let to_alist snap = List.map (fun k -> (name k, snap.(index k))) all
+let is_zero snap = Array.for_all (fun v -> v = 0) snap
+
+let to_json snap =
+  Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) (to_alist snap))
+
+let pp_table ppf snap =
+  let width =
+    List.fold_left (fun acc k -> max acc (String.length (name k))) 0 all
+  in
+  Format.fprintf ppf "@[<v>counters:";
+  List.iter
+    (fun (n, v) -> Format.fprintf ppf "@,  %-*s %10d" width n v)
+    (to_alist snap);
+  Format.fprintf ppf "@]"

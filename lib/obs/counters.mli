@@ -1,0 +1,63 @@
+(** Global counter registry for the planner/scheduler pipeline.
+
+    One process-wide set of integer counters covering the pipeline's
+    units of work — planner probes, migration moves, clear attempts,
+    state copies, service rounds. [incr]/[add] are single array stores,
+    cheap enough to leave permanently enabled on hot paths (unlike
+    {!Trace} spans, which are gated on an installed sink).
+
+    Because the registry is global, scoped measurement works by
+    snapshot/diff: take a {!snapshot} before the region of interest and
+    [diff] it against one taken after. *)
+
+type key =
+  | Planner_plans  (** Applied plans ({!Nu_update.Planner.plan} calls). *)
+  | Planner_probes  (** Feasibility probes (summed plan work units). *)
+  | Plan_reverts  (** {!Nu_update.Planner.revert} calls. *)
+  | Cost_estimates  (** Plan-and-revert probes ({!Nu_update.Planner.cost_of}). *)
+  | Migration_moves  (** Make-room flow relocations committed. *)
+  | Clear_attempts  (** {!Nu_update.Migration.clear_path} invocations. *)
+  | Path_enumerations  (** Candidate-path set constructions. *)
+  | State_copies  (** {!Nu_net.Net_state.copy} calls. *)
+  | Engine_rounds  (** Service rounds executed (both abstractions). *)
+  | Events_executed  (** Events completed by event-level rounds. *)
+  | Co_scheduled_events  (** P-LMTF opportunistic co-executions. *)
+  | Churn_placements  (** Background flows re-admitted by churn. *)
+
+val all : key list
+(** Every key, in rendering order. *)
+
+val name : key -> string
+(** Stable snake_case identifier, used in tables and JSON. *)
+
+val incr : key -> unit
+
+val add : key -> int -> unit
+
+val get : key -> int
+(** Current live value. *)
+
+val reset : unit -> unit
+(** Zero every counter. Intended for tests and benchmark harnesses. *)
+
+type snapshot
+(** Immutable copy of all counter values at one instant. *)
+
+val snapshot : unit -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-key [after - before]: the counts attributable to the region
+    between the two snapshots. *)
+
+val value : snapshot -> key -> int
+
+val to_alist : snapshot -> (string * int) list
+(** All keys in {!all} order, including zeros. *)
+
+val is_zero : snapshot -> bool
+
+val to_json : snapshot -> Json.t
+(** Object mapping {!name} to value. *)
+
+val pp_table : Format.formatter -> snapshot -> unit
+(** Two-column name/value table. *)

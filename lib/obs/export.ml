@@ -1,0 +1,75 @@
+let value_to_json : Trace.value -> Json.t = function
+  | Trace.Bool b -> Json.Bool b
+  | Trace.Int i -> Json.Int i
+  | Trace.Float f -> Json.Float f
+  | Trace.Str s -> Json.String s
+
+let attrs_to_json attrs =
+  Json.Obj (List.map (fun (k, v) -> (k, value_to_json v)) attrs)
+
+let phase_string = function
+  | Trace.Begin -> "B"
+  | Trace.End -> "E"
+  | Trace.Instant -> "i"
+
+let event_to_json (e : Trace.event) =
+  Json.Obj
+    [
+      ("ph", Json.String (phase_string e.Trace.phase));
+      ("name", Json.String e.Trace.name);
+      ("ts_ns", Json.Int (Int64.to_int e.Trace.ts_ns));
+      ("depth", Json.Int e.Trace.depth);
+      ("args", attrs_to_json e.Trace.attrs);
+    ]
+
+let jsonl_of_events events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Json.to_string (event_to_json e));
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let jsonl_sink oc : Trace.sink =
+  {
+    Trace.emit =
+      (fun e ->
+        output_string oc (Json.to_string (event_to_json e));
+        output_char oc '\n');
+    flush = (fun () -> flush oc);
+  }
+
+let chrome_of_events ?(pid = 1) events =
+  let t0 =
+    match events with [] -> 0L | e :: _ -> e.Trace.ts_ns
+  in
+  let ts_us e =
+    Int64.to_float (Int64.sub e.Trace.ts_ns t0) /. 1_000.0
+  in
+  let one e =
+    let base =
+      [
+        ("name", Json.String e.Trace.name);
+        ("ph", Json.String (phase_string e.Trace.phase));
+        ("pid", Json.Int pid);
+        ("tid", Json.Int 1);
+        ("ts", Json.Float (ts_us e));
+        ("args", attrs_to_json e.Trace.attrs);
+      ]
+    in
+    (* Instant events need a scope; "t" = thread. *)
+    match e.Trace.phase with
+    | Trace.Instant -> Json.Obj (base @ [ ("s", Json.String "t") ])
+    | Trace.Begin | Trace.End -> Json.Obj base
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map one events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_chrome path events =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Json.to_string (chrome_of_events events));
+      output_char oc '\n')

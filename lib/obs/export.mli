@@ -1,0 +1,29 @@
+(** Trace exporters: JSONL span logs and Chrome [trace_event] files.
+
+    Two machine-readable formats over {!Trace.event} streams:
+
+    - JSONL — one JSON object per line carrying the raw event (phase,
+      name, nanosecond timestamp, depth, attributes); trivially greppable
+      and streamable.
+    - Chrome trace-event JSON — the ["traceEvents"] duration-event format
+      loadable in [chrome://tracing] and {{:https://ui.perfetto.dev}
+      Perfetto}. Timestamps are rebased to the first event and converted
+      to microseconds, as the format expects. *)
+
+val event_to_json : Trace.event -> Json.t
+(** Raw JSONL encoding of one event. *)
+
+val jsonl_of_events : Trace.event list -> string
+(** One event per line, each line a JSON object, trailing newline. *)
+
+val jsonl_sink : out_channel -> Trace.sink
+(** Streaming sink writing each event as a JSONL line; [flush] flushes
+    the channel (the caller closes it). *)
+
+val chrome_of_events : ?pid:int -> Trace.event list -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}]. Span begin/end
+    map to ["B"]/["E"] duration events, instants to ["i"]; attributes
+    land in ["args"]. [pid] defaults to 1. *)
+
+val write_chrome : string -> Trace.event list -> unit
+(** Write {!chrome_of_events} to the named file. *)

@@ -1,0 +1,225 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let add_escaped buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* Shortest decimal that round-trips; "%.17g" only when needed. *)
+let float_repr f =
+  let s = Printf.sprintf "%.15g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec to_buf buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (float_repr f)
+      else Buffer.add_string buf "null"
+  | String s ->
+      Buffer.add_char buf '"';
+      add_escaped buf s;
+      Buffer.add_char buf '"'
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          to_buf buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          add_escaped buf k;
+          Buffer.add_string buf "\":";
+          to_buf buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  to_buf buf t;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+exception Parse of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let keyword kw v =
+    let l = String.length kw in
+    if !pos + l <= n && String.sub s !pos l = kw then (
+      pos := !pos + l;
+      v)
+    else fail "invalid literal"
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      incr pos;
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        if !pos >= n then fail "truncated escape";
+        let e = s.[!pos] in
+        incr pos;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' -> (
+            if !pos + 4 > n then fail "truncated \\u escape";
+            let hex = String.sub s !pos 4 in
+            pos := !pos + 4;
+            match int_of_string_opt ("0x" ^ hex) with
+            | Some code when Uchar.is_valid code ->
+                Buffer.add_utf_8_uchar buf (Uchar.of_int code)
+            | _ -> fail "invalid \\u escape")
+        | _ -> fail "invalid escape");
+        loop ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let number () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    while
+      !pos < n
+      &&
+      match s.[!pos] with
+      | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    let lit = String.sub s start (!pos - start) in
+    let floatish = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') lit in
+    if floatish then
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> fail "invalid number"
+    else
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt lit with
+          | Some f -> Float f
+          | None -> fail "invalid number")
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> String (string_lit ())
+    | Some 't' -> keyword "true" (Bool true)
+    | Some 'f' -> keyword "false" (Bool false)
+    | Some 'n' -> keyword "null" Null
+    | Some _ -> number ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then (
+      incr pos;
+      Obj [])
+    else begin
+      let rec members acc =
+        skip_ws ();
+        let k = string_lit () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            members ((k, v) :: acc)
+        | Some '}' ->
+            incr pos;
+            Obj (List.rev ((k, v) :: acc))
+        | _ -> fail "expected ',' or '}'"
+      in
+      members []
+    end
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then (
+      incr pos;
+      List [])
+    else begin
+      let rec elems acc =
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            elems (v :: acc)
+        | Some ']' ->
+            incr pos;
+            List (List.rev (v :: acc))
+        | _ -> fail "expected ',' or ']'"
+      in
+      elems []
+    end
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing input";
+    v
+  with
+  | v -> Ok v
+  | exception Parse msg -> Error msg
+
+let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None

@@ -1,0 +1,31 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability layer exports run reports, JSONL span logs and
+    Chrome-trace files without pulling a JSON dependency into the build;
+    this module is the whole codec. The printer always emits valid JSON
+    (non-finite floats become [null]); the parser accepts anything the
+    printer produces plus ordinary interchange JSON (it does not combine
+    UTF-16 surrogate pairs in [\u] escapes). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val pp : Format.formatter -> t -> unit
+(** Same rendering as {!to_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error. Numbers
+    without [.], [e] or [E] that fit in [int] parse as [Int], everything
+    else as [Float]. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]; [None] otherwise. *)

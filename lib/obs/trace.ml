@@ -1,0 +1,96 @@
+type value = Bool of bool | Int of int | Float of float | Str of string
+type phase = Begin | End | Instant
+
+type event = {
+  phase : phase;
+  name : string;
+  ts_ns : int64;
+  depth : int;
+  attrs : (string * value) list;
+}
+
+type sink = { emit : event -> unit; flush : unit -> unit }
+
+let clock = ref Monotonic_clock.now
+let set_clock f = clock := f
+let now_ns () = !clock ()
+
+type span = {
+  sp_name : string;
+  sp_depth : int;  (* -1 marks the shared tracing-off token *)
+  mutable sp_closed : bool;
+}
+
+let disabled_span = { sp_name = ""; sp_depth = -1; sp_closed = true }
+let sink : sink option ref = ref None
+let stack : span list ref = ref []
+
+let enabled () = Option.is_some !sink
+
+let install s =
+  (match !sink with Some old -> old.flush () | None -> ());
+  stack := [];
+  sink := Some s
+
+let uninstall () =
+  (match !sink with Some s -> s.flush () | None -> ());
+  sink := None;
+  stack := []
+
+let span ?(attrs = []) name =
+  match !sink with
+  | None -> disabled_span
+  | Some s ->
+      let depth = List.length !stack in
+      let sp = { sp_name = name; sp_depth = depth; sp_closed = false } in
+      stack := sp :: !stack;
+      s.emit { phase = Begin; name; ts_ns = now_ns (); depth; attrs };
+      sp
+
+let finish ?(attrs = []) sp =
+  if sp.sp_depth >= 0 && not sp.sp_closed then
+    match !sink with
+    | None -> sp.sp_closed <- true (* sink removed mid-span *)
+    | Some s -> (
+        match !stack with
+        | top :: rest when top == sp ->
+            stack := rest;
+            sp.sp_closed <- true;
+            s.emit
+              {
+                phase = End;
+                name = sp.sp_name;
+                ts_ns = now_ns ();
+                depth = sp.sp_depth;
+                attrs;
+              }
+        | _ ->
+            invalid_arg ("Trace.finish: non-LIFO close of span " ^ sp.sp_name))
+
+let with_span ?attrs name f =
+  match !sink with
+  | None -> f ()
+  | Some _ ->
+      let sp = span ?attrs name in
+      Fun.protect ~finally:(fun () -> if not sp.sp_closed then finish sp) f
+
+let instant ?(attrs = []) name =
+  match !sink with
+  | None -> ()
+  | Some s ->
+      s.emit
+        {
+          phase = Instant;
+          name;
+          ts_ns = now_ns ();
+          depth = List.length !stack;
+          attrs;
+        }
+
+let memory () =
+  let events = ref [] in
+  ( {
+      emit = (fun e -> events := e :: !events);
+      flush = (fun () -> ());
+    },
+    fun () -> List.rev !events )

@@ -1,3 +1,6 @@
+module Trace = Nu_obs.Trace
+module Counters = Nu_obs.Counters
+
 type event_result = {
   event_id : int;
   arrival_s : float;
@@ -89,6 +92,7 @@ let sync_background ctx now =
             match Net_state.place ctx.net record path with
             | Ok () ->
                 incr placed;
+                Counters.incr Counters.Churn_placements;
                 Pqueue.push ctx.expiry
                   (now +. record.Flow_record.duration_s)
                   record.Flow_record.id
@@ -268,6 +272,17 @@ let run_event_level ctx policy events =
       | [] -> assert false);
       promote ()
     end;
+    let round_sp =
+      if Trace.enabled () then
+        Some
+          (Trace.span "round"
+             ~attrs:
+               [
+                 ("start_s", Trace.Float !now);
+                 ("queue", Trace.Int (List.length !queue));
+               ])
+      else None
+    in
     sync_background ctx !now;
     let round_start_s = !now in
     let round_utilization = Net_state.mean_fabric_utilization ctx.net in
@@ -275,12 +290,15 @@ let run_event_level ctx policy events =
     let batch = decide ctx policy !queue in
     incr rounds;
     let round_units = ctx.units - units_before in
+    let co_count = List.length (List.filter (fun (_, _, co) -> co) batch) in
+    Counters.incr Counters.Engine_rounds;
+    Counters.add Counters.Events_executed (List.length batch);
+    Counters.add Counters.Co_scheduled_events co_count;
     log :=
       {
         round_start_s;
         executed = List.map (fun (ev, _, _) -> ev.Event.id) batch;
-        co_count =
-          List.length (List.filter (fun (_, _, co) -> co) batch);
+        co_count;
         round_units;
         fabric_utilization = round_utilization;
       }
@@ -293,6 +311,17 @@ let run_event_level ctx policy events =
        §IV-C). Their flows are already installed, so later planning sees
        a consistent state. *)
     let head_finish = ref start_s in
+    let exec_sp =
+      if Trace.enabled () then
+        Some
+          (Trace.span "execute"
+             ~attrs:
+               [
+                 ("batch", Trace.Int (List.length batch));
+                 ("start_s", Trace.Float start_s);
+               ])
+      else None
+    in
     List.iter
       (fun (ev, plan, co_scheduled) ->
         let completion_s = start_s +. Exec_model.execution_time ctx.exec plan in
@@ -311,9 +340,27 @@ let run_event_level ctx policy events =
           :: !results;
         if not co_scheduled then head_finish := max !head_finish completion_s)
       batch;
+    (match exec_sp with
+    | Some sp ->
+        Trace.finish sp ~attrs:[ ("head_finish_s", Trace.Float !head_finish) ]
+    | None -> ());
     let executed = List.map (fun (ev, _, _) -> ev.Event.id) batch in
     queue := List.filter (fun ev -> not (List.mem ev.Event.id executed)) !queue;
     now := !head_finish;
+    (match round_sp with
+    | Some sp ->
+        Trace.finish sp
+          ~attrs:
+            [
+              ( "executed",
+                Trace.Str (String.concat "," (List.map string_of_int executed))
+              );
+              ("batch", Trace.Int (List.length executed));
+              ("co_count", Trace.Int co_count);
+              ("units", Trace.Int round_units);
+              ("fabric_utilization", Trace.Float round_utilization);
+            ]
+    | None -> ());
     promote ()
   done;
   (!results, !rounds, List.rev !log)
@@ -369,7 +416,20 @@ let run_flow_level ctx order events =
     | item :: rest ->
         items := rest;
         now := max !now item.fi_arrival;
+        let round_sp =
+          if Trace.enabled () then
+            Some
+              (Trace.span "round"
+                 ~attrs:
+                   [
+                     ("event", Trace.Int item.fi_event);
+                     ("intra", Trace.Int item.fi_intra);
+                     ("start_s", Trace.Float !now);
+                   ])
+          else None
+        in
         sync_background ctx !now;
+        Counters.incr Counters.Engine_rounds;
         let pseudo =
           {
             Event.id = item.fi_event;
@@ -391,7 +451,12 @@ let run_flow_level ctx order events =
         add last_completion item.fi_event completion_s max;
         add cost item.fi_event plan.Planner.cost_mbit ( +. );
         add units item.fi_event plan.Planner.work_units ( + );
-        add failed item.fi_event plan.Planner.failed_count ( + )
+        add failed item.fi_event plan.Planner.failed_count ( + );
+        (match round_sp with
+        | Some sp ->
+            Trace.finish sp
+              ~attrs:[ ("completion_s", Trace.Float completion_s) ]
+        | None -> ())
   done;
   let results =
     List.map
@@ -417,6 +482,18 @@ let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
   (match Policy.validate policy with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.run: " ^ msg));
+  let run_sp =
+    if Trace.enabled () then
+      Some
+        (Trace.span "run"
+           ~attrs:
+             [
+               ("policy", Trace.Str (Policy.name policy));
+               ("events", Trace.Int (List.length events));
+               ("seed", Trace.Int seed);
+             ])
+    else None
+  in
   let rng = match rng with Some r -> r | None -> Prng.create seed in
   let ctx =
     {
@@ -452,15 +529,31 @@ let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
   let total_cost =
     Array.fold_left (fun acc r -> acc +. r.cost_mbit) 0.0 events_arr
   in
-  {
-    policy;
-    events = events_arr;
-    rounds;
-    rounds_log;
-    total_plan_units = ctx.units;
-    total_plan_time_s = Exec_model.plan_time exec ~work_units:ctx.units;
-    total_cost_mbit = total_cost;
-    makespan_s = makespan;
-    final_fabric_utilization = Net_state.mean_fabric_utilization net;
-    planning_wall_s = ctx.wall;
-  }
+  let result =
+    {
+      policy;
+      events = events_arr;
+      rounds;
+      rounds_log;
+      total_plan_units = ctx.units;
+      total_plan_time_s = Exec_model.plan_time exec ~work_units:ctx.units;
+      total_cost_mbit = total_cost;
+      makespan_s = makespan;
+      final_fabric_utilization = Net_state.mean_fabric_utilization net;
+      planning_wall_s = ctx.wall;
+    }
+  in
+  (match run_sp with
+  | Some sp ->
+      Trace.finish sp
+        ~attrs:
+          [
+            ("rounds", Trace.Int result.rounds);
+            ("makespan_s", Trace.Float result.makespan_s);
+            ("total_cost_mbit", Trace.Float result.total_cost_mbit);
+            ("plan_units", Trace.Int result.total_plan_units);
+            ( "fabric_utilization",
+              Trace.Float result.final_fabric_utilization );
+          ]
+  | None -> ());
+  result

@@ -2,8 +2,9 @@
 
     "They are the total update cost of all update events, the average
     ECT, the tail ECT, the total plan time, and the event queuing
-    delay." Tail values are reported as the maximum (the queue holds at
-    most ~50 events, where p99 and max coincide); p95 is also exposed. *)
+    delay." Tail values are reported as p99 and the maximum (the queue
+    holds at most ~50 events, where the two mostly coincide); p95 is
+    also exposed. *)
 
 type summary = {
   policy_name : string;
@@ -11,6 +12,7 @@ type summary = {
   avg_ect_s : float;
   tail_ect_s : float;  (** Maximum ECT. *)
   p95_ect_s : float;
+  p99_ect_s : float;
   avg_queuing_s : float;
   worst_queuing_s : float;
   total_cost_mbit : float;
@@ -22,7 +24,8 @@ type summary = {
 }
 
 val of_run : Engine.run_result -> summary
-(** Raises [Invalid_argument] on a run with no events. *)
+(** A run with no events yields an all-zero summary (totals still taken
+    from the run) rather than raising. *)
 
 val ects : Engine.run_result -> float array
 (** Per-event completion times, indexed in event-id order. *)

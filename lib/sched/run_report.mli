@@ -1,0 +1,22 @@
+(** Machine-readable run reports.
+
+    Serialises a complete {!Engine.run_result} — summary metrics,
+    per-event results, the per-round audit log and (optionally) an
+    observability counter snapshot — as one JSON document, so every
+    experiment becomes an inspectable artifact that downstream tooling
+    can diff, plot or regression-check without re-running the
+    simulation. *)
+
+val summary_to_json : Metrics.summary -> Nu_obs.Json.t
+
+val event_result_to_json : Engine.event_result -> Nu_obs.Json.t
+(** Includes the derived [ect_s] and [queuing_s] alongside the raw
+    fields. *)
+
+val round_to_json : Engine.round_info -> Nu_obs.Json.t
+
+val to_json :
+  ?counters:Nu_obs.Counters.snapshot -> Engine.run_result -> Nu_obs.Json.t
+(** The full report: policy, summary, events (event-id order), round
+    count, round log and, when given, the counter snapshot (typically a
+    {!Nu_obs.Counters.diff} scoped to the run). *)

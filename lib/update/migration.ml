@@ -127,6 +127,18 @@ let try_relocate ?policy ?rng ?(forbidden = fun _ -> false) ~work_units net
 
 let clear_path ?(order = Best_fit_first) ?policy ?rng ?forbidden
     ?(work_units = ref 0) net ~demand ~path ~exclude =
+  Nu_obs.Counters.incr Nu_obs.Counters.Clear_attempts;
+  let sp =
+    if Nu_obs.Trace.enabled () then
+      Some
+        (Nu_obs.Trace.span "migrate"
+           ~attrs:
+             [
+               ("demand_mbps", Nu_obs.Trace.Float demand);
+               ("hops", Nu_obs.Trace.Int (Path.hops path));
+             ])
+    else None
+  in
   let applied = ref [] in
   let rollback () =
     List.iter
@@ -178,4 +190,26 @@ let clear_path ?(order = Best_fit_first) ?policy ?rng ?forbidden
               Error (Cannot_free e)
         end
   in
-  clear_links congested
+  let result = clear_links congested in
+  (match result with
+  | Ok moves -> Nu_obs.Counters.add Nu_obs.Counters.Migration_moves (List.length moves)
+  | Error _ -> ());
+  (match sp with
+  | Some sp ->
+      let attrs =
+        match result with
+        | Ok moves ->
+            [
+              ("cleared", Nu_obs.Trace.Bool true);
+              ("moves", Nu_obs.Trace.Int (List.length moves));
+              ("moved_mbit", Nu_obs.Trace.Float (moves_cost_mbit moves));
+            ]
+        | Error (Cannot_free e) ->
+            [
+              ("cleared", Nu_obs.Trace.Bool false);
+              ("blocked_edge", Nu_obs.Trace.Int e.Graph.id);
+            ]
+      in
+      Nu_obs.Trace.finish sp ~attrs
+  | None -> ());
+  result

@@ -1,3 +1,6 @@
+module Trace = Nu_obs.Trace
+module Counters = Nu_obs.Counters
+
 type admission = Desired_first | Scan_first
 
 let admission_name = function
@@ -227,6 +230,17 @@ let plan_reroute ?rng ~config ~work_units ~exclude net ~flow_id ~avoid =
       end
 
 let plan ?rng ?(config = default_config) ?(frozen = fun _ -> false) net event =
+  let sp =
+    if Trace.enabled () then
+      Some
+        (Trace.span "plan"
+           ~attrs:
+             [
+               ("event", Trace.Int event.Event.id);
+               ("items", Trace.Int (List.length event.Event.work));
+             ])
+    else None
+  in
   let work_units = ref 0 in
   let touched = Hashtbl.create 64 in
   let exclude id = frozen id || Hashtbl.mem touched id in
@@ -296,18 +310,41 @@ let plan ?rng ?(config = default_config) ?(frozen = fun _ -> false) net event =
         | Failed _ -> (cost, mc, fc + 1, tv, rh))
       (0.0, 0, 0, 0.0, 0) items
   in
-  {
-    event;
-    items;
-    cost_mbit;
-    move_count;
-    failed_count;
-    transfer_mbit;
-    rule_hops;
-    work_units = !work_units;
-  }
+  let t =
+    {
+      event;
+      items;
+      cost_mbit;
+      move_count;
+      failed_count;
+      transfer_mbit;
+      rule_hops;
+      work_units = !work_units;
+    }
+  in
+  Counters.incr Counters.Planner_plans;
+  Counters.add Counters.Planner_probes t.work_units;
+  (match sp with
+  | Some sp ->
+      Trace.finish sp
+        ~attrs:
+          [
+            ("cost_mbit", Trace.Float t.cost_mbit);
+            ("moves", Trace.Int t.move_count);
+            ("failed", Trace.Int t.failed_count);
+            ("units", Trace.Int t.work_units);
+          ]
+  | None -> ());
+  t
 
 let revert net plan =
+  Counters.incr Counters.Plan_reverts;
+  let sp =
+    if Trace.enabled () then
+      Some
+        (Trace.span "revert" ~attrs:[ ("event", Trace.Int plan.event.Event.id) ])
+    else None
+  in
   (* Undo newest-first: each item's own action first, then its make-room
      moves, walking the item list backwards. *)
   List.iter
@@ -339,7 +376,8 @@ let revert net plan =
               | Error _ -> assert false)
             (List.rev moves)
       | Failed _ -> ())
-    (List.rev plan.items)
+    (List.rev plan.items);
+  match sp with Some sp -> Trace.finish sp | None -> ()
 
 type estimate = {
   est_cost_mbit : float;
@@ -348,13 +386,33 @@ type estimate = {
 }
 
 let cost_of ?rng ?config ?frozen net event =
+  Counters.incr Counters.Cost_estimates;
+  let sp =
+    if Trace.enabled () then
+      Some
+        (Trace.span "estimate" ~attrs:[ ("event", Trace.Int event.Event.id) ])
+    else None
+  in
   let p = plan ?rng ?config ?frozen net event in
   revert net p;
-  {
-    est_cost_mbit = p.cost_mbit;
-    est_failed = p.failed_count;
-    est_work_units = p.work_units;
-  }
+  let est =
+    {
+      est_cost_mbit = p.cost_mbit;
+      est_failed = p.failed_count;
+      est_work_units = p.work_units;
+    }
+  in
+  (match sp with
+  | Some sp ->
+      Trace.finish sp
+        ~attrs:
+          [
+            ("est_cost_mbit", Trace.Float est.est_cost_mbit);
+            ("est_failed", Trace.Int est.est_failed);
+            ("units", Trace.Int est.est_work_units);
+          ]
+  | None -> ());
+  est
 
 let pp ppf t =
   Format.fprintf ppf

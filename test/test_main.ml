@@ -12,6 +12,7 @@ let () =
       ("update", Test_update.suite);
       ("dataplane", Test_dataplane.suite);
       ("sched", Test_sched.suite);
+      ("obs", Test_obs.suite);
       ("expt", Test_expt.suite);
       ("scenario", Test_scenario.suite);
     ]

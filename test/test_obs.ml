@@ -1,0 +1,336 @@
+(* nu_obs: JSON codec, counters, trace spans, exporters, and the
+   no-perturbation guarantee of instrumentation. *)
+
+let flow ?(id = 0) ?(demand = 50.0) ?(duration = 10.0) ?(arrival = 0.0) src dst
+    =
+  Flow_record.v ~id ~src ~dst ~size_mbit:(demand *. duration)
+    ~duration_s:duration ~arrival_s:arrival
+
+(* Small deterministic workload on a k=4 Fat-Tree (mirrors test_sched). *)
+let workload ?(n = 5) ?(m = 4) () =
+  let next = ref 0 in
+  List.init n (fun i ->
+      let flows =
+        List.init m (fun j ->
+            let id = !next in
+            incr next;
+            let src = (i + j) mod 16 in
+            let dst = (src + 3 + j) mod 16 in
+            let dst = if dst = src then (dst + 1) mod 16 else dst in
+            flow ~id ~demand:(10.0 +. float_of_int (j * 5)) src dst)
+      in
+      Event.of_spec { Event_gen.event_id = i; arrival_s = 0.0; flows })
+
+let loaded_net () =
+  let net = Net_state.create (Fat_tree.to_topology (Fat_tree.create ~k:4 ())) in
+  let next = ref 1000 in
+  for src = 0 to 7 do
+    let dst = 15 - src in
+    let r = flow ~id:!next ~demand:300.0 src dst in
+    incr next;
+    match Routing.select net r with
+    | Some p -> ( match Net_state.place net r p with Ok () -> () | Error _ -> ())
+    | None -> ()
+  done;
+  net
+
+let with_memory_sink f =
+  let sink, events = Obs.Trace.memory () in
+  Obs.Trace.install sink;
+  Fun.protect ~finally:Obs.Trace.uninstall (fun () -> f events)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+
+let test_json_roundtrip () =
+  let v =
+    Obs.Json.Obj
+      [
+        ("null", Obs.Json.Null);
+        ("yes", Obs.Json.Bool true);
+        ("n", Obs.Json.Int (-42));
+        ("pi", Obs.Json.Float 3.140625);
+        ("text", Obs.Json.String "line\nbreak \"quoted\" back\\slash");
+        ( "nested",
+          Obs.Json.List
+            [ Obs.Json.Int 1; Obs.Json.Obj [ ("k", Obs.Json.String "v") ] ] );
+        ("empty_list", Obs.Json.List []);
+        ("empty_obj", Obs.Json.Obj []);
+      ]
+  in
+  match Obs.Json.of_string (Obs.Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+
+let test_json_float_precision () =
+  let f = 0.1 +. 0.2 in
+  match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Float f)) with
+  | Ok (Obs.Json.Float f') ->
+      Alcotest.(check (float 0.0)) "exact round-trip" f f'
+  | Ok _ -> Alcotest.fail "expected a float"
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+
+let test_json_nonfinite_is_null () =
+  Alcotest.(check string) "nan" "null" (Obs.Json.to_string (Obs.Json.Float Float.nan));
+  Alcotest.(check string)
+    "inf" "null"
+    (Obs.Json.to_string (Obs.Json.Float Float.infinity))
+
+let test_json_parse_errors () =
+  let bad = [ "{"; "[1,"; "\"unterminated"; "tru"; "{\"a\" 1}"; "1 2" ] in
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON: %s" s
+      | Error _ -> ())
+    bad;
+  (* \u escape, whitespace, exponents *)
+  match Obs.Json.of_string "  { \"a\" : [ 1e3 , \"\\u0041\" ] }  " with
+  | Ok v ->
+      Alcotest.(check bool)
+        "parsed" true
+        (Obs.Json.member "a" v
+        = Some (Obs.Json.List [ Obs.Json.Float 1000.0; Obs.Json.String "A" ]))
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+
+let test_span_lifo_nesting () =
+  with_memory_sink (fun events ->
+      Obs.Trace.with_span "outer" (fun () ->
+          Obs.Trace.with_span "inner" (fun () -> ());
+          Obs.Trace.instant "tick");
+      let evs = events () in
+      let shape =
+        List.map
+          (fun (e : Obs.Trace.event) ->
+            let ph =
+              match e.Obs.Trace.phase with
+              | Obs.Trace.Begin -> "B"
+              | Obs.Trace.End -> "E"
+              | Obs.Trace.Instant -> "i"
+            in
+            (ph, e.Obs.Trace.name, e.Obs.Trace.depth))
+          evs
+      in
+      Alcotest.(check (list (triple string string int)))
+        "event shape"
+        [
+          ("B", "outer", 0);
+          ("B", "inner", 1);
+          ("E", "inner", 1);
+          ("i", "tick", 1);
+          ("E", "outer", 0);
+        ]
+        shape;
+      let ts = List.map (fun (e : Obs.Trace.event) -> e.Obs.Trace.ts_ns) evs in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> Int64.compare a b <= 0 && nondecreasing rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "timestamps nondecreasing" true (nondecreasing ts))
+
+let test_span_non_lifo_raises () =
+  with_memory_sink (fun _ ->
+      let a = Obs.Trace.span "a" in
+      let b = Obs.Trace.span "b" in
+      Alcotest.check_raises "close outer first"
+        (Invalid_argument "Trace.finish: non-LIFO close of span a") (fun () ->
+          Obs.Trace.finish a);
+      Obs.Trace.finish b;
+      Obs.Trace.finish a)
+
+let test_span_exception_safety () =
+  with_memory_sink (fun events ->
+      (try
+         Obs.Trace.with_span "boom" (fun () -> failwith "inner failure")
+       with Failure _ -> ());
+      let evs = events () in
+      Alcotest.(check int) "begin and end emitted" 2 (List.length evs);
+      match List.rev evs with
+      | (last : Obs.Trace.event) :: _ ->
+          Alcotest.(check bool)
+            "span closed" true
+            (last.Obs.Trace.phase = Obs.Trace.End
+            && last.Obs.Trace.name = "boom")
+      | [] -> Alcotest.fail "no events")
+
+let test_disabled_tracing_is_noop () =
+  Alcotest.(check bool) "off by default" false (Obs.Trace.enabled ());
+  let sp = Obs.Trace.span ~attrs:[ ("k", Obs.Trace.Int 1) ] "untracked" in
+  Obs.Trace.finish sp;
+  Obs.Trace.instant "nothing";
+  Alcotest.(check int)
+    "with_span is just f ()" 7
+    (Obs.Trace.with_span "untracked" (fun () -> 7))
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+
+let test_counters_snapshot_diff () =
+  let before = Obs.Counters.snapshot () in
+  Obs.Counters.incr Obs.Counters.State_copies;
+  Obs.Counters.incr Obs.Counters.State_copies;
+  Obs.Counters.add Obs.Counters.Planner_probes 5;
+  let d = Obs.Counters.diff ~before ~after:(Obs.Counters.snapshot ()) in
+  Alcotest.(check int) "incr twice" 2 (Obs.Counters.value d Obs.Counters.State_copies);
+  Alcotest.(check int) "add 5" 5 (Obs.Counters.value d Obs.Counters.Planner_probes);
+  Alcotest.(check int) "untouched" 0 (Obs.Counters.value d Obs.Counters.Engine_rounds);
+  Alcotest.(check bool) "not zero" false (Obs.Counters.is_zero d);
+  let d0 = Obs.Counters.diff ~before ~after:before in
+  Alcotest.(check bool) "self-diff is zero" true (Obs.Counters.is_zero d0)
+
+let test_counters_alist_json () =
+  let snap = Obs.Counters.snapshot () in
+  let alist = Obs.Counters.to_alist snap in
+  Alcotest.(check int)
+    "all keys present" (List.length Obs.Counters.all) (List.length alist);
+  List.iter
+    (fun k ->
+      match List.assoc_opt (Obs.Counters.name k) alist with
+      | Some v -> Alcotest.(check int) (Obs.Counters.name k) (Obs.Counters.value snap k) v
+      | None -> Alcotest.failf "missing key %s" (Obs.Counters.name k))
+    Obs.Counters.all;
+  (* JSON form parses back and carries every key. *)
+  match Obs.Json.of_string (Obs.Json.to_string (Obs.Counters.to_json snap)) with
+  | Ok (Obs.Json.Obj kvs) ->
+      Alcotest.(check int) "json keys" (List.length alist) (List.length kvs)
+  | Ok _ -> Alcotest.fail "expected an object"
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+
+let test_counters_count_pipeline_work () =
+  let net = loaded_net () in
+  let events = workload () in
+  let before = Obs.Counters.snapshot () in
+  ignore (Engine.run ~seed:11 ~net ~events (Policy.Lmtf { alpha = 2 }));
+  let d = Obs.Counters.diff ~before ~after:(Obs.Counters.snapshot ()) in
+  Alcotest.(check bool)
+    "rounds counted" true
+    (Obs.Counters.value d Obs.Counters.Engine_rounds > 0);
+  Alcotest.(check bool)
+    "plans counted" true
+    (Obs.Counters.value d Obs.Counters.Planner_plans > 0);
+  Alcotest.(check bool)
+    "probes counted" true
+    (Obs.Counters.value d Obs.Counters.Planner_probes > 0);
+  Alcotest.(check bool)
+    "estimates counted" true
+    (Obs.Counters.value d Obs.Counters.Cost_estimates > 0);
+  Alcotest.(check int)
+    "lmtf executes one event per round"
+    (Obs.Counters.value d Obs.Counters.Engine_rounds)
+    (Obs.Counters.value d Obs.Counters.Events_executed)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters on a real traced run                                      *)
+
+let traced_run () =
+  with_memory_sink (fun events ->
+      let net = loaded_net () in
+      let events_l = workload () in
+      ignore (Engine.run ~seed:11 ~net ~events:events_l (Policy.Plmtf { alpha = 2 }));
+      events ())
+
+let test_trace_covers_pipeline () =
+  let evs = traced_run () in
+  let names =
+    List.filter_map
+      (fun (e : Obs.Trace.event) ->
+        if e.Obs.Trace.phase = Obs.Trace.Begin then Some e.Obs.Trace.name
+        else None)
+      evs
+  in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "span %s present" expected)
+        true (List.mem expected names))
+    [ "run"; "round"; "plan"; "estimate"; "execute" ];
+  (* Begin/End balance: every span closes. *)
+  let balance =
+    List.fold_left
+      (fun acc (e : Obs.Trace.event) ->
+        match e.Obs.Trace.phase with
+        | Obs.Trace.Begin -> acc + 1
+        | Obs.Trace.End -> acc - 1
+        | Obs.Trace.Instant -> acc)
+      0 evs
+  in
+  Alcotest.(check int) "begin/end balanced" 0 balance
+
+let test_jsonl_export_parses () =
+  let evs = traced_run () in
+  let jsonl = Obs.Export.jsonl_of_events evs in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  Alcotest.(check int) "one line per event" (List.length evs) (List.length lines);
+  List.iter
+    (fun line ->
+      match Obs.Json.of_string line with
+      | Ok v ->
+          if Obs.Json.member "ph" v = None then
+            Alcotest.failf "line missing ph: %s" line
+      | Error msg -> Alcotest.failf "unparseable line (%s): %s" msg line)
+    lines
+
+let test_chrome_export_parses () =
+  let evs = traced_run () in
+  let json = Obs.Export.chrome_of_events evs in
+  match Obs.Json.of_string (Obs.Json.to_string json) with
+  | Error msg -> Alcotest.failf "unparseable chrome trace: %s" msg
+  | Ok v -> (
+      match Obs.Json.member "traceEvents" v with
+      | Some (Obs.Json.List items) ->
+          Alcotest.(check int)
+            "one trace event per span event" (List.length evs)
+            (List.length items);
+          List.iter
+            (fun item ->
+              match
+                (Obs.Json.member "ph" item, Obs.Json.member "ts" item)
+              with
+              | Some (Obs.Json.String _), Some _ -> ()
+              | _ -> Alcotest.fail "trace event missing ph/ts")
+            items
+      | _ -> Alcotest.fail "no traceEvents array")
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation must not perturb results                            *)
+
+let test_null_sink_identical_results () =
+  let run_once ~traced =
+    let net = loaded_net () in
+    let events = workload () in
+    let go () =
+      Metrics.of_run
+        (Engine.run ~seed:11 ~net ~events (Policy.Plmtf { alpha = 2 }))
+    in
+    if traced then
+      with_memory_sink (fun _ -> go ())
+    else go ()
+  in
+  let plain = run_once ~traced:false in
+  let traced = run_once ~traced:true in
+  Alcotest.(check bool)
+    "summaries identical with and without tracing" true (plain = traced)
+
+let suite =
+  [
+    ("json round-trip", `Quick, test_json_roundtrip);
+    ("json float precision", `Quick, test_json_float_precision);
+    ("json non-finite", `Quick, test_json_nonfinite_is_null);
+    ("json parse errors", `Quick, test_json_parse_errors);
+    ("span LIFO nesting", `Quick, test_span_lifo_nesting);
+    ("span non-LIFO raises", `Quick, test_span_non_lifo_raises);
+    ("span exception safety", `Quick, test_span_exception_safety);
+    ("disabled tracing no-op", `Quick, test_disabled_tracing_is_noop);
+    ("counters snapshot/diff", `Quick, test_counters_snapshot_diff);
+    ("counters alist/json", `Quick, test_counters_alist_json);
+    ("counters pipeline work", `Quick, test_counters_count_pipeline_work);
+    ("trace covers pipeline", `Quick, test_trace_covers_pipeline);
+    ("jsonl export parses", `Quick, test_jsonl_export_parses);
+    ("chrome export parses", `Quick, test_chrome_export_parses);
+    ("null sink identical results", `Quick, test_null_sink_identical_results);
+  ]

@@ -307,9 +307,24 @@ let test_metrics_summary () =
   Alcotest.(check int) "events" 6 s.Metrics.n_events;
   Alcotest.(check bool) "avg <= tail" true (s.Metrics.avg_ect_s <= s.Metrics.tail_ect_s);
   Alcotest.(check bool) "p95 <= tail" true (s.Metrics.p95_ect_s <= s.Metrics.tail_ect_s);
+  Alcotest.(check bool) "p95 <= p99" true (s.Metrics.p95_ect_s <= s.Metrics.p99_ect_s +. 1e-12);
+  Alcotest.(check bool) "p99 <= tail" true (s.Metrics.p99_ect_s <= s.Metrics.tail_ect_s +. 1e-12);
   Alcotest.(check bool) "queuing <= ect" true (s.Metrics.avg_queuing_s <= s.Metrics.avg_ect_s);
   Alcotest.(check string) "policy name" "fifo" s.Metrics.policy_name;
   Alcotest.(check bool) "makespan >= tail" true (s.Metrics.makespan_s >= s.Metrics.tail_ect_s -. 1e-9)
+
+let test_metrics_zero_events () =
+  let run = Engine.run ~seed:1 ~net:(loaded_net ()) ~events:[] Policy.Fifo in
+  let s = Metrics.of_run run in
+  Alcotest.(check int) "no events" 0 s.Metrics.n_events;
+  Alcotest.(check (float 0.0)) "avg ect" 0.0 s.Metrics.avg_ect_s;
+  Alcotest.(check (float 0.0)) "p95 ect" 0.0 s.Metrics.p95_ect_s;
+  Alcotest.(check (float 0.0)) "p99 ect" 0.0 s.Metrics.p99_ect_s;
+  Alcotest.(check (float 0.0)) "tail ect" 0.0 s.Metrics.tail_ect_s;
+  Alcotest.(check string) "policy name" "fifo" s.Metrics.policy_name;
+  (* Summaries stay renderable. *)
+  let out = Format.asprintf "%a" Metrics.pp_summary s in
+  Alcotest.(check bool) "pp renders" true (String.length out > 0)
 
 let test_metrics_arrays () =
   let run = run_policy Policy.Fifo in
@@ -357,6 +372,7 @@ let suite =
     ("engine round log plmtf", `Quick, test_engine_round_log_plmtf_batches);
     ("engine flow-level log", `Quick, test_engine_flow_level_empty_log);
     ("metrics summary", `Quick, test_metrics_summary);
+    ("metrics zero events", `Quick, test_metrics_zero_events);
     ("metrics arrays", `Quick, test_metrics_arrays);
     ("metrics reduction", `Quick, test_metrics_reduction);
     ("metrics comparison", `Quick, test_metrics_comparison_renders);
