@@ -1,0 +1,276 @@
+(* Scheduler-level benchmark: events-per-second and probes-per-round on
+   the k=8 Fat-Tree under churn, for the sampling policies whose hot
+   path is Planner probing (LMTF and Reorder).
+
+   Emits machine-readable JSON (BENCH_PR2.json) so the perf trajectory
+   of the planning hot path is tracked per-PR:
+
+     dune exec bench/sched_bench.exe -- --out BENCH_PR2.json
+     dune exec bench/sched_bench.exe -- --quick --out BENCH_PR2.json
+
+   [--baseline FILE] merges a previously recorded run (e.g. one taken on
+   the pre-optimisation tree) under the "baseline" key and reports the
+   planning-wall speedup against it.
+
+   Besides timing, every scenario digests its run_result (event ids,
+   ECT-defining timestamps, costs, probe counts, rounds) into a stable
+   FNV-1a hash. Identical seeds must produce identical digests across
+   optimisation work — the planner/scheduler fast paths are required to
+   be bit-identical rewrites, not approximations. *)
+
+let quick = ref false
+let out_file = ref ""
+let baseline_file = ref ""
+let seed = ref 42
+
+let args =
+  [
+    ("--quick", Arg.Set quick, "reduced event count (CI smoke mode)");
+    ("--out", Arg.Set_string out_file, "FILE write JSON results to FILE");
+    ( "--baseline",
+      Arg.Set_string baseline_file,
+      "FILE merge a prior run's JSON as the comparison baseline" );
+    ("--seed", Arg.Set_int seed, "N scenario seed (default 42)");
+  ]
+
+let usage = "sched_bench [--quick] [--out FILE] [--baseline FILE] [--seed N]"
+
+(* ------------------------------------------------------------------ *)
+(* Stable digest of a run_result.                                      *)
+
+let fnv_prime = 0x100000001b3L
+let fnv_basis = 0xcbf29ce484222325L
+
+let fnv64 h x =
+  let h = Int64.logxor h x in
+  Int64.mul h fnv_prime
+
+let fnv_float h f = fnv64 h (Int64.bits_of_float f)
+let fnv_int h i = fnv64 h (Int64.of_int i)
+
+let digest_of_run (r : Core.Engine.run_result) =
+  let h = ref fnv_basis in
+  Array.iter
+    (fun (e : Core.Engine.event_result) ->
+      h := fnv_int !h e.Core.Engine.event_id;
+      h := fnv_float !h e.Core.Engine.arrival_s;
+      h := fnv_float !h e.Core.Engine.start_s;
+      h := fnv_float !h e.Core.Engine.completion_s;
+      h := fnv_float !h e.Core.Engine.cost_mbit;
+      h := fnv_int !h e.Core.Engine.plan_work_units;
+      h := fnv_int !h e.Core.Engine.failed_items;
+      h := fnv_int !h (if e.Core.Engine.co_scheduled then 1 else 0))
+    r.Core.Engine.events;
+  h := fnv_int !h r.Core.Engine.rounds;
+  h := fnv_int !h r.Core.Engine.total_plan_units;
+  h := fnv_float !h r.Core.Engine.total_cost_mbit;
+  h := fnv_float !h r.Core.Engine.makespan_s;
+  (* fabric_utilization is deliberately left out: it is telemetry whose
+     low-order bits depend on summation order (the incremental Kahan sum
+     vs a fresh fold), not a scheduling decision. The digest covers the
+     decisions — ECTs, costs, rounds, batches, work units. *)
+  List.iter
+    (fun (ri : Core.Engine.round_info) ->
+      h := fnv_float !h ri.Core.Engine.round_start_s;
+      List.iter (fun id -> h := fnv_int !h id) ri.Core.Engine.executed;
+      h := fnv_int !h ri.Core.Engine.round_units)
+    r.Core.Engine.rounds_log;
+  Printf.sprintf "%016Lx" !h
+
+(* ------------------------------------------------------------------ *)
+(* One measured scenario.                                              *)
+
+type measurement = {
+  m_name : string;
+  m_events : int;
+  m_rounds : int;
+  m_plan_units : int;
+  m_planning_wall_s : float;
+  m_run_wall_s : float;
+  m_events_per_s : float;
+  m_probes_per_round : float;
+  m_total_cost_mbit : float;
+  m_digest : string;
+  m_counters : (string * int) list;
+}
+
+let now_s () = Unix.gettimeofday ()
+
+let measure ~name ~policy ~n_events () =
+  (* A fresh scenario per measurement: the run mutates its network. *)
+  let s = Core.Scenario.prepare ~k:8 ~utilization:0.70 ~seed:!seed () in
+  let events = Core.Scenario.events s ~n:n_events in
+  let churn = Core.Scenario.churn ~target:0.70 s in
+  let before = Core.Obs.Counters.snapshot () in
+  let t0 = now_s () in
+  let run = Core.Engine.run ~seed:3 ~churn ~net:s.Core.Scenario.net ~events policy in
+  let wall = now_s () -. t0 in
+  let counters =
+    Core.Obs.Counters.to_alist
+      (Core.Obs.Counters.diff ~before ~after:(Core.Obs.Counters.snapshot ()))
+  in
+  let n = Array.length run.Core.Engine.events in
+  {
+    m_name = name;
+    m_events = n;
+    m_rounds = run.Core.Engine.rounds;
+    m_plan_units = run.Core.Engine.total_plan_units;
+    m_planning_wall_s = run.Core.Engine.planning_wall_s;
+    m_run_wall_s = wall;
+    m_events_per_s = (if wall > 0.0 then float_of_int n /. wall else 0.0);
+    m_probes_per_round =
+      (if run.Core.Engine.rounds > 0 then
+         float_of_int run.Core.Engine.total_plan_units
+         /. float_of_int run.Core.Engine.rounds
+       else 0.0);
+    m_total_cost_mbit = run.Core.Engine.total_cost_mbit;
+    m_digest = digest_of_run run;
+    m_counters = counters;
+  }
+
+let json_of_measurement m =
+  Core.Obs.Json.Obj
+    [
+      ("name", Core.Obs.Json.String m.m_name);
+      ("events", Core.Obs.Json.Int m.m_events);
+      ("rounds", Core.Obs.Json.Int m.m_rounds);
+      ("plan_units", Core.Obs.Json.Int m.m_plan_units);
+      ("planning_wall_s", Core.Obs.Json.Float m.m_planning_wall_s);
+      ("run_wall_s", Core.Obs.Json.Float m.m_run_wall_s);
+      ("events_per_s", Core.Obs.Json.Float m.m_events_per_s);
+      ("probes_per_round", Core.Obs.Json.Float m.m_probes_per_round);
+      ("total_cost_mbit", Core.Obs.Json.Float m.m_total_cost_mbit);
+      ("digest", Core.Obs.Json.String m.m_digest);
+      ( "counters",
+        Core.Obs.Json.Obj
+          (List.map (fun (k, v) -> (k, Core.Obs.Json.Int v)) m.m_counters) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Arg.parse args (fun _ -> raise (Arg.Bad "no positional arguments")) usage;
+  let n_events = if !quick then 40 else 120 in
+  let scenarios =
+    [
+      ("lmtf-churn-k8", Core.Policy.Lmtf { alpha = 4 });
+      ("reorder-churn-k8", Core.Policy.Reorder);
+    ]
+  in
+  let measurements =
+    List.map
+      (fun (name, policy) ->
+        Printf.eprintf "bench: running %s (%d events)...\n%!" name n_events;
+        measure ~name ~policy ~n_events ())
+      scenarios
+  in
+  List.iter
+    (fun m ->
+      Printf.printf
+        "%-20s events %4d  rounds %5d  probes/round %7.1f  planning %7.3fs  \
+         wall %7.3fs  ev/s %7.1f  digest %s\n"
+        m.m_name m.m_events m.m_rounds m.m_probes_per_round m.m_planning_wall_s
+        m.m_run_wall_s m.m_events_per_s m.m_digest)
+    measurements;
+  let baseline =
+    if !baseline_file = "" then None
+    else begin
+      match
+        let ic = open_in !baseline_file in
+        let len = in_channel_length ic in
+        let body = really_input_string ic len in
+        close_in ic;
+        Core.Obs.Json.of_string body
+      with
+      | Ok j -> Some j
+      | Error e ->
+          Printf.eprintf "bench: bad baseline %s: %s\n%!" !baseline_file e;
+          None
+      | exception Sys_error e ->
+          (* An unreadable baseline degrades to a baseline-less run —
+             the measurements themselves are still worth keeping. *)
+          Printf.eprintf "bench: cannot read baseline: %s\n%!" e;
+          None
+    end
+  in
+  (* Speedup report against the baseline's matching scenario names. *)
+  let speedups =
+    match baseline with
+    | None -> []
+    | Some j -> (
+        match Core.Obs.Json.member "scenarios" j with
+        | Some (Core.Obs.Json.List bases) ->
+            List.filter_map
+              (fun m ->
+                List.find_map
+                  (fun b ->
+                    match
+                      ( Core.Obs.Json.member "name" b,
+                        Core.Obs.Json.member "planning_wall_s" b,
+                        Core.Obs.Json.member "digest" b )
+                    with
+                    | ( Some (Core.Obs.Json.String n),
+                        Some (Core.Obs.Json.Float w),
+                        digest )
+                      when n = m.m_name && m.m_planning_wall_s > 0.0 ->
+                        let identical =
+                          match digest with
+                          | Some (Core.Obs.Json.String d) -> d = m.m_digest
+                          | _ -> false
+                        in
+                        Some
+                          ( m.m_name,
+                            w /. m.m_planning_wall_s,
+                            identical )
+                    | _ -> None)
+                  bases)
+              measurements
+        | _ -> [])
+  in
+  List.iter
+    (fun (name, x, identical) ->
+      Printf.printf "%-20s planning speedup vs baseline: %.2fx  (digest %s)\n"
+        name x
+        (if identical then "identical" else "DIFFERS"))
+    speedups;
+  let result =
+    Core.Obs.Json.Obj
+      (List.concat
+         [
+           [
+             ("bench", Core.Obs.Json.String "sched_bench_pr2");
+             ("mode", Core.Obs.Json.String (if !quick then "quick" else "full"));
+             ("seed", Core.Obs.Json.Int !seed);
+             ("n_events", Core.Obs.Json.Int n_events);
+             ( "scenarios",
+               Core.Obs.Json.List (List.map json_of_measurement measurements) );
+           ];
+           (match speedups with
+           | [] -> []
+           | _ ->
+               [
+                 ( "speedup_vs_baseline",
+                   Core.Obs.Json.Obj
+                     (List.map
+                        (fun (n, x, identical) ->
+                          ( n,
+                            Core.Obs.Json.Obj
+                              [
+                                ("planning_wall", Core.Obs.Json.Float x);
+                                ("digest_identical", Core.Obs.Json.Bool identical);
+                              ] ))
+                        speedups) );
+               ]);
+           (match baseline with
+           | None -> []
+           | Some j -> [ ("baseline", j) ]);
+         ])
+  in
+  match !out_file with
+  | "" -> ()
+  | path ->
+      let oc = open_out path in
+      output_string oc (Core.Obs.Json.to_string result);
+      output_string oc "\n";
+      close_out oc;
+      Printf.eprintf "bench: wrote %s\n%!" path

@@ -1,12 +1,40 @@
 type placed = { record : Flow_record.t; path : Path.t }
 
+(* Undo-journal entry. Residual entries store the *applied* delta and are
+   undone by applying the opposite delta — the exact arithmetic the
+   symmetric plan/revert pair used to perform, so rollback is bit-
+   compatible with the historical revert-based probes. Table entries
+   store enough of the previous binding to restore it structurally. *)
+type jop =
+  | Jresidual of int * float  (* edge id, applied delta *)
+  | Jflow_put of int * placed option  (* flow id, previous binding *)
+  | Jflow_del of int * placed  (* flow id, removed binding *)
+  | Jon_edge_put of int * int * bool  (* edge id, flow id, was present *)
+  | Jon_edge_del of int * int * bool  (* edge id, flow id, was present *)
+  | Jdisabled of int * bool  (* edge id, previous flag *)
+
 type t = {
   topo : Topology.t;
   residual : float array;  (* indexed by edge id *)
   flows : (int, placed) Hashtbl.t;  (* flow id -> placement *)
   on_edge : (int, unit) Hashtbl.t array;  (* edge id -> flow-id set *)
   disabled : bool array;  (* administratively failed edges *)
-  fabric : int list Lazy.t;  (* switch-to-switch edge ids *)
+  versions : int array;  (* per-edge write stamp (committed writes only) *)
+  fabric : int list;  (* switch-to-switch edge ids *)
+  is_fabric : bool array;
+  inv_cap : float array;  (* 1/capacity for fabric edges, else 0 *)
+  fabric_n : int;
+  mutable util_sum : float;  (* running sum of fabric used/capacity *)
+  mutable util_comp : float;  (* Kahan compensation for util_sum *)
+  mutable journal : jop list;  (* newest-first, non-empty only in a txn *)
+  mutable txns : jop list list;  (* savepoints: journal tails, innermost first *)
+  mutable disabled_n : int;  (* how many edges are administratively down *)
+  mutable disabled_epoch : int;  (* bumped on every disable/enable *)
+  mutable watch_on : bool;  (* probe read/write tracking active *)
+  watch_seen : Bytes.t;  (* per-edge dedup mask for the probe set *)
+  mutable watch_acc : int list;  (* touched edges, newest first *)
+  paths_memo : (int, Path.t list) Hashtbl.t;
+      (* (src,dst) -> full candidate set; topology-pure, shared by copies *)
 }
 
 let compute_fabric topo =
@@ -19,19 +47,42 @@ let compute_fabric topo =
 
 let create topo =
   let g = topo.Topology.graph in
-  let residual =
-    Array.init (Graph.edge_count g) (fun id -> (Graph.edge g id).capacity)
-  in
+  let n_edges = Graph.edge_count g in
+  let residual = Array.init n_edges (fun id -> (Graph.edge g id).capacity) in
+  let fabric = compute_fabric topo in
+  let is_fabric = Array.make n_edges false in
+  let inv_cap = Array.make n_edges 0.0 in
+  List.iter
+    (fun id ->
+      is_fabric.(id) <- true;
+      let cap = (Graph.edge g id).capacity in
+      if cap > 0.0 then inv_cap.(id) <- 1.0 /. cap)
+    fabric;
   {
     topo;
     residual;
     flows = Hashtbl.create 1024;
-    on_edge = Array.init (Graph.edge_count g) (fun _ -> Hashtbl.create 8);
-    disabled = Array.make (Graph.edge_count g) false;
-    fabric = lazy (compute_fabric topo);
+    on_edge = Array.init n_edges (fun _ -> Hashtbl.create 8);
+    disabled = Array.make n_edges false;
+    versions = Array.make n_edges 0;
+    fabric;
+    is_fabric;
+    inv_cap;
+    fabric_n = List.length fabric;
+    util_sum = 0.0;
+    util_comp = 0.0;
+    journal = [];
+    txns = [];
+    disabled_n = 0;
+    disabled_epoch = 0;
+    watch_on = false;
+    watch_seen = Bytes.make n_edges '\000';
+    watch_acc = [];
+    paths_memo = Hashtbl.create 256;
   }
 
 let copy t =
+  if t.txns <> [] then invalid_arg "Net_state.copy: open transaction";
   Nu_obs.Counters.incr Nu_obs.Counters.State_copies;
   {
     topo = t.topo;
@@ -39,15 +90,168 @@ let copy t =
     flows = Hashtbl.copy t.flows;
     on_edge = Array.map Hashtbl.copy t.on_edge;
     disabled = Array.copy t.disabled;
+    versions = Array.copy t.versions;
     fabric = t.fabric;
+    is_fabric = t.is_fabric;
+    inv_cap = t.inv_cap;
+    fabric_n = t.fabric_n;
+    util_sum = t.util_sum;
+    util_comp = t.util_comp;
+    journal = [];
+    txns = [];
+    disabled_n = t.disabled_n;
+    disabled_epoch = t.disabled_epoch;
+    watch_on = false;
+    watch_seen = Bytes.make (Array.length t.residual) '\000';
+    watch_acc = [];
+    paths_memo = t.paths_memo;
   }
 
 let topology t = t.topo
 let graph t = t.topo.Topology.graph
 
+(* ------------------------------------------------------------------ *)
+(* Probe read-set tracking. A bytes mask dedups membership in O(1) with
+   no allocation on the hot path — probes touch edges millions of times
+   per run, so a hashtable here dominated the tracking cost. Disabled-
+   flag reads are deliberately *not* tracked per edge: [disabled_epoch]
+   stands in for all of them (see {!candidate_paths}). *)
+
+let[@inline] touch t edge_id =
+  if t.watch_on && Bytes.unsafe_get t.watch_seen edge_id = '\000' then begin
+    Bytes.unsafe_set t.watch_seen edge_id '\001';
+    t.watch_acc <- edge_id :: t.watch_acc
+  end
+
+let start_probe t =
+  if t.watch_on then invalid_arg "Net_state.start_probe: probe already active";
+  t.watch_on <- true
+
+let stop_probe t =
+  if not t.watch_on then invalid_arg "Net_state.stop_probe: no active probe";
+  t.watch_on <- false;
+  let acc = t.watch_acc in
+  t.watch_acc <- [];
+  List.iter (fun e -> Bytes.unsafe_set t.watch_seen e '\000') acc;
+  List.sort compare acc
+
+(* ------------------------------------------------------------------ *)
+(* Transaction journal. *)
+
+let[@inline] journal_active t = t.txns <> []
+
+let in_txn t = journal_active t
+let txn_depth t = List.length t.txns
+let disabled_epoch t = t.disabled_epoch
+let edge_version t id =
+  if id < 0 || id >= Array.length t.versions then
+    invalid_arg "Net_state.edge_version: edge id";
+  t.versions.(id)
+
+(* Kahan-compensated accumulation keeps the running fabric-utilisation
+   sum accurate across millions of occupy/release pairs. *)
+let[@inline] kadd t x =
+  let y = x -. t.util_comp in
+  let s = t.util_sum +. y in
+  t.util_comp <- (s -. t.util_sum) -. y;
+  t.util_sum <- s
+
+(* Every residual change funnels through here: journaling, version
+   stamping (deferred to commit while inside a transaction), probe
+   tracking and the incremental utilisation sum. *)
+let[@inline] apply_residual t e delta =
+  touch t e;
+  if journal_active t then t.journal <- Jresidual (e, delta) :: t.journal
+  else t.versions.(e) <- t.versions.(e) + 1;
+  t.residual.(e) <- t.residual.(e) +. delta;
+  (* used = capacity - residual, so utilisation moves opposite to the
+     residual delta. *)
+  if t.is_fabric.(e) then kadd t (-.(delta *. t.inv_cap.(e)))
+
+let[@inline] on_edge_put t e fid =
+  let tbl = t.on_edge.(e) in
+  if journal_active t then
+    t.journal <- Jon_edge_put (e, fid, Hashtbl.mem tbl fid) :: t.journal;
+  Hashtbl.replace tbl fid ()
+
+let[@inline] on_edge_del t e fid =
+  let tbl = t.on_edge.(e) in
+  if journal_active t then
+    t.journal <- Jon_edge_del (e, fid, Hashtbl.mem tbl fid) :: t.journal;
+  Hashtbl.remove tbl fid
+
+let[@inline] flow_put t id p =
+  if journal_active t then
+    t.journal <- Jflow_put (id, Hashtbl.find_opt t.flows id) :: t.journal;
+  Hashtbl.replace t.flows id p
+
+let[@inline] flow_del t id p =
+  if journal_active t then t.journal <- Jflow_del (id, p) :: t.journal;
+  Hashtbl.remove t.flows id
+
+let undo t = function
+  | Jresidual (e, delta) ->
+      t.residual.(e) <- t.residual.(e) -. delta;
+      if t.is_fabric.(e) then kadd t (delta *. t.inv_cap.(e))
+  | Jflow_put (id, prev) -> (
+      match prev with
+      | None -> Hashtbl.remove t.flows id
+      | Some p -> Hashtbl.replace t.flows id p)
+  | Jflow_del (id, p) -> Hashtbl.replace t.flows id p
+  | Jon_edge_put (e, fid, existed) ->
+      if not existed then Hashtbl.remove t.on_edge.(e) fid
+  | Jon_edge_del (e, fid, existed) ->
+      if existed then Hashtbl.replace t.on_edge.(e) fid ()
+  | Jdisabled (e, prev) ->
+      t.disabled.(e) <- prev;
+      t.disabled_n <- t.disabled_n + (if prev then 1 else -1)
+
+let begin_txn t = t.txns <- t.journal :: t.txns
+
+let rollback t =
+  match t.txns with
+  | [] -> invalid_arg "Net_state.rollback: no open transaction"
+  | mark :: rest ->
+      Nu_obs.Counters.incr Nu_obs.Counters.Txn_rollbacks;
+      let rec undo_to j =
+        if j != mark then
+          match j with
+          | op :: tl ->
+              undo t op;
+              undo_to tl
+          | [] -> assert false (* mark is always a suffix of the journal *)
+      in
+      undo_to t.journal;
+      t.journal <- mark;
+      t.txns <- rest
+
+let commit t =
+  match t.txns with
+  | [] -> invalid_arg "Net_state.commit: no open transaction"
+  | _ :: rest ->
+      t.txns <- rest;
+      if rest = [] then begin
+        (* Outermost commit: the journaled writes become permanent, so
+           stamp every edge they touched. Inner commits just merge into
+           the enclosing transaction. *)
+        Nu_obs.Counters.incr Nu_obs.Counters.Txn_commits;
+        List.iter
+          (fun op ->
+            match op with
+            | Jresidual (e, _) | Jdisabled (e, _) ->
+                t.versions.(e) <- t.versions.(e) + 1
+            | Jflow_put _ | Jflow_del _ | Jon_edge_put _ | Jon_edge_del _ -> ())
+          t.journal;
+        t.journal <- []
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Capacity accounting. *)
+
 let residual t edge_id =
   if edge_id < 0 || edge_id >= Array.length t.residual then
     invalid_arg "Net_state.residual: edge id";
+  touch t edge_id;
   t.residual.(edge_id)
 
 let used t edge_id = (Graph.edge (graph t) edge_id).capacity -. residual t edge_id
@@ -57,16 +261,21 @@ let edge_utilization t edge_id =
   if cap <= 0.0 then 0.0 else used t edge_id /. cap
 
 let mean_utilization ?edges t =
-  let ids =
-    match edges with
-    | Some ids -> ids
-    | None -> List.init (Graph.edge_count (graph t)) (fun i -> i)
-  in
-  match ids with
-  | [] -> 0.0
-  | _ ->
+  match edges with
+  | Some [] -> 0.0
+  | Some ids ->
       let sum = List.fold_left (fun acc id -> acc +. edge_utilization t id) 0.0 ids in
       sum /. float_of_int (List.length ids)
+  | None ->
+      let n = Graph.edge_count (graph t) in
+      if n = 0 then 0.0
+      else begin
+        let sum = ref 0.0 in
+        for id = 0 to n - 1 do
+          sum := !sum +. edge_utilization t id
+        done;
+        !sum /. float_of_int n
+      end
 
 let max_utilization t =
   let m = ref 0.0 in
@@ -79,32 +288,73 @@ let check_edge_id t id name =
   if id < 0 || id >= Array.length t.disabled then
     invalid_arg ("Net_state." ^ name ^ ": edge id")
 
+let set_disabled t id v =
+  if t.disabled.(id) <> v then begin
+    if journal_active t then
+      t.journal <- Jdisabled (id, t.disabled.(id)) :: t.journal
+    else t.versions.(id) <- t.versions.(id) + 1;
+    (* The epoch stays bumped even if the write is rolled back — a
+       spurious cache invalidation at worst, never a stale hit. *)
+    t.disabled_epoch <- t.disabled_epoch + 1;
+    t.disabled_n <- t.disabled_n + (if v then 1 else -1);
+    t.disabled.(id) <- v
+  end
+
 let disable_edge t id =
   check_edge_id t id "disable_edge";
-  t.disabled.(id) <- true
+  set_disabled t id true
 
 let enable_edge t id =
   check_edge_id t id "enable_edge";
-  t.disabled.(id) <- false
+  set_disabled t id false
 
 let edge_disabled t id =
   check_edge_id t id "edge_disabled";
   t.disabled.(id)
 
-let fabric_edges t = Lazy.force t.fabric
-let mean_fabric_utilization t = mean_utilization ~edges:(fabric_edges t) t
+let fabric_edges t = t.fabric
 
-let flow t id = Hashtbl.find_opt t.flows id
+let mean_fabric_utilization t =
+  (* Maintained incrementally in occupy/release: O(1), where the fold
+     over fabric edge ids was O(edges) per call. *)
+  if t.fabric_n = 0 then 0.0
+  else
+    let v = t.util_sum /. float_of_int t.fabric_n in
+    if v < 0.0 then 0.0 else v
+
+let flow t id =
+  match Hashtbl.find_opt t.flows id with
+  | None -> None
+  | Some p as r ->
+      (* A probe that looked a flow up depends on its placement; its
+         path's edges stand in for it in the read set (any reroute or
+         removal of the flow re-stamps them). *)
+      if t.watch_on then
+        List.iter (fun (e : Graph.edge) -> touch t e.id) (Path.edges p.path);
+      r
+
 let flow_count t = Hashtbl.length t.flows
-let is_placed t id = Hashtbl.mem t.flows id
+
+let is_placed t id =
+  if t.watch_on then flow t id <> None else Hashtbl.mem t.flows id
+
 let iter_flows t f = Hashtbl.iter (fun _ placed -> f placed) t.flows
 
 let flows_on_edge t edge_id =
   if edge_id < 0 || edge_id >= Array.length t.on_edge then
     invalid_arg "Net_state.flows_on_edge: edge id";
-  let ids = Hashtbl.fold (fun id () acc -> id :: acc) t.on_edge.(edge_id) [] in
-  let ids = List.sort compare ids in
-  List.map (fun id -> Hashtbl.find t.flows id) ids
+  touch t edge_id;
+  (* One fold resolving placements directly, then one sort — the id list
+     detour (build, sort, re-look-up) doubled the hashtable traffic in
+     Migration.clear_path's inner loop. *)
+  let ps =
+    Hashtbl.fold
+      (fun id () acc -> Hashtbl.find t.flows id :: acc)
+      t.on_edge.(edge_id) []
+  in
+  List.sort
+    (fun a b -> Int.compare a.record.Flow_record.id b.record.Flow_record.id)
+    ps
 
 let flows_through_node t v =
   let acc = ref [] in
@@ -126,19 +376,40 @@ let path_enabled t path =
 let candidate_paths t record =
   Nu_obs.Counters.incr Nu_obs.Counters.Path_enumerations;
   let src, dst = endpoints t record in
-  List.filter (path_enabled t) (t.topo.Topology.candidate_paths ~src ~dst)
+  let key = (src * Graph.node_count (graph t)) + dst in
+  let all =
+    (* The unfiltered candidate set is a pure function of the topology;
+       memoise it so repeated probes skip the path re-construction. *)
+    match Hashtbl.find_opt t.paths_memo key with
+    | Some ps -> ps
+    | None ->
+        let ps = t.topo.Topology.candidate_paths ~src ~dst in
+        Hashtbl.add t.paths_memo key ps;
+        ps
+  in
+  (* With no edge down — the overwhelmingly common case — the filter is
+     the identity; skip it. Probes need no per-edge record of the
+     disabled reads either way: any disable/enable bumps
+     [disabled_epoch], which the estimate cache checks wholesale. *)
+  if t.disabled_n = 0 then all else List.filter (path_enabled t) all
 
 let path_feasible t path ~demand =
   List.for_all
-    (fun (e : Graph.edge) -> (not t.disabled.(e.id)) && t.residual.(e.id) >= demand)
+    (fun (e : Graph.edge) ->
+      touch t e.id;
+      (not t.disabled.(e.id)) && t.residual.(e.id) >= demand)
     (Path.edges path)
 
 let congested_links t path ~demand =
   List.filter
-    (fun (e : Graph.edge) -> t.residual.(e.id) < demand)
+    (fun (e : Graph.edge) ->
+      touch t e.id;
+      t.residual.(e.id) < demand)
     (Path.edges path)
 
-let capacity_gap t (e : Graph.edge) ~demand = demand -. t.residual.(e.id)
+let capacity_gap t (e : Graph.edge) ~demand =
+  touch t e.id;
+  demand -. t.residual.(e.id)
 
 type place_error = Duplicate_flow | Congested of Graph.edge list
 
@@ -146,16 +417,16 @@ let occupy t placed =
   let demand = Flow_record.demand_mbps placed.record in
   List.iter
     (fun (e : Graph.edge) ->
-      t.residual.(e.id) <- t.residual.(e.id) -. demand;
-      Hashtbl.replace t.on_edge.(e.id) placed.record.id ())
+      apply_residual t e.id (-.demand);
+      on_edge_put t e.id placed.record.id)
     (Path.edges placed.path)
 
 let release t placed =
   let demand = Flow_record.demand_mbps placed.record in
   List.iter
     (fun (e : Graph.edge) ->
-      t.residual.(e.id) <- t.residual.(e.id) +. demand;
-      Hashtbl.remove t.on_edge.(e.id) placed.record.id)
+      apply_residual t e.id demand;
+      on_edge_del t e.id placed.record.id)
     (Path.edges placed.path)
 
 let place t record path =
@@ -172,7 +443,7 @@ let place t record path =
     | _ :: _ as blocked -> Error (Congested blocked)
     | [] ->
         let placed = { record; path } in
-        Hashtbl.replace t.flows record.id placed;
+        flow_put t record.id placed;
         occupy t placed;
         Ok ()
   end
@@ -181,7 +452,7 @@ let remove t id =
   match Hashtbl.find_opt t.flows id with
   | None -> Error `Not_found
   | Some placed ->
-      Hashtbl.remove t.flows id;
+      flow_del t id placed;
       release t placed;
       Ok placed
 
@@ -189,10 +460,12 @@ let reroute ?(admit_disabled = false) t id new_path =
   match Hashtbl.find_opt t.flows id with
   | None -> invalid_arg "Net_state.reroute: flow not placed"
   | Some placed ->
-      (* Judge feasibility with the flow's own usage released, then
-         either commit the move or restore the original placement. *)
-      Hashtbl.remove t.flows id;
-      release t placed;
+      (* Judge feasibility with the flow's own usage released — computed
+         arithmetically (residual +. demand on edges the old path shares
+         with the new one) rather than by physically releasing and
+         restoring the placement, so a rejected attempt costs no journal
+         or flow-table traffic. The additions match what release used to
+         apply, keeping the comparisons bit-identical. *)
       let demand = Flow_record.demand_mbps placed.record in
       let dead =
         if admit_disabled then []
@@ -201,21 +474,29 @@ let reroute ?(admit_disabled = false) t id new_path =
             (fun (e : Graph.edge) -> t.disabled.(e.id))
             (Path.edges new_path)
       in
-      (match dead @ congested_links t new_path ~demand with
-      | _ :: _ as blocked ->
-          Hashtbl.replace t.flows id placed;
-          occupy t placed;
-          Error (Congested blocked)
+      let congested =
+        List.filter
+          (fun (e : Graph.edge) ->
+            touch t e.id;
+            let avail =
+              if Path.mentions_edge placed.path e.id then
+                t.residual.(e.id) +. demand
+              else t.residual.(e.id)
+            in
+            avail < demand)
+          (Path.edges new_path)
+      in
+      (match dead @ congested with
+      | _ :: _ as blocked -> Error (Congested blocked)
       | [] ->
           let src, dst = endpoints t placed.record in
-          if Path.src new_path <> src || Path.dst new_path <> dst then begin
-            Hashtbl.replace t.flows id placed;
-            occupy t placed;
+          if Path.src new_path <> src || Path.dst new_path <> dst then
             invalid_arg "Net_state.reroute: path does not connect endpoints"
-          end
           else begin
+            flow_del t id placed;
+            release t placed;
             let placed' = { placed with path = new_path } in
-            Hashtbl.replace t.flows id placed';
+            flow_put t id placed';
             occupy t placed';
             Ok placed.path
           end)
@@ -267,6 +548,24 @@ let invariants_ok t =
                          edge_id fid))
         set)
     t.on_edge;
+  (* The incremental fabric-utilisation sum must track a fresh fold. *)
+  (if !err = None && t.fabric_n > 0 then begin
+     let folded =
+       List.fold_left
+         (fun acc id ->
+           let cap = (Graph.edge g id).capacity in
+           if cap <= 0.0 then acc
+           else acc +. ((cap -. t.residual.(id)) /. cap))
+         0.0 t.fabric
+     in
+     if abs_float (folded -. t.util_sum) > 1e-6 then
+       err :=
+         Some
+           (Printf.sprintf "fabric util sum %.9f, expected %.9f" t.util_sum
+              folded)
+   end);
+  (if !err = None && t.txns <> [] then
+     err := Some "transaction left open");
   match !err with Some msg -> Error msg | None -> Ok ()
 
 let pp ppf t =

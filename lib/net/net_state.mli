@@ -19,10 +19,70 @@ val create : Topology.t -> t
 (** Empty network over a topology: all residuals at link capacity. *)
 
 val copy : t -> t
-(** Deep copy; the copy can be mutated freely (what-if planning). *)
+(** Deep copy; the copy can be mutated freely (what-if planning).
+    Raises [Invalid_argument] while a transaction is open. Speculative
+    planning should prefer {!begin_txn}/{!rollback}, which undo in
+    O(touched edges) instead of cloning every per-edge table. *)
 
 val topology : t -> Topology.t
 val graph : t -> Graph.t
+
+(** {2 Transactions}
+
+    A lightweight undo journal for speculative planning: every mutation
+    made while a transaction is open is recorded and can be undone with
+    {!rollback} in O(operations performed) — no state copy, no
+    re-planning of reroutes. Transactions nest; an inner [commit] merges
+    its operations into the enclosing transaction, and only the
+    outermost [commit] makes them permanent (bumping {!edge_version}
+    stamps). *)
+
+val begin_txn : t -> unit
+(** Open a (possibly nested) transaction. *)
+
+val rollback : t -> unit
+(** Undo every mutation since the matching {!begin_txn}, restoring
+    residuals, the flow table, per-edge occupancy and administrative
+    link state exactly. Raises [Invalid_argument] with no open
+    transaction. *)
+
+val commit : t -> unit
+(** Keep the mutations made since the matching {!begin_txn}. The
+    outermost commit stamps every written edge (see {!edge_version}).
+    Raises [Invalid_argument] with no open transaction. *)
+
+val in_txn : t -> bool
+
+val txn_depth : t -> int
+(** Number of open transactions. *)
+
+(** {2 Edge versions and probe read sets}
+
+    Support for memoising cost estimates: [edge_version] is a per-edge
+    stamp bumped every time a *committed* write lands on the edge
+    (residual change or administrative flag flip; rolled-back
+    speculative writes do not count). A probe bracketed by
+    [start_probe]/[stop_probe] records every edge id whose state it read
+    or wrote, so a cached result is exactly reusable while all recorded
+    edges still carry their recorded versions. *)
+
+val edge_version : t -> int -> int
+
+val disabled_epoch : t -> int
+(** Bumped on every {!disable_edge}/{!enable_edge} that changes a flag
+    (including speculative ones later rolled back). Probes do not record
+    per-edge disabled-flag reads; a cached estimate is instead valid
+    only while the epoch it was stored under is unchanged — coarse, but
+    administrative events are rare and the per-read bookkeeping is
+    not. *)
+
+val start_probe : t -> unit
+(** Begin recording the edge read/write set. Probes do not nest; raises
+    [Invalid_argument] if one is already active. *)
+
+val stop_probe : t -> int list
+(** Stop recording and return the touched edge ids, sorted ascending.
+    Raises [Invalid_argument] without an active probe. *)
 
 (** {2 Capacity accounting} *)
 
@@ -63,7 +123,12 @@ val fabric_edges : t -> int list
     family and cached. *)
 
 val mean_fabric_utilization : t -> float
-(** [mean_utilization ~edges:(fabric_edges t) t]. *)
+(** Mean utilisation over {!fabric_edges}, maintained incrementally by
+    {!place}/{!remove}/{!reroute} (Kahan-compensated running sum), so
+    the per-round churn refill loop pays O(1) per probe instead of
+    O(edges). Agrees with [mean_utilization ~edges:(fabric_edges t) t]
+    to floating-point accumulation accuracy (checked by
+    {!invariants_ok}). *)
 
 (** {2 Flow queries} *)
 

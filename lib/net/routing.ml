@@ -17,6 +17,13 @@ let peak_utilization net path =
     0.0 (Path.edges path)
 
 let select_from ?rng ?(policy = First_fit) net ~demand candidates =
+  match policy with
+  | First_fit ->
+      (* First-fit needs only the first feasible candidate — don't pay
+         feasibility checks for the rest of the list. Picks the same
+         path the filter-then-head formulation did. *)
+      List.find_opt (fun p -> Net_state.path_feasible net p ~demand) candidates
+  | _ -> (
   let feasible =
     List.filter (fun p -> Net_state.path_feasible net p ~demand) candidates
   in
@@ -24,7 +31,7 @@ let select_from ?rng ?(policy = First_fit) net ~demand candidates =
   | [] -> None
   | first :: _ -> (
       match policy with
-      | First_fit -> Some first
+      | First_fit -> assert false
       | Widest ->
           let best =
             List.fold_left
@@ -48,7 +55,7 @@ let select_from ?rng ?(policy = First_fit) net ~demand candidates =
       | Random_fit -> (
           match rng with
           | None -> invalid_arg "Routing.select_from: Random_fit needs an rng"
-          | Some rng -> Some (Prng.choose rng (Array.of_list feasible))))
+          | Some rng -> Some (Prng.choose rng (Array.of_list feasible)))))
 
 let select ?rng ?policy net record =
   let demand = Flow_record.demand_mbps record in

@@ -11,6 +11,11 @@ type key =
   | Events_executed
   | Co_scheduled_events
   | Churn_placements
+  | Txn_rollbacks
+  | Txn_commits
+  | Plan_replays
+  | Estimate_cache_hits
+  | Estimate_cache_misses
 
 let index = function
   | Planner_plans -> 0
@@ -25,6 +30,11 @@ let index = function
   | Events_executed -> 9
   | Co_scheduled_events -> 10
   | Churn_placements -> 11
+  | Txn_rollbacks -> 12
+  | Txn_commits -> 13
+  | Plan_replays -> 14
+  | Estimate_cache_hits -> 15
+  | Estimate_cache_misses -> 16
 
 let all =
   [
@@ -40,6 +50,11 @@ let all =
     Events_executed;
     Co_scheduled_events;
     Churn_placements;
+    Txn_rollbacks;
+    Txn_commits;
+    Plan_replays;
+    Estimate_cache_hits;
+    Estimate_cache_misses;
   ]
 
 let size = List.length all
@@ -57,6 +72,11 @@ let name = function
   | Events_executed -> "events_executed"
   | Co_scheduled_events -> "co_scheduled_events"
   | Churn_placements -> "churn_placements"
+  | Txn_rollbacks -> "txn_rollbacks"
+  | Txn_commits -> "txn_commits"
+  | Plan_replays -> "plan_replays"
+  | Estimate_cache_hits -> "estimate_cache_hits"
+  | Estimate_cache_misses -> "estimate_cache_misses"
 
 let counts = Array.make size 0
 

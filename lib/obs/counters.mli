@@ -23,6 +23,11 @@ type key =
   | Events_executed  (** Events completed by event-level rounds. *)
   | Co_scheduled_events  (** P-LMTF opportunistic co-executions. *)
   | Churn_placements  (** Background flows re-admitted by churn. *)
+  | Txn_rollbacks  (** {!Nu_net.Net_state.rollback} calls (probe undos). *)
+  | Txn_commits  (** Outermost {!Nu_net.Net_state.commit} calls. *)
+  | Plan_replays  (** Winner plans re-applied via {!Nu_update.Planner.replay}. *)
+  | Estimate_cache_hits  (** Scheduler probes answered from the cache. *)
+  | Estimate_cache_misses  (** Scheduler probes that had to re-plan. *)
 
 val all : key list
 (** Every key, in rendering order. *)

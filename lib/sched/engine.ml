@@ -52,6 +52,7 @@ type ctx = {
   churn : churn option;
   expiry : int Pqueue.t;  (* flow id keyed by departure instant *)
   co_max_cost_mbit : float;
+  cache : Estimate_cache.t option;  (* memoised probes; None = disabled *)
   mutable next_churn_id : int;
   mutable units : int;  (* plan-time-billable probes *)
   mutable wall : float;  (* real planner CPU seconds *)
@@ -118,13 +119,45 @@ let timed ctx f =
   ctx.wall <- ctx.wall +. (Sys.time () -. t0);
   v
 
-(* Plan-and-revert probe; billed. *)
-let estimate ctx ev =
-  let est =
-    timed ctx (fun () -> Planner.cost_of ~rng:ctx.rng ~config:ctx.config ctx.net ev)
+(* Plan-and-rollback probe; billed. A cache hit bills the identical
+   simulated work units a fresh probe would have reported (the stamps
+   guarantee the fresh probe would recompute the same plan), so the
+   virtual timeline is independent of the cache — only the real planner
+   wall time shrinks. *)
+let probe_event ctx ev =
+  let cached =
+    match ctx.cache with
+    | Some c -> Estimate_cache.find c ctx.net ev.Event.id
+    | None -> None
   in
-  ctx.units <- ctx.units + est.Planner.est_work_units;
-  est
+  let pr =
+    match cached with
+    | Some pr -> pr
+    | None ->
+        let pr =
+          timed ctx (fun () ->
+              Planner.probe ~rng:ctx.rng ~config:ctx.config ctx.net ev)
+        in
+        (match ctx.cache with
+        | Some c -> Estimate_cache.store c ctx.net pr
+        | None -> ());
+        pr
+  in
+  ctx.units <- ctx.units + pr.Planner.probe_est.Planner.est_work_units;
+  pr
+
+(* Re-apply the round winner's probe plan. Every losing probe rolled
+   back, so the state is exactly the one the winner's plan was computed
+   against: replaying its recorded operations is equivalent to (and much
+   cheaper than) the full re-plan the engine used to pay here. *)
+let apply_winner ctx (pr : Planner.probe) =
+  timed ctx (fun () -> Planner.replay ctx.net pr.Planner.probe_plan);
+  (match ctx.cache with
+  | Some c ->
+      Estimate_cache.invalidate c
+        pr.Planner.probe_plan.Planner.event.Event.id
+  | None -> ());
+  pr.Planner.probe_plan
 
 (* Apply a plan for execution. [billed] is false when the scheduler
    already paid for an estimate of this event this round and reuses it.
@@ -151,26 +184,30 @@ let work_flow_ids (plan : Planner.t) =
     plan.Planner.items
 
 
+(* Lowest estimated cost wins; arrival order breaks ties. *)
+let pick_winner costed =
+  List.fold_left
+    (fun ((best_pr : Planner.probe), best_ev) ((pr : Planner.probe), ev) ->
+      if
+        pr.Planner.probe_est.Planner.est_cost_mbit
+        < best_pr.Planner.probe_est.Planner.est_cost_mbit
+        || (pr.Planner.probe_est.Planner.est_cost_mbit
+            = best_pr.Planner.probe_est.Planner.est_cost_mbit
+            && Event.compare_by_arrival ev best_ev < 0)
+      then (pr, ev)
+      else (best_pr, best_ev))
+    (match costed with c :: _ -> (fst c, snd c) | [] -> assert false)
+    costed
+
 (* One service round: the (event, applied plan, co_scheduled) batch. *)
 let decide ctx policy queue =
   match (policy, queue) with
   | _, [] -> invalid_arg "Engine.decide: empty queue"
   | Policy.Fifo, head :: _ -> [ (head, apply ctx ~billed:true head, false) ]
   | Policy.Reorder, _ ->
-      let costed = List.map (fun ev -> (estimate ctx ev, ev)) queue in
-      let winner =
-        List.fold_left
-          (fun (best_est, best_ev) (est, ev) ->
-            if
-              est.Planner.est_cost_mbit < best_est.Planner.est_cost_mbit
-              || (est.Planner.est_cost_mbit = best_est.Planner.est_cost_mbit
-                  && Event.compare_by_arrival ev best_ev < 0)
-            then (est, ev)
-            else (best_est, best_ev))
-          (match costed with c :: _ -> (fst c, snd c) | [] -> assert false)
-          costed
-      in
-      [ (snd winner, apply ctx ~billed:false (snd winner), false) ]
+      let costed = List.map (fun ev -> (probe_event ctx ev, ev)) queue in
+      let win_pr, winner = pick_winner costed in
+      [ (winner, apply_winner ctx win_pr, false) ]
   | Policy.Lmtf { alpha }, head :: tail | Policy.Plmtf { alpha }, head :: tail
     ->
       let sampled =
@@ -184,21 +221,9 @@ let decide ctx policy queue =
         end
       in
       let candidates = head :: sampled in
-      let costed = List.map (fun ev -> (estimate ctx ev, ev)) candidates in
-      let best_est, winner =
-        List.fold_left
-          (fun (best_est, best_ev) (est, ev) ->
-            if
-              est.Planner.est_cost_mbit < best_est.Planner.est_cost_mbit
-              || (est.Planner.est_cost_mbit = best_est.Planner.est_cost_mbit
-                  && Event.compare_by_arrival ev best_ev < 0)
-            then (est, ev)
-            else (best_est, best_ev))
-          (match costed with c :: _ -> (fst c, snd c) | [] -> assert false)
-          costed
-      in
-      ignore best_est;
-      let winner_plan = apply ctx ~billed:false winner in
+      let costed = List.map (fun ev -> (probe_event ctx ev, ev)) candidates in
+      let win_pr, winner = pick_winner costed in
+      let winner_plan = apply_winner ctx win_pr in
       let batch = [ (winner, winner_plan, false) ] in
       (match policy with
       | Policy.Lmtf _ -> batch
@@ -221,11 +246,14 @@ let decide ctx policy queue =
              flows must be accommodated in the capacity left around the
              in-flight batch, essentially without displacing anything —
              so co-attempts plan scan-first and are accepted only up to
-             a small migration budget. *)
+             a small migration budget. Each attempt runs in a
+             transaction: acceptance commits, rejection rolls the
+             journal back instead of re-planning every reroute. *)
           let co_config = { ctx.config with Planner.admission = Planner.Scan_first } in
           let co =
             List.filter_map
               (fun ev ->
+                Net_state.begin_txn ctx.net;
                 let plan =
                   apply ctx ~billed:true ~config:co_config
                     ~frozen:(Hashtbl.mem protected) ev
@@ -234,13 +262,17 @@ let decide ctx policy queue =
                   plan.Planner.failed_count = 0
                   && plan.Planner.cost_mbit <= ctx.co_max_cost_mbit
                 then begin
+                  Net_state.commit ctx.net;
+                  (match ctx.cache with
+                  | Some c -> Estimate_cache.invalidate c ev.Event.id
+                  | None -> ());
                   List.iter
                     (fun id -> Hashtbl.replace protected id ())
                     (work_flow_ids plan);
                   Some (ev, plan, true)
                 end
                 else begin
-                  timed ctx (fun () -> Planner.revert ctx.net plan);
+                  timed ctx (fun () -> Net_state.rollback ctx.net);
                   None
                 end)
               others
@@ -345,7 +377,10 @@ let run_event_level ctx policy events =
         Trace.finish sp ~attrs:[ ("head_finish_s", Trace.Float !head_finish) ]
     | None -> ());
     let executed = List.map (fun (ev, _, _) -> ev.Event.id) batch in
-    queue := List.filter (fun ev -> not (List.mem ev.Event.id executed)) !queue;
+    let executed_set = Hashtbl.create (List.length executed) in
+    List.iter (fun id -> Hashtbl.replace executed_set id ()) executed;
+    queue :=
+      List.filter (fun ev -> not (Hashtbl.mem executed_set ev.Event.id)) !queue;
     now := !head_finish;
     (match round_sp with
     | Some sp ->
@@ -478,7 +513,8 @@ let run_flow_level ctx order events =
   (results, !rounds, [])
 
 let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
-    ?(seed = 7) ?churn ?(co_max_cost_mbit = 0.0) ~net ~events policy =
+    ?(seed = 7) ?churn ?(co_max_cost_mbit = 0.0) ?(estimate_cache = true) ~net
+    ~events policy =
   (match Policy.validate policy with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.run: " ^ msg));
@@ -495,6 +531,15 @@ let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
     else None
   in
   let rng = match rng with Some r -> r | None -> Prng.create seed in
+  (* Memoised probes are only sound when planning is a deterministic
+     function of the state it reads: Random_fit consumes PRNG draws
+     inside the planner, so a cache hit would perturb the stream for
+     every later decision. The cache switches itself off there. *)
+  let cache =
+    if estimate_cache && config.Planner.policy <> Routing.Random_fit then
+      Some (Estimate_cache.create ())
+    else None
+  in
   let ctx =
     {
       net;
@@ -504,6 +549,7 @@ let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
       churn;
       expiry = Pqueue.create ();
       co_max_cost_mbit;
+      cache;
       next_churn_id = (match churn with Some c -> c.first_id | None -> 0);
       units = 0;
       wall = 0.0;

@@ -81,6 +81,7 @@ val run :
   ?seed:int ->
   ?churn:churn ->
   ?co_max_cost_mbit:float ->
+  ?estimate_cache:bool ->
   net:Net_state.t ->
   events:Event.t list ->
   Policy.t ->
@@ -93,4 +94,10 @@ val run :
     in-flight batch fits within that migration budget — i.e. the
     candidate's flows can be accommodated in the residual capacity
     without displacing anything (§IV-C's "can be updated with the first
-    event together"). Raises [Invalid_argument] on an invalid policy. *)
+    event together"). [estimate_cache] (default true) memoises scheduler
+    probes across rounds with dirty-edge invalidation
+    ({!Estimate_cache}); results are identical with it on or off — a hit
+    bills the same simulated work units a fresh probe would have
+    reported — and it disables itself under [Routing.Random_fit], whose
+    probes consume PRNG draws. Raises [Invalid_argument] on an invalid
+    policy. *)

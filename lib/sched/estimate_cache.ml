@@ -1,0 +1,40 @@
+module Counters = Nu_obs.Counters
+
+type entry = {
+  probe : Planner.probe;
+  stamps : (int * int) array;
+  epoch : int;  (* Net_state.disabled_epoch at store time *)
+}
+
+type t = { table : (int, entry) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let valid net entry =
+  Net_state.disabled_epoch net = entry.epoch
+  && Array.for_all
+       (fun (e, v) -> Net_state.edge_version net e = v)
+       entry.stamps
+
+let find t net event_id =
+  match Hashtbl.find_opt t.table event_id with
+  | Some entry when valid net entry ->
+      Counters.incr Counters.Estimate_cache_hits;
+      Some entry.probe
+  | _ ->
+      Counters.incr Counters.Estimate_cache_misses;
+      None
+
+let store t net (probe : Planner.probe) =
+  let stamps =
+    Array.of_list
+      (List.map
+         (fun e -> (e, Net_state.edge_version net e))
+         probe.Planner.probe_touched)
+  in
+  Hashtbl.replace t.table probe.Planner.probe_plan.Planner.event.Event.id
+    { probe; stamps; epoch = Net_state.disabled_epoch net }
+
+let invalidate t event_id = Hashtbl.remove t.table event_id
+let clear t = Hashtbl.reset t.table
+let size t = Hashtbl.length t.table

@@ -1,0 +1,37 @@
+(** Memoised scheduler probes with dirty-edge invalidation.
+
+    LMTF / P-LMTF probe Cost(U) for α+1 sampled events every service
+    round, and Reorder probes the whole queue — yet between rounds most
+    of the network is untouched, so most probes would recompute exactly
+    the answer they produced last round. This cache keys each
+    {!Nu_update.Planner.probe} by event id and stamps it with the
+    {!Nu_net.Net_state.edge_version} of every edge the probe read or
+    wrote. A lookup is a hit iff every stamped edge still carries its
+    recorded version — i.e. no committed write has landed on any state
+    the plan depended on — in which case the cached estimate (and its
+    replayable plan) is exactly what a fresh probe would compute.
+
+    Correctness relies on plans being deterministic functions of the
+    state they read: the engine disables the cache under
+    [Routing.Random_fit], whose probes also consume PRNG draws. *)
+
+type t
+
+val create : unit -> t
+
+val find : t -> Net_state.t -> int -> Planner.probe option
+(** [find t net event_id] returns the cached probe when every touched
+    edge is unchanged, bumping the [Estimate_cache_hits] counter;
+    otherwise [None] (and [Estimate_cache_misses]). *)
+
+val store : t -> Net_state.t -> Planner.probe -> unit
+(** Record a fresh probe under its event id, stamping its touched edges
+    with their current versions. *)
+
+val invalidate : t -> int -> unit
+(** Drop one event's entry (the engine evicts executed events). *)
+
+val clear : t -> unit
+
+val size : t -> int
+(** Live entries (stale ones included until overwritten or evicted). *)

@@ -379,13 +379,55 @@ let revert net plan =
     (List.rev plan.items);
   match sp with Some sp -> Trace.finish sp | None -> ()
 
+let replay net plan =
+  Counters.incr Counters.Plan_replays;
+  let replay_move (m : Migration.move) =
+    match Net_state.reroute net m.Migration.flow_id m.Migration.to_path with
+    | Ok _ -> ()
+    | Error _ -> invalid_arg "Planner.replay: state diverged (move)"
+  in
+  List.iter
+    (fun item ->
+      match item.outcome with
+      | Failed _ -> ()
+      | Installed { path; moves } -> (
+          List.iter replay_move moves;
+          match item.work with
+          | Event.Install record -> (
+              match Net_state.place net record path with
+              | Ok () -> ()
+              | Error _ -> invalid_arg "Planner.replay: state diverged (install)")
+          | Event.Reroute _ -> assert false)
+      | Rerouted { to_path; moves; _ } -> (
+          List.iter replay_move moves;
+          match item.work with
+          | Event.Reroute { flow_id; _ } -> (
+              match Net_state.reroute net flow_id to_path with
+              | Ok _ -> ()
+              | Error _ -> invalid_arg "Planner.replay: state diverged (reroute)")
+          | Event.Install _ -> assert false))
+    plan.items
+
 type estimate = {
   est_cost_mbit : float;
   est_failed : int;
   est_work_units : int;
 }
 
-let cost_of ?rng ?config ?frozen net event =
+let estimate_of p =
+  {
+    est_cost_mbit = p.cost_mbit;
+    est_failed = p.failed_count;
+    est_work_units = p.work_units;
+  }
+
+type probe = {
+  probe_est : estimate;
+  probe_plan : t;
+  probe_touched : int list;
+}
+
+let probe ?rng ?config ?frozen net event =
   Counters.incr Counters.Cost_estimates;
   let sp =
     if Trace.enabled () then
@@ -393,15 +435,17 @@ let cost_of ?rng ?config ?frozen net event =
         (Trace.span "estimate" ~attrs:[ ("event", Trace.Int event.Event.id) ])
     else None
   in
+  (* Plan speculatively inside a transaction: the undo journal restores
+     the state in O(operations performed), where the historical
+     plan-then-revert pair re-ran every reroute through full feasibility
+     checks. The probe bracket records every edge the plan read or
+     wrote, which is what makes the estimate memoisable. *)
+  Net_state.start_probe net;
+  Net_state.begin_txn net;
   let p = plan ?rng ?config ?frozen net event in
-  revert net p;
-  let est =
-    {
-      est_cost_mbit = p.cost_mbit;
-      est_failed = p.failed_count;
-      est_work_units = p.work_units;
-    }
-  in
+  Net_state.rollback net;
+  let touched = Net_state.stop_probe net in
+  let est = estimate_of p in
   (match sp with
   | Some sp ->
       Trace.finish sp
@@ -410,9 +454,13 @@ let cost_of ?rng ?config ?frozen net event =
             ("est_cost_mbit", Trace.Float est.est_cost_mbit);
             ("est_failed", Trace.Int est.est_failed);
             ("units", Trace.Int est.est_work_units);
+            ("touched_edges", Trace.Int (List.length touched));
           ]
   | None -> ());
-  est
+  { probe_est = est; probe_plan = p; probe_touched = touched }
+
+let cost_of ?rng ?config ?frozen net event =
+  (probe ?rng ?config ?frozen net event).probe_est
 
 let pp ppf t =
   Format.fprintf ppf

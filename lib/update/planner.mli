@@ -85,11 +85,41 @@ val revert : Net_state.t -> t -> unit
     prior placements. Must be called on the same state value, with no
     interleaved conflicting mutations. *)
 
+val replay : Net_state.t -> t -> unit
+(** Re-apply a plan whose effects were undone (by {!revert} or a
+    transaction rollback), replaying the recorded make-room moves and
+    install/reroute actions directly — no candidate search, no clear
+    attempts, O(recorded operations). Only valid when the state is
+    identical to the one the plan was computed against (the estimate
+    cache's version stamps guarantee this); raises [Invalid_argument]
+    if the state has diverged. *)
+
 type estimate = {
   est_cost_mbit : float;
   est_failed : int;
   est_work_units : int;
 }
+
+type probe = {
+  probe_est : estimate;
+  probe_plan : t;
+      (** The speculative plan itself — replayable via {!replay} while
+          the state is unchanged on every touched edge. *)
+  probe_touched : int list;
+      (** Edge ids the plan read or wrote, sorted ascending. *)
+}
+
+val probe :
+  ?rng:Prng.t ->
+  ?config:config ->
+  ?frozen:(int -> bool) ->
+  Net_state.t ->
+  Event.t ->
+  probe
+(** Plan inside a {!Nu_net.Net_state.begin_txn}/[rollback] bracket and
+    record the touched-edge set. The state is unchanged on return; the
+    rollback costs O(operations performed) rather than a full revert
+    re-plan. This is the memoisable form of {!cost_of}. *)
 
 val cost_of :
   ?rng:Prng.t ->
@@ -98,7 +128,7 @@ val cost_of :
   Net_state.t ->
   Event.t ->
   estimate
-(** Plan, read Cost(U), revert — the scheduler's probe. The state is
-    unchanged on return. *)
+(** [(probe net event).probe_est] — plan, read Cost(U), roll back. The
+    state is unchanged on return. *)
 
 val pp : Format.formatter -> t -> unit

@@ -229,6 +229,167 @@ let prop_random_ops_keep_invariants =
       Net_state.invariants_ok net = Ok ())
 
 (* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+
+let test_txn_rollback_restores () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~id:0 ~demand:100.0 0 15 in
+  let path = place_exn net r in
+  Net_state.begin_txn net;
+  Alcotest.(check bool) "in txn" true (Net_state.in_txn net);
+  (match Net_state.remove net 0 with Ok _ -> () | Error _ -> Alcotest.fail "placed");
+  let r2 = flow ~id:1 ~demand:700.0 0 15 in
+  let _ = place_exn net r2 in
+  Net_state.rollback net;
+  Alcotest.(check bool) "txn closed" false (Net_state.in_txn net);
+  Alcotest.(check int) "flow count restored" 1 (Net_state.flow_count net);
+  (match Net_state.flow net 0 with
+  | Some p -> Alcotest.(check bool) "path restored" true (Path.equal p.Net_state.path path)
+  | None -> Alcotest.fail "flow 0 restored");
+  (match Net_state.invariants_ok net with Ok () -> () | Error e -> Alcotest.fail e);
+  Alcotest.check_raises "no open txn"
+    (Invalid_argument "Net_state.rollback: no open transaction") (fun () ->
+      Net_state.rollback net)
+
+let test_txn_commit_bumps_versions () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~id:0 ~demand:100.0 0 15 in
+  Net_state.begin_txn net;
+  let path = place_exn net r in
+  let e0 = (List.hd (Path.edges path)).Graph.id in
+  let v_before = Net_state.edge_version net e0 in
+  Net_state.commit net;
+  Alcotest.(check bool) "version bumped at commit" true
+    (Net_state.edge_version net e0 > v_before);
+  Alcotest.(check bool) "flow survives commit" true (Net_state.is_placed net 0)
+
+let test_txn_nested () =
+  let net = Net_state.create (topo4 ()) in
+  Net_state.begin_txn net;
+  let _ = place_exn net (flow ~id:0 ~demand:50.0 0 15) in
+  Net_state.begin_txn net;
+  Alcotest.(check int) "depth" 2 (Net_state.txn_depth net);
+  let _ = place_exn net (flow ~id:1 ~demand:50.0 1 14) in
+  Net_state.rollback net;
+  Alcotest.(check bool) "inner rolled back" false (Net_state.is_placed net 1);
+  Alcotest.(check bool) "outer survives" true (Net_state.is_placed net 0);
+  Net_state.commit net;
+  Alcotest.(check bool) "committed" true (Net_state.is_placed net 0);
+  match Net_state.invariants_ok net with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_txn_copy_rejected () =
+  let net = Net_state.create (topo4 ()) in
+  Net_state.begin_txn net;
+  Alcotest.check_raises "copy in txn"
+    (Invalid_argument "Net_state.copy: open transaction") (fun () ->
+      ignore (Net_state.copy net));
+  Net_state.rollback net
+
+let test_probe_tracking () =
+  let net = Net_state.create (topo4 ()) in
+  let r = flow ~id:0 ~demand:100.0 0 15 in
+  let path = place_exn net r in
+  let path_ids =
+    List.sort compare (List.map (fun (e : Graph.edge) -> e.Graph.id) (Path.edges path))
+  in
+  Net_state.start_probe net;
+  Alcotest.(check bool) "feasible" true
+    (Net_state.path_feasible net path ~demand:10.0);
+  let touched = Net_state.stop_probe net in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "path edge recorded" true (List.mem id touched))
+    path_ids;
+  Alcotest.(check (list int)) "sorted" (List.sort compare touched) touched;
+  (* The set resets between probes. *)
+  Net_state.start_probe net;
+  Alcotest.(check (list int)) "empty probe" [] (Net_state.stop_probe net)
+
+(* The tentpole's correctness property: a rolled-back transaction leaves
+   the state indistinguishable from a pre-transaction copy, whatever
+   mix of place/remove/reroute/disable/enable ran inside it. *)
+let prop_txn_rollback_differential =
+  QCheck.Test.make ~name:"txn rollback matches pre-txn copy" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      let net = Net_state.create (topo4 ()) in
+      let rng = Prng.create (seed + 1) in
+      (* Pre-populate so removes and reroutes have targets. *)
+      let placed = ref [] in
+      for i = 0 to 39 do
+        let src = Prng.int rng 16 in
+        let dst = (src + 1 + Prng.int rng 15) mod 16 in
+        let r = flow ~id:i ~demand:(Prng.float_in rng 1.0 250.0) src dst in
+        match Routing.select ~rng ~policy:Routing.Random_fit net r with
+        | None -> ()
+        | Some path -> (
+            match Net_state.place net r path with
+            | Ok () -> placed := i :: !placed
+            | Error _ -> ())
+      done;
+      let snap = Net_state.copy net in
+      let edge_n = Graph.edge_count (Net_state.graph net) in
+      Net_state.begin_txn net;
+      for i = 100 to 179 do
+        match Prng.int rng 5 with
+        | 0 | 1 -> (
+            let src = Prng.int rng 16 in
+            let dst = (src + 1 + Prng.int rng 15) mod 16 in
+            let r = flow ~id:i ~demand:(Prng.float_in rng 1.0 250.0) src dst in
+            match Routing.select ~rng ~policy:Routing.Random_fit net r with
+            | None -> ()
+            | Some path -> ignore (Net_state.place net r path))
+        | 2 -> (
+            match !placed with
+            | id :: rest ->
+                ignore (Net_state.remove net id);
+                placed := rest @ [ id ]
+            | [] -> ())
+        | 3 -> (
+            match !placed with
+            | id :: _ -> (
+                match Net_state.flow net id with
+                | None -> ()
+                | Some p ->
+                    let cands =
+                      Net_state.candidate_paths net p.Net_state.record
+                    in
+                    if cands <> [] then
+                      let target =
+                        List.nth cands (Prng.int rng (List.length cands))
+                      in
+                      ignore (Net_state.reroute net id target))
+            | [] -> ())
+        | _ ->
+            let e = Prng.int rng edge_n in
+            if Prng.unit_float rng < 0.5 then Net_state.disable_edge net e
+            else Net_state.enable_edge net e
+      done;
+      Net_state.rollback net;
+      let residuals_match = ref true in
+      for e = 0 to edge_n - 1 do
+        if
+          abs_float (Net_state.residual net e -. Net_state.residual snap e)
+          > 1e-9
+        then residuals_match := false;
+        if Net_state.edge_disabled net e <> Net_state.edge_disabled snap e then
+          residuals_match := false
+      done;
+      let flows_match = ref (Net_state.flow_count net = Net_state.flow_count snap) in
+      Net_state.iter_flows snap (fun p ->
+          match Net_state.flow net p.Net_state.record.Flow_record.id with
+          | Some q ->
+              if not (Path.equal p.Net_state.path q.Net_state.path) then
+                flows_match := false
+          | None -> flows_match := false);
+      !residuals_match && !flows_match
+      && Net_state.invariants_ok net = Ok ()
+      && abs_float
+           (Net_state.mean_fabric_utilization net
+           -. Net_state.mean_fabric_utilization snap)
+         < 1e-9)
+
+(* ------------------------------------------------------------------ *)
 (* Routing                                                             *)
 
 let test_routing_first_fit () =
@@ -455,6 +616,12 @@ let suite =
     ("capacity gap", `Quick, test_capacity_gap);
     ("endpoints mapping", `Quick, test_endpoints_mapping);
     QCheck_alcotest.to_alcotest prop_random_ops_keep_invariants;
+    ("txn rollback restores", `Quick, test_txn_rollback_restores);
+    ("txn commit bumps versions", `Quick, test_txn_commit_bumps_versions);
+    ("txn nested", `Quick, test_txn_nested);
+    ("txn copy rejected", `Quick, test_txn_copy_rejected);
+    ("probe tracking", `Quick, test_probe_tracking);
+    QCheck_alcotest.to_alcotest prop_txn_rollback_differential;
     ("routing first fit", `Quick, test_routing_first_fit);
     ("routing widest", `Quick, test_routing_widest);
     ("routing least loaded", `Quick, test_routing_least_loaded);

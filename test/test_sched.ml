@@ -250,6 +250,69 @@ let test_engine_plmtf_co_schedules () =
   Alcotest.(check bool) "co-scheduling happens" true (co > 0);
   Alcotest.(check bool) "fewer rounds than events" true (run.Engine.rounds < 10)
 
+(* Estimate cache: bit-identical results with the cache on or off, and
+   hits actually occur when probes' read sets survive across rounds. *)
+let check_same_run (a : Engine.run_result) (b : Engine.run_result) =
+  Alcotest.(check int) "rounds" a.Engine.rounds b.Engine.rounds;
+  Alcotest.(check int) "plan units" a.Engine.total_plan_units
+    b.Engine.total_plan_units;
+  Alcotest.(check (float 0.0)) "total cost" a.Engine.total_cost_mbit
+    b.Engine.total_cost_mbit;
+  Alcotest.(check (float 0.0)) "makespan" a.Engine.makespan_s b.Engine.makespan_s;
+  Alcotest.(check (float 0.0)) "final utilization"
+    a.Engine.final_fabric_utilization b.Engine.final_fabric_utilization;
+  Alcotest.(check bool) "event results identical" true
+    (a.Engine.events = b.Engine.events);
+  Alcotest.(check bool) "round log identical" true
+    (a.Engine.rounds_log = b.Engine.rounds_log)
+
+let test_engine_cache_hits_and_determinism () =
+  (* Three single-flow events under distinct edge switches: their probe
+     read sets are pairwise disjoint, so once Reorder executes one, the
+     others' cached estimates must survive to the next round. *)
+  let mk i src dst =
+    Event.of_spec
+      {
+        Event_gen.event_id = i;
+        arrival_s = 0.0;
+        flows = [ flow ~id:(100 + i) ~demand:20.0 src dst ];
+      }
+  in
+  let events = [ mk 0 0 1; mk 1 4 5; mk 2 8 9 ] in
+  let net = Net_state.create (topo4 ()) in
+  let before = Obs.Counters.snapshot () in
+  let a = Engine.run ~net:(Net_state.copy net) ~events ~seed:11 Policy.Reorder in
+  let d = Obs.Counters.diff ~before ~after:(Obs.Counters.snapshot ()) in
+  Alcotest.(check bool) "cache hits occur" true
+    (Obs.Counters.value d Obs.Counters.Estimate_cache_hits > 0);
+  let b =
+    Engine.run ~estimate_cache:false ~net:(Net_state.copy net) ~events
+      ~seed:11 Policy.Reorder
+  in
+  check_same_run a b
+
+let test_engine_cache_determinism_churn () =
+  (* The strong form: LMTF under churn — costs drift between rounds, the
+     cache hits or misses unpredictably, and the simulated run must not
+     be able to tell. *)
+  let events = workload ~n:8 ~m:4 () in
+  let churn () =
+    let maker_rng = Prng.create 77 in
+    {
+      Engine.make_flow =
+        (fun ~id ->
+          (Yahoo_trace.generate ~first_id:id maker_rng ~host_count:16 ~n:1).(0));
+      target_utilization = 0.25;
+      max_placements_per_round = 50;
+      first_id = 50_000;
+    }
+  in
+  let run cache =
+    Engine.run ~estimate_cache:cache ~net:(loaded_net ()) ~events ~seed:5
+      ~churn:(churn ()) (Policy.Lmtf { alpha = 3 })
+  in
+  check_same_run (run true) (run false)
+
 let test_engine_flow_level_orders_differ () =
   let events = workload ~n:4 ~m:4 ~arrival:(fun i -> float_of_int i *. 0.001) () in
   let rr = Engine.run ~net:(loaded_net ()) ~events ~seed:5 (Policy.Flow_level Policy.Round_robin) in
@@ -367,6 +430,8 @@ let suite =
     ("engine total cost", `Quick, test_engine_total_cost_matches_events);
     ("engine churn", `Quick, test_engine_churn_expires_and_refills);
     ("engine plmtf co-schedules", `Quick, test_engine_plmtf_co_schedules);
+    ("engine cache determinism", `Quick, test_engine_cache_hits_and_determinism);
+    ("engine cache determinism churn", `Quick, test_engine_cache_determinism_churn);
     ("engine flow order variants", `Quick, test_engine_flow_level_orders_differ);
     ("engine round log", `Quick, test_engine_round_log);
     ("engine round log plmtf", `Quick, test_engine_round_log_plmtf_batches);
