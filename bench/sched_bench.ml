@@ -1,12 +1,15 @@
 (* Scheduler-level benchmark: events-per-second and probes-per-round on
    the k=8 Fat-Tree under churn, for the sampling policies whose hot
-   path is Planner probing (LMTF and Reorder).
+   path is Planner probing (LMTF and Reorder), plus the fault-injection
+   scenarios: an empty fault schedule (whose digest must equal the
+   fault-free run — the fault hooks are required to cost nothing when
+   idle) and a seeded fault-churn run exercising abort/retry/degrade.
 
-   Emits machine-readable JSON (BENCH_PR2.json) so the perf trajectory
+   Emits machine-readable JSON (BENCH_PR3.json) so the perf trajectory
    of the planning hot path is tracked per-PR:
 
-     dune exec bench/sched_bench.exe -- --out BENCH_PR2.json
-     dune exec bench/sched_bench.exe -- --quick --out BENCH_PR2.json
+     dune exec bench/sched_bench.exe -- --out BENCH_PR3.json
+     dune exec bench/sched_bench.exe -- --quick --out BENCH_PR3.json
 
    [--baseline FILE] merges a previously recorded run (e.g. one taken on
    the pre-optimisation tree) under the "baseline" key and reports the
@@ -91,19 +94,41 @@ type measurement = {
   m_probes_per_round : float;
   m_total_cost_mbit : float;
   m_digest : string;
+  m_recovery_digest : string option;
   m_counters : (string * int) list;
 }
 
 let now_s () = Unix.gettimeofday ()
 
-let measure ~name ~policy ~n_events () =
+let measure ~name ~policy ~n_events ?(faults = `Off) () =
   (* A fresh scenario per measurement: the run mutates its network. *)
   let s = Core.Scenario.prepare ~k:8 ~utilization:0.70 ~seed:!seed () in
   let events = Core.Scenario.events s ~n:n_events in
   let churn = Core.Scenario.churn ~target:0.70 s in
+  let injector =
+    match faults with
+    | `Off -> None
+    | `Empty -> Some (Core.Injector.create [])
+    | `Seeded ->
+        let config =
+          {
+            Core.Fault_model.default_config with
+            Core.Fault_model.rate_per_s = 0.5;
+            horizon_s = 20.0;
+            repair_s = 4.0;
+          }
+        in
+        Some
+          (Core.Injector.create
+             (Core.Fault_model.generate ~config ~seed:(!seed + 9)
+                s.Core.Scenario.topology))
+  in
   let before = Core.Obs.Counters.snapshot () in
   let t0 = now_s () in
-  let run = Core.Engine.run ~seed:3 ~churn ~net:s.Core.Scenario.net ~events policy in
+  let run =
+    Core.Engine.run ~seed:3 ~churn ?injector ~net:s.Core.Scenario.net ~events
+      policy
+  in
   let wall = now_s () -. t0 in
   let counters =
     Core.Obs.Counters.to_alist
@@ -125,6 +150,10 @@ let measure ~name ~policy ~n_events () =
        else 0.0);
     m_total_cost_mbit = run.Core.Engine.total_cost_mbit;
     m_digest = digest_of_run run;
+    m_recovery_digest =
+      Option.map
+        (fun inj -> Core.Recovery.digest (Core.Injector.recovery inj))
+        injector;
     m_counters = counters;
   }
 
@@ -141,6 +170,10 @@ let json_of_measurement m =
       ("probes_per_round", Core.Obs.Json.Float m.m_probes_per_round);
       ("total_cost_mbit", Core.Obs.Json.Float m.m_total_cost_mbit);
       ("digest", Core.Obs.Json.String m.m_digest);
+      ( "recovery_digest",
+        match m.m_recovery_digest with
+        | Some d -> Core.Obs.Json.String d
+        | None -> Core.Obs.Json.Null );
       ( "counters",
         Core.Obs.Json.Obj
           (List.map (fun (k, v) -> (k, Core.Obs.Json.Int v)) m.m_counters) );
@@ -153,17 +186,33 @@ let () =
   let n_events = if !quick then 40 else 120 in
   let scenarios =
     [
-      ("lmtf-churn-k8", Core.Policy.Lmtf { alpha = 4 });
-      ("reorder-churn-k8", Core.Policy.Reorder);
+      ("lmtf-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Off);
+      ("reorder-churn-k8", Core.Policy.Reorder, `Off);
+      (* Digest must equal lmtf-churn-k8's: an idle injector is free. *)
+      ("lmtf-empty-faults-k8", Core.Policy.Lmtf { alpha = 4 }, `Empty);
+      ("lmtf-fault-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Seeded);
     ]
   in
   let measurements =
     List.map
-      (fun (name, policy) ->
+      (fun (name, policy, faults) ->
         Printf.eprintf "bench: running %s (%d events)...\n%!" name n_events;
-        measure ~name ~policy ~n_events ())
+        measure ~name ~policy ~n_events ~faults ())
       scenarios
   in
+  (* The empty-schedule invariant, checked on every bench run: fault
+     hooks must not perturb a single scheduling decision. *)
+  (match
+     ( List.find_opt (fun m -> m.m_name = "lmtf-churn-k8") measurements,
+       List.find_opt (fun m -> m.m_name = "lmtf-empty-faults-k8") measurements
+     )
+   with
+  | Some a, Some b when a.m_digest <> b.m_digest ->
+      Printf.eprintf
+        "bench: FAIL empty fault schedule changed the run digest (%s vs %s)\n%!"
+        a.m_digest b.m_digest;
+      exit 1
+  | _ -> ());
   List.iter
     (fun m ->
       Printf.printf
@@ -238,7 +287,7 @@ let () =
       (List.concat
          [
            [
-             ("bench", Core.Obs.Json.String "sched_bench_pr2");
+             ("bench", Core.Obs.Json.String "sched_bench_pr3");
              ("mode", Core.Obs.Json.String (if !quick then "quick" else "full"));
              ("seed", Core.Obs.Json.Int !seed);
              ("n_events", Core.Obs.Json.Int n_events);

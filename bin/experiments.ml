@@ -255,6 +255,54 @@ let ablation_cmd =
     (Cmd.info "ablation" ~doc:"Design-choice ablations (alpha, greedy order, admission, routing)")
     Term.(const Nu_expt.Ablation.run_all $ const ())
 
+let fault_seed_arg =
+  let doc = "Seed for the generated fault schedule." in
+  Arg.(value & opt int 7 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+let fault_rate_arg =
+  let doc = "Primary faults per simulated second." in
+  Arg.(value & opt float 0.2 & info [ "fault-rate" ] ~docv:"RATE" ~doc)
+
+let retry_max_arg =
+  let doc = "Aborted attempts before an event degrades to best-effort." in
+  Arg.(value & opt int 3 & info [ "retry-max" ] ~docv:"N" ~doc)
+
+let chaos_cmd =
+  let run seed alpha util n_events fault_seed fault_rate retry_max out trace
+      counters =
+    with_obs ~trace ~counters (fun () ->
+        let params =
+          {
+            Nu_expt.Chaos.seed;
+            fault_seed;
+            fault_rate;
+            retry_max;
+            utilization = util;
+            n_events;
+            alpha;
+          }
+        in
+        let result = Nu_expt.Chaos.run ~params () in
+        Nu_expt.Chaos.print result;
+        (match out with
+        | None -> ()
+        | Some path ->
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc
+                  (Obs.Json.to_string (Nu_expt.Chaos.result_to_json result));
+                output_char oc '\n');
+            Format.printf "chaos: wrote %s@." path);
+        if result.Nu_expt.Chaos.violations > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Robustness: run a policy under a seeded fault schedule; exits \
+          non-zero on any update-consistency invariant violation")
+    Term.(
+      const run $ seed_arg $ alpha_arg $ util_arg $ events_arg $ fault_seed_arg
+      $ fault_rate_arg $ retry_max_arg $ out_arg $ trace_arg $ counters_arg)
+
 let all_cmd =
   let run seeds alpha trace counters =
     with_obs ~trace ~counters (fun () ->
@@ -296,6 +344,7 @@ let main =
       mixed_cmd;
       arrivals_cmd;
       ablation_cmd;
+      chaos_cmd;
       all_cmd;
     ]
 

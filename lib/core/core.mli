@@ -15,6 +15,8 @@
        {!Ordering};}
     {- consistent-update dataplane: {!Rule}, {!Switch_table}, {!Fabric},
        {!Two_phase};}
+    {- fault injection and recovery: {!Fault_model}, {!Retry_policy},
+       {!Injector}, {!Invariant}, {!Recovery};}
     {- inter-event scheduling: {!Policy}, {!Exec_model}, {!Engine},
        {!Metrics}.}}
 
@@ -52,6 +54,11 @@ module Rule = Nu_dataplane.Rule
 module Switch_table = Nu_dataplane.Switch_table
 module Fabric = Nu_dataplane.Fabric
 module Two_phase = Nu_dataplane.Two_phase
+module Fault_model = Nu_fault.Fault_model
+module Retry_policy = Nu_fault.Retry_policy
+module Injector = Nu_fault.Injector
+module Invariant = Nu_fault.Invariant
+module Recovery = Nu_fault.Recovery
 module Policy = Nu_sched.Policy
 module Exec_model = Nu_sched.Exec_model
 module Engine = Nu_sched.Engine

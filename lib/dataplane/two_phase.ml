@@ -93,6 +93,77 @@ let execute fabric transitions =
     flips = List.length transitions;
   }
 
+type install_fault =
+  switch:int -> flow_id:int -> [ `Drop | `Delay of float ] option
+
+type fault_report = {
+  stats : stats;
+  dropped_flow_ids : int list;
+  delayed_hops : int;
+  extra_latency_s : float;
+}
+
+(* Per-hop verdicts for one transition's staging: how many installs the
+   fabric dropped, how many acked late and by how much. *)
+let hop_faults ~fault tr =
+  List.fold_left
+    (fun (drops, delays, delay_s) (e : Graph.edge) ->
+      match fault ~switch:e.Graph.src ~flow_id:tr.flow_id with
+      | Some `Drop -> (drops + 1, delays, delay_s)
+      | Some (`Delay d) -> (drops, delays + 1, delay_s +. d)
+      | None -> (drops, delays, delay_s))
+    (0, 0, 0.0) (Path.edges tr.new_path)
+
+let execute_with_faults fabric ~fault transitions =
+  let base = Fabric.total_rules fabric in
+  (* Stage everything first, mirroring [execute], then roll back every
+     transition with a dropped install: the controller never flips a
+     flow whose new rules are not all acknowledged, so a faulted flow
+     keeps its old configuration verbatim — old rules, old ingress
+     stamp — and per-packet consistency is preserved. Late acks only
+     stretch the stage phase; the flip still happens. *)
+  let staged =
+    List.map
+      (fun tr ->
+        let before = Fabric.total_rules fabric in
+        Fabric.install_path_rules fabric ~flow_id:tr.flow_id
+          ~version:tr.new_version tr.new_path;
+        let installed = Fabric.total_rules fabric - before in
+        let drops, delays, delay_s = hop_faults ~fault tr in
+        (tr, installed, drops, delays, delay_s))
+      transitions
+  in
+  let peak_extra_rules = Fabric.total_rules fabric - base in
+  let ok, dropped =
+    List.partition (fun (_, _, drops, _, _) -> drops = 0) staged
+  in
+  List.iter
+    (fun (tr, _, _, _, _) ->
+      Fabric.uninstall_path_rules fabric ~flow_id:tr.flow_id
+        ~version:tr.new_version tr.new_path)
+    dropped;
+  List.iter (fun (tr, _, _, _, _) -> flip fabric tr) ok;
+  let rules_removed =
+    List.fold_left (fun acc (tr, _, _, _, _) -> acc + collect fabric tr) 0 ok
+  in
+  {
+    stats =
+      {
+        transitions = List.length transitions;
+        rules_installed =
+          List.fold_left (fun acc (_, n, _, _, _) -> acc + n) 0 ok;
+        rules_removed;
+        peak_extra_rules;
+        flips = List.length ok;
+      };
+    dropped_flow_ids =
+      List.map (fun (tr, _, _, _, _) -> tr.flow_id) dropped;
+    delayed_hops =
+      List.fold_left (fun acc (_, _, _, d, _) -> acc + d) 0 ok;
+    extra_latency_s =
+      List.fold_left (fun acc (_, _, _, _, s) -> acc +. s) 0.0 ok;
+  }
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "two-phase[%d transitions, +%d rules staged (peak overhead %d), %d \

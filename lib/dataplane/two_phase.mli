@@ -49,4 +49,31 @@ val execute : Fabric.t -> transition list -> stats
 (** Run all three phases in order (all stages, then flips in transition
     order, then all collections) and report the overheads. *)
 
+type install_fault =
+  switch:int -> flow_id:int -> [ `Drop | `Delay of float ] option
+(** Per-hop install-fault oracle, consulted once per (switch, flow) rule
+    write during staging. [`Drop] means the switch never acknowledged
+    the install; [`Delay d] means it acked [d] seconds late.
+    {!Nu_fault.Fault_model.install_hazard} partially applied is one. *)
+
+type fault_report = {
+  stats : stats;  (** Overheads of what actually went through. *)
+  dropped_flow_ids : int list;
+      (** Transitions rolled back because an install was dropped: their
+          new-version rules were unstaged and the flip never issued, so
+          those flows keep the old configuration verbatim. *)
+  delayed_hops : int;  (** Installs that acked late (flip still ran). *)
+  extra_latency_s : float;  (** Summed injected install latency. *)
+}
+
+val execute_with_faults :
+  Fabric.t -> fault:install_fault -> transition list -> fault_report
+(** {!execute} under an install-fault oracle. A transition with any
+    dropped install is aborted: its staged rules are removed again and
+    its flip is skipped — the two-phase protocol's safety net, leaving
+    the dataplane exactly as before for that flow. Delayed installs
+    stretch the stage phase ([extra_latency_s]) but do not abort.
+    With an oracle that never fires, the result's [stats] equals
+    [execute]'s. *)
+
 val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,185 @@
+module Trace = Nu_obs.Trace
+
+type t = {
+  mutable pending : Fault_model.fault list;  (* sorted by at_s *)
+  retry : Retry_policy.t;
+  check_invariants : bool;
+  recovery : Recovery.t;
+  attempts : (int, int) Hashtbl.t;  (* event id -> aborts so far *)
+  mutable violation_count : int;
+}
+
+let create ?(retry = Retry_policy.default) ?(check_invariants = true) schedule =
+  (match Retry_policy.validate retry with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Injector.create: " ^ msg));
+  {
+    pending =
+      List.stable_sort
+        (fun (a : Fault_model.fault) b ->
+          compare a.Fault_model.at_s b.Fault_model.at_s)
+        schedule;
+    retry;
+    check_invariants;
+    recovery = Recovery.create ();
+    attempts = Hashtbl.create 32;
+    violation_count = 0;
+  }
+
+let recovery t = t.recovery
+let retry_policy t = t.retry
+let violations t = t.violation_count
+
+let next_due_s t =
+  match t.pending with
+  | [] -> None
+  | f :: _ -> Some f.Fault_model.at_s
+
+(* ------------------------------------------------------------------ *)
+(* Evacuation: move a flow off failed capacity, deterministically.     *)
+
+(* Try every enabled candidate path in ranked order; candidate_paths
+   already filters paths crossing disabled edges, and reroute itself
+   re-checks capacity with the flow's own usage released. A flow with no
+   surviving feasible path is removed — a recorded drop, never a silent
+   blackhole. *)
+let evacuate_flow t net ~now flow_id =
+  match Net_state.flow net flow_id with
+  | None -> ()
+  | Some (p : Net_state.placed) ->
+      let rec try_paths = function
+        | [] ->
+            (match Net_state.remove net flow_id with
+            | Ok _ | Error `Not_found -> ());
+            Recovery.record t.recovery
+              (Recovery.Flow_evacuated { flow_id; at_s = now; dropped = true })
+        | path :: rest -> (
+            if Path.equal path p.Net_state.path then try_paths rest
+            else
+              match Net_state.reroute net flow_id path with
+              | Ok _ ->
+                  Recovery.record t.recovery
+                    (Recovery.Flow_evacuated
+                       { flow_id; at_s = now; dropped = false })
+              | Error _ -> try_paths rest)
+      in
+      try_paths (Net_state.candidate_paths net p.Net_state.record)
+
+(* Flows crossing any of the given (now disabled) edges, in id order. *)
+let evacuate_edges t net ~now edges =
+  let ids =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun e ->
+           List.map
+             (fun (p : Net_state.placed) -> p.Net_state.record.Flow_record.id)
+             (Net_state.flows_on_edge net e))
+         edges)
+  in
+  List.iter (evacuate_flow t net ~now) ids
+
+(* Shed flows (id order) until the degraded edge's residual is
+   non-negative again. *)
+let shed_overload t net ~now edge =
+  let rec shed () =
+    if Net_state.residual net edge < 0.0 then
+      match Net_state.flows_on_edge net edge with
+      | [] -> ()
+      | p :: _ ->
+          evacuate_flow t net ~now p.Net_state.record.Flow_record.id;
+          shed ()
+  in
+  shed ()
+
+let with_reverse net e =
+  let g = Net_state.graph net in
+  match Graph.reverse_edge g (Graph.edge g e) with
+  | Some r -> [ e; r.Graph.id ]
+  | None -> [ e ]
+
+let incident_edges net v =
+  let g = Net_state.graph net in
+  List.sort_uniq compare
+    (List.map
+       (fun (e : Graph.edge) -> e.Graph.id)
+       (Graph.out_edges g v @ Graph.in_edges g v))
+
+let apply_fault t net ~now (f : Fault_model.fault) =
+  Recovery.record t.recovery
+    (Recovery.Fault_applied
+       {
+         at_s = f.Fault_model.at_s;
+         tag = Fault_model.action_tag f.Fault_model.action;
+         subject = Fault_model.subject f.Fault_model.action;
+       });
+  if Trace.enabled () then
+    Trace.instant "fault"
+      ~attrs:
+        [
+          ("at_s", Trace.Float f.Fault_model.at_s);
+          ( "action",
+            Trace.Str
+              (Format.asprintf "%a" Fault_model.pp_action f.Fault_model.action)
+          );
+        ];
+  match f.Fault_model.action with
+  | Fault_model.Link_down e ->
+      let edges = with_reverse net e in
+      List.iter (Net_state.disable_edge net) edges;
+      evacuate_edges t net ~now edges
+  | Fault_model.Link_up e ->
+      List.iter (Net_state.enable_edge net) (with_reverse net e)
+  | Fault_model.Switch_down v ->
+      let edges = incident_edges net v in
+      List.iter (Net_state.disable_edge net) edges;
+      evacuate_edges t net ~now edges
+  | Fault_model.Switch_up v ->
+      List.iter (Net_state.enable_edge net) (incident_edges net v)
+  | Fault_model.Degrade { edge; lost_mbps } ->
+      List.iter
+        (fun e ->
+          Net_state.degrade_edge net e ~lost_mbps;
+          shed_overload t net ~now e)
+        (with_reverse net edge)
+  | Fault_model.Restore e ->
+      List.iter (Net_state.restore_edge_capacity net) (with_reverse net e)
+
+let apply_due t net ~now =
+  let rec loop applied =
+    match t.pending with
+    | f :: rest when f.Fault_model.at_s <= now ->
+        t.pending <- rest;
+        apply_fault t net ~now f;
+        loop (applied + 1)
+    | _ -> applied
+  in
+  loop 0
+
+let note_abort t ~event_id ~now =
+  let attempt = 1 + (try Hashtbl.find t.attempts event_id with Not_found -> 0) in
+  Hashtbl.replace t.attempts event_id attempt;
+  Recovery.record t.recovery
+    (Recovery.Migration_aborted { event_id; at_s = now; attempt });
+  match Retry_policy.decide t.retry ~attempt with
+  | `Retry_after backoff ->
+      let ready_s = now +. backoff in
+      Recovery.record t.recovery
+        (Recovery.Retry_scheduled { event_id; ready_s; attempt });
+      `Retry_at ready_s
+  | `Degrade ->
+      Recovery.record t.recovery
+        (Recovery.Event_degraded { event_id; at_s = now });
+      `Degrade
+
+let check_now t net ~now =
+  if not t.check_invariants then []
+  else begin
+    let vs = Invariant.check net in
+    List.iter
+      (fun (v : Invariant.violation) ->
+        t.violation_count <- t.violation_count + 1;
+        Recovery.record t.recovery
+          (Recovery.Invariant_violated { at_s = now; name = v.Invariant.name }))
+      vs;
+    vs
+  end

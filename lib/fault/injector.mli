@@ -1,0 +1,53 @@
+(** Runtime interpreter of a fault schedule against a live network.
+
+    One injector accompanies one {!Nu_sched.Engine.run}: the engine asks
+    when the next fault is due (to decide whether an executing round
+    will be interrupted), tells the injector to apply every due fault at
+    the current simulated instant, and consults it for abort/retry/
+    degrade decisions. The injector owns the mutable pieces — schedule
+    cursor, per-event attempt counts, the {!Recovery} log — so the
+    engine's fault path stays a handful of calls, and a run without an
+    injector pays nothing.
+
+    Applying a fault also {b repairs the placement}: flows left on
+    failed or over-degraded capacity are evacuated deterministically (in
+    flow-id order, first enabled candidate path; dropped when none
+    fits), so blackhole-freedom and capacity non-violation hold again
+    before the engine resumes — that is the invariant {!check_now}
+    asserts. *)
+
+type t
+
+val create :
+  ?retry:Retry_policy.t ->
+  ?check_invariants:bool ->
+  Fault_model.schedule ->
+  t
+(** [check_invariants] (default true) controls whether {!check_now}
+    actually scans the state. Raises [Invalid_argument] on an invalid
+    retry policy. *)
+
+val recovery : t -> Recovery.t
+val retry_policy : t -> Retry_policy.t
+
+val next_due_s : t -> float option
+(** Arrival time of the earliest unapplied fault, if any. *)
+
+val apply_due : t -> Net_state.t -> now:float -> int
+(** Apply every fault with [at_s <= now] in schedule order: flip the
+    administrative state, then evacuate affected flows. Records each
+    application and evacuation in the recovery log. Returns how many
+    faults were applied. *)
+
+val note_abort :
+  t -> event_id:int -> now:float -> [ `Retry_at of float | `Degrade ]
+(** One aborted attempt for the event: records the abort and either the
+    retry (with its deterministic backoff-adjusted ready time) or the
+    degradation decision. *)
+
+val check_now : t -> Net_state.t -> now:float -> Invariant.violation list
+(** Run {!Invariant.check} (unless invariant checking is off), record
+    every violation in the recovery log, and return them. *)
+
+val violations : t -> int
+(** Total violations recorded so far. *)

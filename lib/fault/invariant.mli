@@ -1,0 +1,28 @@
+(** Update-consistency invariant checking.
+
+    After every engine step under fault, three things must hold or the
+    chaos suite fails:
+
+    + {b blackhole-freedom} — every placed flow's path crosses only
+      enabled links (a fault handler that leaves a flow on failed
+      capacity has blackholed it);
+    + {b capacity non-violation} — no link's residual is negative (the
+      §III-A congestion-free constraint survived the fault);
+    + {b routing/placement agreement} — the per-edge occupancy tables,
+      residuals and the flow table tell one consistent story
+      ({!Nu_net.Net_state.invariants_ok}'s full recomputation).
+
+    Checks are O(flows x diameter + edges) — chaos-suite economics, not
+    hot-path economics; the engine only runs them when a fault injector
+    is attached. Violations are emitted as {!Nu_obs.Trace} instants so
+    traced chaos runs show exactly when consistency broke. *)
+
+type violation = { name : string; detail : string }
+(** [name] is one of ["blackhole"], ["capacity"], ["consistency"]. *)
+
+val check : Net_state.t -> violation list
+(** All violations currently present (empty = consistent). Bumps the
+    [Invariant_checks] counter and emits one trace instant per
+    violation. *)
+
+val pp : Format.formatter -> violation -> unit

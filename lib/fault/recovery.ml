@@ -1,0 +1,175 @@
+module Counters = Nu_obs.Counters
+module Json = Nu_obs.Json
+
+type decision =
+  | Fault_applied of { at_s : float; tag : int; subject : int }
+  | Migration_aborted of { event_id : int; at_s : float; attempt : int }
+  | Retry_scheduled of { event_id : int; ready_s : float; attempt : int }
+  | Event_degraded of { event_id : int; at_s : float }
+  | Flow_evacuated of { flow_id : int; at_s : float; dropped : bool }
+  | Invariant_violated of { at_s : float; name : string }
+
+type t = { mutable log : decision list (* newest first *) }
+
+let create () = { log = [] }
+
+let record t d =
+  (match d with
+  | Fault_applied _ -> Counters.incr Counters.Faults_injected
+  | Migration_aborted _ -> Counters.incr Counters.Migrations_aborted
+  | Retry_scheduled _ -> Counters.incr Counters.Retries
+  | Event_degraded _ -> Counters.incr Counters.Events_degraded
+  | Flow_evacuated _ | Invariant_violated _ -> ());
+  t.log <- d :: t.log
+
+let decisions t = List.rev t.log
+
+type stats = {
+  faults_applied : int;
+  aborts : int;
+  retries : int;
+  degraded : int;
+  evacuated : int;
+  dropped : int;
+  violations : int;
+}
+
+let stats t =
+  List.fold_left
+    (fun s d ->
+      match d with
+      | Fault_applied _ -> { s with faults_applied = s.faults_applied + 1 }
+      | Migration_aborted _ -> { s with aborts = s.aborts + 1 }
+      | Retry_scheduled _ -> { s with retries = s.retries + 1 }
+      | Event_degraded _ -> { s with degraded = s.degraded + 1 }
+      | Flow_evacuated { dropped; _ } ->
+          if dropped then { s with dropped = s.dropped + 1 }
+          else { s with evacuated = s.evacuated + 1 }
+      | Invariant_violated _ -> { s with violations = s.violations + 1 })
+    {
+      faults_applied = 0;
+      aborts = 0;
+      retries = 0;
+      degraded = 0;
+      evacuated = 0;
+      dropped = 0;
+      violations = 0;
+    }
+    t.log
+
+let violations t =
+  List.fold_left
+    (fun n -> function Invariant_violated _ -> n + 1 | _ -> n)
+    0 t.log
+
+(* FNV-1a, same constants as the scheduler bench digests. *)
+let fnv_prime = 0x100000001b3L
+let fnv_basis = 0xcbf29ce484222325L
+
+let fnv64 h x = Int64.mul (Int64.logxor h x) fnv_prime
+let fnv_int h i = fnv64 h (Int64.of_int i)
+let fnv_float h f = fnv64 h (Int64.bits_of_float f)
+
+let fnv_string h s =
+  String.fold_left (fun h c -> fnv_int h (Char.code c)) h s
+
+let digest t =
+  let h =
+    List.fold_left
+      (fun h d ->
+        match d with
+        | Fault_applied { at_s; tag; subject } ->
+            fnv_int (fnv_int (fnv_float (fnv_int h 1) at_s) tag) subject
+        | Migration_aborted { event_id; at_s; attempt } ->
+            fnv_int (fnv_float (fnv_int (fnv_int h 2) event_id) at_s) attempt
+        | Retry_scheduled { event_id; ready_s; attempt } ->
+            fnv_int (fnv_float (fnv_int (fnv_int h 3) event_id) ready_s) attempt
+        | Event_degraded { event_id; at_s } ->
+            fnv_float (fnv_int (fnv_int h 4) event_id) at_s
+        | Flow_evacuated { flow_id; at_s; dropped } ->
+            fnv_int
+              (fnv_float (fnv_int (fnv_int h 5) flow_id) at_s)
+              (if dropped then 1 else 0)
+        | Invariant_violated { at_s; name } ->
+            fnv_string (fnv_float (fnv_int h 6) at_s) name)
+      fnv_basis (decisions t)
+  in
+  Printf.sprintf "%016Lx" h
+
+let stats_fields s =
+  [
+    ("faults_applied", Json.Int s.faults_applied);
+    ("migrations_aborted", Json.Int s.aborts);
+    ("retries", Json.Int s.retries);
+    ("events_degraded", Json.Int s.degraded);
+    ("flows_evacuated", Json.Int s.evacuated);
+    ("flows_dropped", Json.Int s.dropped);
+    ("invariant_violations", Json.Int s.violations);
+  ]
+
+let stats_to_json t =
+  Json.Obj (("digest", Json.String (digest t)) :: stats_fields (stats t))
+
+let decision_to_json = function
+  | Fault_applied { at_s; tag; subject } ->
+      Json.Obj
+        [
+          ("kind", Json.String "fault");
+          ("at_s", Json.Float at_s);
+          ("tag", Json.Int tag);
+          ("subject", Json.Int subject);
+        ]
+  | Migration_aborted { event_id; at_s; attempt } ->
+      Json.Obj
+        [
+          ("kind", Json.String "abort");
+          ("event_id", Json.Int event_id);
+          ("at_s", Json.Float at_s);
+          ("attempt", Json.Int attempt);
+        ]
+  | Retry_scheduled { event_id; ready_s; attempt } ->
+      Json.Obj
+        [
+          ("kind", Json.String "retry");
+          ("event_id", Json.Int event_id);
+          ("ready_s", Json.Float ready_s);
+          ("attempt", Json.Int attempt);
+        ]
+  | Event_degraded { event_id; at_s } ->
+      Json.Obj
+        [
+          ("kind", Json.String "degraded");
+          ("event_id", Json.Int event_id);
+          ("at_s", Json.Float at_s);
+        ]
+  | Flow_evacuated { flow_id; at_s; dropped } ->
+      Json.Obj
+        [
+          ("kind", Json.String "evacuated");
+          ("flow_id", Json.Int flow_id);
+          ("at_s", Json.Float at_s);
+          ("dropped", Json.Bool dropped);
+        ]
+  | Invariant_violated { at_s; name } ->
+      Json.Obj
+        [
+          ("kind", Json.String "violation");
+          ("at_s", Json.Float at_s);
+          ("name", Json.String name);
+        ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("digest", Json.String (digest t));
+      ("stats", Json.Obj (stats_fields (stats t)));
+      ("decisions", Json.List (List.map decision_to_json (decisions t)));
+    ]
+
+let pp ppf t =
+  let s = stats t in
+  Format.fprintf ppf
+    "recovery[faults %d, aborts %d, retries %d, degraded %d, evacuated %d, \
+     dropped %d, violations %d, digest %s]"
+    s.faults_applied s.aborts s.retries s.degraded s.evacuated s.dropped
+    s.violations (digest t)

@@ -12,6 +12,7 @@ type jop =
   | Jon_edge_put of int * int * bool  (* edge id, flow id, was present *)
   | Jon_edge_del of int * int * bool  (* edge id, flow id, was present *)
   | Jdisabled of int * bool  (* edge id, previous flag *)
+  | Jdegraded of int * float  (* edge id, applied degradation delta *)
 
 type t = {
   topo : Topology.t;
@@ -19,6 +20,7 @@ type t = {
   flows : (int, placed) Hashtbl.t;  (* flow id -> placement *)
   on_edge : (int, unit) Hashtbl.t array;  (* edge id -> flow-id set *)
   disabled : bool array;  (* administratively failed edges *)
+  degraded : float array;  (* exogenous capacity loss (fault model), Mbps *)
   versions : int array;  (* per-edge write stamp (committed writes only) *)
   fabric : int list;  (* switch-to-switch edge ids *)
   is_fabric : bool array;
@@ -64,6 +66,7 @@ let create topo =
     flows = Hashtbl.create 1024;
     on_edge = Array.init n_edges (fun _ -> Hashtbl.create 8);
     disabled = Array.make n_edges false;
+    degraded = Array.make n_edges 0.0;
     versions = Array.make n_edges 0;
     fabric;
     is_fabric;
@@ -90,6 +93,7 @@ let copy t =
     flows = Hashtbl.copy t.flows;
     on_edge = Array.map Hashtbl.copy t.on_edge;
     disabled = Array.copy t.disabled;
+    degraded = Array.copy t.degraded;
     versions = Array.copy t.versions;
     fabric = t.fabric;
     is_fabric = t.is_fabric;
@@ -205,6 +209,7 @@ let undo t = function
   | Jdisabled (e, prev) ->
       t.disabled.(e) <- prev;
       t.disabled_n <- t.disabled_n + (if prev then 1 else -1)
+  | Jdegraded (e, delta) -> t.degraded.(e) <- t.degraded.(e) -. delta
 
 let begin_txn t = t.txns <- t.journal :: t.txns
 
@@ -240,7 +245,9 @@ let commit t =
             match op with
             | Jresidual (e, _) | Jdisabled (e, _) ->
                 t.versions.(e) <- t.versions.(e) + 1
-            | Jflow_put _ | Jflow_del _ | Jon_edge_put _ | Jon_edge_del _ -> ())
+            (* Jdegraded rides on its paired Jresidual for stamping. *)
+            | Jdegraded _ | Jflow_put _ | Jflow_del _ | Jon_edge_put _
+            | Jon_edge_del _ -> ())
           t.journal;
         t.journal <- []
       end
@@ -311,6 +318,36 @@ let enable_edge t id =
 let edge_disabled t id =
   check_edge_id t id "edge_disabled";
   t.disabled.(id)
+
+(* Exogenous capacity loss (the fault model's partial-degradation
+   events). The loss is expressed as a residual delta, so feasibility
+   checks and the incremental utilisation sum pick it up for free; the
+   [degraded] ledger keeps [invariants_ok] able to reconstruct residuals
+   and lets {!restore_edge_capacity} undo the loss exactly. The residual
+   may go negative when placed flows already exceed the surviving
+   capacity — the engine's fault handler evacuates flows until it is
+   non-negative again. *)
+let degrade_edge t id ~lost_mbps =
+  check_edge_id t id "degrade_edge";
+  if lost_mbps < 0.0 then invalid_arg "Net_state.degrade_edge: negative loss";
+  if lost_mbps > 0.0 then begin
+    apply_residual t id (-.lost_mbps);
+    if journal_active t then t.journal <- Jdegraded (id, lost_mbps) :: t.journal;
+    t.degraded.(id) <- t.degraded.(id) +. lost_mbps
+  end
+
+let restore_edge_capacity t id =
+  check_edge_id t id "restore_edge_capacity";
+  let lost = t.degraded.(id) in
+  if lost > 0.0 then begin
+    apply_residual t id lost;
+    if journal_active t then t.journal <- Jdegraded (id, -.lost) :: t.journal;
+    t.degraded.(id) <- 0.0
+  end
+
+let degraded_mbps t id =
+  check_edge_id t id "degraded_mbps";
+  t.degraded.(id)
 
 let fabric_edges t = t.fabric
 
@@ -504,7 +541,8 @@ let reroute ?(admit_disabled = false) t id new_path =
 let invariants_ok t =
   let g = graph t in
   let expected =
-    Array.init (Graph.edge_count g) (fun id -> (Graph.edge g id).capacity)
+    Array.init (Graph.edge_count g) (fun id ->
+        (Graph.edge g id).capacity -. t.degraded.(id))
   in
   let err = ref None in
   Hashtbl.iter

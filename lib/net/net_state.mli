@@ -115,6 +115,21 @@ val enable_edge : t -> int -> unit
 
 val edge_disabled : t -> int -> bool
 
+val degrade_edge : t -> int -> lost_mbps:float -> unit
+(** Exogenously remove [lost_mbps] of an edge's capacity (the fault
+    model's partial-degradation events). Cumulative; journal-aware, so a
+    mid-transaction degrade rolls back exactly. The residual may go
+    negative when placed flows already exceed the surviving capacity —
+    callers (the fault injector) must evacuate flows until
+    {!residual} is non-negative to restore the capacity invariant.
+    Raises [Invalid_argument] on a negative loss. *)
+
+val restore_edge_capacity : t -> int -> unit
+(** Undo every accumulated {!degrade_edge} on the edge id. Idempotent. *)
+
+val degraded_mbps : t -> int -> float
+(** Capacity currently lost to degradation on the edge id. *)
+
 val fabric_edges : t -> int list
 (** Edge ids whose two endpoints are both switches — the aggregation
     fabric. The paper's "network utilization" is measured here: host

@@ -16,6 +16,11 @@ type key =
   | Plan_replays
   | Estimate_cache_hits
   | Estimate_cache_misses
+  | Faults_injected
+  | Migrations_aborted
+  | Retries
+  | Events_degraded
+  | Invariant_checks
 
 let index = function
   | Planner_plans -> 0
@@ -35,6 +40,11 @@ let index = function
   | Plan_replays -> 14
   | Estimate_cache_hits -> 15
   | Estimate_cache_misses -> 16
+  | Faults_injected -> 17
+  | Migrations_aborted -> 18
+  | Retries -> 19
+  | Events_degraded -> 20
+  | Invariant_checks -> 21
 
 let all =
   [
@@ -55,6 +65,11 @@ let all =
     Plan_replays;
     Estimate_cache_hits;
     Estimate_cache_misses;
+    Faults_injected;
+    Migrations_aborted;
+    Retries;
+    Events_degraded;
+    Invariant_checks;
   ]
 
 let size = List.length all
@@ -77,6 +92,11 @@ let name = function
   | Plan_replays -> "plan_replays"
   | Estimate_cache_hits -> "estimate_cache_hits"
   | Estimate_cache_misses -> "estimate_cache_misses"
+  | Faults_injected -> "faults_injected"
+  | Migrations_aborted -> "migrations_aborted"
+  | Retries -> "retries"
+  | Events_degraded -> "events_degraded"
+  | Invariant_checks -> "invariant_checks"
 
 let counts = Array.make size 0
 

@@ -28,6 +28,13 @@ type key =
   | Plan_replays  (** Winner plans re-applied via {!Nu_update.Planner.replay}. *)
   | Estimate_cache_hits  (** Scheduler probes answered from the cache. *)
   | Estimate_cache_misses  (** Scheduler probes that had to re-plan. *)
+  | Faults_injected  (** Fault-schedule events applied by the injector. *)
+  | Migrations_aborted
+      (** In-flight rounds undone by a fault (txn rollback per event). *)
+  | Retries  (** Aborted events re-queued under the retry policy. *)
+  | Events_degraded
+      (** Events past the retry budget, executed best-effort. *)
+  | Invariant_checks  (** {!Nu_fault.Invariant} full-state checks run. *)
 
 val all : key list
 (** Every key, in rendering order. *)

@@ -1,5 +1,6 @@
 module Trace = Nu_obs.Trace
 module Counters = Nu_obs.Counters
+module Injector = Nu_fault.Injector
 
 type event_result = {
   event_id : int;
@@ -53,6 +54,7 @@ type ctx = {
   expiry : int Pqueue.t;  (* flow id keyed by departure instant *)
   co_max_cost_mbit : float;
   cache : Estimate_cache.t option;  (* memoised probes; None = disabled *)
+  injector : Injector.t option;  (* fault schedule; None = fault-free *)
   mutable next_churn_id : int;
   mutable units : int;  (* plan-time-billable probes *)
   mutable wall : float;  (* real planner CPU seconds *)
@@ -285,10 +287,21 @@ let decide ctx policy queue =
 let run_event_level ctx policy events =
   let pending = ref (List.sort Event.compare_by_arrival events) in
   let queue = ref [] in
+  (* Aborted events awaiting their retry instant: (ready_s, event). *)
+  let held = ref [] in
   let now = ref 0.0 in
   let rounds = ref 0 in
   let results = ref [] in
   let log = ref [] in
+  (* Fault hooks engage only when the injector actually has faults to
+     deliver: an absent injector — or one with an empty schedule — keeps
+     the loop on the exact fault-free path (no transactions, no checks),
+     so the two runs are bit-identical. *)
+  let fault_mode =
+    match ctx.injector with
+    | Some inj -> Injector.next_due_s inj <> None
+    | None -> false
+  in
   let promote () =
     let arrived, later =
       List.partition (fun ev -> ev.Event.arrival_s <= !now) !pending
@@ -296,14 +309,105 @@ let run_event_level ctx policy events =
     pending := later;
     queue := !queue @ arrived
   in
+  (* Re-admit aborted events whose backoff has elapsed, at their arrival
+     rank: a retried event competes again exactly as if it were still
+     waiting, so FIFO order and LMTF sampling stay well-defined. *)
+  let release_held () =
+    if !held <> [] then begin
+      let ready, waiting = List.partition (fun (r, _) -> r <= !now) !held in
+      held := waiting;
+      if ready <> [] then
+        queue :=
+          List.stable_sort Event.compare_by_arrival
+            (!queue @ List.map snd ready)
+    end
+  in
+  (* Earliest instant at which new work can appear while the queue is
+     empty: the next arrival or the next retry becoming ready. *)
+  let next_work_s () =
+    let a =
+      match !pending with ev :: _ -> ev.Event.arrival_s | [] -> infinity
+    in
+    List.fold_left (fun m (ready, _) -> min m ready) a !held
+  in
+  let apply_faults_due () =
+    match ctx.injector with
+    | Some inj when fault_mode ->
+        let n = Injector.apply_due inj ctx.net ~now:!now in
+        if n > 0 then ignore (Injector.check_now inj ctx.net ~now:!now)
+    | Some _ | None -> ()
+  in
+  (* Terminal best-effort service for an event whose retries ran out:
+     scan-first admission fits what it can into the surviving capacity,
+     unsatisfiable items are reported as failed — the event completes
+     degraded instead of being dropped or retried forever. Runs outside
+     any transaction and is not itself interruptible. *)
+  let execute_degraded ev =
+    let sp =
+      if Trace.enabled () then
+        Some
+          (Trace.span "degraded_round"
+             ~attrs:
+               [
+                 ("event", Trace.Int ev.Event.id);
+                 ("start_s", Trace.Float !now);
+               ])
+      else None
+    in
+    let round_start_s = !now in
+    let round_utilization = Net_state.mean_fabric_utilization ctx.net in
+    let config =
+      { ctx.config with Planner.admission = Planner.Scan_first }
+    in
+    let units_before = ctx.units in
+    let plan = apply ctx ~billed:true ~config ev in
+    (match ctx.cache with
+    | Some c -> Estimate_cache.invalidate c ev.Event.id
+    | None -> ());
+    let round_units = ctx.units - units_before in
+    let plan_time = Exec_model.plan_time ctx.exec ~work_units:round_units in
+    let start_s = !now +. plan_time in
+    let completion_s = start_s +. Exec_model.execution_time ctx.exec plan in
+    schedule_departures ctx ~completion:completion_s plan;
+    incr rounds;
+    Counters.incr Counters.Engine_rounds;
+    Counters.add Counters.Events_executed 1;
+    log :=
+      {
+        round_start_s;
+        executed = [ ev.Event.id ];
+        co_count = 0;
+        round_units;
+        fabric_utilization = round_utilization;
+      }
+      :: !log;
+    results :=
+      {
+        event_id = ev.Event.id;
+        arrival_s = ev.Event.arrival_s;
+        start_s;
+        completion_s;
+        cost_mbit = plan.Planner.cost_mbit;
+        plan_work_units = plan.Planner.work_units;
+        failed_items = plan.Planner.failed_count;
+        co_scheduled = false;
+      }
+      :: !results;
+    now := completion_s;
+    match sp with
+    | Some sp ->
+        Trace.finish sp ~attrs:[ ("completion_s", Trace.Float completion_s) ]
+    | None -> ()
+  in
   promote ();
-  while !queue <> [] || !pending <> [] do
+  while !queue <> [] || !pending <> [] || !held <> [] do
     if !queue = [] then begin
-      (match !pending with
-      | ev :: _ -> now := max !now ev.Event.arrival_s
-      | [] -> assert false);
-      promote ()
+      let t = next_work_s () in
+      now := max !now t;
+      promote ();
+      release_held ()
     end;
+    apply_faults_due ();
     let round_sp =
       if Trace.enabled () then
         Some
@@ -319,22 +423,22 @@ let run_event_level ctx policy events =
     let round_start_s = !now in
     let round_utilization = Net_state.mean_fabric_utilization ctx.net in
     let units_before = ctx.units in
+    (* While faults are still pending, the whole round is speculative:
+       planning and execution run inside a transaction so a fault that
+       lands before the head event completes can abort the round
+       wholesale and roll the network back to the round's start. The
+       transaction opens after background sync, so churn placements
+       survive an abort. *)
+    let guard =
+      if fault_mode then
+        match ctx.injector with
+        | Some inj -> Injector.next_due_s inj
+        | None -> None
+      else None
+    in
+    if guard <> None then Net_state.begin_txn ctx.net;
     let batch = decide ctx policy !queue in
-    incr rounds;
     let round_units = ctx.units - units_before in
-    let co_count = List.length (List.filter (fun (_, _, co) -> co) batch) in
-    Counters.incr Counters.Engine_rounds;
-    Counters.add Counters.Events_executed (List.length batch);
-    Counters.add Counters.Co_scheduled_events co_count;
-    log :=
-      {
-        round_start_s;
-        executed = List.map (fun (ev, _, _) -> ev.Event.id) batch;
-        co_count;
-        round_units;
-        fabric_utilization = round_utilization;
-      }
-      :: !log;
     let plan_time = Exec_model.plan_time ctx.exec ~work_units:round_units in
     let start_s = !now +. plan_time in
     (* The service is free again when the *chosen* event completes;
@@ -342,61 +446,128 @@ let run_event_level ctx policy events =
        after the next round has already begun (the "parallel update" of
        §IV-C). Their flows are already installed, so later planning sees
        a consistent state. *)
-    let head_finish = ref start_s in
-    let exec_sp =
-      if Trace.enabled () then
-        Some
-          (Trace.span "execute"
-             ~attrs:
-               [
-                 ("batch", Trace.Int (List.length batch));
-                 ("start_s", Trace.Float start_s);
-               ])
-      else None
+    let timings =
+      List.map
+        (fun (ev, plan, co) ->
+          (ev, plan, co, start_s +. Exec_model.execution_time ctx.exec plan))
+        batch
     in
-    List.iter
-      (fun (ev, plan, co_scheduled) ->
-        let completion_s = start_s +. Exec_model.execution_time ctx.exec plan in
-        schedule_departures ctx ~completion:completion_s plan;
-        results :=
-          {
-            event_id = ev.Event.id;
-            arrival_s = ev.Event.arrival_s;
-            start_s;
-            completion_s;
-            cost_mbit = plan.Planner.cost_mbit;
-            plan_work_units = plan.Planner.work_units;
-            failed_items = plan.Planner.failed_count;
-            co_scheduled;
-          }
-          :: !results;
-        if not co_scheduled then head_finish := max !head_finish completion_s)
-      batch;
-    (match exec_sp with
-    | Some sp ->
-        Trace.finish sp ~attrs:[ ("head_finish_s", Trace.Float !head_finish) ]
-    | None -> ());
+    let head_finish =
+      List.fold_left
+        (fun acc (_, _, co, c) -> if co then acc else max acc c)
+        start_s timings
+    in
     let executed = List.map (fun (ev, _, _) -> ev.Event.id) batch in
     let executed_set = Hashtbl.create (List.length executed) in
     List.iter (fun id -> Hashtbl.replace executed_set id ()) executed;
     queue :=
       List.filter (fun ev -> not (Hashtbl.mem executed_set ev.Event.id)) !queue;
-    now := !head_finish;
-    (match round_sp with
-    | Some sp ->
-        Trace.finish sp
-          ~attrs:
-            [
-              ( "executed",
-                Trace.Str (String.concat "," (List.map string_of_int executed))
-              );
-              ("batch", Trace.Int (List.length executed));
-              ("co_count", Trace.Int co_count);
-              ("units", Trace.Int round_units);
-              ("fabric_utilization", Trace.Float round_utilization);
-            ]
-    | None -> ());
-    promote ()
+    (match guard with
+    | Some fault_s when fault_s < head_finish ->
+        (* A fault lands while this round is in flight. The migration is
+           aborted: roll the network back to the round's start, let the
+           fault strike the pre-round state, and route every batch event
+           through the retry policy — bounded backoff, then terminal
+           best-effort degradation. *)
+        let inj = Option.get ctx.injector in
+        timed ctx (fun () -> Net_state.rollback ctx.net);
+        now := max !now fault_s;
+        ignore (Injector.apply_due inj ctx.net ~now:!now);
+        let degraded =
+          List.filter_map
+            (fun (ev, _, _) ->
+              match
+                Injector.note_abort inj ~event_id:ev.Event.id ~now:!now
+              with
+              | `Retry_at ready_s ->
+                  held := (ready_s, ev) :: !held;
+                  None
+              | `Degrade -> Some ev)
+            batch
+        in
+        ignore (Injector.check_now inj ctx.net ~now:!now);
+        (match round_sp with
+        | Some sp ->
+            Trace.finish sp
+              ~attrs:
+                [
+                  ("aborted", Trace.Bool true);
+                  ("fault_s", Trace.Float fault_s);
+                  ("batch", Trace.Int (List.length batch));
+                ]
+        | None -> ());
+        List.iter execute_degraded degraded
+    | Some _ | None ->
+        if guard <> None then Net_state.commit ctx.net;
+        incr rounds;
+        let co_count =
+          List.length (List.filter (fun (_, _, co, _) -> co) timings)
+        in
+        Counters.incr Counters.Engine_rounds;
+        Counters.add Counters.Events_executed (List.length batch);
+        Counters.add Counters.Co_scheduled_events co_count;
+        log :=
+          {
+            round_start_s;
+            executed;
+            co_count;
+            round_units;
+            fabric_utilization = round_utilization;
+          }
+          :: !log;
+        let exec_sp =
+          if Trace.enabled () then
+            Some
+              (Trace.span "execute"
+                 ~attrs:
+                   [
+                     ("batch", Trace.Int (List.length batch));
+                     ("start_s", Trace.Float start_s);
+                   ])
+          else None
+        in
+        List.iter
+          (fun (ev, plan, co_scheduled, completion_s) ->
+            schedule_departures ctx ~completion:completion_s plan;
+            results :=
+              {
+                event_id = ev.Event.id;
+                arrival_s = ev.Event.arrival_s;
+                start_s;
+                completion_s;
+                cost_mbit = plan.Planner.cost_mbit;
+                plan_work_units = plan.Planner.work_units;
+                failed_items = plan.Planner.failed_count;
+                co_scheduled;
+              }
+              :: !results)
+          timings;
+        (match exec_sp with
+        | Some sp ->
+            Trace.finish sp
+              ~attrs:[ ("head_finish_s", Trace.Float head_finish) ]
+        | None -> ());
+        now := head_finish;
+        (match ctx.injector with
+        | Some inj when fault_mode ->
+            ignore (Injector.check_now inj ctx.net ~now:!now)
+        | Some _ | None -> ());
+        (match round_sp with
+        | Some sp ->
+            Trace.finish sp
+              ~attrs:
+                [
+                  ( "executed",
+                    Trace.Str
+                      (String.concat "," (List.map string_of_int executed)) );
+                  ("batch", Trace.Int (List.length executed));
+                  ("co_count", Trace.Int co_count);
+                  ("units", Trace.Int round_units);
+                  ("fabric_utilization", Trace.Float round_utilization);
+                ]
+        | None -> ()));
+    promote ();
+    release_held ()
   done;
   (!results, !rounds, List.rev !log)
 
@@ -451,6 +622,13 @@ let run_flow_level ctx order events =
     | item :: rest ->
         items := rest;
         now := max !now item.fi_arrival;
+        (* Flow-level runs take faults at item boundaries; there is no
+           round transaction to abort, so no retry machinery either. *)
+        (match ctx.injector with
+        | Some inj ->
+            let n = Injector.apply_due inj ctx.net ~now:!now in
+            if n > 0 then ignore (Injector.check_now inj ctx.net ~now:!now)
+        | None -> ());
         let round_sp =
           if Trace.enabled () then
             Some
@@ -513,8 +691,8 @@ let run_flow_level ctx order events =
   (results, !rounds, [])
 
 let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
-    ?(seed = 7) ?churn ?(co_max_cost_mbit = 0.0) ?(estimate_cache = true) ~net
-    ~events policy =
+    ?(seed = 7) ?churn ?(co_max_cost_mbit = 0.0) ?(estimate_cache = true)
+    ?injector ~net ~events policy =
   (match Policy.validate policy with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.run: " ^ msg));
@@ -550,6 +728,7 @@ let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
       expiry = Pqueue.create ();
       co_max_cost_mbit;
       cache;
+      injector;
       next_churn_id = (match churn with Some c -> c.first_id | None -> 0);
       units = 0;
       wall = 0.0;

@@ -82,6 +82,7 @@ val run :
   ?churn:churn ->
   ?co_max_cost_mbit:float ->
   ?estimate_cache:bool ->
+  ?injector:Nu_fault.Injector.t ->
   net:Net_state.t ->
   events:Event.t list ->
   Policy.t ->
@@ -100,4 +101,20 @@ val run :
     bills the same simulated work units a fresh probe would have
     reported — and it disables itself under [Routing.Random_fit], whose
     probes consume PRNG draws. Raises [Invalid_argument] on an invalid
-    policy. *)
+    policy.
+
+    [injector] attaches a fault schedule ({!Nu_fault.Injector}). While
+    faults remain pending, each event-level round runs inside a
+    {!Nu_net.Net_state} transaction: a fault whose instant falls before
+    the round's head event completes aborts the round — the network
+    rolls back to the round's start, the fault strikes the pre-round
+    state, and every batch event goes through the injector's bounded
+    retry policy (deterministic exponential backoff in simulated time,
+    then a terminal best-effort scan-first round that reports
+    unsatisfiable items as failed instead of dropping the event). After
+    every fault application and every completed round the injector's
+    invariant checker runs; violations land in the recovery log. An
+    absent injector — or one whose schedule is empty — leaves the run
+    bit-identical to a fault-free run. Flow-level runs apply due faults
+    at item boundaries only (no per-item transactions, so no aborts or
+    retries). *)

@@ -44,7 +44,7 @@ let round_to_json (r : Engine.round_info) =
       ("fabric_utilization", Json.Float r.Engine.fabric_utilization);
     ]
 
-let to_json ?counters (run : Engine.run_result) =
+let to_json ?counters ?recovery (run : Engine.run_result) =
   let summary = Metrics.of_run run in
   Json.Obj
     ([
@@ -60,6 +60,9 @@ let to_json ?counters (run : Engine.run_result) =
        ( "final_fabric_utilization",
          Json.Float run.Engine.final_fabric_utilization );
      ]
+    @ (match recovery with
+      | None -> []
+      | Some r -> [ ("recovery", Nu_fault.Recovery.stats_to_json r) ])
     @
     match counters with
     | None -> []

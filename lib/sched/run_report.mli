@@ -16,7 +16,13 @@ val event_result_to_json : Engine.event_result -> Nu_obs.Json.t
 val round_to_json : Engine.round_info -> Nu_obs.Json.t
 
 val to_json :
-  ?counters:Nu_obs.Counters.snapshot -> Engine.run_result -> Nu_obs.Json.t
+  ?counters:Nu_obs.Counters.snapshot ->
+  ?recovery:Nu_fault.Recovery.t ->
+  Engine.run_result ->
+  Nu_obs.Json.t
 (** The full report: policy, summary, events (event-id order), round
     count, round log and, when given, the counter snapshot (typically a
-    {!Nu_obs.Counters.diff} scoped to the run). *)
+    {!Nu_obs.Counters.diff} scoped to the run). [recovery] — usually the
+    run's injector's {!Nu_fault.Injector.recovery} — adds a ["recovery"]
+    section with the fault/abort/retry/degrade statistics and the
+    deterministic recovery digest. *)

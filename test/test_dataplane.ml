@@ -268,6 +268,122 @@ let prop_two_phase_random_flip_order =
         transitions)
 
 (* ------------------------------------------------------------------ *)
+(* Two_phase under install faults                                      *)
+
+(* A reroute transition for flow 100 built without touching the net, so
+   the net still describes the OLD configuration: if the two-phase
+   update is rolled back, fabric and net must agree again. *)
+let reroute_transition net =
+  let placed = Option.get (Net_state.flow net 100) in
+  let other =
+    List.find
+      (fun p -> not (Path.equal p placed.Net_state.path))
+      (Net_state.candidate_paths net placed.Net_state.record)
+  in
+  Two_phase.
+    {
+      flow_id = 100;
+      old_path = Some placed.Net_state.path;
+      new_path = other;
+      old_version = 0;
+      new_version = 1;
+    }
+
+let no_fault ~switch:_ ~flow_id:_ = None
+
+let test_two_phase_faults_clean_oracle () =
+  let net = loaded_net () in
+  let fabric_a = Fabric.of_net net in
+  let fabric_b = Fabric.of_net net in
+  let tr = reroute_transition net in
+  let stats = Two_phase.execute fabric_a [ tr ] in
+  let report = Two_phase.execute_with_faults fabric_b ~fault:no_fault [ tr ] in
+  Alcotest.(check bool) "same stats as execute" true
+    (stats = report.Two_phase.stats);
+  Alcotest.(check (list int)) "nothing dropped" []
+    report.Two_phase.dropped_flow_ids;
+  Alcotest.(check int) "same rule total"
+    (Fabric.total_rules fabric_a) (Fabric.total_rules fabric_b)
+
+let test_two_phase_dropped_install_rolls_back () =
+  let net = loaded_net () in
+  let fabric = Fabric.of_net net in
+  let rules_before = Fabric.total_rules fabric in
+  let tr = reroute_transition net in
+  (* Drop every install of flow 100: the transition must be unstaged and
+     never flipped, leaving the tables in the old configuration. *)
+  let fault ~switch:_ ~flow_id =
+    if flow_id = 100 then Some `Drop else None
+  in
+  let report = Two_phase.execute_with_faults fabric ~fault [ tr ] in
+  Alcotest.(check (list int)) "transition aborted" [ 100 ]
+    report.Two_phase.dropped_flow_ids;
+  Alcotest.(check int) "no flips" 0 report.Two_phase.stats.Two_phase.flips;
+  Alcotest.(check int) "staged rules unstaged" rules_before
+    (Fabric.total_rules fabric);
+  (match Switch_table.stamp
+           (Fabric.table fabric (Path.src tr.Two_phase.new_path))
+           ~flow_id:100 with
+  | Some 0 -> ()
+  | _ -> Alcotest.fail "ingress stamp must still be at the old version");
+  (* The dataplane still forwards flow 100 along its old path. *)
+  match Fabric.verify_all fabric net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("old configuration must survive: " ^ e)
+
+let test_two_phase_delayed_install_still_flips () =
+  let net = loaded_net () in
+  let fabric = Fabric.of_net net in
+  let tr = reroute_transition net in
+  let fault ~switch:_ ~flow_id =
+    if flow_id = 100 then Some (`Delay 0.002) else None
+  in
+  let report = Two_phase.execute_with_faults fabric ~fault [ tr ] in
+  Alcotest.(check (list int)) "late acks do not abort" []
+    report.Two_phase.dropped_flow_ids;
+  Alcotest.(check int) "flip issued" 1 report.Two_phase.stats.Two_phase.flips;
+  Alcotest.(check int) "every hop acked late"
+    (Path.hops tr.Two_phase.new_path) report.Two_phase.delayed_hops;
+  Alcotest.(check (float 1e-9)) "latency accumulates"
+    (0.002 *. float_of_int (Path.hops tr.Two_phase.new_path))
+    report.Two_phase.extra_latency_s;
+  (* The flow moved: re-point the net at the new path to verify. *)
+  (match Net_state.reroute net 100 tr.Two_phase.new_path with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "reroute feasible");
+  match Fabric.verify_all fabric net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("new configuration must be live: " ^ e)
+
+let test_two_phase_mixed_batch_partial_abort () =
+  let net = loaded_net () in
+  let fabric = Fabric.of_net net in
+  let ev =
+    Event.of_spec
+      {
+        Event_gen.event_id = 0;
+        arrival_s = 0.0;
+        flows = [ flow ~id:0 ~demand:10.0 0 15; flow ~id:1 ~demand:10.0 2 13 ];
+      }
+  in
+  let plan = Planner.plan net ev in
+  Alcotest.(check int) "plan satisfiable" 0 plan.Planner.failed_count;
+  let transitions = Two_phase.transitions_of_plan fabric plan in
+  (* Fail only flow 0's installs; flow 1 (and any migrations) proceed. *)
+  let fault ~switch:_ ~flow_id = if flow_id = 0 then Some `Drop else None in
+  let report = Two_phase.execute_with_faults fabric ~fault transitions in
+  Alcotest.(check (list int)) "only flow 0 aborted" [ 0 ]
+    report.Two_phase.dropped_flow_ids;
+  Alcotest.(check int) "the rest flipped"
+    (List.length transitions - 1)
+    report.Two_phase.stats.Two_phase.flips;
+  (* Flow 0 never went live; drop it from the net before verifying. *)
+  (match Net_state.remove net 0 with Ok _ | Error `Not_found -> ());
+  match Fabric.verify_all fabric net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("surviving flows must verify: " ^ e)
+
+(* ------------------------------------------------------------------ *)
 (* Ordering                                                            *)
 
 let test_ordering_empty () =
@@ -450,6 +566,10 @@ let suite =
     ("two-phase rule counts", `Quick, test_two_phase_rule_counts);
     ("two-phase version bump", `Quick, test_two_phase_version_bump);
     QCheck_alcotest.to_alcotest prop_two_phase_random_flip_order;
+    ("two-phase clean oracle", `Quick, test_two_phase_faults_clean_oracle);
+    ("two-phase drop rolls back", `Quick, test_two_phase_dropped_install_rolls_back);
+    ("two-phase delay still flips", `Quick, test_two_phase_delayed_install_still_flips);
+    ("two-phase partial abort", `Quick, test_two_phase_mixed_batch_partial_abort);
     ("ordering empty", `Quick, test_ordering_empty);
     ("ordering plan moves", `Quick, test_ordering_plan_moves);
     ("ordering unknown flow", `Quick, test_ordering_unknown_flow);

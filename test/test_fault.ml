@@ -1,0 +1,427 @@
+(* nu_fault: fault schedules, retry policy, recovery log, invariant
+   checker, the injector, and the fault-aware engine loop. *)
+
+let topo4 () = Fat_tree.to_topology (Fat_tree.create ~k:4 ())
+
+let flow ?(id = 0) ?(demand = 50.0) ?(duration = 10.0) ?(arrival = 0.0) src dst
+    =
+  Flow_record.v ~id ~src ~dst ~size_mbit:(demand *. duration)
+    ~duration_s:duration ~arrival_s:arrival
+
+let loaded_net () =
+  let net = Net_state.create (topo4 ()) in
+  let next = ref 1000 in
+  for src = 0 to 7 do
+    let dst = 15 - src in
+    let r = flow ~id:!next ~demand:300.0 src dst in
+    incr next;
+    match Routing.select net r with
+    | Some p -> ( match Net_state.place net r p with Ok () -> () | Error _ -> ())
+    | None -> ()
+  done;
+  net
+
+(* A deterministic workload of [n] events of [m] small flows each. *)
+let workload ?(n = 6) ?(m = 5) () =
+  let next = ref 0 in
+  List.init n (fun i ->
+      let flows =
+        List.init m (fun j ->
+            let id = !next in
+            incr next;
+            let src = (i + j) mod 16 in
+            let dst = (src + 3 + j) mod 16 in
+            let dst = if dst = src then (dst + 1) mod 16 else dst in
+            flow ~id ~demand:(10.0 +. float_of_int (j * 5)) src dst)
+      in
+      Event.of_spec { Event_gen.event_id = i; arrival_s = 0.0; flows })
+
+(* A fabric (switch-to-switch) edge crossed by some placed flow. *)
+let fabric_edge_of_some_flow net =
+  let topo = Net_state.topology net in
+  let found = ref None in
+  Net_state.iter_flows net (fun p ->
+      if !found = None then
+        List.iter
+          (fun (e : Graph.edge) ->
+            if
+              !found = None
+              && (not (Topology.is_host topo e.Graph.src))
+              && not (Topology.is_host topo e.Graph.dst)
+            then found := Some e.Graph.id)
+          (Path.edges p.Net_state.path));
+  match !found with Some e -> e | None -> Alcotest.fail "no fabric edge"
+
+(* ------------------------------------------------------------------ *)
+(* Fault_model                                                         *)
+
+let test_schedule_deterministic () =
+  let topo = topo4 () in
+  let a = Fault_model.generate ~seed:5 topo in
+  let b = Fault_model.generate ~seed:5 topo in
+  Alcotest.(check bool) "same seed same schedule" true (a = b);
+  let c = Fault_model.generate ~seed:6 topo in
+  Alcotest.(check bool) "different seed differs" true (a <> c);
+  Alcotest.(check bool) "non-empty" true (List.length a > 0)
+
+let test_schedule_sorted_and_paired () =
+  let topo = topo4 () in
+  let s = Fault_model.generate ~seed:11 topo in
+  let rec sorted = function
+    | (a : Fault_model.fault) :: (b :: _ as rest) ->
+        a.Fault_model.at_s <= b.Fault_model.at_s && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted by at_s" true (sorted s);
+  let count p = List.length (List.filter p s) in
+  Alcotest.(check int) "every link down has its repair"
+    (count (fun f ->
+         match f.Fault_model.action with Fault_model.Link_down _ -> true | _ -> false))
+    (count (fun f ->
+         match f.Fault_model.action with Fault_model.Link_up _ -> true | _ -> false));
+  Alcotest.(check int) "every switch down has its repair"
+    (count (fun f ->
+         match f.Fault_model.action with
+         | Fault_model.Switch_down _ -> true
+         | _ -> false))
+    (count (fun f ->
+         match f.Fault_model.action with Fault_model.Switch_up _ -> true | _ -> false));
+  Alcotest.(check int) "every degradation has its restore"
+    (count (fun f ->
+         match f.Fault_model.action with Fault_model.Degrade _ -> true | _ -> false))
+    (count (fun f ->
+         match f.Fault_model.action with Fault_model.Restore _ -> true | _ -> false))
+
+let test_install_hazard () =
+  let call = Fault_model.install_hazard ~seed:3 ~drop_rate:0.3 ~delay_rate:0.3 ~delay_s:0.01 in
+  for switch = 0 to 19 do
+    for flow_id = 0 to 19 do
+      Alcotest.(check bool) "pure (order-independent)" true
+        (call ~switch ~flow_id = call ~switch ~flow_id)
+    done
+  done;
+  let clean =
+    Fault_model.install_hazard ~seed:3 ~drop_rate:0.0 ~delay_rate:0.0
+      ~delay_s:0.01 ~switch:4 ~flow_id:9
+  in
+  Alcotest.(check bool) "zero rates never fire" true (clean = None);
+  let always =
+    Fault_model.install_hazard ~seed:3 ~drop_rate:1.0 ~delay_rate:0.0
+      ~delay_s:0.01 ~switch:4 ~flow_id:9
+  in
+  Alcotest.(check bool) "rate one always drops" true (always = Some `Drop)
+
+(* ------------------------------------------------------------------ *)
+(* Retry_policy                                                        *)
+
+let test_retry_policy () =
+  let p = { Retry_policy.max_attempts = 3; base_backoff_s = 0.1; multiplier = 2.0 } in
+  Alcotest.(check (float 1e-12)) "first backoff" 0.1 (Retry_policy.backoff_s p ~attempt:1);
+  Alcotest.(check (float 1e-12)) "doubles" 0.4 (Retry_policy.backoff_s p ~attempt:3);
+  (match Retry_policy.decide p ~attempt:2 with
+  | `Retry_after b -> Alcotest.(check (float 1e-12)) "retry backoff" 0.2 b
+  | `Degrade -> Alcotest.fail "attempt 2 of 3 must retry");
+  (match Retry_policy.decide p ~attempt:3 with
+  | `Degrade -> ()
+  | `Retry_after _ -> Alcotest.fail "attempt 3 of 3 must degrade");
+  Alcotest.(check bool) "invalid rejected" true
+    (Result.is_error (Retry_policy.validate { p with Retry_policy.max_attempts = 0 }))
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+let test_recovery_digest_and_stats () =
+  let r = Recovery.create () in
+  Alcotest.(check string) "empty log is the FNV basis" "cbf29ce484222325"
+    (Recovery.digest r);
+  let before = Obs.Counters.snapshot () in
+  Recovery.record r (Recovery.Fault_applied { at_s = 1.0; tag = 1; subject = 3 });
+  Recovery.record r (Recovery.Migration_aborted { event_id = 7; at_s = 1.0; attempt = 1 });
+  Recovery.record r (Recovery.Retry_scheduled { event_id = 7; ready_s = 1.05; attempt = 1 });
+  Recovery.record r (Recovery.Event_degraded { event_id = 7; at_s = 2.0 });
+  Recovery.record r (Recovery.Flow_evacuated { flow_id = 9; at_s = 1.0; dropped = true });
+  Recovery.record r (Recovery.Invariant_violated { at_s = 2.0; name = "blackhole" });
+  let d = Obs.Counters.diff ~before ~after:(Obs.Counters.snapshot ()) in
+  Alcotest.(check int) "faults counter" 1 (Obs.Counters.value d Obs.Counters.Faults_injected);
+  Alcotest.(check int) "aborts counter" 1 (Obs.Counters.value d Obs.Counters.Migrations_aborted);
+  Alcotest.(check int) "retries counter" 1 (Obs.Counters.value d Obs.Counters.Retries);
+  Alcotest.(check int) "degraded counter" 1 (Obs.Counters.value d Obs.Counters.Events_degraded);
+  let s = Recovery.stats r in
+  Alcotest.(check int) "stats faults" 1 s.Recovery.faults_applied;
+  Alcotest.(check int) "stats aborts" 1 s.Recovery.aborts;
+  Alcotest.(check int) "stats retries" 1 s.Recovery.retries;
+  Alcotest.(check int) "stats degraded" 1 s.Recovery.degraded;
+  Alcotest.(check int) "stats dropped" 1 s.Recovery.dropped;
+  Alcotest.(check int) "stats violations" 1 s.Recovery.violations;
+  (* Digest is order-sensitive: same decisions, different order. *)
+  let r2 = Recovery.create () in
+  Recovery.record r2 (Recovery.Migration_aborted { event_id = 7; at_s = 1.0; attempt = 1 });
+  Recovery.record r2 (Recovery.Fault_applied { at_s = 1.0; tag = 1; subject = 3 });
+  Alcotest.(check bool) "order-sensitive digest" true
+    (Recovery.digest r <> Recovery.digest r2)
+
+(* ------------------------------------------------------------------ *)
+(* Invariant                                                           *)
+
+let test_invariant_detects_blackhole () =
+  let net = loaded_net () in
+  Alcotest.(check int) "clean state" 0 (List.length (Invariant.check net));
+  let e = fabric_edge_of_some_flow net in
+  (* Disable without evacuating: a synthetic blackhole. *)
+  Net_state.disable_edge net e;
+  let vs = Invariant.check net in
+  Alcotest.(check bool) "blackhole found" true
+    (List.exists (fun (v : Invariant.violation) -> v.Invariant.name = "blackhole") vs)
+
+let test_invariant_detects_capacity () =
+  let net = loaded_net () in
+  let e = fabric_edge_of_some_flow net in
+  let cap = (Graph.edge (Net_state.graph net) e).Graph.capacity in
+  (* Degrade below current usage without shedding: residual goes negative. *)
+  Net_state.degrade_edge net e ~lost_mbps:cap;
+  let vs = Invariant.check net in
+  Alcotest.(check bool) "capacity violation found" true
+    (List.exists (fun (v : Invariant.violation) -> v.Invariant.name = "capacity") vs);
+  Net_state.restore_edge_capacity net e
+
+(* ------------------------------------------------------------------ *)
+(* Injector                                                            *)
+
+let test_injector_link_down_evacuates () =
+  let net = loaded_net () in
+  let e = fabric_edge_of_some_flow net in
+  let inj =
+    Injector.create
+      [ { Fault_model.at_s = 0.0; action = Fault_model.Link_down e } ]
+  in
+  let n = Injector.apply_due inj net ~now:0.0 in
+  Alcotest.(check int) "one fault applied" 1 n;
+  Alcotest.(check bool) "edge disabled" true (Net_state.edge_disabled net e);
+  Alcotest.(check int) "no violations after evacuation" 0
+    (List.length (Injector.check_now inj net ~now:0.0));
+  let s = Recovery.stats (Injector.recovery inj) in
+  Alcotest.(check bool) "evacuations recorded" true
+    (s.Recovery.evacuated + s.Recovery.dropped > 0);
+  Alcotest.(check bool) "faults not yet due stay pending" true
+    (Injector.next_due_s inj = None)
+
+let test_injector_switch_down_then_up () =
+  let net = loaded_net () in
+  let topo = Net_state.topology net in
+  let v =
+    let sw = ref (-1) in
+    let nodes = Graph.node_count (Net_state.graph net) in
+    for node = 0 to nodes - 1 do
+      if !sw < 0 && not (Topology.is_host topo node) then sw := node
+    done;
+    !sw
+  in
+  let inj =
+    Injector.create
+      [
+        { Fault_model.at_s = 0.0; action = Fault_model.Switch_down v };
+        { Fault_model.at_s = 5.0; action = Fault_model.Switch_up v };
+      ]
+  in
+  ignore (Injector.apply_due inj net ~now:0.0);
+  let g = Net_state.graph net in
+  List.iter
+    (fun (e : Graph.edge) ->
+      Alcotest.(check bool) "incident edge disabled" true
+        (Net_state.edge_disabled net e.Graph.id))
+    (Graph.out_edges g v);
+  Alcotest.(check int) "consistent after switch loss" 0
+    (List.length (Injector.check_now inj net ~now:0.0));
+  ignore (Injector.apply_due inj net ~now:5.0);
+  List.iter
+    (fun (e : Graph.edge) ->
+      Alcotest.(check bool) "incident edge re-enabled" false
+        (Net_state.edge_disabled net e.Graph.id))
+    (Graph.out_edges g v)
+
+let test_injector_degrade_sheds () =
+  let net = loaded_net () in
+  let e = fabric_edge_of_some_flow net in
+  let cap = (Graph.edge (Net_state.graph net) e).Graph.capacity in
+  let inj =
+    Injector.create
+      [
+        {
+          Fault_model.at_s = 0.0;
+          action = Fault_model.Degrade { edge = e; lost_mbps = cap *. 0.9 };
+        };
+      ]
+  in
+  ignore (Injector.apply_due inj net ~now:0.0);
+  Alcotest.(check bool) "residual non-negative after shedding" true
+    (Net_state.residual net e >= -1e-6);
+  Alcotest.(check int) "consistent after degradation" 0
+    (List.length (Injector.check_now inj net ~now:0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Fault-aware engine                                                  *)
+
+(* A stable fingerprint of everything a run decided. *)
+let run_fingerprint (r : Engine.run_result) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "rounds=%d units=%d " r.Engine.rounds r.Engine.total_plan_units);
+  Array.iter
+    (fun (er : Engine.event_result) ->
+      Buffer.add_string b
+        (Printf.sprintf "(%d %.9f %.9f %.3f %d %b)" er.Engine.event_id
+           er.Engine.start_s er.Engine.completion_s er.Engine.cost_mbit
+           er.Engine.failed_items er.Engine.co_scheduled))
+    r.Engine.events;
+  List.iter
+    (fun (ri : Engine.round_info) ->
+      Buffer.add_string b
+        (Printf.sprintf "[%.9f %s %d]" ri.Engine.round_start_s
+           (String.concat "," (List.map string_of_int ri.Engine.executed))
+           ri.Engine.round_units))
+    r.Engine.rounds_log;
+  Buffer.contents b
+
+let test_engine_empty_schedule_identical () =
+  let events = workload () in
+  let base =
+    Engine.run ~seed:3 ~net:(loaded_net ()) ~events (Policy.Plmtf { alpha = 2 })
+  in
+  let inj = Injector.create [] in
+  let faulted =
+    Engine.run ~seed:3 ~injector:inj ~net:(loaded_net ()) ~events
+      (Policy.Plmtf { alpha = 2 })
+  in
+  Alcotest.(check string) "bit-identical decisions"
+    (run_fingerprint base) (run_fingerprint faulted);
+  Alcotest.(check string) "recovery log untouched" "cbf29ce484222325"
+    (Recovery.digest (Injector.recovery inj))
+
+let chaos_run ?(retry = Retry_policy.default) ~fault_seed policy =
+  let net = loaded_net () in
+  (* Size the fault horizon to the run itself: draw the schedule inside
+     the fault-free makespan so faults actually land mid-run. *)
+  let baseline =
+    Engine.run ~seed:3 ~net:(Net_state.copy net) ~events:(workload ~n:8 ())
+      policy
+  in
+  let horizon = baseline.Engine.makespan_s *. 0.8 in
+  let schedule =
+    Fault_model.generate
+      ~config:
+        {
+          Fault_model.default_config with
+          Fault_model.rate_per_s = 6.0 /. horizon;
+          horizon_s = horizon;
+          repair_s = horizon /. 4.0;
+        }
+      ~seed:fault_seed (Net_state.topology net)
+  in
+  let inj = Injector.create ~retry schedule in
+  let run =
+    Engine.run ~seed:3 ~injector:inj ~net ~events:(workload ~n:8 ()) policy
+  in
+  (run, inj)
+
+let test_engine_chaos_deterministic () =
+  let run_a, inj_a = chaos_run ~fault_seed:21 (Policy.Plmtf { alpha = 2 }) in
+  let run_b, inj_b = chaos_run ~fault_seed:21 (Policy.Plmtf { alpha = 2 }) in
+  Alcotest.(check string) "same recovery digest"
+    (Recovery.digest (Injector.recovery inj_a))
+    (Recovery.digest (Injector.recovery inj_b));
+  Alcotest.(check string) "same run decisions" (run_fingerprint run_a)
+    (run_fingerprint run_b)
+
+let test_engine_chaos_robust () =
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun fault_seed ->
+          let run, inj = chaos_run ~fault_seed policy in
+          Alcotest.(check int) "zero invariant violations" 0
+            (Injector.violations inj);
+          (* Degraded or retried, every event still completes and is
+             reported — nothing is silently dropped. *)
+          Alcotest.(check int) "all events reported" 8
+            (Array.length run.Engine.events);
+          let s = Recovery.stats (Injector.recovery inj) in
+          Alcotest.(check bool) "faults actually applied" true
+            (s.Recovery.faults_applied > 0))
+        [ 21; 22; 23 ])
+    [ Policy.Fifo; Policy.Plmtf { alpha = 2 } ]
+
+let test_engine_abort_then_retry () =
+  let net = loaded_net () in
+  let e = fabric_edge_of_some_flow net in
+  (* One event; the fault lands just after the round begins, so the
+     in-flight round must abort. With two attempts allowed, the retry
+     then completes the event. *)
+  let inj =
+    Injector.create
+      ~retry:{ Retry_policy.max_attempts = 2; base_backoff_s = 0.05; multiplier = 2.0 }
+      [ { Fault_model.at_s = 1e-6; action = Fault_model.Link_down e } ]
+  in
+  let run =
+    Engine.run ~seed:3 ~injector:inj ~net ~events:(workload ~n:1 ()) Policy.Fifo
+  in
+  let s = Recovery.stats (Injector.recovery inj) in
+  Alcotest.(check int) "one abort" 1 s.Recovery.aborts;
+  Alcotest.(check int) "one retry" 1 s.Recovery.retries;
+  Alcotest.(check int) "no degradation" 0 s.Recovery.degraded;
+  Alcotest.(check int) "event completed" 1 (Array.length run.Engine.events);
+  Alcotest.(check int) "no violations" 0 (Injector.violations inj);
+  Alcotest.(check bool) "completion after backoff" true
+    (run.Engine.events.(0).Engine.completion_s > 0.05)
+
+let test_engine_abort_then_degrade () =
+  let net = loaded_net () in
+  let e = fabric_edge_of_some_flow net in
+  let inj =
+    Injector.create
+      ~retry:{ Retry_policy.max_attempts = 1; base_backoff_s = 0.05; multiplier = 2.0 }
+      [ { Fault_model.at_s = 1e-6; action = Fault_model.Link_down e } ]
+  in
+  let run =
+    Engine.run ~seed:3 ~injector:inj ~net ~events:(workload ~n:1 ()) Policy.Fifo
+  in
+  let s = Recovery.stats (Injector.recovery inj) in
+  Alcotest.(check int) "one abort" 1 s.Recovery.aborts;
+  Alcotest.(check int) "no retry left" 0 s.Recovery.retries;
+  Alcotest.(check int) "degraded instead" 1 s.Recovery.degraded;
+  Alcotest.(check int) "event still reported" 1 (Array.length run.Engine.events);
+  Alcotest.(check int) "no violations" 0 (Injector.violations inj)
+
+let test_engine_flow_level_faults () =
+  let net = loaded_net () in
+  let e = fabric_edge_of_some_flow net in
+  let inj =
+    Injector.create
+      [ { Fault_model.at_s = 0.0; action = Fault_model.Link_down e } ]
+  in
+  let run =
+    Engine.run ~seed:3 ~injector:inj ~net ~events:(workload ~n:2 ())
+      (Policy.Flow_level Policy.Round_robin)
+  in
+  let s = Recovery.stats (Injector.recovery inj) in
+  Alcotest.(check int) "fault applied at item boundary" 1 s.Recovery.faults_applied;
+  Alcotest.(check int) "no violations" 0 (Injector.violations inj);
+  Alcotest.(check int) "both events reported" 2 (Array.length run.Engine.events)
+
+let suite =
+  [
+    Alcotest.test_case "schedule deterministic" `Quick test_schedule_deterministic;
+    Alcotest.test_case "schedule sorted+paired" `Quick test_schedule_sorted_and_paired;
+    Alcotest.test_case "install hazard" `Quick test_install_hazard;
+    Alcotest.test_case "retry policy" `Quick test_retry_policy;
+    Alcotest.test_case "recovery digest+stats" `Quick test_recovery_digest_and_stats;
+    Alcotest.test_case "invariant blackhole" `Quick test_invariant_detects_blackhole;
+    Alcotest.test_case "invariant capacity" `Quick test_invariant_detects_capacity;
+    Alcotest.test_case "injector link down" `Quick test_injector_link_down_evacuates;
+    Alcotest.test_case "injector switch down/up" `Quick test_injector_switch_down_then_up;
+    Alcotest.test_case "injector degrade sheds" `Quick test_injector_degrade_sheds;
+    Alcotest.test_case "engine empty schedule" `Quick test_engine_empty_schedule_identical;
+    Alcotest.test_case "engine chaos deterministic" `Quick test_engine_chaos_deterministic;
+    Alcotest.test_case "engine chaos robust" `Quick test_engine_chaos_robust;
+    Alcotest.test_case "engine abort then retry" `Quick test_engine_abort_then_retry;
+    Alcotest.test_case "engine abort then degrade" `Quick test_engine_abort_then_degrade;
+    Alcotest.test_case "engine flow-level faults" `Quick test_engine_flow_level_faults;
+  ]

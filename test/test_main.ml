@@ -11,6 +11,7 @@ let () =
       ("net", Test_net.suite);
       ("update", Test_update.suite);
       ("dataplane", Test_dataplane.suite);
+      ("fault", Test_fault.suite);
       ("sched", Test_sched.suite);
       ("obs", Test_obs.suite);
       ("expt", Test_expt.suite);

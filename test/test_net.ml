@@ -389,6 +389,61 @@ let prop_txn_rollback_differential =
            -. Net_state.mean_fabric_utilization snap)
          < 1e-9)
 
+(* Capacity degradation and link disable/enable are journal-aware: a
+   rolled-back transaction that degraded, restored, disabled and enabled
+   random edges — bumping the disabled epoch mid-transaction — must
+   leave residuals, the degradation ledger and the administrative state
+   exactly as a pre-transaction copy. *)
+let prop_txn_degrade_differential =
+  QCheck.Test.make ~name:"txn rollback restores degradation state" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      let net = Net_state.create (topo4 ()) in
+      let rng = Prng.create (seed + 11) in
+      (* Background load so degradations interact with real usage. *)
+      for i = 0 to 29 do
+        let src = Prng.int rng 16 in
+        let dst = (src + 1 + Prng.int rng 15) mod 16 in
+        let r = flow ~id:i ~demand:(Prng.float_in rng 1.0 200.0) src dst in
+        match Routing.select ~rng ~policy:Routing.Random_fit net r with
+        | None -> ()
+        | Some path -> ignore (Net_state.place net r path)
+      done;
+      let edge_n = Graph.edge_count (Net_state.graph net) in
+      (* Pre-transaction degradation that must survive the rollback. *)
+      for _ = 0 to 4 do
+        Net_state.degrade_edge net (Prng.int rng edge_n)
+          ~lost_mbps:(Prng.float_in rng 1.0 50.0)
+      done;
+      let snap = Net_state.copy net in
+      Net_state.begin_txn net;
+      for _ = 0 to 59 do
+        let e = Prng.int rng edge_n in
+        match Prng.int rng 4 with
+        | 0 ->
+            Net_state.degrade_edge net e
+              ~lost_mbps:(Prng.float_in rng 1.0 100.0)
+        | 1 -> Net_state.restore_edge_capacity net e
+        | 2 -> Net_state.disable_edge net e
+        | _ -> Net_state.enable_edge net e
+      done;
+      Net_state.rollback net;
+      let ok = ref (Net_state.invariants_ok net = Ok ()) in
+      for e = 0 to edge_n - 1 do
+        if
+          abs_float (Net_state.residual net e -. Net_state.residual snap e)
+          > 1e-9
+        then ok := false;
+        if
+          abs_float
+            (Net_state.degraded_mbps net e -. Net_state.degraded_mbps snap e)
+          > 1e-9
+        then ok := false;
+        if Net_state.edge_disabled net e <> Net_state.edge_disabled snap e then
+          ok := false
+      done;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Routing                                                             *)
 
@@ -622,6 +677,7 @@ let suite =
     ("txn copy rejected", `Quick, test_txn_copy_rejected);
     ("probe tracking", `Quick, test_probe_tracking);
     QCheck_alcotest.to_alcotest prop_txn_rollback_differential;
+    QCheck_alcotest.to_alcotest prop_txn_degrade_differential;
     ("routing first fit", `Quick, test_routing_first_fit);
     ("routing widest", `Quick, test_routing_widest);
     ("routing least loaded", `Quick, test_routing_least_loaded);
