@@ -1,0 +1,69 @@
+(* Bench regression gate: diff a current sched_bench JSON document
+   against a committed baseline (BENCH_PR3.json) and fail CI on a
+   planning-wall regression beyond tolerance or any decision-digest
+   change. All comparison logic lives in Core.Obs.Regress (unit-tested);
+   this is the file-reading, exit-code-setting shell around it.
+
+     dune exec bench/compare.exe -- \
+       --baseline BENCH_PR3.json --current bench_now.json
+
+   Exit codes: 0 the gate passes, 1 regression/digest failure, 2 the
+   documents are not comparable (workload or schema mismatch, unreadable
+   or malformed input). *)
+
+let baseline_file = ref ""
+let current_file = ref ""
+let max_regress = ref 0.15
+
+let args =
+  [
+    ("--baseline", Arg.Set_string baseline_file, "FILE committed baseline JSON");
+    ("--current", Arg.Set_string current_file, "FILE freshly produced run JSON");
+    ( "--max-regress",
+      Arg.Set_float max_regress,
+      "F tolerated fractional planning-wall increase (default 0.15)" );
+  ]
+
+let usage = "compare --baseline FILE --current FILE [--max-regress F]"
+
+let incomparable fmt =
+  Printf.ksprintf
+    (fun s ->
+      Printf.eprintf "compare: %s\n%!" s;
+      exit 2)
+    fmt
+
+let load label path =
+  if path = "" then incomparable "missing --%s FILE" label;
+  match
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let body = really_input_string ic len in
+    close_in ic;
+    Core.Obs.Json.of_string body
+  with
+  | Ok j -> j
+  | Error e -> incomparable "%s %s: parse error: %s" label path e
+  | exception Sys_error e -> incomparable "cannot read %s: %s" label e
+
+let () =
+  Arg.parse args (fun _ -> raise (Arg.Bad "no positional arguments")) usage;
+  let baseline = load "baseline" !baseline_file in
+  let current = load "current" !current_file in
+  match
+    Core.Obs.Regress.check ~max_regress:!max_regress ~baseline ~current ()
+  with
+  | Error reason -> incomparable "%s" reason
+  | Ok { Core.Obs.Regress.failures; notes } ->
+      List.iter (fun n -> Printf.printf "note: %s\n" n) notes;
+      List.iter (fun f -> Printf.printf "FAIL: %s\n" f) failures;
+      if failures = [] then begin
+        Printf.printf "bench gate: PASS (%s vs %s)\n" !current_file
+          !baseline_file;
+        exit 0
+      end
+      else begin
+        Printf.printf "bench gate: FAIL (%d failure%s)\n" (List.length failures)
+          (if List.length failures = 1 then "" else "s");
+        exit 1
+      end

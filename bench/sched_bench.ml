@@ -95,16 +95,29 @@ type measurement = {
   m_total_cost_mbit : float;
   m_digest : string;
   m_recovery_digest : string option;
-  m_counters : (string * int) list;
+  m_counters : Core.Obs.Counters.snapshot;
 }
 
 let now_s () = Unix.gettimeofday ()
 
-let measure ~name ~policy ~n_events ?(faults = `Off) () =
+let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false) () =
   (* A fresh scenario per measurement: the run mutates its network. *)
   let s = Core.Scenario.prepare ~k:8 ~utilization:0.70 ~seed:!seed () in
   let events = Core.Scenario.events s ~n:n_events in
   let churn = Core.Scenario.churn ~target:0.70 s in
+  (* [obs] turns the whole observability stack on for the run — memory
+     trace sink, histogram registry, per-round series — to measure its
+     overhead and prove it does not perturb a single decision. *)
+  let series =
+    if obs then begin
+      let sink, _ = Core.Obs.Trace.memory () in
+      Core.Obs.Trace.install sink;
+      Core.Obs.Histogram.Registry.reset ();
+      Core.Obs.Histogram.Registry.enable ();
+      Some (Core.Engine.make_series ())
+    end
+    else None
+  in
   let injector =
     match faults with
     | `Off -> None
@@ -126,13 +139,16 @@ let measure ~name ~policy ~n_events ?(faults = `Off) () =
   let before = Core.Obs.Counters.snapshot () in
   let t0 = now_s () in
   let run =
-    Core.Engine.run ~seed:3 ~churn ?injector ~net:s.Core.Scenario.net ~events
-      policy
+    Core.Engine.run ~seed:3 ~churn ?injector ?series ~net:s.Core.Scenario.net
+      ~events policy
   in
   let wall = now_s () -. t0 in
+  if obs then begin
+    Core.Obs.Histogram.Registry.disable ();
+    Core.Obs.Trace.uninstall ()
+  end;
   let counters =
-    Core.Obs.Counters.to_alist
-      (Core.Obs.Counters.diff ~before ~after:(Core.Obs.Counters.snapshot ()))
+    Core.Obs.Counters.diff ~before ~after:(Core.Obs.Counters.snapshot ())
   in
   let n = Array.length run.Core.Engine.events in
   {
@@ -174,9 +190,7 @@ let json_of_measurement m =
         match m.m_recovery_digest with
         | Some d -> Core.Obs.Json.String d
         | None -> Core.Obs.Json.Null );
-      ( "counters",
-        Core.Obs.Json.Obj
-          (List.map (fun (k, v) -> (k, Core.Obs.Json.Int v)) m.m_counters) );
+      ("counters", Core.Obs.Counters.to_json m.m_counters);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -186,33 +200,41 @@ let () =
   let n_events = if !quick then 40 else 120 in
   let scenarios =
     [
-      ("lmtf-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Off);
-      ("reorder-churn-k8", Core.Policy.Reorder, `Off);
+      ("lmtf-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false);
+      ("reorder-churn-k8", Core.Policy.Reorder, `Off, false);
       (* Digest must equal lmtf-churn-k8's: an idle injector is free. *)
-      ("lmtf-empty-faults-k8", Core.Policy.Lmtf { alpha = 4 }, `Empty);
-      ("lmtf-fault-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Seeded);
+      ("lmtf-empty-faults-k8", Core.Policy.Lmtf { alpha = 4 }, `Empty, false);
+      ("lmtf-fault-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Seeded, false);
+      (* Digest must equal lmtf-churn-k8's: tracing, histograms and the
+         per-round series are read-only observers of the run. *)
+      ("lmtf-obs-on-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, true);
     ]
   in
   let measurements =
     List.map
-      (fun (name, policy, faults) ->
+      (fun (name, policy, faults, obs) ->
         Printf.eprintf "bench: running %s (%d events)...\n%!" name n_events;
-        measure ~name ~policy ~n_events ~faults ())
+        measure ~name ~policy ~n_events ~faults ~obs ())
       scenarios
   in
-  (* The empty-schedule invariant, checked on every bench run: fault
-     hooks must not perturb a single scheduling decision. *)
-  (match
-     ( List.find_opt (fun m -> m.m_name = "lmtf-churn-k8") measurements,
-       List.find_opt (fun m -> m.m_name = "lmtf-empty-faults-k8") measurements
-     )
-   with
-  | Some a, Some b when a.m_digest <> b.m_digest ->
-      Printf.eprintf
-        "bench: FAIL empty fault schedule changed the run digest (%s vs %s)\n%!"
-        a.m_digest b.m_digest;
-      exit 1
-  | _ -> ());
+  let digest_must_match ~of_:other ~reference ~what =
+    match
+      ( List.find_opt (fun m -> m.m_name = reference) measurements,
+        List.find_opt (fun m -> m.m_name = other) measurements )
+    with
+    | Some a, Some b when a.m_digest <> b.m_digest ->
+        Printf.eprintf "bench: FAIL %s changed the run digest (%s vs %s)\n%!"
+          what a.m_digest b.m_digest;
+        exit 1
+    | _ -> ()
+  in
+  (* Invariants checked on every bench run: fault hooks must not perturb
+     a single scheduling decision while idle, and the full observability
+     stack must not perturb one while recording. *)
+  digest_must_match ~of_:"lmtf-empty-faults-k8" ~reference:"lmtf-churn-k8"
+    ~what:"empty fault schedule";
+  digest_must_match ~of_:"lmtf-obs-on-k8" ~reference:"lmtf-churn-k8"
+    ~what:"enabled observability";
   List.iter
     (fun m ->
       Printf.printf
@@ -288,6 +310,8 @@ let () =
          [
            [
              ("bench", Core.Obs.Json.String "sched_bench_pr3");
+             ( "schema_version",
+               Core.Obs.Json.Int Core.Obs.Regress.schema_version );
              ("mode", Core.Obs.Json.String (if !quick then "quick" else "full"));
              ("seed", Core.Obs.Json.Int !seed);
              ("n_events", Core.Obs.Json.Int n_events);

@@ -45,6 +45,20 @@ let counters_arg =
   let doc = "Print the observability counter table after the run." in
   Arg.(value & flag & info [ "counters" ] ~doc)
 
+let hist_arg =
+  let doc =
+    "Record latency/size histograms (planner, migration, per-event service \
+     times) during the run and include them in the JSON report."
+  in
+  Arg.(value & flag & info [ "hist" ] ~doc)
+
+let series_arg =
+  let doc =
+    "Sample the per-round gauge time-series (queue length, retry backlog, \
+     utilisation) during the run and include it in the JSON report."
+  in
+  Arg.(value & flag & info [ "series" ] ~doc)
+
 (* Run [f] under the requested instrumentation: capture spans in memory
    and export them as a Chrome trace on exit; print the counter delta
    attributable to [f]. *)
@@ -139,34 +153,50 @@ let summary_cmd =
       const run $ seed_arg $ alpha_arg $ util_arg $ events_arg $ no_churn_arg
       $ trace_arg $ counters_arg)
 
+let policy_of_tag ~alpha = function
+  | `Fifo -> Policy.Fifo
+  | `Reorder -> Policy.Reorder
+  | `Lmtf -> Policy.Lmtf { alpha }
+  | `Plmtf -> Policy.Plmtf { alpha }
+  | `Flow_rr -> Policy.Flow_level Policy.Round_robin
+  | `Flow_arrival -> Policy.Flow_level Policy.By_arrival
+
 let report_cmd =
-  let run seed alpha util n_events no_churn policy_tag out trace counters =
+  let run seed alpha util n_events no_churn policy_tag out trace counters hist
+      with_series =
     with_obs ~trace ~counters (fun () ->
         let scenario = Scenario.prepare ~utilization:util ~seed () in
         let events = Scenario.events scenario ~n:n_events in
-        let policy =
-          match policy_tag with
-          | `Fifo -> Policy.Fifo
-          | `Reorder -> Policy.Reorder
-          | `Lmtf -> Policy.Lmtf { alpha }
-          | `Plmtf -> Policy.Plmtf { alpha }
-          | `Flow_rr -> Policy.Flow_level Policy.Round_robin
-          | `Flow_arrival -> Policy.Flow_level Policy.By_arrival
-        in
+        let policy = policy_of_tag ~alpha policy_tag in
         let churn =
           if no_churn then None
           else Some (Scenario.churn ~target:util ~seed:(seed + 2) scenario)
         in
+        if hist then begin
+          Obs.Histogram.Registry.reset ();
+          Obs.Histogram.Registry.enable ()
+        end;
+        let series = if with_series then Some (Engine.make_series ()) else None in
         let before = Obs.Counters.snapshot () in
         let run_result =
-          Engine.run ?churn ~seed:(seed + 1)
+          Engine.run ?churn ?series ~seed:(seed + 1)
             ~net:(Net_state.copy scenario.Scenario.net)
             ~events policy
         in
         let run_counters =
           Obs.Counters.diff ~before ~after:(Obs.Counters.snapshot ())
         in
-        let json = Run_report.to_json ~counters:run_counters run_result in
+        let histograms =
+          if hist then begin
+            Obs.Histogram.Registry.disable ();
+            Some (Obs.Histogram.Registry.snapshot ())
+          end
+          else None
+        in
+        let json =
+          Run_report.to_json ~counters:run_counters ?histograms ?series
+            run_result
+        in
         match out with
         | None -> print_endline (Obs.Json.to_string json)
         | Some path ->
@@ -179,10 +209,124 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:
          "Emit one run as a JSON artifact: summary, per-event results, \
-          round log and counter snapshot")
+          round log, counter snapshot and (on request) histograms and the \
+          per-round series")
     Term.(
       const run $ seed_arg $ alpha_arg $ util_arg $ events_arg $ no_churn_arg
-      $ policy_arg $ out_arg $ trace_arg $ counters_arg)
+      $ policy_arg $ out_arg $ trace_arg $ counters_arg $ hist_arg
+      $ series_arg)
+
+let profile_policy_arg =
+  let doc =
+    "Policy for the profiled run: $(b,fifo), $(b,reorder), $(b,lmtf), \
+     $(b,plmtf), $(b,flow-rr) or $(b,flow-arrival)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("fifo", `Fifo);
+             ("reorder", `Reorder);
+             ("lmtf", `Lmtf);
+             ("plmtf", `Plmtf);
+             ("flow-rr", `Flow_rr);
+             ("flow-arrival", `Flow_arrival);
+           ])
+        `Lmtf
+    & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let collapsed_arg =
+  let doc =
+    "Write perf-style collapsed stacks to $(docv) (feed to flamegraph.pl or \
+     paste into speedscope)."
+  in
+  Arg.(value & opt (some string) None & info [ "collapsed" ] ~docv:"FILE" ~doc)
+
+let top_arg =
+  let doc = "Rows in the printed hotspot table." in
+  Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+
+let series_csv_arg =
+  let doc = "Write the per-round gauge series to $(docv) as CSV." in
+  Arg.(value & opt (some string) None & info [ "series-csv" ] ~docv:"FILE" ~doc)
+
+let profile_cmd =
+  let run seed alpha util n_events no_churn policy_tag top collapsed series_csv
+      out =
+    let scenario = Scenario.prepare ~utilization:util ~seed () in
+    let events = Scenario.events scenario ~n:n_events in
+    let policy = policy_of_tag ~alpha policy_tag in
+    let churn =
+      if no_churn then None
+      else Some (Scenario.churn ~target:util ~seed:(seed + 2) scenario)
+    in
+    (* The whole observability stack goes on for the run: spans feed the
+       profiler, the registry feeds the histogram blocks, the series
+       captures the per-round trajectory. *)
+    let sink, captured = Obs.Trace.memory () in
+    Obs.Trace.install sink;
+    Obs.Histogram.Registry.reset ();
+    Obs.Histogram.Registry.enable ();
+    let series = Engine.make_series () in
+    let before = Obs.Counters.snapshot () in
+    let run_result =
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Histogram.Registry.disable ();
+          Obs.Trace.uninstall ())
+        (fun () ->
+          Engine.run ?churn ~series ~seed:(seed + 1)
+            ~net:(Net_state.copy scenario.Scenario.net)
+            ~events policy)
+    in
+    let run_counters =
+      Obs.Counters.diff ~before ~after:(Obs.Counters.snapshot ())
+    in
+    let profile = Obs.Profile.of_events (captured ()) in
+    let histograms = Obs.Histogram.Registry.snapshot () in
+    Format.printf "profile: %d spans over %d events, %d rounds@."
+      (Obs.Profile.span_count profile)
+      (Array.length run_result.Engine.events)
+      run_result.Engine.rounds;
+    Format.printf "%a@." (Obs.Profile.pp_hotspots ~top) profile;
+    List.iter
+      (fun (name, h) -> Format.printf "%-28s %a@." name Obs.Histogram.pp h)
+      histograms;
+    (match collapsed with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc (Obs.Profile.collapsed profile));
+        Format.printf "profile: wrote collapsed stacks to %s@." path);
+    (match series_csv with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc (Obs.Series.to_csv series));
+        Format.printf "profile: wrote series CSV to %s@." path);
+    match out with
+    | None -> ()
+    | Some path ->
+        let json =
+          Run_report.to_json ~counters:run_counters ~histograms ~series
+            ~profile run_result
+        in
+        Out_channel.with_open_text path (fun oc ->
+            output_string oc (Obs.Json.to_string json);
+            output_char oc '\n');
+        Format.printf "profile: wrote report to %s@." path
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile one run: span-tree hotspot table, histogram summaries, \
+          flamegraph-ready collapsed stacks, per-round series CSV and a \
+          full JSON report")
+    Term.(
+      const run $ seed_arg $ alpha_arg $ util_arg $ events_arg $ no_churn_arg
+      $ profile_policy_arg $ top_arg $ collapsed_arg $ series_csv_arg
+      $ out_arg)
 
 let fig1_cmd =
   let run seed samples = Nu_expt.Fig1.run ~seed ~samples () in
@@ -341,6 +485,7 @@ let main =
       fig9_cmd;
       summary_cmd;
       report_cmd;
+      profile_cmd;
       mixed_cmd;
       arrivals_cmd;
       ablation_cmd;

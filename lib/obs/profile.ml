@@ -1,0 +1,159 @@
+type node = {
+  name : string;
+  count : int;
+  total_ns : int64;
+  self_ns : int64;
+  children : node list;
+}
+
+type t = node list
+
+(* Mutable builder tree: same-named children merge into one node. *)
+type builder = {
+  b_name : string;
+  mutable b_count : int;
+  mutable b_total : int64;
+  b_children : (string, builder) Hashtbl.t;
+}
+
+let builder name =
+  { b_name = name; b_count = 0; b_total = 0L; b_children = Hashtbl.create 4 }
+
+let child_of parent name =
+  match Hashtbl.find_opt parent.b_children name with
+  | Some b -> b
+  | None ->
+      let b = builder name in
+      Hashtbl.add parent.b_children name b;
+      b
+
+let of_events events =
+  (* The roots live under a synthetic parent so Begin handling is
+     uniform. *)
+  let top = builder "" in
+  let stack = ref [] in
+  let last_ts = ref 0L in
+  let close b t0 ts = b.b_total <- Int64.add b.b_total (Int64.sub ts t0) in
+  List.iter
+    (fun (e : Trace.event) ->
+      last_ts := e.Trace.ts_ns;
+      match e.Trace.phase with
+      | Trace.Instant -> ()
+      | Trace.Begin ->
+          let parent =
+            match !stack with [] -> top | (b, _) :: _ -> b
+          in
+          let b = child_of parent e.Trace.name in
+          b.b_count <- b.b_count + 1;
+          stack := (b, e.Trace.ts_ns) :: !stack
+      | Trace.End -> (
+          (* Trace guarantees LIFO closes; tolerate a stray End. *)
+          match !stack with
+          | [] -> ()
+          | (b, t0) :: rest ->
+              close b t0 e.Trace.ts_ns;
+              stack := rest))
+    events;
+  (* Close spans the stream truncated at the last timestamp seen. *)
+  List.iter (fun (b, t0) -> close b t0 !last_ts) !stack;
+  let rec freeze b =
+    let children =
+      Hashtbl.fold (fun _ c acc -> freeze c :: acc) b.b_children []
+      |> List.sort (fun a b ->
+             match Int64.compare b.total_ns a.total_ns with
+             | 0 -> compare a.name b.name
+             | c -> c)
+    in
+    let child_total =
+      List.fold_left (fun acc c -> Int64.add acc c.total_ns) 0L children
+    in
+    {
+      name = b.b_name;
+      count = b.b_count;
+      total_ns = b.b_total;
+      (* Clock jitter could make children sum past the parent; clamp. *)
+      self_ns =
+        (let s = Int64.sub b.b_total child_total in
+         if Int64.compare s 0L < 0 then 0L else s);
+      children;
+    }
+  in
+  (freeze top).children
+
+let rec fold_nodes f acc nodes =
+  List.fold_left (fun acc n -> fold_nodes f (f acc n) n.children) acc nodes
+
+let span_count t = fold_nodes (fun acc n -> acc + n.count) 0 t
+
+let hotspots ?(top = 10) t =
+  let table = Hashtbl.create 16 in
+  fold_nodes
+    (fun () n ->
+      let c, tot, slf =
+        match Hashtbl.find_opt table n.name with
+        | Some (c, tot, slf) -> (c, tot, slf)
+        | None -> (0, 0L, 0L)
+      in
+      Hashtbl.replace table n.name
+        (c + n.count, Int64.add tot n.total_ns, Int64.add slf n.self_ns))
+    () t;
+  Hashtbl.fold (fun name (c, tot, slf) acc -> (name, c, tot, slf) :: acc) table []
+  |> List.sort (fun (na, _, _, sa) (nb, _, _, sb) ->
+         match Int64.compare sb sa with 0 -> compare na nb | c -> c)
+  |> List.filteri (fun i _ -> i < top)
+
+let ms ns = Int64.to_float ns /. 1e6
+
+let pp_hotspots ?top ppf t =
+  let rows = hotspots ?top t in
+  let wall =
+    List.fold_left (fun acc n -> Int64.add acc n.total_ns) 0L t
+  in
+  let width =
+    List.fold_left (fun acc (n, _, _, _) -> max acc (String.length n)) 4 rows
+  in
+  Format.fprintf ppf "@[<v>%-*s %10s %12s %12s %7s" width "span" "calls"
+    "total_ms" "self_ms" "self%";
+  List.iter
+    (fun (name, calls, total, self) ->
+      let pct =
+        if Int64.compare wall 0L > 0 then
+          100.0 *. Int64.to_float self /. Int64.to_float wall
+        else 0.0
+      in
+      Format.fprintf ppf "@,%-*s %10d %12.3f %12.3f %6.1f%%" width name calls
+        (ms total) (ms self) pct)
+    rows;
+  Format.fprintf ppf "@]"
+
+let collapsed t =
+  let buf = Buffer.create 1024 in
+  let rec emit prefix n =
+    let frame = if prefix = "" then n.name else prefix ^ ";" ^ n.name in
+    if Int64.compare n.self_ns 0L > 0 then begin
+      Buffer.add_string buf frame;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (Int64.to_string n.self_ns);
+      Buffer.add_char buf '\n'
+    end;
+    List.iter (emit frame) n.children
+  in
+  List.iter (emit "") t;
+  Buffer.contents buf
+
+let rec node_to_json n =
+  Json.Obj
+    [
+      ("name", Json.String n.name);
+      ("count", Json.Int n.count);
+      ("total_ns", Json.Int (Int64.to_int n.total_ns));
+      ("self_ns", Json.Int (Int64.to_int n.self_ns));
+      ("children", Json.List (List.map node_to_json n.children));
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("spans", Json.Int (span_count t));
+      ("roots", Json.List (List.map node_to_json t));
+    ]

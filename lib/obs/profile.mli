@@ -1,0 +1,48 @@
+(** Span-tree profiler over {!Trace} event streams.
+
+    Folds a recorded Begin/End stream into a call tree keyed by span
+    name — same-named siblings merge, so a 10,000-round run collapses
+    into one [run → round → plan/estimate/migrate/execute] tree with
+    counts and total/self times — and renders it as a hotspot table,
+    a JSON document, or perf-style collapsed stacks consumable by
+    flamegraph tooling ([flamegraph.pl], [inferno], speedscope). *)
+
+type node = {
+  name : string;
+  count : int;  (** Spans merged into this node. *)
+  total_ns : int64;  (** Wall time including children. *)
+  self_ns : int64;  (** [total_ns] minus the children's totals. *)
+  children : node list;  (** Sorted by [total_ns], largest first. *)
+}
+
+type t = node list
+(** Forest of root spans (usually the single ["run"] root), sorted by
+    [total_ns], largest first. *)
+
+val of_events : Trace.event list -> t
+(** Fold a chronological event stream (e.g. from {!Trace.memory}) into
+    a span forest. [Instant] events are ignored. Spans left open at the
+    end of the stream are closed at the last timestamp seen, so a
+    truncated trace still profiles. *)
+
+val span_count : t -> int
+(** Total spans folded into the forest (sum of every node's count). *)
+
+val hotspots : ?top:int -> t -> (string * int * int64 * int64) list
+(** Per-name aggregation over the whole forest:
+    [(name, count, total_ns, self_ns)], sorted by self time, largest
+    first, truncated to [top] (default 10) rows. Self times partition
+    the trace, so they sum to the root wall time; totals of nested
+    same-named spans would double-count and are summed as-is. *)
+
+val pp_hotspots : ?top:int -> Format.formatter -> t -> unit
+(** Table of {!hotspots}: name, calls, total ms, self ms, self %. *)
+
+val collapsed : t -> string
+(** Perf-style collapsed stacks: one [root;child;...;leaf value] line
+    per node with positive self time, value = self time in
+    nanoseconds. Feed to [flamegraph.pl] or paste into speedscope. *)
+
+val to_json : t -> Json.t
+(** [{"spans": n, "roots": [...]}] with recursive
+    [{"name", "count", "total_ns", "self_ns", "children"}] nodes. *)

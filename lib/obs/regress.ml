@@ -1,0 +1,109 @@
+type report = {
+  failures : string list;
+  notes : string list;
+}
+
+let schema_version = 2
+
+let num = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let str = function Some (Json.String s) -> Some s | _ -> None
+
+let scenario_name s = Option.value (str (Json.member "name" s)) ~default:"?"
+
+let scenarios doc =
+  match Json.member "scenarios" doc with
+  | Some (Json.List l) -> Some l
+  | _ -> None
+
+(* A document predating the field carries no version; assume it is
+   comparable rather than refusing every historical baseline. *)
+let version doc =
+  match Json.member "schema_version" doc with
+  | Some (Json.Int v) -> Some v
+  | _ -> None
+
+let check ?(max_regress = 0.15) ~baseline ~current () =
+  match (version baseline, version current) with
+  | Some vb, Some vc when vb <> vc ->
+      Error
+        (Printf.sprintf
+           "schema_version mismatch: baseline %d vs current %d — regenerate \
+            the baseline"
+           vb vc)
+  | _ -> (
+      let workload_mismatch =
+        List.filter_map
+          (fun key ->
+            let b = Json.member key baseline and c = Json.member key current in
+            match (b, c) with
+            | Some b, Some c when b <> c ->
+                Some
+                  (Printf.sprintf "%s (baseline %s vs current %s)" key
+                     (Json.to_string b) (Json.to_string c))
+            | _ -> None)
+          [ "mode"; "seed"; "n_events" ]
+      in
+      if workload_mismatch <> [] then
+        Error
+          ("workload mismatch: runs are not comparable: "
+          ^ String.concat ", " workload_mismatch)
+      else
+        match (scenarios baseline, scenarios current) with
+        | None, _ -> Error "baseline has no \"scenarios\" list"
+        | _, None -> Error "current run has no \"scenarios\" list"
+        | Some bases, Some curs ->
+            let failures = ref [] and notes = ref [] in
+            let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+            let note fmt = Printf.ksprintf (fun s -> notes := s :: !notes) fmt in
+            let find name l =
+              List.find_opt (fun s -> scenario_name s = name) l
+            in
+            List.iter
+              (fun b ->
+                let name = scenario_name b in
+                match find name curs with
+                | None -> fail "%s: scenario missing from current run" name
+                | Some c -> (
+                    (match
+                       (str (Json.member "digest" b), str (Json.member "digest" c))
+                     with
+                    | Some db, Some dc when db <> dc ->
+                        fail "%s: decision digest changed (%s -> %s)" name db dc
+                    | _ -> ());
+                    (match
+                       ( str (Json.member "recovery_digest" b),
+                         str (Json.member "recovery_digest" c) )
+                     with
+                    | Some db, Some dc when db <> dc ->
+                        fail "%s: recovery digest changed (%s -> %s)" name db dc
+                    | _ -> ());
+                    match
+                      ( num (Json.member "planning_wall_s" b),
+                        num (Json.member "planning_wall_s" c) )
+                    with
+                    | Some wb, Some wc when wb > 0.0 ->
+                        let ratio = wc /. wb in
+                        if ratio > 1.0 +. max_regress then
+                          fail
+                            "%s: planning wall regressed %.1f%% (%.3fs -> \
+                             %.3fs, tolerance %.0f%%)"
+                            name
+                            ((ratio -. 1.0) *. 100.0)
+                            wb wc (max_regress *. 100.0)
+                        else
+                          note "%s: planning wall %.3fs vs baseline %.3fs (%+.1f%%)"
+                            name wc wb
+                            ((ratio -. 1.0) *. 100.0)
+                    | _ -> note "%s: no comparable planning wall" name))
+              bases;
+            List.iter
+              (fun c ->
+                let name = scenario_name c in
+                if find name bases = None then
+                  note "%s: new scenario (no baseline)" name)
+              curs;
+            Ok { failures = List.rev !failures; notes = List.rev !notes })

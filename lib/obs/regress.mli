@@ -1,0 +1,34 @@
+(** Bench regression gate over sched_bench JSON documents.
+
+    Compares a current benchmark run against a committed baseline
+    (e.g. [BENCH_PR3.json]) and reports regressions:
+
+    - any decision-digest change (["digest"], and ["recovery_digest"]
+      when both runs carry one) is a hard failure — the scheduler fast
+      paths are required to be bit-identical rewrites;
+    - a planning-wall slowdown beyond [max_regress] (default 15%) on
+      any scenario present in both runs is a failure;
+    - a scenario present in the baseline but missing from the current
+      run is a failure (a silently-dropped scenario is not a pass).
+
+    Runs are only comparable when their workloads match: the top-level
+    [mode], [seed] and [n_events] must agree, and when both documents
+    carry a ["schema_version"] it must agree too. A document without
+    [schema_version] (baselines recorded before the field existed) is
+    accepted and assumed compatible. *)
+
+type report = {
+  failures : string list;  (** Empty means the gate passes. *)
+  notes : string list;  (** Informational (new scenarios, speedups). *)
+}
+
+val schema_version : int
+(** Version stamped into sched_bench output by this tree. *)
+
+val check :
+  ?max_regress:float -> baseline:Json.t -> current:Json.t -> unit ->
+  (report, string) result
+(** [Error reason] when the two documents are not comparable (schema
+    version or workload mismatch, missing scenario lists);
+    [Ok report] otherwise. [max_regress] is the tolerated fractional
+    planning-wall increase (0.15 = +15%). *)

@@ -1,0 +1,50 @@
+(** Bounded per-round gauge time-series.
+
+    A series is a fixed set of named float gauges sampled at increasing
+    simulated-time instants — the engine samples fabric utilization,
+    queue length and retry backlog once per service round, producing
+    the utilization-trajectory data of the paper's Figs. 4-9 without a
+    trace export.
+
+    Memory is bounded: the series retains at most [capacity] rows.
+    When the cap is reached it decimates — every other retained row is
+    dropped and the sampling stride doubles, so arbitrarily long runs
+    keep a uniformly-spaced summary at fixed memory. [stride] reports
+    the current cadence (1 until the first decimation). *)
+
+type t
+
+val create : ?capacity:int -> columns:string list -> unit -> t
+(** [capacity] (default 4096, minimum 2) caps retained rows. [columns]
+    names the gauges; every sampled row must supply one value per
+    column. Raises [Invalid_argument] on an empty column list. *)
+
+val columns : t -> string list
+val length : t -> int
+(** Retained rows (at most [capacity]). *)
+
+val total_samples : t -> int
+(** Rows offered via {!sample}, including ones dropped by striding. *)
+
+val stride : t -> int
+(** Current keep-every-nth cadence; doubles at each decimation. *)
+
+val sample : t -> t_s:float -> float array -> unit
+(** Offer one row at instant [t_s]. The row is copied. Rows that fall
+    between stride points are dropped in O(1). Raises
+    [Invalid_argument] when the row length does not match the column
+    count. *)
+
+val get : t -> int -> float * float array
+(** [get t i] is the [i]-th retained row (instant, values); the values
+    array is a copy. Raises [Invalid_argument] out of range. *)
+
+val reset : t -> unit
+
+val to_json : t -> Json.t
+(** [{"columns": [...], "stride": k, "total_samples": n,
+    "t_s": [...], "data": {"col": [...], ...}}] — column-major. *)
+
+val to_csv : t -> string
+(** RFC-4180-style CSV: a [t_s,col1,col2,...] header then one line per
+    retained row. Floats are rendered shortest-round-trip. *)

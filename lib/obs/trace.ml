@@ -67,12 +67,47 @@ let finish ?(attrs = []) sp =
         | _ ->
             invalid_arg ("Trace.finish: non-LIFO close of span " ^ sp.sp_name))
 
+(* Exceptional-path cleanup: pop and close every span above [sp] on the
+   stack (children the raising function left open), then [sp] itself,
+   emitting End events so the recorded trace stays a well-formed tree
+   and later spans see an uncorrupted stack. *)
+let unwind sp =
+  if sp.sp_depth >= 0 && not sp.sp_closed then
+    match !sink with
+    | None -> sp.sp_closed <- true
+    | Some s ->
+        if List.memq sp !stack then begin
+          let rec pop = function
+            | [] -> []
+            | top :: rest ->
+                top.sp_closed <- true;
+                s.emit
+                  {
+                    phase = End;
+                    name = top.sp_name;
+                    ts_ns = now_ns ();
+                    depth = top.sp_depth;
+                    attrs = [ ("unwound", Bool true) ];
+                  };
+                if top == sp then rest else pop rest
+          in
+          stack := pop !stack
+        end
+        else sp.sp_closed <- true (* sink reinstalled mid-span *)
+
 let with_span ?attrs name f =
   match !sink with
   | None -> f ()
-  | Some _ ->
+  | Some _ -> (
       let sp = span ?attrs name in
-      Fun.protect ~finally:(fun () -> if not sp.sp_closed then finish sp) f
+      match f () with
+      | v ->
+          if not sp.sp_closed then finish sp;
+          v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          unwind sp;
+          Printexc.raise_with_backtrace e bt)
 
 let instant ?(attrs = []) name =
   match !sink with

@@ -1,5 +1,7 @@
 module Trace = Nu_obs.Trace
 module Counters = Nu_obs.Counters
+module Histogram = Nu_obs.Histogram
+module Series = Nu_obs.Series
 module Injector = Nu_fault.Injector
 
 type event_result = {
@@ -55,6 +57,7 @@ type ctx = {
   co_max_cost_mbit : float;
   cache : Estimate_cache.t option;  (* memoised probes; None = disabled *)
   injector : Injector.t option;  (* fault schedule; None = fault-free *)
+  series : Series.t option;  (* per-round gauge samples; None = off *)
   mutable next_churn_id : int;
   mutable units : int;  (* plan-time-billable probes *)
   mutable wall : float;  (* real planner CPU seconds *)
@@ -120,6 +123,37 @@ let timed ctx f =
   let v = f () in
   ctx.wall <- ctx.wall +. (Sys.time () -. t0);
   v
+
+let series_columns =
+  [
+    "round";
+    "queue_len";
+    "retry_backlog";
+    "active_flows";
+    "mean_fabric_utilization";
+    "max_link_utilization";
+  ]
+
+let make_series ?capacity () =
+  Series.create ?capacity ~columns:series_columns ()
+
+(* One gauge row per service round, sampled at the decision instant
+   (after background sync, before planning). Pure reads of the network
+   state — attaching a series cannot perturb a scheduling decision —
+   and with no series attached the cost is one match on [None]. *)
+let sample_series ctx ~round ~t_s ~queue_len ~retry_backlog =
+  match ctx.series with
+  | None -> ()
+  | Some s ->
+      Series.sample s ~t_s
+        [|
+          float_of_int round;
+          float_of_int queue_len;
+          float_of_int retry_backlog;
+          float_of_int (Net_state.flow_count ctx.net);
+          Net_state.mean_fabric_utilization ctx.net;
+          Net_state.max_utilization ctx.net;
+        |]
 
 (* Plan-and-rollback probe; billed. A cache hit bills the identical
    simulated work units a fresh probe would have reported (the stamps
@@ -356,6 +390,8 @@ let run_event_level ctx policy events =
     in
     let round_start_s = !now in
     let round_utilization = Net_state.mean_fabric_utilization ctx.net in
+    sample_series ctx ~round:!rounds ~t_s:round_start_s
+      ~queue_len:(List.length !queue) ~retry_backlog:(List.length !held);
     let config =
       { ctx.config with Planner.admission = Planner.Scan_first }
     in
@@ -422,6 +458,8 @@ let run_event_level ctx policy events =
     sync_background ctx !now;
     let round_start_s = !now in
     let round_utilization = Net_state.mean_fabric_utilization ctx.net in
+    sample_series ctx ~round:!rounds ~t_s:round_start_s
+      ~queue_len:(List.length !queue) ~retry_backlog:(List.length !held);
     let units_before = ctx.units in
     (* While faults are still pending, the whole round is speculative:
        planning and execution run inside a transaction so a fault that
@@ -642,6 +680,8 @@ let run_flow_level ctx order events =
           else None
         in
         sync_background ctx !now;
+        sample_series ctx ~round:!rounds ~t_s:!now
+          ~queue_len:(List.length !items) ~retry_backlog:0;
         Counters.incr Counters.Engine_rounds;
         let pseudo =
           {
@@ -692,7 +732,7 @@ let run_flow_level ctx order events =
 
 let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
     ?(seed = 7) ?churn ?(co_max_cost_mbit = 0.0) ?(estimate_cache = true)
-    ?injector ~net ~events policy =
+    ?injector ?series ~net ~events policy =
   (match Policy.validate policy with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.run: " ^ msg));
@@ -729,6 +769,7 @@ let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
       co_max_cost_mbit;
       cache;
       injector;
+      series;
       next_churn_id = (match churn with Some c -> c.first_id | None -> 0);
       units = 0;
       wall = 0.0;
@@ -748,6 +789,14 @@ let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
   in
   let events_arr = Array.of_list results in
   Array.sort (fun a b -> compare a.event_id b.event_id) events_arr;
+  (* Per-event distribution samples: service time (ECT) and queuing
+     delay. One registry check per run when sampling is off. *)
+  if Histogram.Registry.enabled () then
+    Array.iter
+      (fun r ->
+        Histogram.Registry.record "engine.event_service_s" (ect r);
+        Histogram.Registry.record "engine.event_queuing_s" (queuing_delay r))
+      events_arr;
   let makespan =
     Array.fold_left (fun acc r -> max acc r.completion_s) 0.0 events_arr
   in

@@ -74,6 +74,15 @@ type churn = {
     a waiting event's cost drift between rounds — the fluctuation LMTF
     exploits. Without churn the background is static (§V-D). *)
 
+val series_columns : string list
+(** Gauge names sampled per service round, in column order: [round],
+    [queue_len], [retry_backlog], [active_flows],
+    [mean_fabric_utilization], [max_link_utilization]. *)
+
+val make_series : ?capacity:int -> unit -> Nu_obs.Series.t
+(** Fresh bounded series with {!series_columns}, ready to pass as
+    {!run}'s [series]. *)
+
 val run :
   ?exec:Exec_model.t ->
   ?config:Planner.config ->
@@ -83,6 +92,7 @@ val run :
   ?co_max_cost_mbit:float ->
   ?estimate_cache:bool ->
   ?injector:Nu_fault.Injector.t ->
+  ?series:Nu_obs.Series.t ->
   net:Net_state.t ->
   events:Event.t list ->
   Policy.t ->
@@ -117,4 +127,15 @@ val run :
     absent injector — or one whose schedule is empty — leaves the run
     bit-identical to a fault-free run. Flow-level runs apply due faults
     at item boundaries only (no per-item transactions, so no aborts or
-    retries). *)
+    retries).
+
+    [series] attaches a per-round gauge time-series ({!series_columns};
+    build one with {!make_series}): every service round — event-level,
+    degraded, and flow-level (whose rounds are individual flows, with a
+    [retry_backlog] of 0) — appends one row sampled at the decision
+    instant. Sampling only reads the network state, so an attached
+    series leaves every scheduling decision bit-identical; when absent
+    the per-round cost is one pattern match. Independently, when
+    {!Nu_obs.Histogram.Registry} sampling is enabled, the run records
+    each event's service time and queuing delay into the
+    [engine.event_service_s] / [engine.event_queuing_s] histograms. *)

@@ -44,7 +44,8 @@ let round_to_json (r : Engine.round_info) =
       ("fabric_utilization", Json.Float r.Engine.fabric_utilization);
     ]
 
-let to_json ?counters ?recovery (run : Engine.run_result) =
+let to_json ?counters ?recovery ?histograms ?series ?profile
+    (run : Engine.run_result) =
   let summary = Metrics.of_run run in
   Json.Obj
     ([
@@ -63,7 +64,23 @@ let to_json ?counters ?recovery (run : Engine.run_result) =
     @ (match recovery with
       | None -> []
       | Some r -> [ ("recovery", Nu_fault.Recovery.stats_to_json r) ])
+    @ (match counters with
+      | None -> []
+      | Some snap -> [ ("counters", Nu_obs.Counters.to_json snap) ])
+    @ (match histograms with
+      | None -> []
+      | Some hs ->
+          [
+            ( "histograms",
+              Json.Obj
+                (List.map
+                   (fun (name, h) -> (name, Nu_obs.Histogram.to_json h))
+                   hs) );
+          ])
+    @ (match series with
+      | None -> []
+      | Some s -> [ ("series", Nu_obs.Series.to_json s) ])
     @
-    match counters with
+    match profile with
     | None -> []
-    | Some snap -> [ ("counters", Nu_obs.Counters.to_json snap) ])
+    | Some p -> [ ("profile", Nu_obs.Profile.to_json p) ])

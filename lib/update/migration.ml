@@ -139,6 +139,8 @@ let clear_path ?(order = Best_fit_first) ?policy ?rng ?forbidden
              ])
     else None
   in
+  let h_on = Nu_obs.Histogram.Registry.enabled () in
+  let h_t0 = if h_on then Nu_obs.Trace.now_ns () else 0L in
   let applied = ref [] in
   let rollback () =
     List.iter
@@ -194,6 +196,15 @@ let clear_path ?(order = Best_fit_first) ?policy ?rng ?forbidden
   (match result with
   | Ok moves -> Nu_obs.Counters.add Nu_obs.Counters.Migration_moves (List.length moves)
   | Error _ -> ());
+  if h_on then begin
+    Nu_obs.Histogram.Registry.record "migration.clear_latency_s"
+      (Int64.to_float (Int64.sub (Nu_obs.Trace.now_ns ()) h_t0) *. 1e-9);
+    match result with
+    | Ok moves ->
+        Nu_obs.Histogram.Registry.record "migration.moves_per_clear"
+          (float_of_int (List.length moves))
+    | Error _ -> ()
+  end;
   (match sp with
   | Some sp ->
       let attrs =

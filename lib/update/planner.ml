@@ -1,5 +1,6 @@
 module Trace = Nu_obs.Trace
 module Counters = Nu_obs.Counters
+module Histogram = Nu_obs.Histogram
 
 type admission = Desired_first | Scan_first
 
@@ -241,6 +242,8 @@ let plan ?rng ?(config = default_config) ?(frozen = fun _ -> false) net event =
              ])
     else None
   in
+  let h_on = Histogram.Registry.enabled () in
+  let h_t0 = if h_on then Trace.now_ns () else 0L in
   let work_units = ref 0 in
   let touched = Hashtbl.create 64 in
   let exclude id = frozen id || Hashtbl.mem touched id in
@@ -324,6 +327,12 @@ let plan ?rng ?(config = default_config) ?(frozen = fun _ -> false) net event =
   in
   Counters.incr Counters.Planner_plans;
   Counters.add Counters.Planner_probes t.work_units;
+  if h_on then begin
+    Histogram.Registry.record "planner.plan_latency_s"
+      (Int64.to_float (Int64.sub (Trace.now_ns ()) h_t0) *. 1e-9);
+    Histogram.Registry.record "planner.moves_per_event"
+      (float_of_int t.move_count)
+  end;
   (match sp with
   | Some sp ->
       Trace.finish sp
@@ -435,6 +444,8 @@ let probe ?rng ?config ?frozen net event =
         (Trace.span "estimate" ~attrs:[ ("event", Trace.Int event.Event.id) ])
     else None
   in
+  let h_on = Histogram.Registry.enabled () in
+  let h_t0 = if h_on then Trace.now_ns () else 0L in
   (* Plan speculatively inside a transaction: the undo journal restores
      the state in O(operations performed), where the historical
      plan-then-revert pair re-ran every reroute through full feasibility
@@ -446,6 +457,9 @@ let probe ?rng ?config ?frozen net event =
   Net_state.rollback net;
   let touched = Net_state.stop_probe net in
   let est = estimate_of p in
+  if h_on then
+    Histogram.Registry.record "planner.probe_latency_s"
+      (Int64.to_float (Int64.sub (Trace.now_ns ()) h_t0) *. 1e-9);
   (match sp with
   | Some sp ->
       Trace.finish sp

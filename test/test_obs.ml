@@ -299,6 +299,471 @@ let test_chrome_export_parses () =
 (* ------------------------------------------------------------------ *)
 (* Instrumentation must not perturb results                            *)
 
+let test_span_unwind_on_raise () =
+  (* A raising function that leaves a child span open: with_span must
+     close the child and itself (well-formed tree) and leave the stack
+     usable for subsequent spans. *)
+  with_memory_sink (fun events ->
+      (try
+         Obs.Trace.with_span "outer" (fun () ->
+             let _child = Obs.Trace.span "child" in
+             failwith "mid-span failure")
+       with Failure _ -> ());
+      Obs.Trace.with_span "after" (fun () -> ());
+      let shape =
+        List.map
+          (fun (e : Obs.Trace.event) ->
+            let ph =
+              match e.Obs.Trace.phase with
+              | Obs.Trace.Begin -> "B"
+              | Obs.Trace.End -> "E"
+              | Obs.Trace.Instant -> "i"
+            in
+            (ph, e.Obs.Trace.name, e.Obs.Trace.depth))
+          (events ())
+      in
+      Alcotest.(check (list (triple string string int)))
+        "children unwound, stack clean"
+        [
+          ("B", "outer", 0);
+          ("B", "child", 1);
+          ("E", "child", 1);
+          ("E", "outer", 0);
+          ("B", "after", 0);
+          ("E", "after", 0);
+        ]
+        shape;
+      let unwound =
+        List.filter
+          (fun (e : Obs.Trace.event) ->
+            List.mem_assoc "unwound" e.Obs.Trace.attrs)
+          (events ())
+      in
+      Alcotest.(check int) "both closes marked unwound" 2 (List.length unwound))
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+
+let test_histogram_exact_side_stats () =
+  let h = Obs.Histogram.create () in
+  Alcotest.(check bool) "fresh is empty" true (Obs.Histogram.is_empty h);
+  List.iter (Obs.Histogram.record h) [ 3.0; 1.0; 4.0; 1.0; 5.0; 0.0 ];
+  Obs.Histogram.record_n h 2.0 4;
+  Alcotest.(check int) "count" 10 (Obs.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 22.0 (Obs.Histogram.sum h);
+  Alcotest.(check (float 1e-9)) "mean" 2.2 (Obs.Histogram.mean h);
+  Alcotest.(check (float 0.0)) "min exact" 0.0 (Obs.Histogram.min_value h);
+  Alcotest.(check (float 0.0)) "max exact" 5.0 (Obs.Histogram.max_value h);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Histogram.record: sample must be finite and non-negative")
+    (fun () -> Obs.Histogram.record h (-1.0));
+  Obs.Histogram.reset h;
+  Alcotest.(check bool) "reset empties" true (Obs.Histogram.is_empty h)
+
+let test_histogram_quantile_bounds () =
+  let h = Obs.Histogram.create () in
+  for i = 1 to 1000 do
+    Obs.Histogram.record h (float_of_int i)
+  done;
+  let rel = Obs.Histogram.rel_error h in
+  List.iter
+    (fun (q, exact) ->
+      let est = Obs.Histogram.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.3f within rel error" q)
+        true
+        (Float.abs (est -. exact) <= (rel *. exact) +. 1e-9))
+    [ (0.0, 1.0); (0.5, 500.5); (0.9, 900.1); (0.99, 990.01); (1.0, 1000.0) ];
+  Alcotest.(check (float 0.0))
+    "p100 clamps to max" 1000.0
+    (Obs.Histogram.quantile h 1.0)
+
+let prop_histogram_matches_descriptive =
+  QCheck.Test.make ~name:"histogram quantiles track Descriptive.percentile"
+    ~count:100
+    QCheck.(list (float_range 0.0 1000.0))
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      let h = Obs.Histogram.create () in
+      List.iter (Obs.Histogram.record h) samples;
+      let arr = Array.of_list samples in
+      let rel = Obs.Histogram.rel_error h in
+      List.for_all
+        (fun q ->
+          let exact = Descriptive.percentile arr (q *. 100.0) in
+          let est = Obs.Histogram.quantile h q in
+          Float.abs (est -. exact) <= (rel *. Float.abs exact) +. 1e-9)
+        [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999; 1.0 ])
+
+let prop_histogram_merge_associative =
+  QCheck.Test.make ~name:"histogram merge is associative" ~count:100
+    QCheck.(
+      triple
+        (list (float_range 0.0 500.0))
+        (list (float_range 0.0 500.0))
+        (list (float_range 0.0 500.0)))
+    (fun (xs, ys, zs) ->
+      let mk samples =
+        let h = Obs.Histogram.create () in
+        List.iter (Obs.Histogram.record h) samples;
+        h
+      in
+      let a () = mk xs and b () = mk ys and c () = mk zs in
+      let l = Obs.Histogram.merge (Obs.Histogram.merge (a ()) (b ())) (c ())
+      and r = Obs.Histogram.merge (a ()) (Obs.Histogram.merge (b ()) (c ())) in
+      Obs.Histogram.count l = Obs.Histogram.count r
+      && Float.abs (Obs.Histogram.sum l -. Obs.Histogram.sum r)
+         <= 1e-9 *. (1.0 +. Float.abs (Obs.Histogram.sum l))
+      && (Obs.Histogram.is_empty l
+         || Obs.Histogram.min_value l = Obs.Histogram.min_value r
+            && Obs.Histogram.max_value l = Obs.Histogram.max_value r
+            && List.for_all
+                 (fun q ->
+                   Obs.Histogram.quantile l q = Obs.Histogram.quantile r q)
+                 [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ]))
+
+let test_histogram_json () =
+  let h = Obs.Histogram.create ~sub_buckets:8 () in
+  List.iter (Obs.Histogram.record h) [ 0.0; 1.0; 2.5; 1000.0 ];
+  match Obs.Json.of_string (Obs.Json.to_string (Obs.Histogram.to_json h)) with
+  | Error msg -> Alcotest.failf "unparseable histogram json: %s" msg
+  | Ok v -> (
+      Alcotest.(check bool)
+        "count" true
+        (Obs.Json.member "count" v = Some (Obs.Json.Int 4));
+      Alcotest.(check bool)
+        "sub_buckets" true
+        (Obs.Json.member "sub_buckets" v = Some (Obs.Json.Int 8));
+      match Obs.Json.member "buckets" v with
+      | Some (Obs.Json.List buckets) ->
+          let total =
+            List.fold_left
+              (fun acc b ->
+                match b with
+                | Obs.Json.List [ _; _; Obs.Json.Int n ] -> acc + n
+                | _ -> Alcotest.fail "bucket is not a [lo, hi, count] triple")
+              0 buckets
+          in
+          Alcotest.(check int) "bucket counts sum to count" 4 total
+      | _ -> Alcotest.fail "no buckets list")
+
+let test_histogram_registry_gated () =
+  Alcotest.(check bool)
+    "off by default" false
+    (Obs.Histogram.Registry.enabled ());
+  Obs.Histogram.Registry.reset ();
+  Obs.Histogram.Registry.record "t.off" 1.0;
+  Alcotest.(check bool)
+    "record while off is a no-op" true
+    (Obs.Histogram.Registry.find "t.off" = None);
+  Obs.Histogram.Registry.enable ();
+  Fun.protect ~finally:(fun () ->
+      Obs.Histogram.Registry.disable ();
+      Obs.Histogram.Registry.reset ())
+  @@ fun () ->
+  Obs.Histogram.Registry.record "t.b" 2.0;
+  Obs.Histogram.Registry.record "t.a" 1.0;
+  Obs.Histogram.Registry.record "t.a" 3.0;
+  (match Obs.Histogram.Registry.find "t.a" with
+  | Some h -> Alcotest.(check int) "live histogram" 2 (Obs.Histogram.count h)
+  | None -> Alcotest.fail "t.a missing");
+  let snap = Obs.Histogram.Registry.snapshot () in
+  Alcotest.(check (list string))
+    "snapshot sorted by name" [ "t.a"; "t.b" ] (List.map fst snap);
+  (* Snapshot copies are independent of later recording. *)
+  Obs.Histogram.Registry.record "t.a" 9.0;
+  Alcotest.(check int)
+    "snapshot is a copy" 2
+    (Obs.Histogram.count (List.assoc "t.a" snap))
+
+(* ------------------------------------------------------------------ *)
+(* Series                                                              *)
+
+let test_series_bounded_decimation () =
+  let s = Obs.Series.create ~capacity:16 ~columns:[ "v" ] () in
+  for i = 0 to 999 do
+    Obs.Series.sample s ~t_s:(float_of_int i) [| float_of_int i |]
+  done;
+  Alcotest.(check int) "total samples" 1000 (Obs.Series.total_samples s);
+  Alcotest.(check bool) "bounded" true (Obs.Series.length s <= 16);
+  let stride = Obs.Series.stride s in
+  Alcotest.(check bool)
+    "stride is a power of two" true
+    (stride > 1 && stride land (stride - 1) = 0);
+  (* Retained rows sit on the uniform stride grid, first sample kept. *)
+  let prev = ref (-1.0) in
+  for i = 0 to Obs.Series.length s - 1 do
+    let t, row = Obs.Series.get s i in
+    Alcotest.(check (float 0.0)) "row matches instant" t row.(0);
+    Alcotest.(check bool)
+      "on stride grid" true
+      (int_of_float t mod stride = 0);
+    Alcotest.(check bool) "strictly increasing" true (t > !prev);
+    prev := t
+  done;
+  let t0, _ = Obs.Series.get s 0 in
+  Alcotest.(check (float 0.0)) "first sample kept" 0.0 t0
+
+let test_series_csv_and_json () =
+  let s = Obs.Series.create ~capacity:8 ~columns:[ "a"; "b" ] () in
+  Obs.Series.sample s ~t_s:0.0 [| 1.5; 2.5 |];
+  Obs.Series.sample s ~t_s:0.5 [| 3.5; 4.5 |];
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' (Obs.Series.to_csv s))
+  in
+  Alcotest.(check (list string))
+    "csv" [ "t_s,a,b"; "0,1.5,2.5"; "0.5,3.5,4.5" ] lines;
+  match Obs.Json.of_string (Obs.Json.to_string (Obs.Series.to_json s)) with
+  | Error msg -> Alcotest.failf "unparseable series json: %s" msg
+  | Ok v ->
+      (match Obs.Json.member "data" v with
+      | Some (Obs.Json.Obj cols) ->
+          Alcotest.(check (list string)) "column-major" [ "a"; "b" ]
+            (List.map fst cols);
+          Alcotest.(check bool)
+            "column b" true
+            (List.assoc "b" cols
+            = Obs.Json.List [ Obs.Json.Float 2.5; Obs.Json.Float 4.5 ])
+      | _ -> Alcotest.fail "no data object");
+      Alcotest.(check bool)
+        "row mismatch raises" true
+        (try
+           Obs.Series.sample s ~t_s:1.0 [| 1.0 |];
+           false
+         with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Profile                                                             *)
+
+let ev phase name ts depth =
+  {
+    Obs.Trace.phase;
+    name;
+    ts_ns = Int64.of_int ts;
+    depth;
+    attrs = [];
+  }
+
+let test_profile_tree_merges_siblings () =
+  (* run[0..200] containing plan[10..40], plan[40..100], exec[100..150]:
+     same-named siblings merge, self = total minus children. *)
+  let events =
+    [
+      ev Obs.Trace.Begin "run" 0 0;
+      ev Obs.Trace.Begin "plan" 10 1;
+      ev Obs.Trace.End "plan" 40 1;
+      ev Obs.Trace.Begin "plan" 40 1;
+      ev Obs.Trace.End "plan" 100 1;
+      ev Obs.Trace.Begin "exec" 100 1;
+      ev Obs.Trace.End "exec" 150 1;
+      ev Obs.Trace.End "run" 200 0;
+    ]
+  in
+  let t = Obs.Profile.of_events events in
+  Alcotest.(check int) "span count" 4 (Obs.Profile.span_count t);
+  match t with
+  | [ root ] ->
+      Alcotest.(check string) "root" "run" root.Obs.Profile.name;
+      Alcotest.(check int) "root count" 1 root.Obs.Profile.count;
+      Alcotest.(check int64) "root total" 200L root.Obs.Profile.total_ns;
+      Alcotest.(check int64) "root self" 60L root.Obs.Profile.self_ns;
+      let names =
+        List.map (fun n -> n.Obs.Profile.name) root.Obs.Profile.children
+      in
+      Alcotest.(check (list string))
+        "children sorted by total" [ "plan"; "exec" ] names;
+      let plan = List.hd root.Obs.Profile.children in
+      Alcotest.(check int) "plan merged" 2 plan.Obs.Profile.count;
+      Alcotest.(check int64) "plan total" 90L plan.Obs.Profile.total_ns;
+      let hot = Obs.Profile.hotspots t in
+      Alcotest.(check (list string))
+        "hotspots by self time" [ "plan"; "run"; "exec" ]
+        (List.map (fun (n, _, _, _) -> n) hot);
+      let stacks =
+        List.sort compare
+          (List.filter
+             (fun l -> l <> "")
+             (String.split_on_char '\n' (Obs.Profile.collapsed t)))
+      in
+      Alcotest.(check (list string))
+        "collapsed stacks"
+        [ "run 60"; "run;exec 50"; "run;plan 90" ]
+        stacks
+  | _ -> Alcotest.fail "expected a single root"
+
+let test_profile_tolerates_truncation () =
+  (* A span left open closes at the last timestamp seen. *)
+  let events =
+    [
+      ev Obs.Trace.Begin "run" 0 0;
+      ev Obs.Trace.Begin "round" 10 1;
+      ev Obs.Trace.End "round" 30 1;
+      ev Obs.Trace.Begin "round" 30 1;
+    ]
+  in
+  match Obs.Profile.of_events events with
+  | [ root ] ->
+      Alcotest.(check int64)
+        "open root closed at last ts" 30L root.Obs.Profile.total_ns;
+      Alcotest.(check int) "both rounds counted" 3 (Obs.Profile.span_count [ root ])
+  | _ -> Alcotest.fail "expected a single root"
+
+let test_profile_of_real_run () =
+  let evs = traced_run () in
+  let t = Obs.Profile.of_events evs in
+  let hot = Obs.Profile.hotspots ~top:100 t in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s in hotspots" expected)
+        true
+        (List.exists (fun (n, _, _, _) -> n = expected) hot))
+    [ "run"; "round"; "plan"; "estimate" ];
+  Alcotest.(check bool)
+    "collapsed non-empty" true
+    (String.length (Obs.Profile.collapsed t) > 0);
+  match Obs.Json.of_string (Obs.Json.to_string (Obs.Profile.to_json t)) with
+  | Ok v ->
+      Alcotest.(check bool)
+        "spans count exported" true
+        (Obs.Json.member "spans" v = Some (Obs.Json.Int (Obs.Profile.span_count t)))
+  | Error msg -> Alcotest.failf "unparseable profile json: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate                                                     *)
+
+let bench_doc ?schema ?(mode = "full") ?(seed = 42) ?(n_events = 120) scenarios
+    =
+  Obs.Json.Obj
+    ((match schema with
+     | Some v -> [ ("schema_version", Obs.Json.Int v) ]
+     | None -> [])
+    @ [
+        ("mode", Obs.Json.String mode);
+        ("seed", Obs.Json.Int seed);
+        ("n_events", Obs.Json.Int n_events);
+        ( "scenarios",
+          Obs.Json.List
+            (List.map
+               (fun (name, digest, wall) ->
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.String name);
+                     ("digest", Obs.Json.String digest);
+                     ("planning_wall_s", Obs.Json.Float wall);
+                   ])
+               scenarios) );
+      ])
+
+let check_gate ?max_regress ~baseline ~current () =
+  match Obs.Regress.check ?max_regress ~baseline ~current () with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "expected comparable documents: %s" e
+
+let test_regress_pass_and_wall_regression () =
+  let baseline = bench_doc [ ("lmtf", "aaaa", 2.0); ("reorder", "bbbb", 10.0) ] in
+  let same =
+    bench_doc ~schema:Obs.Regress.schema_version
+      [ ("lmtf", "aaaa", 2.1); ("reorder", "bbbb", 9.0) ]
+  in
+  let r = check_gate ~baseline ~current:same () in
+  Alcotest.(check (list string)) "within tolerance passes" [] r.Obs.Regress.failures;
+  (* Injected 15%+ planning-wall regression must fail the gate. *)
+  let slow =
+    bench_doc [ ("lmtf", "aaaa", 2.0 *. 1.2); ("reorder", "bbbb", 10.0) ]
+  in
+  let r = check_gate ~baseline ~current:slow () in
+  Alcotest.(check int) "regression caught" 1 (List.length r.Obs.Regress.failures);
+  (* A looser tolerance accepts the same slowdown. *)
+  let r = check_gate ~max_regress:0.25 ~baseline ~current:slow () in
+  Alcotest.(check (list string)) "tolerance is a dial" [] r.Obs.Regress.failures
+
+let test_regress_digest_and_missing_scenario () =
+  let baseline = bench_doc [ ("lmtf", "aaaa", 2.0); ("reorder", "bbbb", 10.0) ] in
+  let drifted = bench_doc [ ("lmtf", "cccc", 2.0) ] in
+  let r = check_gate ~baseline ~current:drifted () in
+  Alcotest.(check int)
+    "digest change + missing scenario" 2
+    (List.length r.Obs.Regress.failures);
+  (* Extra scenarios in the current run are a note, not a failure. *)
+  let wider =
+    bench_doc
+      [ ("lmtf", "aaaa", 2.0); ("reorder", "bbbb", 10.0); ("new", "dddd", 1.0) ]
+  in
+  let r = check_gate ~baseline ~current:wider () in
+  Alcotest.(check (list string)) "new scenario passes" [] r.Obs.Regress.failures;
+  Alcotest.(check bool) "but is noted" true (r.Obs.Regress.notes <> [])
+
+let test_regress_incomparable () =
+  let baseline = bench_doc [ ("lmtf", "aaaa", 2.0) ] in
+  (* Schema absence (historical baseline) is accepted... *)
+  let current = bench_doc ~schema:Obs.Regress.schema_version [ ("lmtf", "aaaa", 2.0) ] in
+  (match Obs.Regress.check ~baseline ~current () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "absent schema_version must compare: %s" e);
+  (* ...but a present-and-different one is not. *)
+  let future = bench_doc ~schema:(Obs.Regress.schema_version + 1) [] in
+  (match Obs.Regress.check ~baseline:current ~current:future () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "schema mismatch must be incomparable");
+  (* Different workloads never compare. *)
+  let quick = bench_doc ~mode:"quick" ~n_events:40 [ ("lmtf", "aaaa", 0.2) ] in
+  match Obs.Regress.check ~baseline ~current:quick () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "workload mismatch must be incomparable"
+
+(* ------------------------------------------------------------------ *)
+(* Engine integration: series sampling, histogram recording            *)
+
+let test_engine_series_and_histograms () =
+  let go ~obs =
+    let net = loaded_net () in
+    let events = workload () in
+    let series = if obs then Some (Engine.make_series ()) else None in
+    if obs then begin
+      Obs.Histogram.Registry.reset ();
+      Obs.Histogram.Registry.enable ()
+    end;
+    let r =
+      Fun.protect ~finally:(fun () ->
+          if obs then Obs.Histogram.Registry.disable ())
+      @@ fun () ->
+      Engine.run ?series ~seed:11 ~net ~events (Policy.Lmtf { alpha = 2 })
+    in
+    (Metrics.of_run r, r, series)
+  in
+  let plain, _, _ = go ~obs:false in
+  let observed, r, series = go ~obs:true in
+  Alcotest.(check bool)
+    "series + histograms do not perturb the run" true (plain = observed);
+  let s = Option.get series in
+  Alcotest.(check int) "one row per round" r.Engine.rounds (Obs.Series.length s);
+  Alcotest.(check (list string))
+    "engine columns" Engine.series_columns (Obs.Series.columns s);
+  let _, first = Obs.Series.get s 0 in
+  Alcotest.(check (float 0.0))
+    "initial queue depth is the full workload"
+    (float_of_int (List.length (workload ())))
+    first.(1);
+  List.iter
+    (fun name ->
+      match Obs.Histogram.Registry.find name with
+      | Some h ->
+          Alcotest.(check int)
+            (name ^ " one sample per event")
+            (Array.length r.Engine.events)
+            (Obs.Histogram.count h)
+      | None -> Alcotest.failf "%s not recorded" name)
+    [ "engine.event_service_s"; "engine.event_queuing_s" ];
+  List.iter
+    (fun name ->
+      match Obs.Histogram.Registry.find name with
+      | Some h ->
+          Alcotest.(check bool) (name ^ " recorded") true (Obs.Histogram.count h > 0)
+      | None -> Alcotest.failf "%s not recorded" name)
+    [ "planner.plan_latency_s"; "planner.probe_latency_s"; "planner.moves_per_event" ];
+  Obs.Histogram.Registry.reset ()
+
 let test_null_sink_identical_results () =
   let run_once ~traced =
     let net = loaded_net () in
@@ -325,7 +790,23 @@ let suite =
     ("span LIFO nesting", `Quick, test_span_lifo_nesting);
     ("span non-LIFO raises", `Quick, test_span_non_lifo_raises);
     ("span exception safety", `Quick, test_span_exception_safety);
+    ("span unwind on raise", `Quick, test_span_unwind_on_raise);
     ("disabled tracing no-op", `Quick, test_disabled_tracing_is_noop);
+    ("histogram side stats", `Quick, test_histogram_exact_side_stats);
+    ("histogram quantile bounds", `Quick, test_histogram_quantile_bounds);
+    QCheck_alcotest.to_alcotest prop_histogram_matches_descriptive;
+    QCheck_alcotest.to_alcotest prop_histogram_merge_associative;
+    ("histogram json", `Quick, test_histogram_json);
+    ("histogram registry gated", `Quick, test_histogram_registry_gated);
+    ("series bounded decimation", `Quick, test_series_bounded_decimation);
+    ("series csv/json", `Quick, test_series_csv_and_json);
+    ("profile sibling merge", `Quick, test_profile_tree_merges_siblings);
+    ("profile truncation", `Quick, test_profile_tolerates_truncation);
+    ("profile of real run", `Quick, test_profile_of_real_run);
+    ("regress wall gate", `Quick, test_regress_pass_and_wall_regression);
+    ("regress digest gate", `Quick, test_regress_digest_and_missing_scenario);
+    ("regress incomparable", `Quick, test_regress_incomparable);
+    ("engine series + histograms", `Quick, test_engine_series_and_histograms);
     ("counters snapshot/diff", `Quick, test_counters_snapshot_diff);
     ("counters alist/json", `Quick, test_counters_alist_json);
     ("counters pipeline work", `Quick, test_counters_count_pipeline_work);
