@@ -1,11 +1,11 @@
 (* Bench regression gate: diff a current sched_bench JSON document
-   against a committed baseline (BENCH_PR3.json) and fail CI on a
+   against a committed baseline (BENCH_PR5.json) and fail CI on a
    planning-wall regression beyond tolerance or any decision-digest
    change. All comparison logic lives in Core.Obs.Regress (unit-tested);
    this is the file-reading, exit-code-setting shell around it.
 
      dune exec bench/compare.exe -- \
-       --baseline BENCH_PR3.json --current bench_now.json
+       --baseline BENCH_PR5.json --current bench_now.json
 
    Exit codes: 0 the gate passes, 1 regression/digest failure, 2 the
    documents are not comparable (workload or schema mismatch, unreadable

@@ -5,11 +5,11 @@
    fault-free run — the fault hooks are required to cost nothing when
    idle) and a seeded fault-churn run exercising abort/retry/degrade.
 
-   Emits machine-readable JSON (BENCH_PR3.json) so the perf trajectory
+   Emits machine-readable JSON (BENCH_PR5.json) so the perf trajectory
    of the planning hot path is tracked per-PR:
 
-     dune exec bench/sched_bench.exe -- --out BENCH_PR3.json
-     dune exec bench/sched_bench.exe -- --quick --out BENCH_PR3.json
+     dune exec bench/sched_bench.exe -- --out BENCH_PR5.json
+     dune exec bench/sched_bench.exe -- --quick --out BENCH_PR5.json
 
    [--baseline FILE] merges a previously recorded run (e.g. one taken on
    the pre-optimisation tree) under the "baseline" key and reports the
@@ -100,7 +100,8 @@ type measurement = {
 
 let now_s () = Unix.gettimeofday ()
 
-let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false) () =
+let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false)
+    ?(stepper = false) () =
   (* A fresh scenario per measurement: the run mutates its network. *)
   let s = Core.Scenario.prepare ~k:8 ~utilization:0.70 ~seed:!seed () in
   let events = Core.Scenario.events s ~n:n_events in
@@ -139,8 +140,21 @@ let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false) () =
   let before = Core.Obs.Counters.snapshot () in
   let t0 = now_s () in
   let run =
-    Core.Engine.run ~seed:3 ~churn ?injector ?series ~net:s.Core.Scenario.net
-      ~events policy
+    if stepper then begin
+      (* The serving ingest path: the same workload submitted through the
+         incremental stepper and stepped round by round. Required to be a
+         bit-identical (and near-free) rewrite of the batch loop. *)
+      let st =
+        Core.Engine.Stepper.create ~seed:3 ~churn ?injector ?series
+          ~net:s.Core.Scenario.net policy
+      in
+      Core.Engine.Stepper.submit st events;
+      while Core.Engine.Stepper.step st <> `Idle do () done;
+      Core.Engine.Stepper.result st
+    end
+    else
+      Core.Engine.run ~seed:3 ~churn ?injector ?series
+        ~net:s.Core.Scenario.net ~events policy
   in
   let wall = now_s () -. t0 in
   if obs then begin
@@ -200,21 +214,29 @@ let () =
   let n_events = if !quick then 40 else 120 in
   let scenarios =
     [
-      ("lmtf-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false);
-      ("reorder-churn-k8", Core.Policy.Reorder, `Off, false);
+      ("lmtf-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, false);
+      ("reorder-churn-k8", Core.Policy.Reorder, `Off, false, false);
       (* Digest must equal lmtf-churn-k8's: an idle injector is free. *)
-      ("lmtf-empty-faults-k8", Core.Policy.Lmtf { alpha = 4 }, `Empty, false);
-      ("lmtf-fault-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Seeded, false);
+      ( "lmtf-empty-faults-k8",
+        Core.Policy.Lmtf { alpha = 4 },
+        `Empty,
+        false,
+        false );
+      ("lmtf-fault-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Seeded, false, false);
       (* Digest must equal lmtf-churn-k8's: tracing, histograms and the
          per-round series are read-only observers of the run. *)
-      ("lmtf-obs-on-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, true);
+      ("lmtf-obs-on-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, true, false);
+      (* Digest must equal lmtf-churn-k8's: the online controller's
+         ingest path (stepper submit + incremental stepping) is a
+         restructuring of the batch loop, not a re-decision. *)
+      ("serve-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, true);
     ]
   in
   let measurements =
     List.map
-      (fun (name, policy, faults, obs) ->
+      (fun (name, policy, faults, obs, stepper) ->
         Printf.eprintf "bench: running %s (%d events)...\n%!" name n_events;
-        measure ~name ~policy ~n_events ~faults ~obs ())
+        measure ~name ~policy ~n_events ~faults ~obs ~stepper ())
       scenarios
   in
   let digest_must_match ~of_:other ~reference ~what =
@@ -235,6 +257,8 @@ let () =
     ~what:"empty fault schedule";
   digest_must_match ~of_:"lmtf-obs-on-k8" ~reference:"lmtf-churn-k8"
     ~what:"enabled observability";
+  digest_must_match ~of_:"serve-churn-k8" ~reference:"lmtf-churn-k8"
+    ~what:"serving ingest path";
   List.iter
     (fun m ->
       Printf.printf
@@ -309,7 +333,7 @@ let () =
       (List.concat
          [
            [
-             ("bench", Core.Obs.Json.String "sched_bench_pr3");
+             ("bench", Core.Obs.Json.String "sched_bench_pr5");
              ( "schema_version",
                Core.Obs.Json.Int Core.Obs.Regress.schema_version );
              ("mode", Core.Obs.Json.String (if !quick then "quick" else "full"));

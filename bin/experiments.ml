@@ -447,6 +447,362 @@ let chaos_cmd =
       const run $ seed_arg $ alpha_arg $ util_arg $ events_arg $ fault_seed_arg
       $ fault_rate_arg $ retry_max_arg $ out_arg $ trace_arg $ counters_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Online serving: serve / snapshot / replay.                          *)
+
+let ticks_arg =
+  let doc = "Controller ticks to serve." in
+  Arg.(value & opt int 200 & info [ "ticks" ] ~docv:"N" ~doc)
+
+let rate_arg =
+  let doc = "Mean update events arriving per tick (synthetic source)." in
+  Arg.(value & opt float 0.4 & info [ "rate" ] ~docv:"R" ~doc)
+
+let flows_per_event_arg =
+  let doc = "Install flows per synthetic update event." in
+  Arg.(value & opt int 3 & info [ "flows-per-event" ] ~docv:"N" ~doc)
+
+let tenants_arg =
+  let doc = "Tenant labels (comma-separated) for synthetic arrivals." in
+  Arg.(
+    value
+    & opt (list string) [ "tenant-a"; "tenant-b"; "tenant-c" ]
+    & info [ "tenants" ] ~docv:"NAMES" ~doc)
+
+let stream_arg =
+  let doc =
+    "Serve the JSONL command stream in $(docv) instead of the synthetic \
+     arrival process (one {\"tick\":N,\"tenant\":\"...\",\"event\":{...}} \
+     object per line, tick-sorted)."
+  in
+  Arg.(value & opt (some string) None & info [ "stream" ] ~docv:"FILE" ~doc)
+
+let admission_conv =
+  let parse s =
+    match Admission.policy_of_name s with
+    | Ok p -> Ok p
+    | Error m -> Error (`Msg m)
+  in
+  let print ppf p = Format.pp_print_string ppf (Admission.policy_name p) in
+  Arg.conv ~docv:"POLICY" (parse, print)
+
+let admission_arg =
+  let doc =
+    "Backpressure policy when the admission queue fills: $(b,block), \
+     $(b,drop-newest), $(b,drop-oldest) or $(b,tenant-quota(N))."
+  in
+  Arg.(
+    value & opt admission_conv Admission.Block
+    & info [ "admission" ] ~docv:"POLICY" ~doc)
+
+let capacity_arg =
+  let doc = "Admission queue capacity (requests)." in
+  Arg.(value & opt int 64 & info [ "capacity" ] ~docv:"N" ~doc)
+
+let drain_arg =
+  let doc = "Max requests drained into the engine per tick." in
+  Arg.(value & opt int 8 & info [ "drain" ] ~docv:"N" ~doc)
+
+let steps_arg =
+  let doc = "Max engine service rounds per tick." in
+  Arg.(value & opt int 4 & info [ "steps" ] ~docv:"N" ~doc)
+
+let tick_dt_arg =
+  let doc = "Simulated seconds per controller tick." in
+  Arg.(value & opt float 0.05 & info [ "tick-dt" ] ~docv:"SECONDS" ~doc)
+
+let serve_churn_arg =
+  let doc = "Enable checkpoint-safe background churn at the --util target." in
+  Arg.(value & flag & info [ "churn" ] ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Checkpoint file. With --checkpoint-every K, saved after every K-th \
+     tick; otherwise saved once after the serving phase."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let checkpoint_every_arg =
+  let doc = "Checkpoint period in ticks (0 = only at end of serving)." in
+  Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~docv:"K" ~doc)
+
+let journal_arg =
+  let doc = "Write the append-only operation journal to $(docv) (JSONL)." in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let no_complete_arg =
+  let doc = "Stop after the serving phase without draining to quiescence." in
+  Arg.(value & flag & info [ "no-complete" ] ~doc)
+
+let expect_digest_arg =
+  let doc = "Fail (exit 1) unless the final decision digest equals $(docv)." in
+  Arg.(value & opt (some string) None & info [ "expect-digest" ] ~docv:"HEX" ~doc)
+
+let upto_arg =
+  let doc = "Replay journal ticks strictly below $(docv) only." in
+  Arg.(value & opt (some int) None & info [ "upto" ] ~docv:"TICK" ~doc)
+
+let serve_fault_rate_arg =
+  let doc = "Primary faults per simulated second during serving (0 = none)." in
+  Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"RATE" ~doc)
+
+(* The serving configuration and source spec are rebuilt identically by
+   serve and replay from the same flags — restore validates the pair
+   against the checkpoint's fingerprint. *)
+let serve_cfg_term =
+  let mk seed alpha util policy_tag capacity admission drain steps tick_dt
+      churn =
+    {
+      Serve.policy = policy_of_tag ~alpha policy_tag;
+      engine_seed = seed + 1;
+      admission_capacity = capacity;
+      admission_policy = admission;
+      drain_per_tick = drain;
+      steps_per_tick = steps;
+      tick_dt_s = tick_dt;
+      co_max_cost_mbit = 0.0;
+      estimate_cache = true;
+      churn =
+        (if churn then
+           Some
+             {
+               Serve.churn_seed = seed + 2;
+               churn_target = util;
+               churn_max_per_round = 200;
+               churn_first_id = 10_000_000;
+             }
+         else None);
+    }
+  in
+  Term.(
+    const mk $ seed_arg $ alpha_arg $ util_arg $ policy_arg $ capacity_arg
+    $ admission_arg $ drain_arg $ steps_arg $ tick_dt_arg $ serve_churn_arg)
+
+let source_spec_term =
+  let mk seed rate flows_per_event tenants stream =
+    match stream with
+    | Some path -> Serve_source.Stream path
+    | None ->
+        Serve_source.Synthetic
+          {
+            seed = seed + 3;
+            rate_per_tick = rate;
+            flows_per_event;
+            tenants;
+            first_event_id = 1;
+            first_flow_id = 1_000_000;
+          }
+  in
+  Term.(
+    const mk $ seed_arg $ rate_arg $ flows_per_event_arg $ tenants_arg
+    $ stream_arg)
+
+let print_serve_summary t result =
+  Format.printf
+    "serve: %d tick(s), %d event(s) completed, %d round(s), backlog %d, \
+     queue %d, deferred %d@."
+    (Serve.tick_count t)
+    (Array.length result.Engine.events)
+    result.Engine.rounds (Serve.engine_backlog t)
+    (Admission.size (Serve.admission t))
+    (Serve.deferred_count t);
+  List.iter
+    (fun (tenant, (admitted, shed, drained)) ->
+      Format.printf "  %-12s admitted %d, shed %d, drained %d@." tenant
+        admitted shed drained)
+    (Admission.tenant_stats (Serve.admission t))
+
+let serve_cmd =
+  let run cfg spec seed util ticks fault_seed fault_rate retry_max checkpoint
+      checkpoint_every journal_path no_complete out trace counters hist =
+    with_obs ~trace ~counters (fun () ->
+        try
+          let scenario = Scenario.prepare ~utilization:util ~seed () in
+          let injector =
+            if fault_rate <= 0.0 then None
+            else begin
+              let fconfig =
+                {
+                  Fault_model.default_config with
+                  Fault_model.rate_per_s = fault_rate;
+                  horizon_s = float_of_int ticks *. cfg.Serve.tick_dt_s;
+                }
+              in
+              let retry =
+                {
+                  Retry_policy.default with
+                  Retry_policy.max_attempts = retry_max;
+                }
+              in
+              Some
+                (Injector.create ~retry
+                   (Fault_model.generate ~config:fconfig ~seed:fault_seed
+                      scenario.Scenario.topology))
+            end
+          in
+          let journal = Option.map Journal.open_writer journal_path in
+          if hist then begin
+            Obs.Histogram.Registry.reset ();
+            Obs.Histogram.Registry.enable ()
+          end;
+          let before = Obs.Counters.snapshot () in
+          let t =
+            Serve.create ?injector ?journal cfg
+              ~topology:scenario.Scenario.topology ~net:scenario.Scenario.net
+              ~source_spec:spec
+          in
+          Serve.run ?checkpoint_path:checkpoint ~checkpoint_every ~ticks t;
+          (match checkpoint with
+          | Some path when checkpoint_every = 0 -> Serve.save_checkpoint t path
+          | _ -> ());
+          if not no_complete then Serve.complete t;
+          let result = Serve.retire t in
+          let run_counters =
+            Obs.Counters.diff ~before ~after:(Obs.Counters.snapshot ())
+          in
+          let histograms =
+            if hist then begin
+              Obs.Histogram.Registry.disable ();
+              Some (Obs.Histogram.Registry.snapshot ())
+            end
+            else None
+          in
+          print_serve_summary t result;
+          Format.printf "digest: %s@." (Run_digest.of_run result);
+          match out with
+          | None -> ()
+          | Some path ->
+              let json =
+                Run_report.to_json ~counters:run_counters ?histograms result
+              in
+              Out_channel.with_open_text path (fun oc ->
+                  output_string oc (Obs.Json.to_string json);
+                  output_char oc '\n');
+              Format.printf "serve: wrote %s@." path
+        with Invalid_argument m | Failure m ->
+          Format.eprintf "serve: %s@." m;
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the online update controller: seeded or JSONL arrivals through \
+          bounded admission into the incremental engine, with optional \
+          fault injection, durable checkpoints and a write-ahead journal")
+    Term.(
+      const run $ serve_cfg_term $ source_spec_term $ seed_arg $ util_arg
+      $ ticks_arg $ fault_seed_arg $ serve_fault_rate_arg $ retry_max_arg
+      $ checkpoint_arg $ checkpoint_every_arg $ journal_arg $ no_complete_arg
+      $ out_arg $ trace_arg $ counters_arg $ hist_arg)
+
+let checkpoint_file_arg =
+  let doc = "Checkpoint file to inspect." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CHECKPOINT" ~doc)
+
+let snapshot_cmd =
+  let run path =
+    let topology = Fat_tree.to_topology (Fat_tree.create ~k:8 ()) in
+    match Serve_checkpoint.load ~graph:topology.Topology.graph path with
+    | Error m ->
+        Format.eprintf "snapshot: %s: %s@." path m;
+        exit 1
+    | Ok cp ->
+        let st = cp.Serve_checkpoint.stepper in
+        Format.printf "checkpoint: %s@." path;
+        Format.printf "  tick:       %d@." cp.Serve_checkpoint.tick;
+        Format.printf "  engine:     %d completed, %d queued, %d pending, \
+                       %d held, %d round(s), now %.3f s@."
+          (List.length st.Engine.Stepper.fz_results)
+          (List.length st.Engine.Stepper.fz_queue)
+          (List.length st.Engine.Stepper.fz_pending)
+          (List.length st.Engine.Stepper.fz_held)
+          st.Engine.Stepper.fz_rounds st.Engine.Stepper.fz_now;
+        let queued =
+          List.fold_left
+            (fun acc (_, q) -> acc + List.length q)
+            0 cp.Serve_checkpoint.admission.Admission.fz_queues
+        in
+        Format.printf "  admission:  %d queued across %d tenant(s), %d \
+                       deferred@."
+          queued
+          (List.length cp.Serve_checkpoint.admission.Admission.fz_tenants)
+          (List.length cp.Serve_checkpoint.deferred);
+        Format.printf "  injector:   %s@."
+          (match cp.Serve_checkpoint.injector with
+          | None -> "none"
+          | Some fz ->
+              Printf.sprintf "%d fault(s) outstanding"
+                (List.length fz.Injector.fz_pending));
+        Format.printf "  source:     %s@."
+          (match cp.Serve_checkpoint.source with
+          | Serve_source.F_synthetic f ->
+              Printf.sprintf "synthetic (next event id %d)" f.next_event_id
+          | Serve_source.F_stream f -> Printf.sprintf "stream (pos %d)" f.pos);
+        Format.printf "  meta:       %s@."
+          (Obs.Json.to_string cp.Serve_checkpoint.meta)
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:"Validate a serve checkpoint and print its contents")
+    Term.(const run $ checkpoint_file_arg)
+
+let replay_journal_arg =
+  let doc = "Operation journal to re-drive after restoring." in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let replay_checkpoint_arg =
+  let doc = "Checkpoint file to restore from." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let replay_cmd =
+  let run cfg spec checkpoint journal_path upto retry_max no_complete
+      expect_digest =
+    let topology = Fat_tree.to_topology (Fat_tree.create ~k:8 ()) in
+    let retry =
+      { Retry_policy.default with Retry_policy.max_attempts = retry_max }
+    in
+    match Serve.restore ~retry ~config:cfg ~source_spec:spec ~topology
+            checkpoint
+    with
+    | Error m ->
+        Format.eprintf "replay: %s@." m;
+        exit 1
+    | Ok t -> (
+        Format.printf "replay: restored %s at tick %d@." checkpoint
+          (Serve.tick_count t);
+        (match journal_path with
+        | None -> ()
+        | Some jp -> (
+            match Serve.replay ?upto ~journal:jp t with
+            | Error m ->
+                Format.eprintf "replay: %s@." m;
+                exit 1
+            | Ok n -> Format.printf "replay: re-drove %d committed tick(s)@." n));
+        if not no_complete then Serve.complete t;
+        let digest = Serve.digest t in
+        print_serve_summary t (Serve.result t);
+        Format.printf "digest: %s@." digest;
+        match expect_digest with
+        | Some d when d <> digest ->
+            Format.eprintf "replay: digest mismatch: expected %s, got %s@." d
+              digest;
+            exit 1
+        | Some _ -> Format.printf "replay: digest matches@."
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Restore a serve checkpoint, re-drive its journal deterministically \
+          and print (optionally assert) the decision digest")
+    Term.(
+      const run $ serve_cfg_term $ source_spec_term $ replay_checkpoint_arg
+      $ replay_journal_arg $ upto_arg $ retry_max_arg $ no_complete_arg
+      $ expect_digest_arg)
+
 let all_cmd =
   let run seeds alpha trace counters =
     with_obs ~trace ~counters (fun () ->
@@ -490,6 +846,9 @@ let main =
       arrivals_cmd;
       ablation_cmd;
       chaos_cmd;
+      serve_cmd;
+      snapshot_cmd;
+      replay_cmd;
       all_cmd;
     ]
 

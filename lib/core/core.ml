@@ -16,7 +16,9 @@
     {- consistent-update dataplane: {!Rule}, {!Switch_table}, {!Fabric},
        {!Two_phase};}
     {- inter-event scheduling: {!Policy}, {!Exec_model}, {!Engine},
-       {!Metrics}.}}
+       {!Metrics};}
+    {- online serving: {!Serve}, {!Admission}, {!Journal},
+       {!Serve_source}, {!Serve_checkpoint}.}}
 
     The typical flow is {!Scenario.prepare} (build a loaded Fat-Tree),
     {!Scenario.events} (a workload), {!Engine.run} (simulate a policy),
@@ -61,7 +63,15 @@ module Policy = Nu_sched.Policy
 module Exec_model = Nu_sched.Exec_model
 module Engine = Nu_sched.Engine
 module Metrics = Nu_sched.Metrics
+module Run_digest = Nu_sched.Run_digest
 module Run_report = Nu_sched.Run_report
+module Serve = Nu_serve.Serve
+module Serve_request = Nu_serve.Request
+module Admission = Nu_serve.Admission
+module Journal = Nu_serve.Journal
+module Serve_source = Nu_serve.Source
+module Serve_checkpoint = Nu_serve.Checkpoint
+module Serve_codec = Nu_serve.Codec
 module Obs = Nu_obs
 
 (** Canned experiment scenarios: a loaded Fat-Tree plus generator

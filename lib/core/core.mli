@@ -18,7 +18,9 @@
     {- fault injection and recovery: {!Fault_model}, {!Retry_policy},
        {!Injector}, {!Invariant}, {!Recovery};}
     {- inter-event scheduling: {!Policy}, {!Exec_model}, {!Engine},
-       {!Metrics}.}}
+       {!Metrics};}
+    {- online serving: {!Serve}, {!Admission}, {!Journal},
+       {!Serve_source}, {!Serve_checkpoint}.}}
 
     The typical flow is {!Scenario.prepare} (build a loaded Fat-Tree),
     {!Scenario.events} (a workload), {!Engine.run} (simulate a policy),
@@ -64,6 +66,18 @@ module Exec_model = Nu_sched.Exec_model
 module Engine = Nu_sched.Engine
 module Metrics = Nu_sched.Metrics
 module Run_report = Nu_sched.Run_report
+module Run_digest = Nu_sched.Run_digest
+
+module Serve = Nu_serve.Serve
+(** Online serving: the batch engine as a long-running controller with
+    admission control, durable checkpoints and deterministic replay. *)
+
+module Serve_request = Nu_serve.Request
+module Admission = Nu_serve.Admission
+module Journal = Nu_serve.Journal
+module Serve_source = Nu_serve.Source
+module Serve_checkpoint = Nu_serve.Checkpoint
+module Serve_codec = Nu_serve.Codec
 
 module Obs = Nu_obs
 (** Observability: {!Nu_obs.Trace} spans, {!Nu_obs.Counters},

@@ -30,6 +30,32 @@ let recovery t = t.recovery
 let retry_policy t = t.retry
 let violations t = t.violation_count
 
+(* Checkpoint support: the pieces of injector state that influence
+   future engine decisions are the unapplied schedule suffix and the
+   per-event abort counts (they drive retry backoff vs degradation).
+   The recovery log is telemetry — a thawed injector starts a fresh log
+   covering the post-restore suffix. *)
+
+type frozen = {
+  fz_pending : Fault_model.schedule;
+  fz_attempts : (int * int) list;  (* event id, aborts so far; id-sorted *)
+  fz_violations : int;
+}
+
+let freeze t =
+  {
+    fz_pending = t.pending;
+    fz_attempts =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.attempts []);
+    fz_violations = t.violation_count;
+  }
+
+let thaw ?retry ?check_invariants fz =
+  let t = create ?retry ?check_invariants fz.fz_pending in
+  List.iter (fun (id, n) -> Hashtbl.replace t.attempts id n) fz.fz_attempts;
+  t.violation_count <- fz.fz_violations;
+  t
+
 let next_due_s t =
   match t.pending with
   | [] -> None

@@ -30,6 +30,28 @@ val create :
 val recovery : t -> Recovery.t
 val retry_policy : t -> Retry_policy.t
 
+(** {2 Checkpoint freeze/thaw}
+
+    The decision-relevant injector state — the unapplied schedule suffix
+    and the per-event abort counts that drive retry backoff — as a
+    plain serialisable record. The recovery log is deliberately not
+    frozen: it is append-only telemetry, and a thawed injector logs the
+    post-restore suffix afresh. *)
+
+type frozen = {
+  fz_pending : Fault_model.schedule;  (** Unapplied faults, time-sorted. *)
+  fz_attempts : (int * int) list;  (** (event id, aborts so far), id-sorted. *)
+  fz_violations : int;
+}
+
+val freeze : t -> frozen
+
+val thaw : ?retry:Retry_policy.t -> ?check_invariants:bool -> frozen -> t
+(** Rebuild an injector that makes bit-identical abort/retry/degrade
+    decisions from this point on, given the same [retry] policy and
+    [check_invariants] flag as the original (same defaults as
+    {!create}). *)
+
 val next_due_s : t -> float option
 (** Arrival time of the earliest unapplied fault, if any. *)
 

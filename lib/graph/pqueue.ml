@@ -68,6 +68,14 @@ let pop t =
 
 let peek t = if t.size = 0 then None else Some (t.data.(0).prio, t.data.(0).value)
 
+let to_list t =
+  let entries = Array.sub t.data 0 t.size in
+  Array.sort
+    (fun a b ->
+      match compare a.prio b.prio with 0 -> compare a.seq b.seq | c -> c)
+    entries;
+  Array.to_list (Array.map (fun e -> (e.prio, e.value)) entries)
+
 let clear t =
   t.size <- 0;
   t.next_seq <- 0

@@ -22,4 +22,10 @@ val pop : 'a t -> (float * 'a) option
 
 val peek : 'a t -> (float * 'a) option
 
+val to_list : 'a t -> (float * 'a) list
+(** Non-destructive snapshot in exact pop order (priority, then
+    insertion order). Re-pushing the returned pairs into a fresh queue,
+    in order, rebuilds a queue with identical pop behaviour — the
+    checkpoint/restore path of {!Nu_serve} relies on this. *)
+
 val clear : 'a t -> unit

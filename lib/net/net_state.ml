@@ -115,6 +115,73 @@ let topology t = t.topo
 let graph t = t.topo.Topology.graph
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint freeze/thaw. The frozen form captures every piece of
+   state that can influence a future decision *bit-exactly*: residuals
+   and the Kahan pair are copied verbatim rather than recomputed from
+   the placements, because floating-point accumulation is
+   order-sensitive and a recomputed residual could differ from the live
+   one in its low bits — enough to flip a feasibility comparison and
+   break digest-equality of restored runs. *)
+
+type frozen = {
+  fz_flows : placed list;  (* sorted by flow id *)
+  fz_residual : float array;
+  fz_degraded : float array;
+  fz_disabled : bool array;
+  fz_versions : int array;
+  fz_disabled_epoch : int;
+  fz_util_sum : float;
+  fz_util_comp : float;
+}
+
+let freeze t =
+  if t.txns <> [] then invalid_arg "Net_state.freeze: open transaction";
+  let flows =
+    Hashtbl.fold (fun _ placed acc -> placed :: acc) t.flows []
+    |> List.sort (fun a b ->
+           Int.compare a.record.Flow_record.id b.record.Flow_record.id)
+  in
+  {
+    fz_flows = flows;
+    fz_residual = Array.copy t.residual;
+    fz_degraded = Array.copy t.degraded;
+    fz_disabled = Array.copy t.disabled;
+    fz_versions = Array.copy t.versions;
+    fz_disabled_epoch = t.disabled_epoch;
+    fz_util_sum = t.util_sum;
+    fz_util_comp = t.util_comp;
+  }
+
+let thaw topo fz =
+  let t = create topo in
+  let n_edges = Array.length t.residual in
+  if
+    Array.length fz.fz_residual <> n_edges
+    || Array.length fz.fz_degraded <> n_edges
+    || Array.length fz.fz_disabled <> n_edges
+    || Array.length fz.fz_versions <> n_edges
+  then invalid_arg "Net_state.thaw: frozen state does not match the topology";
+  Array.blit fz.fz_residual 0 t.residual 0 n_edges;
+  Array.blit fz.fz_degraded 0 t.degraded 0 n_edges;
+  Array.blit fz.fz_disabled 0 t.disabled 0 n_edges;
+  Array.blit fz.fz_versions 0 t.versions 0 n_edges;
+  let disabled_n = ref 0 in
+  Array.iter (fun d -> if d then incr disabled_n) t.disabled;
+  t.disabled_n <- !disabled_n;
+  t.disabled_epoch <- fz.fz_disabled_epoch;
+  t.util_sum <- fz.fz_util_sum;
+  t.util_comp <- fz.fz_util_comp;
+  List.iter
+    (fun placed ->
+      Hashtbl.replace t.flows placed.record.Flow_record.id placed;
+      List.iter
+        (fun (e : Graph.edge) ->
+          Hashtbl.replace t.on_edge.(e.id) placed.record.Flow_record.id ())
+        (Path.edges placed.path))
+    fz.fz_flows;
+  t
+
+(* ------------------------------------------------------------------ *)
 (* Probe read-set tracking. A bytes mask dedups membership in O(1) with
    no allocation on the hot path — probes touch edges millions of times
    per run, so a hashtable here dominated the tracking cost. Disabled-

@@ -27,6 +27,37 @@ val copy : t -> t
 val topology : t -> Topology.t
 val graph : t -> Graph.t
 
+(** {2 Checkpoint freeze/thaw}
+
+    Durable-state support for the online controller ({!Nu_serve}): a
+    [frozen] value is a plain, serialisable record of everything that
+    can influence a future decision. Floats (residuals, the Kahan
+    utilisation pair) are captured verbatim — recomputing them from the
+    placements would be order-sensitive in the low bits and break the
+    bit-identical-restore guarantee. *)
+
+type frozen = {
+  fz_flows : placed list;  (** Sorted by flow id. *)
+  fz_residual : float array;
+  fz_degraded : float array;
+  fz_disabled : bool array;
+  fz_versions : int array;
+  fz_disabled_epoch : int;
+  fz_util_sum : float;  (** Running fabric-utilisation sum (bit-exact). *)
+  fz_util_comp : float;  (** Its Kahan compensation term. *)
+}
+
+val freeze : t -> frozen
+(** Snapshot the state. Raises [Invalid_argument] while a transaction is
+    open (checkpoints are taken at round boundaries only). *)
+
+val thaw : Topology.t -> frozen -> t
+(** Rebuild a state over the same topology. The result behaves
+    bit-identically to the frozen original under every future operation
+    sequence ([invariants_ok] holds; probe/cache bookkeeping restarts
+    empty). Raises [Invalid_argument] when the frozen arrays do not
+    match the topology's edge count. *)
+
 (** {2 Transactions}
 
     A lightweight undo journal for speculative planning: every mutation

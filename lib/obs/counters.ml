@@ -21,6 +21,12 @@ type key =
   | Retries
   | Events_degraded
   | Invariant_checks
+  | Serve_ticks
+  | Serve_admitted
+  | Serve_shed
+  | Serve_deferred
+  | Serve_drained
+  | Serve_checkpoints
 
 let index = function
   | Planner_plans -> 0
@@ -45,6 +51,12 @@ let index = function
   | Retries -> 19
   | Events_degraded -> 20
   | Invariant_checks -> 21
+  | Serve_ticks -> 22
+  | Serve_admitted -> 23
+  | Serve_shed -> 24
+  | Serve_deferred -> 25
+  | Serve_drained -> 26
+  | Serve_checkpoints -> 27
 
 let all =
   [
@@ -70,6 +82,12 @@ let all =
     Retries;
     Events_degraded;
     Invariant_checks;
+    Serve_ticks;
+    Serve_admitted;
+    Serve_shed;
+    Serve_deferred;
+    Serve_drained;
+    Serve_checkpoints;
   ]
 
 let size = List.length all
@@ -97,6 +115,12 @@ let name = function
   | Retries -> "retries"
   | Events_degraded -> "events_degraded"
   | Invariant_checks -> "invariant_checks"
+  | Serve_ticks -> "serve_ticks"
+  | Serve_admitted -> "serve_admitted"
+  | Serve_shed -> "serve_shed"
+  | Serve_deferred -> "serve_deferred"
+  | Serve_drained -> "serve_drained"
+  | Serve_checkpoints -> "serve_checkpoints"
 
 let counts = Array.make size 0
 

@@ -35,6 +35,13 @@ type key =
   | Events_degraded
       (** Events past the retry budget, executed best-effort. *)
   | Invariant_checks  (** {!Nu_fault.Invariant} full-state checks run. *)
+  | Serve_ticks  (** Online-controller ticks processed. *)
+  | Serve_admitted  (** Requests accepted into the admission queue. *)
+  | Serve_shed  (** Requests rejected by the admission policy. *)
+  | Serve_deferred
+      (** Admission attempts deferred to the next tick (Block policy). *)
+  | Serve_drained  (** Requests handed from admission to the engine. *)
+  | Serve_checkpoints  (** Durable checkpoints written. *)
 
 val all : key list
 (** Every key, in rendering order. *)

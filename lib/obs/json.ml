@@ -21,10 +21,15 @@ let add_escaped buf s =
       | c -> Buffer.add_char buf c)
     s
 
-(* Shortest decimal that round-trips; "%.17g" only when needed. *)
+(* Shortest decimal that round-trips; "%.17g" only when needed. A
+   marker ('.' or exponent) is forced so integral floats print as
+   "1.0", not "1" — otherwise parsing reads the type back as Int and
+   print/parse is not the identity on floats. *)
 let float_repr f =
   let s = Printf.sprintf "%.15g" f in
-  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+  let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
 
 let rec to_buf buf = function
   | Null -> Buffer.add_string buf "null"

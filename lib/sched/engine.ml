@@ -318,148 +318,162 @@ let decide ctx policy queue =
   | Policy.Flow_level _, _ ->
       invalid_arg "Engine.decide: flow-level handled separately"
 
-let run_event_level ctx policy events =
-  let pending = ref (List.sort Event.compare_by_arrival events) in
-  let queue = ref [] in
-  (* Aborted events awaiting their retry instant: (ready_s, event). *)
-  let held = ref [] in
-  let now = ref 0.0 in
-  let rounds = ref 0 in
-  let results = ref [] in
-  let log = ref [] in
-  (* Fault hooks engage only when the injector actually has faults to
-     deliver: an absent injector — or one with an empty schedule — keeps
-     the loop on the exact fault-free path (no transactions, no checks),
-     so the two runs are bit-identical. *)
-  let fault_mode =
-    match ctx.injector with
-    | Some inj -> Injector.next_due_s inj <> None
-    | None -> false
+(* Incremental event-level stepper: the old run_event_level loop with
+   its mutable refs lifted into a record, so one service round can be
+   executed at a time and new events can be submitted between rounds —
+   the substrate of both the batch [run] (which just steps to
+   exhaustion, bit-identically to the historical loop) and the online
+   controller in [Nu_serve] (which interleaves submits, steps and
+   checkpoints). *)
+type stepper = {
+  ctx : ctx;
+  policy : Policy.t;
+  fault_mode : bool;
+      (* Fault hooks engage only when the injector actually has faults
+         to deliver: an absent injector — or one with an empty schedule
+         — keeps the loop on the exact fault-free path (no transactions,
+         no checks), so the two runs are bit-identical. *)
+  mutable pending : Event.t list;  (* future arrivals, arrival-sorted *)
+  mutable queue : Event.t list;
+  mutable held : (float * Event.t) list;
+      (* aborted events awaiting their retry instant: (ready_s, event) *)
+  mutable now : float;
+  mutable rounds : int;
+  mutable results : event_result list;  (* newest-first *)
+  mutable log : round_info list;  (* newest-first *)
+}
+
+let promote st =
+  let arrived, later =
+    List.partition (fun ev -> ev.Event.arrival_s <= st.now) st.pending
   in
-  let promote () =
-    let arrived, later =
-      List.partition (fun ev -> ev.Event.arrival_s <= !now) !pending
-    in
-    pending := later;
-    queue := !queue @ arrived
+  st.pending <- later;
+  st.queue <- st.queue @ arrived
+
+(* Re-admit aborted events whose backoff has elapsed, at their arrival
+   rank: a retried event competes again exactly as if it were still
+   waiting, so FIFO order and LMTF sampling stay well-defined. *)
+let release_held st =
+  if st.held <> [] then begin
+    let ready, waiting = List.partition (fun (r, _) -> r <= st.now) st.held in
+    st.held <- waiting;
+    if ready <> [] then
+      st.queue <-
+        List.stable_sort Event.compare_by_arrival
+          (st.queue @ List.map snd ready)
+  end
+
+(* Earliest instant at which new work can appear while the queue is
+   empty: the next arrival or the next retry becoming ready. *)
+let next_work_s st =
+  let a =
+    match st.pending with ev :: _ -> ev.Event.arrival_s | [] -> infinity
   in
-  (* Re-admit aborted events whose backoff has elapsed, at their arrival
-     rank: a retried event competes again exactly as if it were still
-     waiting, so FIFO order and LMTF sampling stay well-defined. *)
-  let release_held () =
-    if !held <> [] then begin
-      let ready, waiting = List.partition (fun (r, _) -> r <= !now) !held in
-      held := waiting;
-      if ready <> [] then
-        queue :=
-          List.stable_sort Event.compare_by_arrival
-            (!queue @ List.map snd ready)
-    end
+  List.fold_left (fun m (ready, _) -> min m ready) a st.held
+
+let apply_faults_due st =
+  match st.ctx.injector with
+  | Some inj when st.fault_mode ->
+      let n = Injector.apply_due inj st.ctx.net ~now:st.now in
+      if n > 0 then ignore (Injector.check_now inj st.ctx.net ~now:st.now)
+  | Some _ | None -> ()
+
+(* Terminal best-effort service for an event whose retries ran out:
+   scan-first admission fits what it can into the surviving capacity,
+   unsatisfiable items are reported as failed — the event completes
+   degraded instead of being dropped or retried forever. Runs outside
+   any transaction and is not itself interruptible. *)
+let execute_degraded st ev =
+  let ctx = st.ctx in
+  let sp =
+    if Trace.enabled () then
+      Some
+        (Trace.span "degraded_round"
+           ~attrs:
+             [
+               ("event", Trace.Int ev.Event.id);
+               ("start_s", Trace.Float st.now);
+             ])
+    else None
   in
-  (* Earliest instant at which new work can appear while the queue is
-     empty: the next arrival or the next retry becoming ready. *)
-  let next_work_s () =
-    let a =
-      match !pending with ev :: _ -> ev.Event.arrival_s | [] -> infinity
-    in
-    List.fold_left (fun m (ready, _) -> min m ready) a !held
+  let round_start_s = st.now in
+  let round_utilization = Net_state.mean_fabric_utilization ctx.net in
+  sample_series ctx ~round:st.rounds ~t_s:round_start_s
+    ~queue_len:(List.length st.queue) ~retry_backlog:(List.length st.held);
+  let config =
+    { ctx.config with Planner.admission = Planner.Scan_first }
   in
-  let apply_faults_due () =
-    match ctx.injector with
-    | Some inj when fault_mode ->
-        let n = Injector.apply_due inj ctx.net ~now:!now in
-        if n > 0 then ignore (Injector.check_now inj ctx.net ~now:!now)
-    | Some _ | None -> ()
-  in
-  (* Terminal best-effort service for an event whose retries ran out:
-     scan-first admission fits what it can into the surviving capacity,
-     unsatisfiable items are reported as failed — the event completes
-     degraded instead of being dropped or retried forever. Runs outside
-     any transaction and is not itself interruptible. *)
-  let execute_degraded ev =
-    let sp =
-      if Trace.enabled () then
-        Some
-          (Trace.span "degraded_round"
-             ~attrs:
-               [
-                 ("event", Trace.Int ev.Event.id);
-                 ("start_s", Trace.Float !now);
-               ])
-      else None
-    in
-    let round_start_s = !now in
-    let round_utilization = Net_state.mean_fabric_utilization ctx.net in
-    sample_series ctx ~round:!rounds ~t_s:round_start_s
-      ~queue_len:(List.length !queue) ~retry_backlog:(List.length !held);
-    let config =
-      { ctx.config with Planner.admission = Planner.Scan_first }
-    in
-    let units_before = ctx.units in
-    let plan = apply ctx ~billed:true ~config ev in
-    (match ctx.cache with
-    | Some c -> Estimate_cache.invalidate c ev.Event.id
-    | None -> ());
-    let round_units = ctx.units - units_before in
-    let plan_time = Exec_model.plan_time ctx.exec ~work_units:round_units in
-    let start_s = !now +. plan_time in
-    let completion_s = start_s +. Exec_model.execution_time ctx.exec plan in
-    schedule_departures ctx ~completion:completion_s plan;
-    incr rounds;
-    Counters.incr Counters.Engine_rounds;
-    Counters.add Counters.Events_executed 1;
-    log :=
-      {
-        round_start_s;
-        executed = [ ev.Event.id ];
-        co_count = 0;
-        round_units;
-        fabric_utilization = round_utilization;
-      }
-      :: !log;
-    results :=
-      {
-        event_id = ev.Event.id;
-        arrival_s = ev.Event.arrival_s;
-        start_s;
-        completion_s;
-        cost_mbit = plan.Planner.cost_mbit;
-        plan_work_units = plan.Planner.work_units;
-        failed_items = plan.Planner.failed_count;
-        co_scheduled = false;
-      }
-      :: !results;
-    now := completion_s;
-    match sp with
-    | Some sp ->
-        Trace.finish sp ~attrs:[ ("completion_s", Trace.Float completion_s) ]
-    | None -> ()
-  in
-  promote ();
-  while !queue <> [] || !pending <> [] || !held <> [] do
-    if !queue = [] then begin
-      let t = next_work_s () in
-      now := max !now t;
-      promote ();
-      release_held ()
+  let units_before = ctx.units in
+  let plan = apply ctx ~billed:true ~config ev in
+  (match ctx.cache with
+  | Some c -> Estimate_cache.invalidate c ev.Event.id
+  | None -> ());
+  let round_units = ctx.units - units_before in
+  let plan_time = Exec_model.plan_time ctx.exec ~work_units:round_units in
+  let start_s = st.now +. plan_time in
+  let completion_s = start_s +. Exec_model.execution_time ctx.exec plan in
+  schedule_departures ctx ~completion:completion_s plan;
+  st.rounds <- st.rounds + 1;
+  Counters.incr Counters.Engine_rounds;
+  Counters.add Counters.Events_executed 1;
+  st.log <-
+    {
+      round_start_s;
+      executed = [ ev.Event.id ];
+      co_count = 0;
+      round_units;
+      fabric_utilization = round_utilization;
+    }
+    :: st.log;
+  st.results <-
+    {
+      event_id = ev.Event.id;
+      arrival_s = ev.Event.arrival_s;
+      start_s;
+      completion_s;
+      cost_mbit = plan.Planner.cost_mbit;
+      plan_work_units = plan.Planner.work_units;
+      failed_items = plan.Planner.failed_count;
+      co_scheduled = false;
+    }
+    :: st.results;
+  st.now <- completion_s;
+  match sp with
+  | Some sp ->
+      Trace.finish sp ~attrs:[ ("completion_s", Trace.Float completion_s) ]
+  | None -> ()
+
+(* One service round — exactly one iteration of the historical batch
+   loop, including the leading empty-queue time jump and the trailing
+   promotion of newly arrived/ready events. *)
+let step st =
+  if st.queue = [] && st.pending = [] && st.held = [] then `Idle
+  else begin
+    let ctx = st.ctx in
+    let policy = st.policy in
+    if st.queue = [] then begin
+      let t = next_work_s st in
+      st.now <- max st.now t;
+      promote st;
+      release_held st
     end;
-    apply_faults_due ();
+    apply_faults_due st;
     let round_sp =
       if Trace.enabled () then
         Some
           (Trace.span "round"
              ~attrs:
                [
-                 ("start_s", Trace.Float !now);
-                 ("queue", Trace.Int (List.length !queue));
+                 ("start_s", Trace.Float st.now);
+                 ("queue", Trace.Int (List.length st.queue));
                ])
       else None
     in
-    sync_background ctx !now;
-    let round_start_s = !now in
+    sync_background ctx st.now;
+    let round_start_s = st.now in
     let round_utilization = Net_state.mean_fabric_utilization ctx.net in
-    sample_series ctx ~round:!rounds ~t_s:round_start_s
-      ~queue_len:(List.length !queue) ~retry_backlog:(List.length !held);
+    sample_series ctx ~round:st.rounds ~t_s:round_start_s
+      ~queue_len:(List.length st.queue) ~retry_backlog:(List.length st.held);
     let units_before = ctx.units in
     (* While faults are still pending, the whole round is speculative:
        planning and execution run inside a transaction so a fault that
@@ -468,17 +482,17 @@ let run_event_level ctx policy events =
        transaction opens after background sync, so churn placements
        survive an abort. *)
     let guard =
-      if fault_mode then
+      if st.fault_mode then
         match ctx.injector with
         | Some inj -> Injector.next_due_s inj
         | None -> None
       else None
     in
     if guard <> None then Net_state.begin_txn ctx.net;
-    let batch = decide ctx policy !queue in
+    let batch = decide ctx policy st.queue in
     let round_units = ctx.units - units_before in
     let plan_time = Exec_model.plan_time ctx.exec ~work_units:round_units in
-    let start_s = !now +. plan_time in
+    let start_s = st.now +. plan_time in
     (* The service is free again when the *chosen* event completes;
        co-scheduled events run in parallel in the network and may finish
        after the next round has already begun (the "parallel update" of
@@ -498,8 +512,10 @@ let run_event_level ctx policy events =
     let executed = List.map (fun (ev, _, _) -> ev.Event.id) batch in
     let executed_set = Hashtbl.create (List.length executed) in
     List.iter (fun id -> Hashtbl.replace executed_set id ()) executed;
-    queue :=
-      List.filter (fun ev -> not (Hashtbl.mem executed_set ev.Event.id)) !queue;
+    st.queue <-
+      List.filter
+        (fun ev -> not (Hashtbl.mem executed_set ev.Event.id))
+        st.queue;
     (match guard with
     | Some fault_s when fault_s < head_finish ->
         (* A fault lands while this round is in flight. The migration is
@@ -509,21 +525,21 @@ let run_event_level ctx policy events =
            best-effort degradation. *)
         let inj = Option.get ctx.injector in
         timed ctx (fun () -> Net_state.rollback ctx.net);
-        now := max !now fault_s;
-        ignore (Injector.apply_due inj ctx.net ~now:!now);
+        st.now <- max st.now fault_s;
+        ignore (Injector.apply_due inj ctx.net ~now:st.now);
         let degraded =
           List.filter_map
             (fun (ev, _, _) ->
               match
-                Injector.note_abort inj ~event_id:ev.Event.id ~now:!now
+                Injector.note_abort inj ~event_id:ev.Event.id ~now:st.now
               with
               | `Retry_at ready_s ->
-                  held := (ready_s, ev) :: !held;
+                  st.held <- (ready_s, ev) :: st.held;
                   None
               | `Degrade -> Some ev)
             batch
         in
-        ignore (Injector.check_now inj ctx.net ~now:!now);
+        ignore (Injector.check_now inj ctx.net ~now:st.now);
         (match round_sp with
         | Some sp ->
             Trace.finish sp
@@ -534,17 +550,17 @@ let run_event_level ctx policy events =
                   ("batch", Trace.Int (List.length batch));
                 ]
         | None -> ());
-        List.iter execute_degraded degraded
+        List.iter (execute_degraded st) degraded
     | Some _ | None ->
         if guard <> None then Net_state.commit ctx.net;
-        incr rounds;
+        st.rounds <- st.rounds + 1;
         let co_count =
           List.length (List.filter (fun (_, _, co, _) -> co) timings)
         in
         Counters.incr Counters.Engine_rounds;
         Counters.add Counters.Events_executed (List.length batch);
         Counters.add Counters.Co_scheduled_events co_count;
-        log :=
+        st.log <-
           {
             round_start_s;
             executed;
@@ -552,7 +568,7 @@ let run_event_level ctx policy events =
             round_units;
             fabric_utilization = round_utilization;
           }
-          :: !log;
+          :: st.log;
         let exec_sp =
           if Trace.enabled () then
             Some
@@ -567,7 +583,7 @@ let run_event_level ctx policy events =
         List.iter
           (fun (ev, plan, co_scheduled, completion_s) ->
             schedule_departures ctx ~completion:completion_s plan;
-            results :=
+            st.results <-
               {
                 event_id = ev.Event.id;
                 arrival_s = ev.Event.arrival_s;
@@ -578,17 +594,17 @@ let run_event_level ctx policy events =
                 failed_items = plan.Planner.failed_count;
                 co_scheduled;
               }
-              :: !results)
+              :: st.results)
           timings;
         (match exec_sp with
         | Some sp ->
             Trace.finish sp
               ~attrs:[ ("head_finish_s", Trace.Float head_finish) ]
         | None -> ());
-        now := head_finish;
+        st.now <- head_finish;
         (match ctx.injector with
-        | Some inj when fault_mode ->
-            ignore (Injector.check_now inj ctx.net ~now:!now)
+        | Some inj when st.fault_mode ->
+            ignore (Injector.check_now inj ctx.net ~now:st.now)
         | Some _ | None -> ());
         (match round_sp with
         | Some sp ->
@@ -604,10 +620,38 @@ let run_event_level ctx policy events =
                   ("fabric_utilization", Trace.Float round_utilization);
                 ]
         | None -> ()));
-    promote ();
-    release_held ()
+    promote st;
+    release_held st;
+    `Stepped
+  end
+
+let make_stepper ctx policy events =
+  let st =
+    {
+      ctx;
+      policy;
+      fault_mode =
+        (match ctx.injector with
+        | Some inj -> Injector.next_due_s inj <> None
+        | None -> false);
+      pending = List.sort Event.compare_by_arrival events;
+      queue = [];
+      held = [];
+      now = 0.0;
+      rounds = 0;
+      results = [];
+      log = [];
+    }
+  in
+  promote st;
+  st
+
+let run_event_level ctx policy events =
+  let st = make_stepper ctx policy events in
+  while step st <> `Idle do
+    ()
   done;
-  (!results, !rounds, List.rev !log)
+  (st.results, st.rounds, List.rev st.log)
 
 (* Flow-level baseline: the queue holds individual flows. *)
 type flow_item = {
@@ -730,25 +774,11 @@ let run_flow_level ctx order events =
   in
   (results, !rounds, [])
 
-let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
-    ?(seed = 7) ?churn ?(co_max_cost_mbit = 0.0) ?(estimate_cache = true)
-    ?injector ?series ~net ~events policy =
-  (match Policy.validate policy with
-  | Ok () -> ()
-  | Error msg -> invalid_arg ("Engine.run: " ^ msg));
-  let run_sp =
-    if Trace.enabled () then
-      Some
-        (Trace.span "run"
-           ~attrs:
-             [
-               ("policy", Trace.Str (Policy.name policy));
-               ("events", Trace.Int (List.length events));
-               ("seed", Trace.Int seed);
-             ])
-    else None
-  in
-  let rng = match rng with Some r -> r | None -> Prng.create seed in
+(* Construct the per-run context. [init_expiry] registers departures for
+   flows already in the network (churn runs); a checkpoint thaw passes
+   false and restores the frozen expiry queue verbatim instead. *)
+let make_ctx ~exec ~config ~rng ~churn ~co_max_cost_mbit ~estimate_cache
+    ~injector ~series ~init_expiry ~net =
   (* Memoised probes are only sound when planning is a deterministic
      function of the state it reads: Random_fit consumes PRNG draws
      inside the planner, so a cache hit would perturb the stream for
@@ -777,46 +807,75 @@ let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
   in
   (* Flows already in the network run out their remaining duration. *)
   (match churn with
-  | Some _ ->
+  | Some _ when init_expiry ->
       Net_state.iter_flows net (fun placed ->
           Pqueue.push ctx.expiry placed.Net_state.record.Flow_record.duration_s
             placed.Net_state.record.Flow_record.id)
-  | None -> ());
-  let results, rounds, rounds_log =
-    match policy with
-    | Policy.Flow_level order -> run_flow_level ctx order events
-    | _ -> run_event_level ctx policy events
-  in
-  let events_arr = Array.of_list results in
-  Array.sort (fun a b -> compare a.event_id b.event_id) events_arr;
-  (* Per-event distribution samples: service time (ECT) and queuing
-     delay. One registry check per run when sampling is off. *)
+  | Some _ | None -> ());
+  ctx
+
+(* Per-event distribution samples: service time (ECT) and queuing delay.
+   One registry check when sampling is off. *)
+let record_event_histograms events_arr =
   if Histogram.Registry.enabled () then
     Array.iter
       (fun r ->
         Histogram.Registry.record "engine.event_service_s" (ect r);
         Histogram.Registry.record "engine.event_queuing_s" (queuing_delay r))
-      events_arr;
+      events_arr
+
+let assemble_result ctx policy (results, rounds, rounds_log) =
+  let events_arr = Array.of_list results in
+  Array.sort (fun a b -> compare a.event_id b.event_id) events_arr;
   let makespan =
     Array.fold_left (fun acc r -> max acc r.completion_s) 0.0 events_arr
   in
   let total_cost =
     Array.fold_left (fun acc r -> acc +. r.cost_mbit) 0.0 events_arr
   in
-  let result =
-    {
-      policy;
-      events = events_arr;
-      rounds;
-      rounds_log;
-      total_plan_units = ctx.units;
-      total_plan_time_s = Exec_model.plan_time exec ~work_units:ctx.units;
-      total_cost_mbit = total_cost;
-      makespan_s = makespan;
-      final_fabric_utilization = Net_state.mean_fabric_utilization net;
-      planning_wall_s = ctx.wall;
-    }
+  {
+    policy;
+    events = events_arr;
+    rounds;
+    rounds_log;
+    total_plan_units = ctx.units;
+    total_plan_time_s = Exec_model.plan_time ctx.exec ~work_units:ctx.units;
+    total_cost_mbit = total_cost;
+    makespan_s = makespan;
+    final_fabric_utilization = Net_state.mean_fabric_utilization ctx.net;
+    planning_wall_s = ctx.wall;
+  }
+
+let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
+    ?(seed = 7) ?churn ?(co_max_cost_mbit = 0.0) ?(estimate_cache = true)
+    ?injector ?series ~net ~events policy =
+  (match Policy.validate policy with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Engine.run: " ^ msg));
+  let run_sp =
+    if Trace.enabled () then
+      Some
+        (Trace.span "run"
+           ~attrs:
+             [
+               ("policy", Trace.Str (Policy.name policy));
+               ("events", Trace.Int (List.length events));
+               ("seed", Trace.Int seed);
+             ])
+    else None
   in
+  let rng = match rng with Some r -> r | None -> Prng.create seed in
+  let ctx =
+    make_ctx ~exec ~config ~rng ~churn ~co_max_cost_mbit ~estimate_cache
+      ~injector ~series ~init_expiry:true ~net
+  in
+  let outcome =
+    match policy with
+    | Policy.Flow_level order -> run_flow_level ctx order events
+    | _ -> run_event_level ctx policy events
+  in
+  let result = assemble_result ctx policy outcome in
+  record_event_histograms result.events;
   (match run_sp with
   | Some sp ->
       Trace.finish sp
@@ -831,3 +890,119 @@ let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
           ]
   | None -> ());
   result
+
+(* ------------------------------------------------------------------ *)
+(* Public incremental interface.                                       *)
+
+module Stepper = struct
+  type t = stepper
+
+  let fault_mode_of injector =
+    match injector with
+    | Some inj -> Injector.next_due_s inj <> None
+    | None -> false
+
+  let create ?(exec = Exec_model.default) ?(config = Planner.default_config)
+      ?rng ?(seed = 7) ?churn ?(co_max_cost_mbit = 0.0) ?(estimate_cache = true)
+      ?injector ?series ?(events = []) ~net policy =
+    (match Policy.validate policy with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Engine.Stepper.create: " ^ msg));
+    (match policy with
+    | Policy.Flow_level _ ->
+        invalid_arg "Engine.Stepper.create: flow-level policies are batch-only"
+    | _ -> ());
+    let rng = match rng with Some r -> r | None -> Prng.create seed in
+    let ctx =
+      make_ctx ~exec ~config ~rng ~churn ~co_max_cost_mbit ~estimate_cache
+        ~injector ~series ~init_expiry:true ~net
+    in
+    make_stepper ctx policy events
+
+  (* New arrivals merge into the pending list at their arrival rank;
+     events already due promote immediately so the next [step] sees
+     them. Submitting every event up front and stepping to [`Idle] is
+     bit-identical to the batch [run]. *)
+  let submit st evs =
+    if evs <> [] then begin
+      st.pending <-
+        List.merge Event.compare_by_arrival st.pending
+          (List.sort Event.compare_by_arrival evs);
+      promote st
+    end
+
+  let step = step
+  let has_work st = st.queue <> [] || st.pending <> [] || st.held <> []
+
+  let backlog st =
+    List.length st.queue + List.length st.pending + List.length st.held
+
+  let completed st = List.length st.results
+  let now_s st = st.now
+  let rounds st = st.rounds
+  let policy st = st.policy
+
+  let result st =
+    assemble_result st.ctx st.policy (st.results, st.rounds, List.rev st.log)
+
+  type frozen = {
+    fz_policy : Policy.t;
+    fz_pending : Event.t list;
+    fz_queue : Event.t list;
+    fz_held : (float * Event.t) list;
+    fz_now : float;
+    fz_rounds : int;
+    fz_results : event_result list;  (* newest-first, as accumulated *)
+    fz_log : round_info list;  (* newest-first, as accumulated *)
+    fz_units : int;
+    fz_wall : float;
+    fz_next_churn_id : int;
+    fz_expiry : (float * int) list;  (* exact pop order *)
+    fz_rng : int64;
+  }
+
+  let freeze st =
+    {
+      fz_policy = st.policy;
+      fz_pending = st.pending;
+      fz_queue = st.queue;
+      fz_held = st.held;
+      fz_now = st.now;
+      fz_rounds = st.rounds;
+      fz_results = st.results;
+      fz_log = st.log;
+      fz_units = st.ctx.units;
+      fz_wall = st.ctx.wall;
+      fz_next_churn_id = st.ctx.next_churn_id;
+      fz_expiry = Pqueue.to_list st.ctx.expiry;
+      fz_rng = Prng.raw_state st.ctx.rng;
+    }
+
+  let thaw ?(exec = Exec_model.default) ?(config = Planner.default_config)
+      ?churn ?(co_max_cost_mbit = 0.0) ?(estimate_cache = true) ?injector
+      ?series ~net fz =
+    let rng = Prng.of_raw_state fz.fz_rng in
+    let ctx =
+      make_ctx ~exec ~config ~rng ~churn ~co_max_cost_mbit ~estimate_cache
+        ~injector ~series ~init_expiry:false ~net
+    in
+    (* Restore the departure queue in pop order: pushing in that order
+       reproduces the original pop sequence exactly (FIFO tie-break on
+       insertion sequence). *)
+    List.iter (fun (dep, id) -> Pqueue.push ctx.expiry dep id) fz.fz_expiry;
+    ctx.next_churn_id <- fz.fz_next_churn_id;
+    ctx.units <- fz.fz_units;
+    ctx.wall <- fz.fz_wall;
+    {
+      ctx;
+      policy = fz.fz_policy;
+      fault_mode = fault_mode_of injector;
+      pending = fz.fz_pending;
+      queue = fz.fz_queue;
+      held = fz.fz_held;
+      now = fz.fz_now;
+      rounds = fz.fz_rounds;
+      results = fz.fz_results;
+      log = fz.fz_log;
+    }
+end

@@ -139,3 +139,121 @@ val run :
     {!Nu_obs.Histogram.Registry} sampling is enabled, the run records
     each event's service time and queuing delay into the
     [engine.event_service_s] / [engine.event_queuing_s] histograms. *)
+
+(** {2 Incremental stepping}
+
+    The same event-level service loop, one round at a time. A stepper
+    owns the per-run context ([run] is itself implemented as
+    create-then-step-to-idle, so the two are bit-identical given the
+    same inputs); between rounds the owner may submit new arrivals,
+    freeze the stepper into a serialisable checkpoint, or read
+    progress. This is the substrate of the online controller
+    ({!Nu_serve}). *)
+
+module Stepper : sig
+  type t
+
+  val create :
+    ?exec:Exec_model.t ->
+    ?config:Planner.config ->
+    ?rng:Prng.t ->
+    ?seed:int ->
+    ?churn:churn ->
+    ?co_max_cost_mbit:float ->
+    ?estimate_cache:bool ->
+    ?injector:Nu_fault.Injector.t ->
+    ?series:Nu_obs.Series.t ->
+    ?events:Event.t list ->
+    net:Net_state.t ->
+    Policy.t ->
+    t
+  (** Same optional knobs (and defaults) as {!run}. [events] (default
+      []) seeds the arrival queue. Raises [Invalid_argument] on an
+      invalid policy, or on a flow-level policy — those are batch-only. *)
+
+  val submit : t -> Event.t list -> unit
+  (** Merge new arrivals (any order) into the arrival queue at their
+      arrival rank. Events whose [arrival_s] is already due enter the
+      service queue immediately. Submitting every event up front and
+      stepping to exhaustion is bit-identical to {!run}. *)
+
+  val step : t -> [ `Stepped | `Idle ]
+  (** Execute one service round (including any leading idle-time jump
+      to the next arrival or retry instant). [`Idle] means no queued,
+      pending or held work remained — nothing happened. *)
+
+  val has_work : t -> bool
+  val backlog : t -> int
+  (** Events not yet executed: queued + future + awaiting retry. *)
+
+  val completed : t -> int
+  (** Event results accumulated so far. *)
+
+  val now_s : t -> float
+  (** Current simulated instant. *)
+
+  val rounds : t -> int
+  val policy : t -> Policy.t
+
+  val result : t -> run_result
+  (** Assemble the result from the rounds executed so far. Pure — does
+      not record histograms (the batch {!run} does; long-lived callers
+      record once at end-of-life). Calling it mid-run is allowed and
+      reflects only completed rounds. *)
+
+  (** {2 Checkpoint freeze/thaw}
+
+      The stepper's decision-relevant state as a plain record:
+      queues, clocks, accumulated results, plan-unit/wall accounting,
+      the churn departure queue in exact pop order, and the raw PRNG
+      cursor. Together with {!Nu_net.Net_state.frozen} and
+      {!Nu_fault.Injector.frozen} this is everything needed to resume
+      a run bit-identically. *)
+
+  type frozen = {
+    fz_policy : Policy.t;
+    fz_pending : Event.t list;
+    fz_queue : Event.t list;
+    fz_held : (float * Event.t) list;
+    fz_now : float;
+    fz_rounds : int;
+    fz_results : event_result list;  (** Newest-first, as accumulated. *)
+    fz_log : round_info list;  (** Newest-first, as accumulated. *)
+    fz_units : int;
+    fz_wall : float;
+    fz_next_churn_id : int;
+    fz_expiry : (float * int) list;  (** Departure queue, exact pop order. *)
+    fz_rng : int64;  (** {!Prng.raw_state} of the run's PRNG. *)
+  }
+
+  val freeze : t -> frozen
+  (** Snapshot between rounds. The network and injector are frozen
+      separately ({!Nu_net.Net_state.freeze},
+      {!Nu_fault.Injector.freeze}) — a checkpoint is the triple. *)
+
+  val thaw :
+    ?exec:Exec_model.t ->
+    ?config:Planner.config ->
+    ?churn:churn ->
+    ?co_max_cost_mbit:float ->
+    ?estimate_cache:bool ->
+    ?injector:Nu_fault.Injector.t ->
+    ?series:Nu_obs.Series.t ->
+    net:Net_state.t ->
+    frozen ->
+    t
+  (** Rebuild a stepper that continues bit-identically: same
+      configuration knobs as the original run, [net] thawed from its
+      own frozen snapshot, [injector] (if the original had one) thawed
+      likewise. The PRNG resumes from the frozen cursor — no [seed]
+      parameter. The estimate cache restarts cold (hits bill the same
+      simulated units a fresh probe would, so decisions are unaffected;
+      only real wall time differs). *)
+end
+
+val record_event_histograms : event_result array -> unit
+(** Record each event's service time and queuing delay into the
+    [engine.event_service_s] / [engine.event_queuing_s] registry
+    histograms (no-op while registry sampling is off). {!run} does this
+    automatically; {!Stepper} owners call it once when a serving run
+    retires. *)

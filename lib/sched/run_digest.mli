@@ -1,0 +1,16 @@
+(** Stable 64-bit digest of a {!Engine.run_result}.
+
+    FNV-1a over every scheduling decision the run made: per-event ids,
+    arrival/start/completion instants, costs, work units, failure
+    counts and co-scheduling flags; total rounds, plan units, cost and
+    makespan; and the per-round log (start instant, executed batch,
+    units). Two runs digest equal iff they made bit-identical
+    decisions — the acceptance gate for determinism-preserving
+    refactors, checkpoint/restore and replay.
+
+    Wall-clock time and fabric utilisation are excluded: the former is
+    real time, the latter's low-order bits depend on summation order
+    (incremental Kahan sum vs fresh fold), not on any decision. *)
+
+val of_run : Engine.run_result -> string
+(** 16-hex-digit digest, e.g. ["a3f0c2..."]. *)

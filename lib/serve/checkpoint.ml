@@ -1,0 +1,83 @@
+module Json = Nu_obs.Json
+module Injector = Nu_fault.Injector
+
+let ( let* ) = Result.bind
+
+let format_tag = "nu_serve_checkpoint"
+let version = 1
+
+type t = {
+  tick : int;
+  meta : Json.t;
+  net : Net_state.frozen;
+  stepper : Engine.Stepper.frozen;
+  injector : Injector.frozen option;
+  admission : Admission.frozen;
+  deferred : Request.t list;
+  source : Source.frozen;
+}
+
+let to_json cp =
+  Json.Obj
+    [
+      ("format", Json.String format_tag);
+      ("version", Json.Int version);
+      ("tick", Json.Int cp.tick);
+      ("meta", cp.meta);
+      ("net", Codec.net_frozen_to_json cp.net);
+      ("stepper", Codec.stepper_frozen_to_json cp.stepper);
+      ( "injector",
+        match cp.injector with
+        | None -> Json.Null
+        | Some fz -> Codec.injector_frozen_to_json fz );
+      ("admission", Codec.admission_frozen_to_json cp.admission);
+      ( "deferred",
+        Json.List (List.map Codec.request_to_json cp.deferred) );
+      ("source", Source.frozen_to_json cp.source);
+    ]
+
+let of_json ~graph j =
+  let* tag = Codec.string_field "format" j in
+  if tag <> format_tag then Error (Printf.sprintf "not a checkpoint: %S" tag)
+  else
+    let* v = Codec.int_field "version" j in
+    if v <> version then
+      Error (Printf.sprintf "unsupported checkpoint version %d" v)
+    else
+      let* tick = Codec.int_field "tick" j in
+      let meta = Option.value (Codec.opt_field "meta" j) ~default:Json.Null in
+      let* nj = Codec.field "net" j in
+      let* net = Codec.net_frozen_of_json graph nj in
+      let* sj = Codec.field "stepper" j in
+      let* stepper = Codec.stepper_frozen_of_json sj in
+      let* injector =
+        match Codec.opt_field "injector" j with
+        | None | Some Json.Null -> Ok None
+        | Some ij ->
+            let* fz = Codec.injector_frozen_of_json ij in
+            Ok (Some fz)
+      in
+      let* aj = Codec.field "admission" j in
+      let* admission = Codec.admission_frozen_of_json aj in
+      let* dl = Codec.list_field "deferred" j in
+      let* deferred = Codec.map_m Codec.request_of_json dl in
+      let* srcj = Codec.field "source" j in
+      let* source = Source.frozen_of_json srcj in
+      Ok { tick; meta; net; stepper; injector; admission; deferred; source }
+
+(* Write-then-rename: a crash mid-save leaves the previous checkpoint
+   intact, never a torn file. *)
+let save path cp =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Json.to_string (to_json cp));
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp path
+
+let load ~graph path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | contents ->
+      let* j = Json.of_string (String.trim contents) in
+      of_json ~graph j

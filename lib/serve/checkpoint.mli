@@ -1,0 +1,31 @@
+(** Durable whole-controller checkpoint.
+
+    A checkpoint is the atomic triple-plus of frozen component states:
+    engine stepper, network, optional fault injector, admission queue,
+    deferred requests and the arrival-source cursor, stamped with the
+    controller tick it was taken at and an opaque caller [meta] blob
+    (the serving configuration fingerprint, validated on restore).
+
+    Saves are write-then-rename, so a crash mid-save never corrupts the
+    previous checkpoint. Loads validate everything — format tag,
+    version, field shapes, path resolvability — and return [Error]
+    rather than trusting the file. *)
+
+type t = {
+  tick : int;  (** Controller tick the snapshot was taken after. *)
+  meta : Nu_obs.Json.t;  (** Caller blob, echoed verbatim. *)
+  net : Net_state.frozen;
+  stepper : Engine.Stepper.frozen;
+  injector : Nu_fault.Injector.frozen option;
+  admission : Admission.frozen;
+  deferred : Request.t list;  (** Requests the Block policy pushed back. *)
+  source : Source.frozen;
+}
+
+val to_json : t -> Nu_obs.Json.t
+val of_json : graph:Graph.t -> Nu_obs.Json.t -> (t, string) result
+
+val save : string -> t -> unit
+(** Atomic (write temp, rename over). *)
+
+val load : graph:Graph.t -> string -> (t, string) result

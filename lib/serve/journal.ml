@@ -1,0 +1,98 @@
+module Json = Nu_obs.Json
+
+let ( let* ) = Result.bind
+
+type entry =
+  | Arrive of { tick : int; request : Request.t }
+  | Tick_done of int
+
+let entry_to_json = function
+  | Arrive { tick; request } ->
+      Json.Obj
+        [
+          ("op", Json.String "arrive");
+          ("tick", Json.Int tick);
+          ("request", Codec.request_to_json request);
+        ]
+  | Tick_done tick ->
+      Json.Obj [ ("op", Json.String "tick_done"); ("tick", Json.Int tick) ]
+
+let entry_of_json j =
+  let* op = Codec.string_field "op" j in
+  match op with
+  | "arrive" ->
+      let* tick = Codec.int_field "tick" j in
+      let* rj = Codec.field "request" j in
+      let* request = Codec.request_of_json rj in
+      Ok (Arrive { tick; request })
+  | "tick_done" ->
+      let* tick = Codec.int_field "tick" j in
+      Ok (Tick_done tick)
+  | op -> Error ("unknown journal op: " ^ op)
+
+type writer = { oc : out_channel; mutable entries : int; mutable closed : bool }
+
+let open_writer ?(append = false) path =
+  let flags =
+    if append then [ Open_wronly; Open_creat; Open_append ]
+    else [ Open_wronly; Open_creat; Open_trunc ]
+  in
+  { oc = open_out_gen flags 0o644 path; entries = 0; closed = false }
+
+let write w entry =
+  if w.closed then invalid_arg "Journal.write: writer is closed";
+  output_string w.oc (Json.to_string (entry_to_json entry));
+  output_char w.oc '\n';
+  w.entries <- w.entries + 1
+
+let flush w = if not w.closed then flush w.oc
+
+let close_writer w =
+  if not w.closed then begin
+    w.closed <- true;
+    close_out w.oc
+  end
+
+let entries_written w = w.entries
+
+let read path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file ->
+            close_in ic;
+            Ok (List.rev acc)
+        | line when String.trim line = "" -> go (lineno + 1) acc
+        | line -> (
+            match Json.of_string line with
+            | Error msg ->
+                close_in ic;
+                Error (Printf.sprintf "%s:%d: %s" path lineno msg)
+            | Ok j -> (
+                match entry_of_json j with
+                | Error msg ->
+                    close_in ic;
+                    Error (Printf.sprintf "%s:%d: %s" path lineno msg)
+                | Ok e -> go (lineno + 1) (e :: acc)))
+      in
+      go 1 []
+
+(* Group a journal into completed ticks. Entries for one tick are its
+   [Arrive]s followed by the [Tick_done] commit marker; a trailing run
+   of [Arrive]s without a marker is a tick that crashed mid-flight and
+   is discarded — on resume the deterministic source regenerates those
+   arrivals exactly. *)
+let committed_ticks entries =
+  let rec go cur acc = function
+    | [] -> List.rev acc
+    | Arrive { tick; request } :: rest -> go ((tick, request) :: cur) acc rest
+    | Tick_done tick :: rest ->
+        let mine =
+          List.rev_map snd (List.filter (fun (t, _) -> t = tick) cur)
+        in
+        let others = List.filter (fun (t, _) -> t <> tick) cur in
+        go others ((tick, mine) :: acc) rest
+  in
+  go [] [] entries

@@ -1,0 +1,38 @@
+(** Append-only JSONL operation journal.
+
+    The controller journals every arrival {e before} acting on it
+    (write-ahead), and commits each tick with a [Tick_done] marker once
+    the tick fully executed. Recovery = thaw the latest checkpoint,
+    then re-drive the committed ticks recorded after it; a trailing
+    uncommitted tick (crash mid-tick) is discarded — its arrivals are
+    regenerated bit-identically by the deterministic source, or
+    re-offered by the caller for external streams. *)
+
+type entry =
+  | Arrive of { tick : int; request : Request.t }
+      (** A request surfaced at [tick], journaled before admission. *)
+  | Tick_done of int  (** Commit marker: the tick completed. *)
+
+val entry_to_json : entry -> Nu_obs.Json.t
+val entry_of_json : Nu_obs.Json.t -> (entry, string) result
+
+type writer
+
+val open_writer : ?append:bool -> string -> writer
+(** Truncates unless [append] (default false). *)
+
+val write : writer -> entry -> unit
+(** One JSONL line; not flushed (see {!flush}). Raises
+    [Invalid_argument] on a closed writer. *)
+
+val flush : writer -> unit
+val close_writer : writer -> unit
+val entries_written : writer -> int
+
+val read : string -> (entry list, string) result
+(** Whole journal in write order; blank lines skipped; malformed lines
+    are errors (with line numbers). *)
+
+val committed_ticks : entry list -> (int * Request.t list) list
+(** The committed (tick, arrivals-in-journal-order) groups, in tick
+    order; trailing uncommitted arrivals are dropped. *)

@@ -1,0 +1,415 @@
+module Json = Nu_obs.Json
+module Counters = Nu_obs.Counters
+module Histogram = Nu_obs.Histogram
+module Injector = Nu_fault.Injector
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Configuration.                                                      *)
+
+type churn_spec = {
+  churn_seed : int;
+  churn_target : float;
+  churn_max_per_round : int;
+  churn_first_id : int;
+}
+
+type config = {
+  policy : Policy.t;
+  engine_seed : int;
+  admission_capacity : int;
+  admission_policy : Admission.policy;
+  drain_per_tick : int;
+  steps_per_tick : int;
+  tick_dt_s : float;
+  co_max_cost_mbit : float;
+  estimate_cache : bool;
+  churn : churn_spec option;
+}
+
+let default_config policy =
+  {
+    policy;
+    engine_seed = 42;
+    admission_capacity = 64;
+    admission_policy = Admission.Block;
+    drain_per_tick = 8;
+    steps_per_tick = 4;
+    tick_dt_s = 0.05;
+    co_max_cost_mbit = 0.0;
+    estimate_cache = true;
+    churn = None;
+  }
+
+let validate_config cfg =
+  (match cfg.policy with
+  | Policy.Flow_level _ ->
+      invalid_arg "Serve: flow-level policies are batch-only"
+  | _ -> ());
+  if cfg.drain_per_tick <= 0 then
+    invalid_arg "Serve: drain_per_tick must be > 0";
+  if cfg.steps_per_tick <= 0 then
+    invalid_arg "Serve: steps_per_tick must be > 0";
+  if (not (Float.is_finite cfg.tick_dt_s)) || cfg.tick_dt_s <= 0.0 then
+    invalid_arg "Serve: tick_dt_s must be finite and > 0";
+  if cfg.co_max_cost_mbit < 0.0 || not (Float.is_finite cfg.co_max_cost_mbit)
+  then invalid_arg "Serve: co_max_cost_mbit must be finite and >= 0";
+  match cfg.churn with
+  | None -> ()
+  | Some cs ->
+      if
+        (not (Float.is_finite cs.churn_target))
+        || cs.churn_target <= 0.0 || cs.churn_target > 1.0
+      then invalid_arg "Serve: churn_target must be in (0, 1]";
+      if cs.churn_max_per_round <= 0 then
+        invalid_arg "Serve: churn_max_per_round must be > 0";
+      if cs.churn_first_id < 0 then
+        invalid_arg "Serve: churn_first_id must be >= 0"
+
+(* Each churn flow is drawn from a fresh stream keyed by its id, so the
+   only churn cursor a checkpoint needs is the engine's next-churn-id —
+   already part of the stepper's frozen state. *)
+let engine_churn ~host_count = function
+  | None -> None
+  | Some cs ->
+      let make_flow ~id =
+        let rng = Prng.create (cs.churn_seed lxor (id * 0x9E3779B1)) in
+        (Yahoo_trace.generate ~first_id:id rng ~host_count ~n:1).(0)
+      in
+      Some
+        {
+          Engine.make_flow;
+          target_utilization = cs.churn_target;
+          max_placements_per_round = cs.churn_max_per_round;
+          first_id = cs.churn_first_id;
+        }
+
+let churn_spec_to_json cs =
+  Json.Obj
+    [
+      ("seed", Json.Int cs.churn_seed);
+      ("target", Json.Float cs.churn_target);
+      ("max_per_round", Json.Int cs.churn_max_per_round);
+      ("first_id", Json.Int cs.churn_first_id);
+    ]
+
+let config_to_json cfg =
+  Json.Obj
+    [
+      ("policy", Codec.policy_to_json cfg.policy);
+      ("engine_seed", Json.Int cfg.engine_seed);
+      ("admission_capacity", Json.Int cfg.admission_capacity);
+      ("admission_policy", Json.String (Admission.policy_name cfg.admission_policy));
+      ("drain_per_tick", Json.Int cfg.drain_per_tick);
+      ("steps_per_tick", Json.Int cfg.steps_per_tick);
+      ("tick_dt_s", Json.Float cfg.tick_dt_s);
+      ("co_max_cost_mbit", Json.Float cfg.co_max_cost_mbit);
+      ("estimate_cache", Json.Bool cfg.estimate_cache);
+      ( "churn",
+        match cfg.churn with
+        | None -> Json.Null
+        | Some cs -> churn_spec_to_json cs );
+    ]
+
+let spec_to_json = function
+  | Source.Synthetic
+      { seed; rate_per_tick; flows_per_event; tenants; first_event_id;
+        first_flow_id } ->
+      Json.Obj
+        [
+          ("kind", Json.String "synthetic");
+          ("seed", Json.Int seed);
+          ("rate_per_tick", Json.Float rate_per_tick);
+          ("flows_per_event", Json.Int flows_per_event);
+          ("tenants", Json.List (List.map (fun t -> Json.String t) tenants));
+          ("first_event_id", Json.Int first_event_id);
+          ("first_flow_id", Json.Int first_flow_id);
+        ]
+  | Source.Stream path ->
+      Json.Obj [ ("kind", Json.String "stream"); ("path", Json.String path) ]
+
+let fingerprint cfg spec =
+  Json.Obj [ ("config", config_to_json cfg); ("source", spec_to_json spec) ]
+
+(* Fingerprints are compared through a print/parse round-trip (the
+   stored copy went through the checkpoint file), so compare printed
+   forms — printing is canonical even where parsing widens types. *)
+let fingerprint_matches a b = Json.to_string a = Json.to_string b
+
+(* ------------------------------------------------------------------ *)
+(* Controller.                                                         *)
+
+type t = {
+  cfg : config;
+  topology : Topology.t;
+  net : Net_state.t;
+  source_spec : Source.spec;
+  source : Source.t;
+  admission : Admission.t;
+  stepper : Engine.Stepper.t;
+  injector : Injector.t option;
+  mutable journal : Journal.writer option;
+  mutable deferred : Request.t list;
+  mutable tick_count : int;
+}
+
+let create ?source_params ?injector ?series ?journal cfg ~topology ~net
+    ~source_spec =
+  validate_config cfg;
+  let host_count = Topology.host_count topology in
+  let source = Source.create ?params:source_params ~host_count source_spec in
+  let admission =
+    Admission.create ~capacity:cfg.admission_capacity
+      ~policy:cfg.admission_policy
+  in
+  let stepper =
+    Engine.Stepper.create ~seed:cfg.engine_seed
+      ?churn:(engine_churn ~host_count cfg.churn)
+      ~co_max_cost_mbit:cfg.co_max_cost_mbit
+      ~estimate_cache:cfg.estimate_cache ?injector ?series ~net cfg.policy
+  in
+  {
+    cfg;
+    topology;
+    net;
+    source_spec;
+    source;
+    admission;
+    stepper;
+    injector;
+    journal;
+    deferred = [];
+    tick_count = 0;
+  }
+
+let tick_count t = t.tick_count
+let now_s t = float_of_int t.tick_count *. t.cfg.tick_dt_s
+let admission t = t.admission
+let deferred_count t = List.length t.deferred
+let engine_backlog t = Engine.Stepper.backlog t.stepper
+let completed t = Engine.Stepper.completed t.stepper
+let source_exhausted t = Source.exhausted t.source
+
+let quiescent t =
+  Admission.size t.admission = 0
+  && t.deferred = []
+  && not (Engine.Stepper.has_work t.stepper)
+
+let result t = Engine.Stepper.result t.stepper
+let digest t = Run_digest.of_run (result t)
+
+let set_journal t w = t.journal <- w
+
+let retire t =
+  let r = result t in
+  Engine.record_event_histograms r.Engine.events;
+  (match t.journal with
+  | Some w ->
+      Journal.close_writer w;
+      t.journal <- None
+  | None -> ());
+  r
+
+(* One tick's admission + execution, with [arrivals] already journaled
+   (or replayed). Deferred requests are re-offered ahead of fresh
+   arrivals so Block cannot reorder a tenant's stream. *)
+let execute_tick t arrivals =
+  let candidates = t.deferred @ arrivals in
+  t.deferred <- [];
+  let deferred_rev = ref [] in
+  List.iter
+    (fun req ->
+      match Admission.offer t.admission ~tick:t.tick_count req with
+      | Admission.Admitted -> Counters.incr Counters.Serve_admitted
+      | Admission.Shed _ -> Counters.incr Counters.Serve_shed
+      | Admission.Deferred ->
+          Counters.incr Counters.Serve_deferred;
+          deferred_rev := req :: !deferred_rev)
+    candidates;
+  t.deferred <- List.rev !deferred_rev;
+  let drained = Admission.drain t.admission ~max:t.cfg.drain_per_tick in
+  if drained <> [] then begin
+    Counters.add Counters.Serve_drained (List.length drained);
+    if Histogram.Registry.enabled () then
+      List.iter
+        (fun (_, enq_tick) ->
+          Histogram.Registry.record "serve.admission_wait_s"
+            (float_of_int (t.tick_count - enq_tick) *. t.cfg.tick_dt_s))
+        drained;
+    Engine.Stepper.submit t.stepper
+      (List.map (fun (req, _) -> req.Request.event) drained)
+  end;
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue && !steps < t.cfg.steps_per_tick do
+    match Engine.Stepper.step t.stepper with
+    | `Stepped -> incr steps
+    | `Idle -> continue := false
+  done;
+  if Histogram.Registry.enabled () then begin
+    Histogram.Registry.record "serve.queue_depth"
+      (float_of_int (Admission.size t.admission));
+    Histogram.Registry.record "serve.engine_backlog"
+      (float_of_int (Engine.Stepper.backlog t.stepper))
+  end;
+  Counters.incr Counters.Serve_ticks;
+  t.tick_count <- t.tick_count + 1
+
+let tick t =
+  let arrivals = Source.poll t.source ~tick:t.tick_count ~now_s:(now_s t) in
+  (match t.journal with
+  | Some w ->
+      (* Write-ahead: arrivals are durable before any decision acts on
+         them; the Tick_done marker commits the tick afterwards. *)
+      List.iter
+        (fun req ->
+          Journal.write w (Journal.Arrive { tick = t.tick_count; request = req }))
+        arrivals;
+      Journal.flush w
+  | None -> ());
+  execute_tick t arrivals;
+  match t.journal with
+  | Some w ->
+      Journal.write w (Journal.Tick_done (t.tick_count - 1));
+      Journal.flush w
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing.                                                      *)
+
+let snapshot t =
+  {
+    Checkpoint.tick = t.tick_count;
+    meta = fingerprint t.cfg t.source_spec;
+    net = Net_state.freeze t.net;
+    stepper = Engine.Stepper.freeze t.stepper;
+    injector = Option.map Injector.freeze t.injector;
+    admission = Admission.freeze t.admission;
+    deferred = t.deferred;
+    source = Source.freeze t.source;
+  }
+
+let save_checkpoint t path =
+  Checkpoint.save path (snapshot t);
+  Counters.incr Counters.Serve_checkpoints
+
+let run ?checkpoint_path ?(checkpoint_every = 0) ~ticks t =
+  for _ = 1 to ticks do
+    tick t;
+    match checkpoint_path with
+    | Some path when checkpoint_every > 0 && t.tick_count mod checkpoint_every = 0
+      ->
+        save_checkpoint t path
+    | _ -> ()
+  done
+
+(* Completion ticks poll nothing and journal nothing: they are a pure
+   function of controller state, so recovery reproduces them without
+   any record. *)
+let complete ?(max_ticks = 1_000_000) t =
+  let n = ref 0 in
+  while not (quiescent t) do
+    if !n >= max_ticks then
+      failwith
+        (Printf.sprintf "Serve.complete: not quiescent after %d ticks"
+           max_ticks);
+    incr n;
+    execute_tick t []
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Restore + replay.                                                   *)
+
+let restore ?source_params ?series ?retry ?check_invariants ~config:cfg
+    ~source_spec ~topology path =
+  let* () = try Ok (validate_config cfg) with Invalid_argument m -> Error m in
+  let* cp = Checkpoint.load ~graph:topology.Topology.graph path in
+  let expected = fingerprint cfg source_spec in
+  if not (fingerprint_matches cp.Checkpoint.meta expected) then
+    Error
+      (Printf.sprintf
+         "checkpoint configuration mismatch:\n  checkpoint: %s\n  requested:  %s"
+         (Json.to_string cp.Checkpoint.meta)
+         (Json.to_string expected))
+  else
+    match
+      let host_count = Topology.host_count topology in
+      let net = Net_state.thaw topology cp.Checkpoint.net in
+      let injector =
+        Option.map (Injector.thaw ?retry ?check_invariants) cp.Checkpoint.injector
+      in
+      let stepper =
+        Engine.Stepper.thaw
+          ?churn:(engine_churn ~host_count cfg.churn)
+          ~co_max_cost_mbit:cfg.co_max_cost_mbit
+          ~estimate_cache:cfg.estimate_cache ?injector ?series ~net
+          cp.Checkpoint.stepper
+      in
+      let admission =
+        Admission.thaw ~capacity:cfg.admission_capacity
+          ~policy:cfg.admission_policy cp.Checkpoint.admission
+      in
+      let source =
+        Source.thaw ?params:source_params ~host_count source_spec
+          cp.Checkpoint.source
+      in
+      {
+        cfg;
+        topology;
+        net;
+        source_spec;
+        source;
+        admission;
+        stepper;
+        injector;
+        journal = None;
+        deferred = cp.Checkpoint.deferred;
+        tick_count = cp.Checkpoint.tick;
+      }
+    with
+    | t -> Ok t
+    | exception Invalid_argument m -> Error ("checkpoint restore: " ^ m)
+
+let request_eq a b =
+  Json.to_string (Codec.request_to_json a) = Json.to_string (Codec.request_to_json b)
+
+let replay ?upto ~journal t =
+  let* entries = Journal.read journal in
+  let groups = Journal.committed_ticks entries in
+  let groups =
+    List.filter
+      (fun (k, _) ->
+        k >= t.tick_count
+        && match upto with None -> true | Some u -> k < u)
+      groups
+  in
+  let rec go n = function
+    | [] -> Ok n
+    | (k, journaled) :: rest ->
+        if k <> t.tick_count then
+          Error
+            (Printf.sprintf
+               "journal gap: expected tick %d, found committed tick %d"
+               t.tick_count k)
+        else begin
+          (* Re-poll to advance the deterministic source cursor, and
+             validate it regenerates exactly what the journal recorded —
+             the journaled requests stay authoritative either way. *)
+          let polled = Source.poll t.source ~tick:t.tick_count ~now_s:(now_s t) in
+          if
+            List.length polled <> List.length journaled
+            || not (List.for_all2 request_eq polled journaled)
+          then
+            Error
+              (Printf.sprintf
+                 "replay divergence at tick %d: source regenerated %d \
+                  request(s), journal recorded %d (or contents differ)"
+                 k (List.length polled) (List.length journaled))
+          else begin
+            execute_tick t journaled;
+            go (n + 1) rest
+          end
+        end
+  in
+  go 0 groups

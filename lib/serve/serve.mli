@@ -1,0 +1,154 @@
+(** Online update controller: the batch {!Nu_sched.Engine} turned into
+    a long-running service.
+
+    The controller advances in discrete {e ticks}. Each tick:
+
+    + polls the arrival {!Source} for requests surfacing now,
+    + journals them write-ahead (when a {!Journal.writer} is attached),
+    + offers deferred-then-fresh requests to the bounded {!Admission}
+      queue (shedding or deferring per policy),
+    + drains up to [drain_per_tick] requests fairly across tenants and
+      submits their events to the incremental engine stepper,
+    + executes up to [steps_per_tick] service rounds,
+    + commits the tick with a [Tick_done] journal marker.
+
+    Everything is deterministic: same config, topology, net and source
+    spec → bit-identical decision digest, and {!snapshot}/{!restore}/
+    {!replay} reproduce an interrupted run's digest exactly. Metrics
+    flow through [Nu_obs] (serve_* counters; [serve.admission_wait_s],
+    [serve.queue_depth], [serve.engine_backlog] histograms when the
+    registry is enabled). *)
+
+(** {2 Configuration} *)
+
+type churn_spec = {
+  churn_seed : int;
+  churn_target : float;  (** Fabric-utilisation refill setpoint. *)
+  churn_max_per_round : int;
+  churn_first_id : int;
+}
+(** Background churn for serving runs. Unlike the batch scenario's
+    churn (one PRNG threaded across draws), each flow here is drawn
+    from a fresh stream keyed by flow id — a pure function of [id] —
+    so churn state never needs checkpointing beyond the engine's
+    next-churn-id cursor. *)
+
+type config = {
+  policy : Policy.t;  (** Scheduling policy; flow-level is batch-only. *)
+  engine_seed : int;
+  admission_capacity : int;
+  admission_policy : Admission.policy;
+  drain_per_tick : int;  (** Max requests entering the engine per tick. *)
+  steps_per_tick : int;  (** Max service rounds executed per tick. *)
+  tick_dt_s : float;  (** Simulated seconds per tick. *)
+  co_max_cost_mbit : float;  (** Co-scheduling budget (0 = off). *)
+  estimate_cache : bool;
+  churn : churn_spec option;
+}
+
+val default_config : Policy.t -> config
+(** seed 42, capacity 64, Block admission, drain 8, steps 4, dt 50 ms,
+    co-scheduling off, estimate cache on, no churn. *)
+
+val config_to_json : config -> Nu_obs.Json.t
+val spec_to_json : Source.spec -> Nu_obs.Json.t
+
+val fingerprint : config -> Source.spec -> Nu_obs.Json.t
+(** The serving-configuration identity stored as checkpoint [meta] and
+    validated on {!restore}: a restore under a different configuration
+    or source spec is refused rather than silently diverging. *)
+
+(** {2 Lifecycle} *)
+
+type t
+
+val create :
+  ?source_params:Benson_trace.params ->
+  ?injector:Nu_fault.Injector.t ->
+  ?series:Nu_obs.Series.t ->
+  ?journal:Journal.writer ->
+  config ->
+  topology:Topology.t ->
+  net:Net_state.t ->
+  source_spec:Source.spec ->
+  t
+(** Raises [Invalid_argument] on invalid configuration (non-positive
+    drain/steps/dt, flow-level policy, bad churn spec) or source spec. *)
+
+val tick : t -> unit
+(** Run one full tick (poll → journal → admit → drain → step → commit). *)
+
+val run : ?checkpoint_path:string -> ?checkpoint_every:int -> ticks:int -> t -> unit
+(** [ticks] consecutive {!tick}s. With [checkpoint_path] and
+    [checkpoint_every] > 0, saves an atomic checkpoint after every
+    [checkpoint_every]-th tick. *)
+
+val complete : ?max_ticks:int -> t -> unit
+(** Drain to quiescence: tick (without polling the source or writing
+    the journal) until the admission queue, deferral list and engine
+    are all empty. Deterministic given the controller state, which is
+    why these ticks need no journal. Raises [Failure] if quiescence is
+    not reached within [max_ticks] (default 1_000_000). *)
+
+(** {2 Inspection} *)
+
+val tick_count : t -> int
+(** Ticks completed (= the next tick to execute). *)
+
+val now_s : t -> float
+val admission : t -> Admission.t
+val deferred_count : t -> int
+val engine_backlog : t -> int
+val completed : t -> int
+val source_exhausted : t -> bool
+
+val quiescent : t -> bool
+(** No queued, deferred or in-engine work remains. *)
+
+val result : t -> Engine.run_result
+(** Rounds executed so far (pure; see {!Engine.Stepper.result}). *)
+
+val digest : t -> string
+(** {!Run_digest.of_run} of {!result} — the bit-exact decision
+    fingerprint used by the replay and crash-recovery guarantees. *)
+
+val retire : t -> Engine.run_result
+(** {!result} plus end-of-life histogram recording
+    ({!Engine.record_event_histograms}) and journal close. *)
+
+val set_journal : t -> Journal.writer option -> unit
+(** Replace the journal writer (closing is the caller's concern). *)
+
+(** {2 Checkpoint, restore, replay} *)
+
+val snapshot : t -> Checkpoint.t
+(** Freeze the full controller state. Call between ticks. *)
+
+val save_checkpoint : t -> string -> unit
+(** {!snapshot} + atomic {!Checkpoint.save}. *)
+
+val restore :
+  ?source_params:Benson_trace.params ->
+  ?series:Nu_obs.Series.t ->
+  ?retry:Nu_fault.Retry_policy.t ->
+  ?check_invariants:bool ->
+  config:config ->
+  source_spec:Source.spec ->
+  topology:Topology.t ->
+  string ->
+  (t, string) result
+(** Load a checkpoint file and rebuild a controller that continues
+    bit-identically. [config], [source_spec] and [topology] must be
+    the ones the original run was created with — the checkpoint's
+    {!fingerprint} is validated and a mismatch is an [Error]. The
+    restored controller has no journal attached (see {!set_journal}). *)
+
+val replay : ?upto:int -> journal:string -> t -> (int, string) result
+(** Re-drive a restored controller from its operation journal: for
+    every committed tick at or after the controller's current tick
+    (and below [upto], when given), re-poll the source — validating
+    that it regenerates exactly the journaled arrivals — and execute
+    the tick with the journaled requests. Trailing uncommitted
+    arrivals (crash mid-tick) are ignored; the deterministic source
+    will regenerate them when serving resumes. Returns the number of
+    ticks replayed. *)

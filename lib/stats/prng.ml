@@ -16,6 +16,9 @@ let create seed = { state = mix64 (Int64.of_int seed) }
 
 let copy t = { state = t.state }
 
+let raw_state t = t.state
+let of_raw_state state = { state }
+
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state

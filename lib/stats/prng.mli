@@ -18,6 +18,15 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] duplicates the current state; the copy evolves independently. *)
 
+val raw_state : t -> int64
+(** The generator's raw 64-bit counter — the whole state. Serialise it to
+    checkpoint a stream mid-run; {!of_raw_state} resumes it exactly. *)
+
+val of_raw_state : int64 -> t
+(** Rebuild a generator from {!raw_state}. [of_raw_state (raw_state t)]
+    continues [t]'s stream bit-for-bit. Unlike {!create}, the value is
+    used verbatim (no seeding mix). *)
+
 val split : t -> t
 (** [split t] derives a new, statistically independent generator and
     advances [t]. Use one split per subsystem so adding draws in one place

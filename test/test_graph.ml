@@ -192,6 +192,32 @@ let test_pqueue_fifo_ties () =
   Alcotest.(check (list string)) "fifo on ties" [ "first"; "second"; "third" ]
     order
 
+(* to_list must report exact pop order (priority, then insertion seq on
+   ties), and pushing that list back in order must reproduce the same
+   pop sequence — checkpointing serialises departure queues this way. *)
+let test_pqueue_to_list_pop_order () =
+  let q = Pqueue.create () in
+  Pqueue.push q 2.0 "b";
+  Pqueue.push q 1.0 "a1";
+  Pqueue.push q 1.0 "a2";
+  Pqueue.push q 3.0 "c";
+  let listed = Pqueue.to_list q in
+  let rebuilt = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.push rebuilt p v) listed;
+  let drain q =
+    let rec go acc =
+      match Pqueue.pop q with None -> List.rev acc | Some x -> go (x :: acc)
+    in
+    go []
+  in
+  let popped = drain q in
+  Alcotest.(check (list (pair (float 0.0) string)))
+    "to_list is pop order"
+    [ (1.0, "a1"); (1.0, "a2"); (2.0, "b"); (3.0, "c") ]
+    listed;
+  Alcotest.(check (list (pair (float 0.0) string)))
+    "rebuild reproduces pops" popped (drain rebuilt)
+
 let test_pqueue_size_clear () =
   let q = Pqueue.create () in
   Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
@@ -373,6 +399,7 @@ let suite =
     ("path pp", `Quick, test_path_pp);
     ("pqueue ordering", `Quick, test_pqueue_ordering);
     ("pqueue fifo ties", `Quick, test_pqueue_fifo_ties);
+    ("pqueue to_list pop order", `Quick, test_pqueue_to_list_pop_order);
     ("pqueue size/clear", `Quick, test_pqueue_size_clear);
     QCheck_alcotest.to_alcotest prop_pqueue_sorted;
     ("bfs distance", `Quick, test_bfs_distance);

@@ -14,6 +14,8 @@ let () =
       ("fault", Test_fault.suite);
       ("sched", Test_sched.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
+      ("cli", Test_cli.suite);
       ("expt", Test_expt.suite);
       ("scenario", Test_scenario.suite);
     ]

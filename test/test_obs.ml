@@ -70,6 +70,80 @@ let test_json_float_precision () =
   | Ok _ -> Alcotest.fail "expected a float"
   | Error msg -> Alcotest.failf "parse error: %s" msg
 
+(* Print/parse must be the identity on the whole value space: every
+   constructor, control characters, multi-byte escapes, deep nesting.
+   Floats are the historical trap — an integral float printed without a
+   marker ("1") parses back as Int 1 and the round-trip silently
+   retypes the value. *)
+let json_gen =
+  let open QCheck.Gen in
+  let any_byte = map Char.chr (int_range 0 255) in
+  let finite f = if Float.is_finite f then f else 0.5 in
+  let scalar =
+    oneof
+      [
+        return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun i -> Obs.Json.Int i) int;
+        map (fun f -> Obs.Json.Float (finite f)) float;
+        map
+          (fun s -> Obs.Json.String s)
+          (string_size ~gen:any_byte (int_bound 12));
+      ]
+  in
+  let key = string_size ~gen:any_byte (int_bound 6) in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               ( 1,
+                 map
+                   (fun xs -> Obs.Json.List xs)
+                   (list_size (int_bound 4) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun kvs -> Obs.Json.Obj kvs)
+                   (list_size (int_bound 4) (pair key (self (n / 2)))) );
+             ])
+
+let prop_json_print_parse_identity =
+  QCheck.Test.make ~name:"json print/parse is the identity" ~count:1000
+    (QCheck.make json_gen ~print:Obs.Json.to_string)
+    (fun j ->
+      match Obs.Json.of_string (Obs.Json.to_string j) with
+      | Ok j' -> j' = j
+      | Error _ -> false)
+
+let test_json_integral_float_keeps_type () =
+  Alcotest.(check string) "marker forced" "1.0"
+    (Obs.Json.to_string (Obs.Json.Float 1.0));
+  Alcotest.(check string) "negative too" "-3.0"
+    (Obs.Json.to_string (Obs.Json.Float (-3.0)));
+  (match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.Float 1.0)) with
+  | Ok (Obs.Json.Float f) -> Alcotest.(check (float 0.0)) "stays float" 1.0 f
+  | Ok _ -> Alcotest.fail "Float 1.0 no longer parses back as Float"
+  | Error m -> Alcotest.fail m);
+  match Obs.Json.of_string "1" with
+  | Ok (Obs.Json.Int 1) -> ()
+  | _ -> Alcotest.fail "bare integers must still parse as Int"
+
+let test_json_control_and_unicode_escapes () =
+  let s = "\x00\x01\x1f\b\012\n\r\t\"\\/" in
+  (match Obs.Json.of_string (Obs.Json.to_string (Obs.Json.String s)) with
+  | Ok (Obs.Json.String s') -> Alcotest.(check string) "control bytes" s s'
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error m -> Alcotest.fail m);
+  (match Obs.Json.of_string "\"\\u00e9\"" with
+  | Ok (Obs.Json.String s) ->
+      Alcotest.(check string) "\\u decodes to UTF-8" "\xc3\xa9" s
+  | _ -> Alcotest.fail "\\u00e9 should parse");
+  match Obs.Json.of_string "\"\\uZZZZ\"" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid \\u escape accepted"
+
 let test_json_nonfinite_is_null () =
   Alcotest.(check string) "nan" "null" (Obs.Json.to_string (Obs.Json.Float Float.nan));
   Alcotest.(check string)
@@ -787,6 +861,11 @@ let suite =
     ("json float precision", `Quick, test_json_float_precision);
     ("json non-finite", `Quick, test_json_nonfinite_is_null);
     ("json parse errors", `Quick, test_json_parse_errors);
+    QCheck_alcotest.to_alcotest prop_json_print_parse_identity;
+    ("json integral float type", `Quick, test_json_integral_float_keeps_type);
+    ( "json control/unicode escapes",
+      `Quick,
+      test_json_control_and_unicode_escapes );
     ("span LIFO nesting", `Quick, test_span_lifo_nesting);
     ("span non-LIFO raises", `Quick, test_span_non_lifo_raises);
     ("span exception safety", `Quick, test_span_exception_safety);

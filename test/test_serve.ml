@@ -1,0 +1,471 @@
+(* nu_serve: admission, journal, source, checkpoint/restore/replay.
+
+   The load-bearing properties are differential: a restored controller
+   must reproduce the uninterrupted run's decision digest bit for bit,
+   with and without an active fault injector, including recovery from a
+   journal whose trailing tick never committed (crash mid-tick). *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let dummy_flow id =
+  Flow_record.v ~id ~src:0 ~dst:1 ~size_mbit:1.0 ~duration_s:1.0 ~arrival_s:0.0
+
+let dummy_event id =
+  {
+    Event.id;
+    arrival_s = 0.0;
+    kind = Event.Additions;
+    work = [ Event.Install (dummy_flow (100 + id)) ];
+  }
+
+let req ?(tenant = "a") id = Serve_request.v ~tenant (dummy_event id)
+
+let event_ids reqs =
+  List.map (fun (r, _) -> (Serve_request.event r).Event.id) reqs
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+
+let test_admission_block () =
+  let a = Admission.create ~capacity:2 ~policy:Admission.Block in
+  Alcotest.(check bool) "first" true (Admission.offer a ~tick:0 (req 1) = Admission.Admitted);
+  Alcotest.(check bool) "second" true (Admission.offer a ~tick:0 (req 2) = Admission.Admitted);
+  Alcotest.(check bool) "full defers" true (Admission.offer a ~tick:0 (req 3) = Admission.Deferred);
+  Alcotest.(check int) "size" 2 (Admission.size a)
+
+let test_admission_drop_newest () =
+  let a = Admission.create ~capacity:1 ~policy:Admission.Drop_newest in
+  ignore (Admission.offer a ~tick:0 (req 1));
+  (match Admission.offer a ~tick:0 (req 2) with
+  | Admission.Shed reason -> Alcotest.(check string) "reason" "capacity" reason
+  | _ -> Alcotest.fail "expected shed");
+  Alcotest.(check int) "still holds the old request" 1 (Admission.size a);
+  Alcotest.(check (list int)) "old one drains" [ 1 ]
+    (event_ids (Admission.drain a ~max:5))
+
+let test_admission_drop_oldest () =
+  let a = Admission.create ~capacity:2 ~policy:Admission.Drop_oldest in
+  ignore (Admission.offer a ~tick:0 (req ~tenant:"a" 1));
+  ignore (Admission.offer a ~tick:0 (req ~tenant:"b" 2));
+  (* Full: the globally oldest (id 1) is evicted, the arrival admitted. *)
+  Alcotest.(check bool) "admitted" true
+    (Admission.offer a ~tick:1 (req ~tenant:"b" 3) = Admission.Admitted);
+  Alcotest.(check int) "size constant" 2 (Admission.size a);
+  let drained = List.sort compare (event_ids (Admission.drain a ~max:5)) in
+  Alcotest.(check (list int)) "survivors" [ 2; 3 ] drained
+
+let test_admission_tenant_quota () =
+  let a = Admission.create ~capacity:8 ~policy:(Admission.Tenant_quota 1) in
+  Alcotest.(check bool) "a admitted" true
+    (Admission.offer a ~tick:0 (req ~tenant:"a" 1) = Admission.Admitted);
+  (match Admission.offer a ~tick:0 (req ~tenant:"a" 2) with
+  | Admission.Shed reason -> Alcotest.(check string) "reason" "tenant-quota" reason
+  | _ -> Alcotest.fail "expected quota shed");
+  Alcotest.(check bool) "b unaffected" true
+    (Admission.offer a ~tick:0 (req ~tenant:"b" 3) = Admission.Admitted)
+
+let test_admission_fair_drain () =
+  let a = Admission.create ~capacity:10 ~policy:Admission.Block in
+  ignore (Admission.offer a ~tick:0 (req ~tenant:"a" 1));
+  ignore (Admission.offer a ~tick:0 (req ~tenant:"a" 2));
+  ignore (Admission.offer a ~tick:0 (req ~tenant:"a" 3));
+  ignore (Admission.offer a ~tick:0 (req ~tenant:"b" 4));
+  (* Round-robin: one per tenant per sweep, so b's single request is
+     served second despite three of a's queued ahead of it. *)
+  Alcotest.(check (list int)) "rotation order" [ 1; 4; 2 ]
+    (event_ids (Admission.drain a ~max:3));
+  Alcotest.(check (list int)) "remainder" [ 3 ]
+    (event_ids (Admission.drain a ~max:3))
+
+let test_admission_policy_names () =
+  List.iter
+    (fun p ->
+      match Admission.policy_of_name (Admission.policy_name p) with
+      | Ok p' -> Alcotest.(check bool) "round-trip" true (p = p')
+      | Error m -> Alcotest.fail m)
+    [ Admission.Block; Admission.Drop_newest; Admission.Drop_oldest;
+      Admission.Tenant_quota 3 ];
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Admission.policy_of_name "nonsense"))
+
+let test_admission_freeze_thaw () =
+  let a = Admission.create ~capacity:4 ~policy:Admission.Block in
+  ignore (Admission.offer a ~tick:0 (req ~tenant:"a" 1));
+  ignore (Admission.offer a ~tick:1 (req ~tenant:"b" 2));
+  ignore (Admission.offer a ~tick:1 (req ~tenant:"a" 3));
+  ignore (Admission.drain a ~max:1);
+  let b = Admission.thaw ~capacity:4 ~policy:Admission.Block (Admission.freeze a) in
+  Alcotest.(check int) "size" (Admission.size a) (Admission.size b);
+  Alcotest.(check (list int)) "same drain order"
+    (event_ids (Admission.drain a ~max:5))
+    (event_ids (Admission.drain b ~max:5))
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+
+let test_journal_roundtrip () =
+  let path = Filename.temp_file "nu_serve_journal" ".jsonl" in
+  let w = Journal.open_writer path in
+  let entries =
+    [
+      Journal.Arrive { tick = 0; request = req ~tenant:"a" 1 };
+      Journal.Tick_done 0;
+      Journal.Arrive { tick = 1; request = req ~tenant:"b" 2 };
+      Journal.Arrive { tick = 1; request = req ~tenant:"a" 3 };
+      Journal.Tick_done 1;
+    ]
+  in
+  List.iter (Journal.write w) entries;
+  Journal.close_writer w;
+  (match Journal.read path with
+  | Error m -> Alcotest.fail m
+  | Ok back ->
+      Alcotest.(check int) "count" (List.length entries) (List.length back);
+      List.iter2
+        (fun a b ->
+          Alcotest.(check string) "entry"
+            (Obs.Json.to_string (Journal.entry_to_json a))
+            (Obs.Json.to_string (Journal.entry_to_json b)))
+        entries back);
+  Sys.remove path
+
+let test_journal_committed_ticks () =
+  let entries =
+    [
+      Journal.Tick_done 0;
+      Journal.Arrive { tick = 1; request = req 1 };
+      Journal.Tick_done 1;
+      (* Crash mid-tick 2: arrivals journaled, commit marker missing. *)
+      Journal.Arrive { tick = 2; request = req 2 };
+      Journal.Arrive { tick = 2; request = req 3 };
+    ]
+  in
+  let groups = Journal.committed_ticks entries in
+  Alcotest.(check (list int)) "committed ticks only" [ 0; 1 ]
+    (List.map fst groups);
+  Alcotest.(check (list int)) "tick 1 payload" [ 1 ]
+    (List.map
+       (fun r -> (Serve_request.event r).Event.id)
+       (List.assoc 1 groups))
+
+(* ------------------------------------------------------------------ *)
+(* Source                                                              *)
+
+let spec_of ?(seed = 21) () =
+  Serve_source.Synthetic
+    {
+      seed;
+      rate_per_tick = 0.7;
+      flows_per_event = 2;
+      tenants = [ "a"; "b" ];
+      first_event_id = 1;
+      first_flow_id = 1_000_000;
+    }
+
+let poll_strings src ~from ~upto =
+  List.concat_map
+    (fun tick ->
+      List.map
+        (fun r -> Obs.Json.to_string (Serve_codec.request_to_json r))
+        (Serve_source.poll src ~tick ~now_s:(0.05 *. float_of_int tick)))
+    (List.init (upto - from) (fun i -> from + i))
+
+let test_source_deterministic () =
+  let a = Serve_source.create ~host_count:16 (spec_of ()) in
+  let b = Serve_source.create ~host_count:16 (spec_of ()) in
+  Alcotest.(check (list string)) "same arrivals"
+    (poll_strings a ~from:0 ~upto:20)
+    (poll_strings b ~from:0 ~upto:20);
+  let c = Serve_source.create ~host_count:16 (spec_of ~seed:99 ()) in
+  Alcotest.(check bool) "different seed differs" false
+    (poll_strings a ~from:20 ~upto:40 = poll_strings c ~from:20 ~upto:40)
+
+let test_source_freeze_thaw () =
+  let a = Serve_source.create ~host_count:16 (spec_of ()) in
+  ignore (poll_strings a ~from:0 ~upto:10);
+  let fz = Serve_source.freeze a in
+  (* Round-trip the frozen cursor through JSON too. *)
+  let fz =
+    match Serve_source.frozen_of_json (Serve_source.frozen_to_json fz) with
+    | Ok fz -> fz
+    | Error m -> Alcotest.fail m
+  in
+  let b = Serve_source.thaw ~host_count:16 (spec_of ()) fz in
+  Alcotest.(check (list string)) "thawed continues identically"
+    (poll_strings a ~from:10 ~upto:25)
+    (poll_strings b ~from:10 ~upto:25)
+
+(* ------------------------------------------------------------------ *)
+(* Differential harness                                                *)
+
+let scenario () = Scenario.prepare ~k:4 ~utilization:0.6 ~seed:11 ()
+
+let cfg ?(capacity = 8) ?(admission = Admission.Block) ?churn () =
+  {
+    Serve.policy = Policy.Plmtf { alpha = 2 };
+    engine_seed = 5;
+    admission_capacity = capacity;
+    admission_policy = admission;
+    drain_per_tick = 2;
+    steps_per_tick = 3;
+    tick_dt_s = 0.05;
+    co_max_cost_mbit = 0.0;
+    estimate_cache = true;
+    churn;
+  }
+
+let test_stepper_equals_batch () =
+  let s = scenario () in
+  let events = Scenario.events s ~n:10 in
+  let policy = Policy.Plmtf { alpha = 2 } in
+  let batch =
+    Engine.run ~seed:5 ~net:(Net_state.copy s.Scenario.net) ~events policy
+  in
+  let st =
+    Engine.Stepper.create ~seed:5 ~net:(Net_state.copy s.Scenario.net) policy
+  in
+  Engine.Stepper.submit st events;
+  while Engine.Stepper.step st <> `Idle do () done;
+  Alcotest.(check string) "digest equal"
+    (Run_digest.of_run batch)
+    (Run_digest.of_run (Engine.Stepper.result st))
+
+let test_net_freeze_thaw () =
+  let s = scenario () in
+  let events = Scenario.events s ~n:8 in
+  let policy = Policy.Lmtf { alpha = 2 } in
+  let thawed =
+    Net_state.thaw s.Scenario.topology (Net_state.freeze s.Scenario.net)
+  in
+  Alcotest.(check string) "runs on thawed net are bit-identical"
+    (Run_digest.of_run
+       (Engine.run ~seed:5 ~net:(Net_state.copy s.Scenario.net) ~events policy))
+    (Run_digest.of_run (Engine.run ~seed:5 ~net:thawed ~events policy))
+
+let test_stepper_freeze_thaw_mid_run () =
+  let s = scenario () in
+  let events = Scenario.events s ~n:10 in
+  let policy = Policy.Plmtf { alpha = 2 } in
+  let digest_straight =
+    let st =
+      Engine.Stepper.create ~seed:5 ~net:(Net_state.copy s.Scenario.net) policy
+    in
+    Engine.Stepper.submit st events;
+    while Engine.Stepper.step st <> `Idle do () done;
+    Run_digest.of_run (Engine.Stepper.result st)
+  in
+  let net_b = Net_state.copy s.Scenario.net in
+  let st = Engine.Stepper.create ~seed:5 ~net:net_b policy in
+  Engine.Stepper.submit st events;
+  for _ = 1 to 4 do
+    ignore (Engine.Stepper.step st)
+  done;
+  (* Freeze mid-run, thaw into a fresh stepper over a thawed net, finish
+     there: the digest must match the uninterrupted run bit for bit. *)
+  let fz = Engine.Stepper.freeze st in
+  let net2 = Net_state.thaw s.Scenario.topology (Net_state.freeze net_b) in
+  let st2 = Engine.Stepper.thaw ~net:net2 fz in
+  while Engine.Stepper.step st2 <> `Idle do () done;
+  Alcotest.(check string) "digest equal" digest_straight
+    (Run_digest.of_run (Engine.Stepper.result st2))
+
+(* ------------------------------------------------------------------ *)
+(* Serve: controller-level differentials                               *)
+
+let serve_uninterrupted ?injector ~ticks () =
+  let s = scenario () in
+  let t =
+    Serve.create ?injector (cfg ()) ~topology:s.Scenario.topology
+      ~net:s.Scenario.net ~source_spec:(spec_of ())
+  in
+  Serve.run ~ticks t;
+  Serve.complete t;
+  Serve.digest t
+
+let test_serve_checkpoint_restore_differential () =
+  let expected = serve_uninterrupted ~ticks:27 () in
+  let dir = Filename.temp_file "nu_serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let cp = Filename.concat dir "cp.json" in
+  let jp = Filename.concat dir "journal.jsonl" in
+  (* Interrupted twin: journal everything, checkpoint every 8 ticks,
+     stop dead after tick 27 (last checkpoint at tick 24). *)
+  let s = scenario () in
+  let w = Journal.open_writer jp in
+  let t =
+    Serve.create ~journal:w (cfg ()) ~topology:s.Scenario.topology
+      ~net:s.Scenario.net ~source_spec:(spec_of ())
+  in
+  Serve.run ~checkpoint_path:cp ~checkpoint_every:8 ~ticks:27 t;
+  Journal.close_writer w;
+  (* Recover elsewhere: only the checkpoint, the journal, the topology
+     and the original configuration cross the "crash". *)
+  let topology = Fat_tree.to_topology (Fat_tree.create ~k:4 ()) in
+  match
+    Serve.restore ~config:(cfg ()) ~source_spec:(spec_of ()) ~topology cp
+  with
+  | Error m -> Alcotest.fail m
+  | Ok t2 ->
+      Alcotest.(check int) "restored at the last checkpoint" 24
+        (Serve.tick_count t2);
+      (match Serve.replay ~journal:jp t2 with
+      | Error m -> Alcotest.fail m
+      | Ok n -> Alcotest.(check int) "re-drove the journal suffix" 3 n);
+      Serve.complete t2;
+      Alcotest.(check string) "digest equal" expected (Serve.digest t2);
+      Sys.remove cp;
+      Sys.remove jp;
+      Sys.rmdir dir
+
+let make_injector topology =
+  let config =
+    {
+      Fault_model.default_config with
+      Fault_model.rate_per_s = 0.5;
+      horizon_s = 1.0;
+    }
+  in
+  Injector.create (Fault_model.generate ~config ~seed:3 topology)
+
+let test_serve_crash_recovery_under_faults () =
+  let expected =
+    let s = scenario () in
+    serve_uninterrupted ~injector:(make_injector s.Scenario.topology)
+      ~ticks:20 ()
+  in
+  let dir = Filename.temp_file "nu_serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let cp = Filename.concat dir "cp.json" in
+  let jp = Filename.concat dir "journal.jsonl" in
+  let s = scenario () in
+  let w = Journal.open_writer jp in
+  let t =
+    Serve.create ~injector:(make_injector s.Scenario.topology) ~journal:w
+      (cfg ()) ~topology:s.Scenario.topology ~net:s.Scenario.net
+      ~source_spec:(spec_of ())
+  in
+  Serve.run ~checkpoint_path:cp ~checkpoint_every:10 ~ticks:15 t;
+  Journal.close_writer w;
+  (* Simulate a crash mid-tick 15: arrivals hit the journal, the commit
+     marker never did. Replay must discard them; the resumed source
+     regenerates the real tick-15 arrivals bit-identically. *)
+  let w = Journal.open_writer ~append:true jp in
+  Journal.write w (Journal.Arrive { tick = 15; request = req 999 });
+  Journal.close_writer w;
+  let topology = Fat_tree.to_topology (Fat_tree.create ~k:4 ()) in
+  match
+    Serve.restore ~config:(cfg ()) ~source_spec:(spec_of ()) ~topology cp
+  with
+  | Error m -> Alcotest.fail m
+  | Ok t2 ->
+      Alcotest.(check int) "restored at tick 10" 10 (Serve.tick_count t2);
+      (match Serve.replay ~journal:jp t2 with
+      | Error m -> Alcotest.fail m
+      | Ok n ->
+          Alcotest.(check int) "committed ticks 10-14 replayed, torn tick dropped" 5 n);
+      (* Resume live serving for the ticks the crash swallowed. *)
+      Serve.run ~ticks:5 t2;
+      Serve.complete t2;
+      Alcotest.(check string) "digest equal" expected (Serve.digest t2);
+      Sys.remove cp;
+      Sys.remove jp;
+      Sys.rmdir dir
+
+let test_serve_restore_rejects_config_mismatch () =
+  let dir = Filename.temp_file "nu_serve" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let cp = Filename.concat dir "cp.json" in
+  let s = scenario () in
+  let t =
+    Serve.create (cfg ()) ~topology:s.Scenario.topology ~net:s.Scenario.net
+      ~source_spec:(spec_of ())
+  in
+  Serve.run ~ticks:5 t;
+  Serve.save_checkpoint t cp;
+  let topology = Fat_tree.to_topology (Fat_tree.create ~k:4 ()) in
+  (match
+     Serve.restore ~config:(cfg ~capacity:99 ()) ~source_spec:(spec_of ())
+       ~topology cp
+   with
+  | Error m ->
+      Alcotest.(check bool) "mentions mismatch" true (contains m "mismatch")
+  | Ok _ -> Alcotest.fail "restore should refuse a different configuration");
+  Sys.remove cp;
+  Sys.rmdir dir
+
+let test_serve_checkpoint_json_roundtrip () =
+  let s = scenario () in
+  let t =
+    Serve.create (cfg ()) ~topology:s.Scenario.topology ~net:s.Scenario.net
+      ~source_spec:(spec_of ())
+  in
+  Serve.run ~ticks:12 t;
+  let cp = Serve.snapshot t in
+  let j = Serve_checkpoint.to_json cp in
+  match
+    Serve_checkpoint.of_json ~graph:s.Scenario.topology.Topology.graph
+      (Result.get_ok (Obs.Json.of_string (Obs.Json.to_string j)))
+  with
+  | Error m -> Alcotest.fail m
+  | Ok cp2 ->
+      Alcotest.(check string) "stable through print/parse"
+        (Obs.Json.to_string j)
+        (Obs.Json.to_string (Serve_checkpoint.to_json cp2))
+
+let test_serve_shed_counters () =
+  let s = scenario () in
+  let t =
+    Serve.create
+      (cfg ~capacity:1 ~admission:Admission.Drop_newest ())
+      ~topology:s.Scenario.topology ~net:s.Scenario.net
+      ~source_spec:
+        (Serve_source.Synthetic
+           {
+             seed = 21;
+             rate_per_tick = 3.0;
+             flows_per_event = 1;
+             tenants = [ "a" ];
+             first_event_id = 1;
+             first_flow_id = 1_000_000;
+           })
+  in
+  Serve.run ~ticks:10 t;
+  Alcotest.(check bool) "pressure sheds" true
+    (Admission.total_shed (Serve.admission t) > 0)
+
+let suite =
+  [
+    ("admission block defers", `Quick, test_admission_block);
+    ("admission drop-newest", `Quick, test_admission_drop_newest);
+    ("admission drop-oldest", `Quick, test_admission_drop_oldest);
+    ("admission tenant quota", `Quick, test_admission_tenant_quota);
+    ("admission fair drain", `Quick, test_admission_fair_drain);
+    ("admission policy names", `Quick, test_admission_policy_names);
+    ("admission freeze/thaw", `Quick, test_admission_freeze_thaw);
+    ("journal round-trip", `Quick, test_journal_roundtrip);
+    ("journal committed ticks", `Quick, test_journal_committed_ticks);
+    ("source deterministic", `Quick, test_source_deterministic);
+    ("source freeze/thaw", `Quick, test_source_freeze_thaw);
+    ("net freeze/thaw", `Quick, test_net_freeze_thaw);
+    ("stepper equals batch", `Quick, test_stepper_equals_batch);
+    ("stepper freeze/thaw mid-run", `Quick, test_stepper_freeze_thaw_mid_run);
+    ( "checkpoint/restore digest differential",
+      `Quick,
+      test_serve_checkpoint_restore_differential );
+    ( "crash recovery under faults",
+      `Quick,
+      test_serve_crash_recovery_under_faults );
+    ( "restore rejects config mismatch",
+      `Quick,
+      test_serve_restore_rejects_config_mismatch );
+    ( "checkpoint json round-trip",
+      `Quick,
+      test_serve_checkpoint_json_roundtrip );
+    ("overload sheds", `Quick, test_serve_shed_counters);
+  ]

@@ -110,6 +110,21 @@ let test_prng_choose () =
   Alcotest.check_raises "empty" (Invalid_argument "Prng.choose: empty array")
     (fun () -> ignore (Prng.choose rng [||]))
 
+(* Checkpointing captures a PRNG as its raw SplitMix64 cursor; a stream
+   rebuilt from that cursor must be indistinguishable from the one that
+   kept running. *)
+let test_prng_raw_state_roundtrip () =
+  let rng = Prng.create 97 in
+  for _ = 1 to 37 do
+    ignore (Prng.bits64 rng)
+  done;
+  let resumed = Prng.of_raw_state (Prng.raw_state rng) in
+  for i = 1 to 100 do
+    Alcotest.(check int64)
+      (Printf.sprintf "draw %d" i)
+      (Prng.bits64 rng) (Prng.bits64 resumed)
+  done
+
 let prop_int_within_bound =
   QCheck.Test.make ~name:"prng int stays within bound" ~count:500
     QCheck.(pair small_int (int_range 1 1000))
@@ -339,6 +354,7 @@ let suite =
     ("prng sampling", `Quick, test_prng_sample_without_replacement);
     ("prng sampling k>=n", `Quick, test_prng_sample_all_when_k_ge_n);
     ("prng choose", `Quick, test_prng_choose);
+    ("prng raw state round-trip", `Quick, test_prng_raw_state_roundtrip);
     QCheck_alcotest.to_alcotest prop_int_within_bound;
     ("exponential mean", `Slow, test_exponential_mean);
     ("exponential positive", `Quick, test_exponential_positive);
