@@ -1,11 +1,12 @@
 (* Bench regression gate: diff a current sched_bench JSON document
-   against a committed baseline (BENCH_PR5.json) and fail CI on a
+   against a committed baseline (BENCH_PR6.json) and fail CI on a
    planning-wall regression beyond tolerance or any decision-digest
    change. All comparison logic lives in Core.Obs.Regress (unit-tested);
    this is the file-reading, exit-code-setting shell around it.
 
      dune exec bench/compare.exe -- \
-       --baseline BENCH_PR5.json --current bench_now.json
+       --baseline BENCH_PR6.json --current bench_now.json \
+       --json-out bench_delta.json
 
    Exit codes: 0 the gate passes, 1 regression/digest failure, 2 the
    documents are not comparable (workload or schema mismatch, unreadable
@@ -14,6 +15,7 @@
 let baseline_file = ref ""
 let current_file = ref ""
 let max_regress = ref 0.15
+let json_out = ref ""
 
 let args =
   [
@@ -22,9 +24,29 @@ let args =
     ( "--max-regress",
       Arg.Set_float max_regress,
       "F tolerated fractional planning-wall increase (default 0.15)" );
+    ( "--json-out",
+      Arg.Set_string json_out,
+      "FILE write a machine-readable delta document (written even when the \
+       gate fails or the runs are incomparable)" );
   ]
 
-let usage = "compare --baseline FILE --current FILE [--max-regress F]"
+let usage =
+  "compare --baseline FILE --current FILE [--max-regress F] [--json-out FILE]"
+
+(* The delta document is the CI artifact: write it on every path that
+   has two parsed inputs, including incomparable ones. *)
+let write_delta ~baseline ~current =
+  if !json_out <> "" then begin
+    let doc =
+      Core.Obs.Regress.delta_json ~max_regress:!max_regress ~baseline ~current
+        ()
+    in
+    let oc = open_out !json_out in
+    output_string oc (Core.Obs.Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "delta written to %s\n" !json_out
+  end
 
 let incomparable fmt =
   Printf.ksprintf
@@ -50,6 +72,7 @@ let () =
   Arg.parse args (fun _ -> raise (Arg.Bad "no positional arguments")) usage;
   let baseline = load "baseline" !baseline_file in
   let current = load "current" !current_file in
+  write_delta ~baseline ~current;
   match
     Core.Obs.Regress.check ~max_regress:!max_regress ~baseline ~current ()
   with

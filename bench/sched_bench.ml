@@ -5,11 +5,11 @@
    fault-free run — the fault hooks are required to cost nothing when
    idle) and a seeded fault-churn run exercising abort/retry/degrade.
 
-   Emits machine-readable JSON (BENCH_PR5.json) so the perf trajectory
+   Emits machine-readable JSON (BENCH_PR6.json) so the perf trajectory
    of the planning hot path is tracked per-PR:
 
-     dune exec bench/sched_bench.exe -- --out BENCH_PR5.json
-     dune exec bench/sched_bench.exe -- --quick --out BENCH_PR5.json
+     dune exec bench/sched_bench.exe -- --out BENCH_PR6.json
+     dune exec bench/sched_bench.exe -- --quick --out BENCH_PR6.json
 
    [--baseline FILE] merges a previously recorded run (e.g. one taken on
    the pre-optimisation tree) under the "baseline" key and reports the
@@ -101,7 +101,7 @@ type measurement = {
 let now_s () = Unix.gettimeofday ()
 
 let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false)
-    ?(stepper = false) () =
+    ?(stepper = false) ?(telemetry = false) () =
   (* A fresh scenario per measurement: the run mutates its network. *)
   let s = Core.Scenario.prepare ~k:8 ~utilization:0.70 ~seed:!seed () in
   let events = Core.Scenario.events s ~n:n_events in
@@ -143,9 +143,20 @@ let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false)
     if stepper then begin
       (* The serving ingest path: the same workload submitted through the
          incremental stepper and stepped round by round. Required to be a
-         bit-identical (and near-free) rewrite of the batch loop. *)
+         bit-identical (and near-free) rewrite of the batch loop. With
+         [telemetry], a full Telemetry observer (lifecycle + fairness +
+         SLO) is attached to the stepper — recording every round and
+         completion while the digest must not move. *)
+      let observer =
+        if telemetry then
+          Some
+            (Core.Serve_telemetry.observer
+               (Core.Serve_telemetry.create
+                  Core.Serve_telemetry.default_config))
+        else None
+      in
       let st =
-        Core.Engine.Stepper.create ~seed:3 ~churn ?injector ?series
+        Core.Engine.Stepper.create ~seed:3 ~churn ?injector ?series ?observer
           ~net:s.Core.Scenario.net policy
       in
       Core.Engine.Stepper.submit st events;
@@ -214,29 +225,44 @@ let () =
   let n_events = if !quick then 40 else 120 in
   let scenarios =
     [
-      ("lmtf-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, false);
-      ("reorder-churn-k8", Core.Policy.Reorder, `Off, false, false);
+      ("lmtf-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, false, false);
+      ("reorder-churn-k8", Core.Policy.Reorder, `Off, false, false, false);
       (* Digest must equal lmtf-churn-k8's: an idle injector is free. *)
       ( "lmtf-empty-faults-k8",
         Core.Policy.Lmtf { alpha = 4 },
         `Empty,
         false,
+        false,
         false );
-      ("lmtf-fault-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Seeded, false, false);
+      ( "lmtf-fault-churn-k8",
+        Core.Policy.Lmtf { alpha = 4 },
+        `Seeded,
+        false,
+        false,
+        false );
       (* Digest must equal lmtf-churn-k8's: tracing, histograms and the
          per-round series are read-only observers of the run. *)
-      ("lmtf-obs-on-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, true, false);
+      ("lmtf-obs-on-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, true, false, false);
       (* Digest must equal lmtf-churn-k8's: the online controller's
          ingest path (stepper submit + incremental stepping) is a
          restructuring of the batch loop, not a re-decision. *)
-      ("serve-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, true);
+      ("serve-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, true, false);
+      (* Digest must equal serve-churn-k8's: the serving telemetry
+         observer (lifecycle stamps, fairness, SLO) records every round
+         and completion without perturbing one decision. *)
+      ( "serve-telemetry-k8",
+        Core.Policy.Lmtf { alpha = 4 },
+        `Off,
+        false,
+        true,
+        true );
     ]
   in
   let measurements =
     List.map
-      (fun (name, policy, faults, obs, stepper) ->
+      (fun (name, policy, faults, obs, stepper, telemetry) ->
         Printf.eprintf "bench: running %s (%d events)...\n%!" name n_events;
-        measure ~name ~policy ~n_events ~faults ~obs ~stepper ())
+        measure ~name ~policy ~n_events ~faults ~obs ~stepper ~telemetry ())
       scenarios
   in
   let digest_must_match ~of_:other ~reference ~what =
@@ -259,6 +285,8 @@ let () =
     ~what:"enabled observability";
   digest_must_match ~of_:"serve-churn-k8" ~reference:"lmtf-churn-k8"
     ~what:"serving ingest path";
+  digest_must_match ~of_:"serve-telemetry-k8" ~reference:"serve-churn-k8"
+    ~what:"attached serving telemetry";
   List.iter
     (fun m ->
       Printf.printf
@@ -333,7 +361,7 @@ let () =
       (List.concat
          [
            [
-             ("bench", Core.Obs.Json.String "sched_bench_pr5");
+             ("bench", Core.Obs.Json.String "sched_bench_pr6");
              ( "schema_version",
                Core.Obs.Json.Int Core.Obs.Regress.schema_version );
              ("mode", Core.Obs.Json.String (if !quick then "quick" else "full"));

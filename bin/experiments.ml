@@ -546,6 +546,18 @@ let serve_fault_rate_arg =
   let doc = "Primary faults per simulated second during serving (0 = none)." in
   Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"RATE" ~doc)
 
+let metrics_dir_arg =
+  let doc =
+    "Enable live telemetry and write the OpenMetrics exposition file \
+     ($(docv)/metrics.prom, atomic rename) and the request-lifecycle JSONL \
+     ($(docv)/lifecycle.jsonl) there."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-dir" ] ~docv:"DIR" ~doc)
+
+let metrics_every_arg =
+  let doc = "Rewrite the exposition file every $(docv) ticks." in
+  Arg.(value & opt int 10 & info [ "metrics-every" ] ~docv:"N" ~doc)
+
 (* The serving configuration and source spec are rebuilt identically by
    serve and replay from the same flags — restore validates the pair
    against the checkpoint's fingerprint. *)
@@ -612,9 +624,35 @@ let print_serve_summary t result =
         admitted shed drained)
     (Admission.tenant_stats (Serve.admission t))
 
+(* Shared by serve and replay: telemetry is recording-only, so a replay
+   may attach it even when the original run did not — the decision
+   digest is unaffected either way. *)
+let make_telemetry ~metrics_every metrics_dir =
+  Option.map
+    (fun dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Serve_telemetry.create
+        {
+          Serve_telemetry.default_config with
+          Serve_telemetry.metrics_dir = Some dir;
+          metrics_every;
+          lifecycle_path = Some (Filename.concat dir "lifecycle.jsonl");
+        })
+    metrics_dir
+
+let print_telemetry_summary telemetry metrics_dir =
+  match (telemetry, metrics_dir) with
+  | Some tel, Some dir ->
+      Format.printf "telemetry: %d stamp(s), %d exposition write(s) in %s@."
+        (Obs.Lifecycle.stamped (Serve_telemetry.lifecycle tel))
+        (Serve_telemetry.expo_writes tel)
+        dir
+  | _ -> ()
+
 let serve_cmd =
   let run cfg spec seed util ticks fault_seed fault_rate retry_max checkpoint
-      checkpoint_every journal_path no_complete out trace counters hist =
+      checkpoint_every journal_path no_complete metrics_dir metrics_every out
+      trace counters hist =
     with_obs ~trace ~counters (fun () ->
         try
           let scenario = Scenario.prepare ~utilization:util ~seed () in
@@ -645,9 +683,10 @@ let serve_cmd =
             Obs.Histogram.Registry.reset ();
             Obs.Histogram.Registry.enable ()
           end;
+          let telemetry = make_telemetry ~metrics_every metrics_dir in
           let before = Obs.Counters.snapshot () in
           let t =
-            Serve.create ?injector ?journal cfg
+            Serve.create ?injector ?telemetry ?journal cfg
               ~topology:scenario.Scenario.topology ~net:scenario.Scenario.net
               ~source_spec:spec
           in
@@ -669,11 +708,14 @@ let serve_cmd =
           in
           print_serve_summary t result;
           Format.printf "digest: %s@." (Run_digest.of_run result);
+          print_telemetry_summary telemetry metrics_dir;
           match out with
           | None -> ()
           | Some path ->
               let json =
-                Run_report.to_json ~counters:run_counters ?histograms result
+                Run_report.to_json ~counters:run_counters ?histograms
+                  ?telemetry:(Option.map Serve_telemetry.to_json telemetry)
+                  result
               in
               Out_channel.with_open_text path (fun oc ->
                   output_string oc (Obs.Json.to_string json);
@@ -693,7 +735,8 @@ let serve_cmd =
       const run $ serve_cfg_term $ source_spec_term $ seed_arg $ util_arg
       $ ticks_arg $ fault_seed_arg $ serve_fault_rate_arg $ retry_max_arg
       $ checkpoint_arg $ checkpoint_every_arg $ journal_arg $ no_complete_arg
-      $ out_arg $ trace_arg $ counters_arg $ hist_arg)
+      $ metrics_dir_arg $ metrics_every_arg $ out_arg $ trace_arg
+      $ counters_arg $ hist_arg)
 
 let checkpoint_file_arg =
   let doc = "Checkpoint file to inspect." in
@@ -759,13 +802,14 @@ let replay_checkpoint_arg =
 
 let replay_cmd =
   let run cfg spec checkpoint journal_path upto retry_max no_complete
-      expect_digest =
+      metrics_dir metrics_every expect_digest =
     let topology = Fat_tree.to_topology (Fat_tree.create ~k:8 ()) in
     let retry =
       { Retry_policy.default with Retry_policy.max_attempts = retry_max }
     in
-    match Serve.restore ~retry ~config:cfg ~source_spec:spec ~topology
-            checkpoint
+    let telemetry = make_telemetry ~metrics_every metrics_dir in
+    match Serve.restore ~retry ?telemetry ~config:cfg ~source_spec:spec
+            ~topology checkpoint
     with
     | Error m ->
         Format.eprintf "replay: %s@." m;
@@ -785,6 +829,9 @@ let replay_cmd =
         let digest = Serve.digest t in
         print_serve_summary t (Serve.result t);
         Format.printf "digest: %s@." digest;
+        (* Final exposition write + lifecycle flush. *)
+        Option.iter Serve_telemetry.on_retire telemetry;
+        print_telemetry_summary telemetry metrics_dir;
         match expect_digest with
         | Some d when d <> digest ->
             Format.eprintf "replay: digest mismatch: expected %s, got %s@." d
@@ -797,11 +844,147 @@ let replay_cmd =
     (Cmd.info "replay"
        ~doc:
          "Restore a serve checkpoint, re-drive its journal deterministically \
-          and print (optionally assert) the decision digest")
+          and print (optionally assert) the decision digest"
+       ~man:
+         [
+           `P
+             "Telemetry is recording-only: attaching $(b,--metrics-dir) to a \
+              replay never changes the digest, even when the original run \
+              served without it.";
+         ])
     Term.(
       const run $ serve_cfg_term $ source_spec_term $ replay_checkpoint_arg
       $ replay_journal_arg $ upto_arg $ retry_max_arg $ no_complete_arg
-      $ expect_digest_arg)
+      $ metrics_dir_arg $ metrics_every_arg $ expect_digest_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry summary: render a metrics dir (lifecycle JSONL + exposition
+   file) into a per-tenant / SLO table.                                 *)
+
+let telemetry_dir_arg =
+  let doc = "Metrics directory written by $(b,serve --metrics-dir)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+
+let telemetry_cmd =
+  let run dir =
+    let prom = Filename.concat dir "metrics.prom" in
+    let jsonl = Filename.concat dir "lifecycle.jsonl" in
+    if not (Sys.file_exists prom) && not (Sys.file_exists jsonl) then begin
+      Format.eprintf "telemetry: %s has neither metrics.prom nor \
+                      lifecycle.jsonl@." dir;
+      exit 1
+    end;
+    if Sys.file_exists prom then begin
+      let text = In_channel.with_open_text prom In_channel.input_all in
+      match Obs.Expo.validate text with
+      | Error m ->
+          Format.eprintf "telemetry: %s: invalid exposition: %s@." prom m;
+          exit 1
+      | Ok () ->
+          Format.printf "exposition: %s OK (%d byte(s), %d line(s))@." prom
+            (String.length text)
+            (List.length (String.split_on_char '\n' text) - 1)
+    end;
+    if Sys.file_exists jsonl then begin
+      match Obs.Lifecycle.read_jsonl jsonl with
+      | Error m ->
+          Format.eprintf "telemetry: %s: %s@." jsonl m;
+          exit 1
+      | Ok entries ->
+          (* Rebuild per-tenant stats from the stamp stream. Terminal
+             stamps carry the tenant attribution; a degraded completion
+             is counted as completed too. *)
+          let tenants : (string, int array * Obs.Histogram.t) Hashtbl.t =
+            Hashtbl.create 8
+          in
+          let overall = Obs.Histogram.create () in
+          (* slots: arrived admitted shed completed degraded *)
+          let slot name i =
+            let stats, hist =
+              match Hashtbl.find_opt tenants name with
+              | Some v -> v
+              | None ->
+                  let v = (Array.make 5 0, Obs.Histogram.create ()) in
+                  Hashtbl.add tenants name v;
+                  v
+            in
+            stats.(i) <- stats.(i) + 1;
+            hist
+          in
+          let tn (e : Obs.Lifecycle.entry) =
+            if e.Obs.Lifecycle.tenant = "" then "unknown"
+            else e.Obs.Lifecycle.tenant
+          in
+          List.iter
+            (fun (e : Obs.Lifecycle.entry) ->
+              match e.Obs.Lifecycle.stage with
+              | Obs.Lifecycle.Arrived -> ignore (slot (tn e) 0)
+              | Obs.Lifecycle.Admitted -> ignore (slot (tn e) 1)
+              | Obs.Lifecycle.Shed _ -> ignore (slot (tn e) 2)
+              | Obs.Lifecycle.Completed { ect_s } ->
+                  Obs.Histogram.record (slot (tn e) 3) ect_s;
+                  Obs.Histogram.record overall ect_s
+              | Obs.Lifecycle.Degraded { ect_s; _ } ->
+                  Obs.Histogram.record (slot (tn e) 3) ect_s;
+                  ignore (slot (tn e) 4);
+                  Obs.Histogram.record overall ect_s
+              | Obs.Lifecycle.Deferred | Obs.Lifecycle.Submitted _
+              | Obs.Lifecycle.Planned _ | Obs.Lifecycle.Aborted _
+              | Obs.Lifecycle.Retry_scheduled _ -> ())
+            entries;
+          let rows =
+            Hashtbl.fold (fun name v acc -> (name, v) :: acc) tenants []
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          Format.printf "lifecycle: %s, %d stamp(s), %d tenant(s)@." jsonl
+            (List.length entries) (List.length rows);
+          Format.printf "%-14s %8s %8s %6s %9s %8s %10s %10s@." "tenant"
+            "arrived" "admitted" "shed" "completed" "degraded" "mean-ect"
+            "p99-ect";
+          let fopt h f =
+            if Obs.Histogram.is_empty h then "-"
+            else Printf.sprintf "%.3f" (f h)
+          in
+          List.iter
+            (fun (name, (stats, hist)) ->
+              Format.printf "%-14s %8d %8d %6d %9d %8d %10s %10s@." name
+                stats.(0) stats.(1) stats.(2) stats.(3) stats.(4)
+                (fopt hist Obs.Histogram.mean)
+                (fopt hist Obs.Histogram.p99))
+            rows;
+          (* Jain's fairness index over per-tenant mean ECT. *)
+          let means =
+            List.filter_map
+              (fun (_, (_, h)) ->
+                if Obs.Histogram.is_empty h then None
+                else Some (Obs.Histogram.mean h))
+              rows
+          in
+          (match means with
+          | [] -> Format.printf "jain index: - (no completions)@."
+          | xs ->
+              let n = float_of_int (List.length xs) in
+              let s = List.fold_left ( +. ) 0.0 xs in
+              let s2 = List.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+              Format.printf "jain index: %.4f over %d tenant(s)@."
+                (if s2 = 0.0 then 1.0 else s *. s /. (n *. s2))
+                (List.length xs));
+          if not (Obs.Histogram.is_empty overall) then
+            Format.printf "overall ECT: mean %.3f s, p99 %.3f s, p999 %.3f s \
+                           (%d completion(s))@."
+              (Obs.Histogram.mean overall)
+              (Obs.Histogram.p99 overall)
+              (Obs.Histogram.p999 overall)
+              (Obs.Histogram.count overall)
+    end
+  in
+  Cmd.v
+    (Cmd.info "telemetry"
+       ~doc:
+         "Validate a serve metrics directory (OpenMetrics exposition file) \
+          and summarise its lifecycle JSONL into a per-tenant fairness/SLO \
+          table")
+    Term.(const run $ telemetry_dir_arg)
 
 let all_cmd =
   let run seeds alpha trace counters =
@@ -849,6 +1032,7 @@ let main =
       serve_cmd;
       snapshot_cmd;
       replay_cmd;
+      telemetry_cmd;
       all_cmd;
     ]
 

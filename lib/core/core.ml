@@ -72,6 +72,7 @@ module Journal = Nu_serve.Journal
 module Serve_source = Nu_serve.Source
 module Serve_checkpoint = Nu_serve.Checkpoint
 module Serve_codec = Nu_serve.Codec
+module Serve_telemetry = Nu_serve.Telemetry
 module Obs = Nu_obs
 
 (** Canned experiment scenarios: a loaded Fat-Tree plus generator

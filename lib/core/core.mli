@@ -79,6 +79,10 @@ module Serve_source = Nu_serve.Source
 module Serve_checkpoint = Nu_serve.Checkpoint
 module Serve_codec = Nu_serve.Codec
 
+module Serve_telemetry = Nu_serve.Telemetry
+(** Live serving telemetry: request lifecycle stamps, per-tenant
+    fairness/SLO tracking and OpenMetrics exposition. *)
+
 module Obs = Nu_obs
 (** Observability: {!Nu_obs.Trace} spans, {!Nu_obs.Counters},
     {!Nu_obs.Export} (JSONL / Chrome-trace) and the {!Nu_obs.Json}

@@ -133,30 +133,69 @@ let add k n =
   counts.(i) <- counts.(i) + n
 
 let get k = counts.(index k)
-let reset () = Array.fill counts 0 size 0
 
-type snapshot = int array
+(* Dynamic named counters, created on first increment. *)
+let named : (string, int ref) Hashtbl.t = Hashtbl.create 16
 
-let snapshot () = Array.copy counts
+let add_named n k =
+  if n = "" then invalid_arg "Counters.add_named: empty name";
+  match Hashtbl.find_opt named n with
+  | Some r -> r := !r + k
+  | None -> Hashtbl.add named n (ref k)
 
+let incr_named n = add_named n 1
+let get_named n = match Hashtbl.find_opt named n with Some r -> !r | None -> 0
+
+let reset () =
+  Array.fill counts 0 size 0;
+  Hashtbl.reset named
+
+type snapshot = { fixed : int array; dyn : (string * int) list }
+
+let snapshot () =
+  {
+    fixed = Array.copy counts;
+    dyn =
+      Hashtbl.fold (fun n r acc -> (n, !r) :: acc) named []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+  }
+
+(* The named-counter diff is over the *union* of both snapshots' names:
+   a counter first incremented between the two snapshots diffs against
+   an implicit zero instead of silently disappearing. *)
 let diff ~before ~after =
-  if Array.length before <> size || Array.length after <> size then
+  if Array.length before.fixed <> size || Array.length after.fixed <> size then
     invalid_arg "Counters.diff: snapshot size mismatch";
-  Array.init size (fun i -> after.(i) - before.(i))
+  let get l n = Option.value (List.assoc_opt n l) ~default:0 in
+  let names =
+    List.sort_uniq compare
+      (List.map fst before.dyn @ List.map fst after.dyn)
+  in
+  {
+    fixed = Array.init size (fun i -> after.fixed.(i) - before.fixed.(i));
+    dyn = List.map (fun n -> (n, get after.dyn n - get before.dyn n)) names;
+  }
 
-let value snap k = snap.(index k)
-let to_alist snap = List.map (fun k -> (name k, snap.(index k))) all
-let is_zero snap = Array.for_all (fun v -> v = 0) snap
+let value snap k = snap.fixed.(index k)
+let named_value snap n = Option.value (List.assoc_opt n snap.dyn) ~default:0
+
+let to_alist snap =
+  List.map (fun k -> (name k, snap.fixed.(index k))) all @ snap.dyn
+
+let is_zero snap =
+  Array.for_all (fun v -> v = 0) snap.fixed
+  && List.for_all (fun (_, v) -> v = 0) snap.dyn
 
 let to_json snap =
   Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) (to_alist snap))
 
 let pp_table ppf snap =
+  let alist = to_alist snap in
   let width =
-    List.fold_left (fun acc k -> max acc (String.length (name k))) 0 all
+    List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 alist
   in
   Format.fprintf ppf "@[<v>counters:";
   List.iter
     (fun (n, v) -> Format.fprintf ppf "@,  %-*s %10d" width n v)
-    (to_alist snap);
+    alist;
   Format.fprintf ppf "@]"

@@ -56,22 +56,44 @@ val add : key -> int -> unit
 val get : key -> int
 (** Current live value. *)
 
+(** {2 Dynamic named counters}
+
+    Subsystems whose counter set is not known statically (telemetry
+    sinks, plugins) register counters by name on first increment. Named
+    counters share the registry's snapshot/diff machinery; names are
+    dot-namespaced snake_case ["telemetry.expo_writes"]-style strings. *)
+
+val incr_named : string -> unit
+val add_named : string -> int -> unit
+(** Create-on-first-use. Raise [Invalid_argument] on an empty name. *)
+
+val get_named : string -> int
+(** Current live value; 0 for a name never incremented. *)
+
 val reset : unit -> unit
-(** Zero every counter. Intended for tests and benchmark harnesses. *)
+(** Zero every fixed counter and drop every named counter. Intended for
+    tests and benchmark harnesses. *)
 
 type snapshot
-(** Immutable copy of all counter values at one instant. *)
+(** Immutable copy of all counter values — fixed keys and named
+    counters — at one instant. *)
 
 val snapshot : unit -> snapshot
 
 val diff : before:snapshot -> after:snapshot -> snapshot
 (** Per-key [after - before]: the counts attributable to the region
-    between the two snapshots. *)
+    between the two snapshots. Named counters diff over the {e union}
+    of both snapshots' names — a counter first created after [before]
+    was taken diffs against an implicit 0 rather than being dropped. *)
 
 val value : snapshot -> key -> int
 
+val named_value : snapshot -> string -> int
+(** 0 for a name absent from the snapshot. *)
+
 val to_alist : snapshot -> (string * int) list
-(** All keys in {!all} order, including zeros. *)
+(** All fixed keys in {!all} order (including zeros), then named
+    counters sorted by name. *)
 
 val is_zero : snapshot -> bool
 

@@ -1,0 +1,41 @@
+(** OpenMetrics / Prometheus text-format exposition.
+
+    {!render} walks a counter snapshot, histogram snapshots and the
+    {!Fairness} / {!Slo} trackers into a single self-terminated text
+    document ([# EOF] last); {!write_atomic} publishes it via
+    temp-file + rename so a scraper never reads a torn file; and
+    {!validate} parses a document back, which is what the CI
+    telemetry-smoke job runs against the scrape file.
+
+    Naming scheme: every metric is prefixed [nu_]; internal names are
+    mangled to [[a-z0-9_]] (dots become underscores); a trailing [_s]
+    becomes the conventional [_seconds] unit suffix; counters carry
+    [_total]. Histograms render as cumulative [le]-labelled bucket
+    series plus [_sum]/[_count]; per-tenant ECT renders as a [summary]
+    family [nu_tenant_ect_seconds] with [tenant] and [quantile]
+    labels. *)
+
+val metric_name : string -> string
+(** Mangle an internal metric name ("serve.admission_wait_s" →
+    ["nu_serve_admission_wait_seconds"]). *)
+
+val render :
+  ?counters:Counters.snapshot ->
+  ?histograms:(string * Histogram.t) list ->
+  ?fairness:Fairness.t ->
+  ?slo:Slo.t ->
+  unit ->
+  string
+(** Render the given sources into one exposition document. All sources
+    are optional; the result always ends with [# EOF]. *)
+
+val write_atomic : dir:string -> ?filename:string -> string -> unit
+(** Write [content] to [dir/filename] (default ["metrics.prom"]) via a
+    hidden temp file and atomic rename, creating [dir] if missing. *)
+
+val validate : string -> (unit, string) result
+(** Check that a document is well-formed exposition text: every sample
+    line parses (name, optional labels, float value), references a
+    family declared by a preceding [# TYPE] line (directly or via a
+    [_total]/[_bucket]/[_sum]/[_count] series suffix), and the document
+    ends with exactly one [# EOF]. Errors carry a line number. *)

@@ -40,6 +40,22 @@ let jsonl_sink oc : Trace.sink =
     flush = (fun () -> flush oc);
   }
 
+(* Lifecycle instants stamped by [Lifecycle] carry a request id and a
+   flow phase ("s" start / "t" step / "f" finish); rendered as Chrome
+   flow events they draw arrows linking one request's stamps across the
+   span tree. *)
+let flow_of e =
+  if e.Trace.name <> "lifecycle" then None
+  else
+    match
+      ( List.assoc_opt "flow" e.Trace.attrs,
+        List.assoc_opt "id" e.Trace.attrs )
+    with
+    | Some (Trace.Str ph), Some (Trace.Int id)
+      when ph = "s" || ph = "t" || ph = "f" ->
+        Some (ph, id)
+    | _ -> None
+
 let chrome_of_events ?(pid = 1) events =
   let t0 =
     match events with [] -> 0L | e :: _ -> e.Trace.ts_ns
@@ -58,10 +74,28 @@ let chrome_of_events ?(pid = 1) events =
         ("args", attrs_to_json e.Trace.attrs);
       ]
     in
-    (* Instant events need a scope; "t" = thread. *)
-    match e.Trace.phase with
-    | Trace.Instant -> Json.Obj (base @ [ ("s", Json.String "t") ])
-    | Trace.Begin | Trace.End -> Json.Obj base
+    match flow_of e with
+    | Some (ph, id) ->
+        let flow =
+          [
+            ("name", Json.String "request");
+            ("cat", Json.String "lifecycle");
+            ("ph", Json.String ph);
+            ("id", Json.Int id);
+            ("pid", Json.Int pid);
+            ("tid", Json.Int 1);
+            ("ts", Json.Float (ts_us e));
+            ("args", attrs_to_json e.Trace.attrs);
+          ]
+        in
+        (* Flow ends bind to the enclosing slice. *)
+        if ph = "f" then Json.Obj (flow @ [ ("bp", Json.String "e") ])
+        else Json.Obj flow
+    | None -> (
+        (* Instant events need a scope; "t" = thread. *)
+        match e.Trace.phase with
+        | Trace.Instant -> Json.Obj (base @ [ ("s", Json.String "t") ])
+        | Trace.Begin | Trace.End -> Json.Obj base)
   in
   Json.Obj
     [

@@ -23,7 +23,13 @@ val jsonl_sink : out_channel -> Trace.sink
 val chrome_of_events : ?pid:int -> Trace.event list -> Json.t
 (** [{"traceEvents": [...], "displayTimeUnit": "ms"}]. Span begin/end
     map to ["B"]/["E"] duration events, instants to ["i"]; attributes
-    land in ["args"]. [pid] defaults to 1. *)
+    land in ["args"]. [pid] defaults to 1.
+
+    Instants named ["lifecycle"] carrying an [id : Int] and a
+    [flow : Str] attribute (["s"]/["t"]/["f"], as stamped by
+    {!Lifecycle}) are rendered as Chrome {e flow events} instead —
+    [cat "lifecycle"], name ["request"], shared [id] — so one request's
+    stamps are drawn as linked arrows across the span tree. *)
 
 val write_chrome : string -> Trace.event list -> unit
 (** Write {!chrome_of_events} to the named file. *)

@@ -130,6 +130,16 @@ let p90 t = quantile t 0.90
 let p99 t = quantile t 0.99
 let p999 t = quantile t 0.999
 
+let buckets t =
+  List.map
+    (fun (id, c) ->
+      if id = min_int then (0.0, 0.0, c)
+      else begin
+        let lo, hi = bucket_bounds t id in
+        (lo, hi, c)
+      end)
+    (sorted_buckets t)
+
 let copy t =
   {
     t with

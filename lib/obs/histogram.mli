@@ -65,6 +65,12 @@ val p90 : t -> float
 val p99 : t -> float
 val p999 : t -> float
 
+val buckets : t -> (float * float * int) list
+(** Occupied buckets as [(lo, hi, count)] sorted by lower bound, the
+    zero bucket (when occupied) first as [(0, 0, count)] — the same
+    triples {!to_json} renders. Exposition formats build cumulative
+    [le] series from the [hi] bounds. *)
+
 val copy : t -> t
 
 val merge : t -> t -> t

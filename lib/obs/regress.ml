@@ -107,3 +107,83 @@ let check ?(max_regress = 0.15) ~baseline ~current () =
                   note "%s: new scenario (no baseline)" name)
               curs;
             Ok { failures = List.rev !failures; notes = List.rev !notes })
+
+(* Machine-readable companion to [check]: one object per scenario name
+   seen in either document, best-effort even when the gate itself says
+   the runs are incomparable (CI wants the partial picture attached to
+   the failure, not nothing). *)
+
+let scenario_list doc = Option.value (scenarios doc) ~default:[]
+
+let opt_field name to_json = function
+  | None -> []
+  | Some v -> [ (name, to_json v) ]
+
+let scenario_delta name b c =
+  let wall s = num (Json.member "planning_wall_s" s) in
+  let digest s = str (Json.member "digest" s) in
+  let wb = Option.bind b wall and wc = Option.bind c wall in
+  let db = Option.bind b digest and dc = Option.bind c digest in
+  let wall_delta_pct =
+    match (wb, wc) with
+    | Some wb, Some wc when wb > 0.0 -> Some ((wc /. wb -. 1.0) *. 100.0)
+    | _ -> None
+  in
+  let digest_match =
+    match (db, dc) with Some db, Some dc -> Some (db = dc) | _ -> None
+  in
+  let status =
+    match (b, c) with
+    | Some _, Some _ -> "both"
+    | Some _, None -> "missing_from_current"
+    | None, Some _ -> "new_in_current"
+    | None, None -> "absent"
+  in
+  Json.Obj
+    ([ ("name", Json.String name); ("status", Json.String status) ]
+    @ opt_field "planning_wall_baseline_s" (fun f -> Json.Float f) wb
+    @ opt_field "planning_wall_current_s" (fun f -> Json.Float f) wc
+    @ opt_field "planning_wall_delta_pct" (fun f -> Json.Float f) wall_delta_pct
+    @ opt_field "digest_baseline" (fun s -> Json.String s) db
+    @ opt_field "digest_current" (fun s -> Json.String s) dc
+    @ opt_field "digest_match" (fun m -> Json.Bool m) digest_match)
+
+let delta_json ?(max_regress = 0.15) ~baseline ~current () =
+  let bases = scenario_list baseline and curs = scenario_list current in
+  let find name l = List.find_opt (fun s -> scenario_name s = name) l in
+  let names =
+    List.map scenario_name bases
+    @ List.filter_map
+        (fun c ->
+          let name = scenario_name c in
+          if find name bases = None then Some name else None)
+        curs
+  in
+  let deltas =
+    List.map (fun name -> scenario_delta name (find name bases) (find name curs))
+      names
+  in
+  let strings l = Json.List (List.map (fun s -> Json.String s) l) in
+  let verdict =
+    match check ~max_regress ~baseline ~current () with
+    | Error reason ->
+        [
+          ("result", Json.String "incomparable");
+          ("reason", Json.String reason);
+          ("failures", strings []);
+          ("notes", strings []);
+        ]
+    | Ok { failures; notes } ->
+        [
+          ( "result",
+            Json.String (if failures = [] then "pass" else "fail") );
+          ("failures", strings failures);
+          ("notes", strings notes);
+        ]
+  in
+  Json.Obj
+    (verdict
+    @ [
+        ("max_regress", Json.Float max_regress);
+        ("scenarios", Json.List deltas);
+      ])

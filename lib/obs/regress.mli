@@ -32,3 +32,15 @@ val check :
     version or workload mismatch, missing scenario lists);
     [Ok report] otherwise. [max_regress] is the tolerated fractional
     planning-wall increase (0.15 = +15%). *)
+
+val delta_json :
+  ?max_regress:float -> baseline:Json.t -> current:Json.t -> unit -> Json.t
+(** Machine-readable companion to {!check}: a document with
+    ["result"] (["pass"] / ["fail"] / ["incomparable"]), the gate's
+    ["failures"] and ["notes"] (plus ["reason"] when incomparable), and
+    a ["scenarios"] list holding one object per scenario name seen in
+    either input — baseline/current planning wall, percentage delta,
+    both digests and whether they match, and a ["status"] of ["both"],
+    ["missing_from_current"] or ["new_in_current"]. Scenario deltas are
+    emitted best-effort even when the runs are incomparable, so CI can
+    attach the partial picture to the failure. *)

@@ -11,7 +11,12 @@ type t = {
 
 let create ?(capacity = 4096) ~columns () =
   if columns = [] then invalid_arg "Series.create: no columns";
+  (* Decimation assumes the buffer-filling row sits at an odd slot (one
+     old stride past the last even-grid row) so that halving drops it.
+     An odd capacity would place that row at an even slot and leak an
+     off-grid sample into the retained set; round up instead. *)
   let capacity = max 2 capacity in
+  let capacity = capacity + (capacity land 1) in
   {
     cols = Array.of_list columns;
     capacity;

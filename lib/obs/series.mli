@@ -15,7 +15,8 @@
 type t
 
 val create : ?capacity:int -> columns:string list -> unit -> t
-(** [capacity] (default 4096, minimum 2) caps retained rows. [columns]
+(** [capacity] (default 4096, minimum 2, rounded up to even — the
+    stride grid needs pairwise decimation) caps retained rows. [columns]
     names the gauges; every sampled row must supply one value per
     column. Raises [Invalid_argument] on an empty column list. *)
 

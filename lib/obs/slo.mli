@@ -1,0 +1,67 @@
+(** Rolling-window SLO tracker: tail-ECT quantiles, backlog gauges and
+    threshold breach events.
+
+    ECT samples land in a pair of rotating histograms (current +
+    previous window), so {!p99}/{!p999} always answer from between one
+    and two windows of recent history — a bounded-memory approximation
+    of a sliding window. Queue-depth and engine-backlog gauges hold
+    the latest observed values. Once per tick ({!on_tick}) each
+    configured threshold is evaluated against the rolling readout and
+    an exceedance is recorded as a {!breach} event (total count exact;
+    the retained event list is bounded to the most recent 256).
+
+    Purely observational — thresholds gate nothing. *)
+
+type breach = {
+  b_tick : int;
+  b_metric : string;
+      (** ["p99_ect_s"], ["p999_ect_s"], ["queue_depth"] or
+          ["engine_backlog"]. *)
+  b_value : float;
+  b_threshold : float;
+}
+
+type t
+
+val create :
+  ?window:int ->
+  ?sub_buckets:int ->
+  ?p99_target_s:float ->
+  ?p999_target_s:float ->
+  ?max_queue:int ->
+  ?max_backlog:int ->
+  unit ->
+  t
+(** [window] (default 50, minimum 1) is the rotation period in ticks.
+    Omitted targets are never evaluated. *)
+
+val window_ticks : t -> int
+
+val observe_ect : t -> float -> unit
+(** Record one completed request's ECT into the current window. *)
+
+val observe_gauges : t -> queue:int -> backlog:int -> unit
+(** Latest admission queue depth and engine backlog. *)
+
+val on_tick : t -> tick:int -> unit
+(** Evaluate thresholds (recording breaches against [tick]) and
+    advance the window clock, rotating every [window]-th call. *)
+
+val p99 : t -> float option
+(** Rolling-window ECT p99; [None] while the window pair is empty. *)
+
+val p999 : t -> float option
+
+val rolling : t -> Histogram.t
+(** Merged current + previous window histogram (a fresh copy). *)
+
+val queue_depth : t -> int
+val engine_backlog : t -> int
+
+val breaches : t -> breach list
+(** Retained breach events, oldest first (bounded to 256). *)
+
+val breach_count : t -> int
+(** Exact total, including events evicted from the retained list. *)
+
+val to_json : t -> Json.t

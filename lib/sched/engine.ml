@@ -26,6 +26,27 @@ type round_info = {
   fabric_utilization : float;
 }
 
+(* Stepper progress callbacks for external observers (the serving
+   telemetry layer). Observations are emitted after the corresponding
+   state mutation and carry copies of already-computed values only —
+   an observer can record but never perturb a decision. *)
+type observation =
+  | Round_executed of {
+      round : int;
+      start_s : float;
+      executed : int list;
+      co_ids : int list;
+      degraded : bool;
+    }
+  | Round_aborted of {
+      round : int;
+      start_s : float;
+      fault_s : float;
+      batch : int list;
+    }
+  | Event_completed of { result : event_result; degraded : bool }
+  | Event_retry of { event_id : int; ready_s : float }
+
 type run_result = {
   policy : Policy.t;
   events : event_result array;
@@ -341,7 +362,11 @@ type stepper = {
   mutable rounds : int;
   mutable results : event_result list;  (* newest-first *)
   mutable log : round_info list;  (* newest-first *)
+  mutable observer : (observation -> unit) option;
 }
+
+let notify st obs =
+  match st.observer with Some f -> f obs | None -> ()
 
 let promote st =
   let arrived, later =
@@ -425,7 +450,7 @@ let execute_degraded st ev =
       fabric_utilization = round_utilization;
     }
     :: st.log;
-  st.results <-
+  let result =
     {
       event_id = ev.Event.id;
       arrival_s = ev.Event.arrival_s;
@@ -436,8 +461,19 @@ let execute_degraded st ev =
       failed_items = plan.Planner.failed_count;
       co_scheduled = false;
     }
-    :: st.results;
+  in
+  st.results <- result :: st.results;
   st.now <- completion_s;
+  notify st
+    (Round_executed
+       {
+         round = st.rounds - 1;
+         start_s = round_start_s;
+         executed = [ ev.Event.id ];
+         co_ids = [];
+         degraded = true;
+       });
+  notify st (Event_completed { result; degraded = true });
   match sp with
   | Some sp ->
       Trace.finish sp ~attrs:[ ("completion_s", Trace.Float completion_s) ]
@@ -527,6 +563,14 @@ let step st =
         timed ctx (fun () -> Net_state.rollback ctx.net);
         st.now <- max st.now fault_s;
         ignore (Injector.apply_due inj ctx.net ~now:st.now);
+        notify st
+          (Round_aborted
+             {
+               round = st.rounds;
+               start_s = round_start_s;
+               fault_s;
+               batch = executed;
+             });
         let degraded =
           List.filter_map
             (fun (ev, _, _) ->
@@ -535,6 +579,7 @@ let step st =
               with
               | `Retry_at ready_s ->
                   st.held <- (ready_s, ev) :: st.held;
+                  notify st (Event_retry { event_id = ev.Event.id; ready_s });
                   None
               | `Degrade -> Some ev)
             batch
@@ -580,10 +625,23 @@ let step st =
                    ])
           else None
         in
+        notify st
+          (Round_executed
+             {
+               round = st.rounds - 1;
+               start_s = round_start_s;
+               executed;
+               co_ids =
+                 List.filter_map
+                   (fun (ev, _, co, _) ->
+                     if co then Some ev.Event.id else None)
+                   timings;
+               degraded = false;
+             });
         List.iter
           (fun (ev, plan, co_scheduled, completion_s) ->
             schedule_departures ctx ~completion:completion_s plan;
-            st.results <-
+            let result =
               {
                 event_id = ev.Event.id;
                 arrival_s = ev.Event.arrival_s;
@@ -594,7 +652,9 @@ let step st =
                 failed_items = plan.Planner.failed_count;
                 co_scheduled;
               }
-              :: st.results)
+            in
+            st.results <- result :: st.results;
+            notify st (Event_completed { result; degraded = false }))
           timings;
         (match exec_sp with
         | Some sp ->
@@ -625,7 +685,7 @@ let step st =
     `Stepped
   end
 
-let make_stepper ctx policy events =
+let make_stepper ?observer ctx policy events =
   let st =
     {
       ctx;
@@ -641,6 +701,7 @@ let make_stepper ctx policy events =
       rounds = 0;
       results = [];
       log = [];
+      observer;
     }
   in
   promote st;
@@ -904,7 +965,7 @@ module Stepper = struct
 
   let create ?(exec = Exec_model.default) ?(config = Planner.default_config)
       ?rng ?(seed = 7) ?churn ?(co_max_cost_mbit = 0.0) ?(estimate_cache = true)
-      ?injector ?series ?(events = []) ~net policy =
+      ?injector ?series ?observer ?(events = []) ~net policy =
     (match Policy.validate policy with
     | Ok () -> ()
     | Error msg -> invalid_arg ("Engine.Stepper.create: " ^ msg));
@@ -917,7 +978,9 @@ module Stepper = struct
       make_ctx ~exec ~config ~rng ~churn ~co_max_cost_mbit ~estimate_cache
         ~injector ~series ~init_expiry:true ~net
     in
-    make_stepper ctx policy events
+    make_stepper ?observer ctx policy events
+
+  let set_observer st obs = st.observer <- obs
 
   (* New arrivals merge into the pending list at their arrival rank;
      events already due promote immediately so the next [step] sees
@@ -980,7 +1043,7 @@ module Stepper = struct
 
   let thaw ?(exec = Exec_model.default) ?(config = Planner.default_config)
       ?churn ?(co_max_cost_mbit = 0.0) ?(estimate_cache = true) ?injector
-      ?series ~net fz =
+      ?series ?observer ~net fz =
     let rng = Prng.of_raw_state fz.fz_rng in
     let ctx =
       make_ctx ~exec ~config ~rng ~churn ~co_max_cost_mbit ~estimate_cache
@@ -1004,5 +1067,6 @@ module Stepper = struct
       rounds = fz.fz_rounds;
       results = fz.fz_results;
       log = fz.fz_log;
+      observer;
     }
 end

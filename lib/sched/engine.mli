@@ -43,6 +43,29 @@ type round_info = {
     P-LMTF achieves. Flow-level runs, whose rounds are individual flows,
     do not produce a log. *)
 
+(** Progress callbacks emitted by a {!Stepper} to an attached observer
+    (the serving telemetry layer). Emitted after the corresponding
+    state mutation, carrying copies of already-computed values only, so
+    an observer can record but never perturb a decision — attaching one
+    leaves the run bit-identical. *)
+type observation =
+  | Round_executed of {
+      round : int;  (** 0-based index of the round just finished. *)
+      start_s : float;  (** Decision instant (simulated). *)
+      executed : int list;  (** Event ids of the batch, head first. *)
+      co_ids : int list;  (** The co-scheduled subset. *)
+      degraded : bool;  (** Terminal best-effort round after retries. *)
+    }
+  | Round_aborted of {
+      round : int;  (** Index the round would have had. *)
+      start_s : float;
+      fault_s : float;  (** Fault instant that landed mid-flight. *)
+      batch : int list;  (** Event ids routed into retry/degrade. *)
+    }
+  | Event_completed of { result : event_result; degraded : bool }
+  | Event_retry of { event_id : int; ready_s : float }
+      (** Aborted event held until [ready_s] (bounded backoff). *)
+
 type run_result = {
   policy : Policy.t;
   events : event_result array;  (** Sorted by event id. *)
@@ -163,13 +186,19 @@ module Stepper : sig
     ?estimate_cache:bool ->
     ?injector:Nu_fault.Injector.t ->
     ?series:Nu_obs.Series.t ->
+    ?observer:(observation -> unit) ->
     ?events:Event.t list ->
     net:Net_state.t ->
     Policy.t ->
     t
   (** Same optional knobs (and defaults) as {!run}. [events] (default
-      []) seeds the arrival queue. Raises [Invalid_argument] on an
-      invalid policy, or on a flow-level policy — those are batch-only. *)
+      []) seeds the arrival queue. [observer] receives an
+      {!observation} after each round and completion — recording only,
+      never decision-relevant. Raises [Invalid_argument] on an invalid
+      policy, or on a flow-level policy — those are batch-only. *)
+
+  val set_observer : t -> (observation -> unit) option -> unit
+  (** Attach or detach the progress observer. *)
 
   val submit : t -> Event.t list -> unit
   (** Merge new arrivals (any order) into the arrival queue at their
@@ -239,6 +268,7 @@ module Stepper : sig
     ?estimate_cache:bool ->
     ?injector:Nu_fault.Injector.t ->
     ?series:Nu_obs.Series.t ->
+    ?observer:(observation -> unit) ->
     net:Net_state.t ->
     frozen ->
     t

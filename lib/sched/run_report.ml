@@ -44,7 +44,7 @@ let round_to_json (r : Engine.round_info) =
       ("fabric_utilization", Json.Float r.Engine.fabric_utilization);
     ]
 
-let to_json ?counters ?recovery ?histograms ?series ?profile
+let to_json ?counters ?recovery ?histograms ?series ?profile ?telemetry
     (run : Engine.run_result) =
   let summary = Metrics.of_run run in
   Json.Obj
@@ -80,7 +80,10 @@ let to_json ?counters ?recovery ?histograms ?series ?profile
     @ (match series with
       | None -> []
       | Some s -> [ ("series", Nu_obs.Series.to_json s) ])
+    @ (match profile with
+      | None -> []
+      | Some p -> [ ("profile", Nu_obs.Profile.to_json p) ])
     @
-    match profile with
+    match telemetry with
     | None -> []
-    | Some p -> [ ("profile", Nu_obs.Profile.to_json p) ])
+    | Some j -> [ ("telemetry", (j : Nu_obs.Json.t)) ])

@@ -21,6 +21,7 @@ val to_json :
   ?histograms:(string * Nu_obs.Histogram.t) list ->
   ?series:Nu_obs.Series.t ->
   ?profile:Nu_obs.Profile.t ->
+  ?telemetry:Nu_obs.Json.t ->
   Engine.run_result ->
   Nu_obs.Json.t
 (** The full report: policy, summary, events (event-id order), round
@@ -32,4 +33,6 @@ val to_json :
     {!Nu_obs.Histogram.Registry.snapshot}) adds a ["histograms"] object
     keyed by metric name; [series] (the run's per-round gauge series)
     adds a ["series"] block; [profile] (a {!Nu_obs.Profile.of_events}
-    span tree) adds a ["profile"] block. *)
+    span tree) adds a ["profile"] block; [telemetry] (a serving run's
+    [Nu_serve.Telemetry.to_json] — passed pre-rendered, since this
+    library sits below [Nu_serve]) adds a ["telemetry"] block. *)

@@ -149,13 +149,16 @@ type t = {
   admission : Admission.t;
   stepper : Engine.Stepper.t;
   injector : Injector.t option;
+  telemetry : Telemetry.t option;
+      (* Recording-only; deliberately absent from the checkpoint
+         fingerprint so journals replay regardless of telemetry. *)
   mutable journal : Journal.writer option;
   mutable deferred : Request.t list;
   mutable tick_count : int;
 }
 
-let create ?source_params ?injector ?series ?journal cfg ~topology ~net
-    ~source_spec =
+let create ?source_params ?injector ?series ?telemetry ?journal cfg ~topology
+    ~net ~source_spec =
   validate_config cfg;
   let host_count = Topology.host_count topology in
   let source = Source.create ?params:source_params ~host_count source_spec in
@@ -167,7 +170,9 @@ let create ?source_params ?injector ?series ?journal cfg ~topology ~net
     Engine.Stepper.create ~seed:cfg.engine_seed
       ?churn:(engine_churn ~host_count cfg.churn)
       ~co_max_cost_mbit:cfg.co_max_cost_mbit
-      ~estimate_cache:cfg.estimate_cache ?injector ?series ~net cfg.policy
+      ~estimate_cache:cfg.estimate_cache ?injector ?series
+      ?observer:(Option.map Telemetry.observer telemetry)
+      ~net cfg.policy
   in
   {
     cfg;
@@ -178,6 +183,7 @@ let create ?source_params ?injector ?series ?journal cfg ~topology ~net
     admission;
     stepper;
     injector;
+    telemetry;
     journal;
     deferred = [];
     tick_count = 0;
@@ -186,6 +192,7 @@ let create ?source_params ?injector ?series ?journal cfg ~topology ~net
 let tick_count t = t.tick_count
 let now_s t = float_of_int t.tick_count *. t.cfg.tick_dt_s
 let admission t = t.admission
+let telemetry t = t.telemetry
 let deferred_count t = List.length t.deferred
 let engine_backlog t = Engine.Stepper.backlog t.stepper
 let completed t = Engine.Stepper.completed t.stepper
@@ -204,6 +211,7 @@ let set_journal t w = t.journal <- w
 let retire t =
   let r = result t in
   Engine.record_event_histograms r.Engine.events;
+  (match t.telemetry with Some tel -> Telemetry.on_retire tel | None -> ());
   (match t.journal with
   | Some w ->
       Journal.close_writer w;
@@ -215,12 +223,23 @@ let retire t =
    (or replayed). Deferred requests are re-offered ahead of fresh
    arrivals so Block cannot reorder a tenant's stream. *)
 let execute_tick t arrivals =
+  (match t.telemetry with
+  | Some tel ->
+      Telemetry.on_tick_start tel ~tick:t.tick_count ~now_s:(now_s t);
+      (* Fresh arrivals only: deferred requests were stamped when first
+         seen. *)
+      List.iter (Telemetry.on_arrival tel) arrivals
+  | None -> ());
   let candidates = t.deferred @ arrivals in
   t.deferred <- [];
   let deferred_rev = ref [] in
   List.iter
     (fun req ->
-      match Admission.offer t.admission ~tick:t.tick_count req with
+      let outcome = Admission.offer t.admission ~tick:t.tick_count req in
+      (match t.telemetry with
+      | Some tel -> Telemetry.on_admission tel req outcome
+      | None -> ());
+      match outcome with
       | Admission.Admitted -> Counters.incr Counters.Serve_admitted
       | Admission.Shed _ -> Counters.incr Counters.Serve_shed
       | Admission.Deferred ->
@@ -237,6 +256,13 @@ let execute_tick t arrivals =
           Histogram.Registry.record "serve.admission_wait_s"
             (float_of_int (t.tick_count - enq_tick) *. t.cfg.tick_dt_s))
         drained;
+    (match t.telemetry with
+    | Some tel ->
+        List.iter
+          (fun (req, enq_tick) ->
+            Telemetry.on_drain tel req ~wait_ticks:(t.tick_count - enq_tick))
+          drained
+    | None -> ());
     Engine.Stepper.submit t.stepper
       (List.map (fun (req, _) -> req.Request.event) drained)
   end;
@@ -253,6 +279,12 @@ let execute_tick t arrivals =
     Histogram.Registry.record "serve.engine_backlog"
       (float_of_int (Engine.Stepper.backlog t.stepper))
   end;
+  (match t.telemetry with
+  | Some tel ->
+      Telemetry.on_tick_end tel ~tick:t.tick_count
+        ~queue:(Admission.size t.admission)
+        ~backlog:(Engine.Stepper.backlog t.stepper)
+  | None -> ());
   Counters.incr Counters.Serve_ticks;
   t.tick_count <- t.tick_count + 1
 
@@ -321,8 +353,8 @@ let complete ?(max_ticks = 1_000_000) t =
 (* ------------------------------------------------------------------ *)
 (* Restore + replay.                                                   *)
 
-let restore ?source_params ?series ?retry ?check_invariants ~config:cfg
-    ~source_spec ~topology path =
+let restore ?source_params ?series ?telemetry ?retry ?check_invariants
+    ~config:cfg ~source_spec ~topology path =
   let* () = try Ok (validate_config cfg) with Invalid_argument m -> Error m in
   let* cp = Checkpoint.load ~graph:topology.Topology.graph path in
   let expected = fingerprint cfg source_spec in
@@ -343,8 +375,9 @@ let restore ?source_params ?series ?retry ?check_invariants ~config:cfg
         Engine.Stepper.thaw
           ?churn:(engine_churn ~host_count cfg.churn)
           ~co_max_cost_mbit:cfg.co_max_cost_mbit
-          ~estimate_cache:cfg.estimate_cache ?injector ?series ~net
-          cp.Checkpoint.stepper
+          ~estimate_cache:cfg.estimate_cache ?injector ?series
+          ?observer:(Option.map Telemetry.observer telemetry)
+          ~net cp.Checkpoint.stepper
       in
       let admission =
         Admission.thaw ~capacity:cfg.admission_capacity
@@ -363,6 +396,7 @@ let restore ?source_params ?series ?retry ?check_invariants ~config:cfg
         admission;
         stepper;
         injector;
+        telemetry;
         journal = None;
         deferred = cp.Checkpoint.deferred;
         tick_count = cp.Checkpoint.tick;

@@ -66,6 +66,7 @@ val create :
   ?source_params:Benson_trace.params ->
   ?injector:Nu_fault.Injector.t ->
   ?series:Nu_obs.Series.t ->
+  ?telemetry:Telemetry.t ->
   ?journal:Journal.writer ->
   config ->
   topology:Topology.t ->
@@ -73,7 +74,13 @@ val create :
   source_spec:Source.spec ->
   t
 (** Raises [Invalid_argument] on invalid configuration (non-positive
-    drain/steps/dt, flow-level policy, bad churn spec) or source spec. *)
+    drain/steps/dt, flow-level policy, bad churn spec) or source spec.
+
+    [telemetry] attaches live serving telemetry ({!Telemetry}):
+    lifecycle stamps for every request, per-tenant fairness and SLO
+    tracking, and periodic OpenMetrics exposition. Recording-only — the
+    decision digest is bit-identical with or without it, and it is not
+    part of the checkpoint {!fingerprint}. *)
 
 val tick : t -> unit
 (** Run one full tick (poll → journal → admit → drain → step → commit). *)
@@ -97,6 +104,10 @@ val tick_count : t -> int
 
 val now_s : t -> float
 val admission : t -> Admission.t
+
+val telemetry : t -> Telemetry.t option
+(** The attached telemetry, if any. *)
+
 val deferred_count : t -> int
 val engine_backlog : t -> int
 val completed : t -> int
@@ -114,7 +125,9 @@ val digest : t -> string
 
 val retire : t -> Engine.run_result
 (** {!result} plus end-of-life histogram recording
-    ({!Engine.record_event_histograms}) and journal close. *)
+    ({!Engine.record_event_histograms}), a final telemetry exposition
+    write + lifecycle-stream close ({!Telemetry.on_retire}), and
+    journal close. *)
 
 val set_journal : t -> Journal.writer option -> unit
 (** Replace the journal writer (closing is the caller's concern). *)
@@ -130,6 +143,7 @@ val save_checkpoint : t -> string -> unit
 val restore :
   ?source_params:Benson_trace.params ->
   ?series:Nu_obs.Series.t ->
+  ?telemetry:Telemetry.t ->
   ?retry:Nu_fault.Retry_policy.t ->
   ?check_invariants:bool ->
   config:config ->

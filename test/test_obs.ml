@@ -258,8 +258,11 @@ let test_counters_snapshot_diff () =
 let test_counters_alist_json () =
   let snap = Obs.Counters.snapshot () in
   let alist = Obs.Counters.to_alist snap in
-  Alcotest.(check int)
-    "all keys present" (List.length Obs.Counters.all) (List.length alist);
+  (* Fixed keys always render; named counters (created by other tests
+     or telemetry) may follow them. *)
+  Alcotest.(check bool)
+    "at least all fixed keys" true
+    (List.length alist >= List.length Obs.Counters.all);
   List.iter
     (fun k ->
       match List.assoc_opt (Obs.Counters.name k) alist with
@@ -838,6 +841,434 @@ let test_engine_series_and_histograms () =
     [ "planner.plan_latency_s"; "planner.probe_latency_s"; "planner.moves_per_event" ];
   Obs.Histogram.Registry.reset ()
 
+(* ------------------------------------------------------------------ *)
+(* Named counters: late registration                                   *)
+
+(* Regression: a named counter created *after* [before] was snapshotted
+   must still appear in the diff (against an implicit 0), not vanish. *)
+let test_counters_late_registration_diff () =
+  let name = "test.late_registration" in
+  let before = Obs.Counters.snapshot () in
+  Obs.Counters.incr_named name;
+  Obs.Counters.add_named name 4;
+  let after = Obs.Counters.snapshot () in
+  let d = Obs.Counters.diff ~before ~after in
+  Alcotest.(check int) "late counter diffs against 0" 5
+    (Obs.Counters.named_value d name);
+  Alcotest.(check bool)
+    "alist carries it" true
+    (List.assoc_opt name (Obs.Counters.to_alist d) = Some 5);
+  (* The asymmetric direction too: present in before, absent from a
+     fresh process state — union means it still diffs (to a negative
+     delta here, since diff is blind subtraction). *)
+  let d0 = Obs.Counters.diff ~before:after ~after in
+  Alcotest.(check int) "self-diff zero" 0 (Obs.Counters.named_value d0 name);
+  Alcotest.(check bool) "self-diff is_zero" true (Obs.Counters.is_zero d0);
+  Alcotest.check_raises "empty name rejected"
+    (Invalid_argument "Counters.add_named: empty name") (fun () ->
+      Obs.Counters.incr_named "")
+
+(* ------------------------------------------------------------------ *)
+(* Histogram merge with mismatched bucket configs                      *)
+
+let prop_histogram_merge_mismatch_raises =
+  QCheck.Test.make ~name:"histogram merge rejects sub_buckets mismatch"
+    ~count:50
+    QCheck.(
+      triple (int_range 0 5) (int_range 0 5) (list (float_range 0.0 100.0)))
+    (fun (ea, eb, samples) ->
+      QCheck.assume (ea <> eb);
+      let mk e =
+        let h = Obs.Histogram.create ~sub_buckets:(1 lsl (e + 1)) () in
+        List.iter (Obs.Histogram.record h) samples;
+        h
+      in
+      try
+        ignore (Obs.Histogram.merge (mk ea) (mk eb));
+        false
+      with Invalid_argument _ -> true)
+
+let prop_histogram_merge_equals_concat =
+  QCheck.Test.make
+    ~name:"histogram merge equals one histogram over concatenated samples"
+    ~count:100
+    QCheck.(
+      pair (list (float_range 0.0 500.0)) (list (float_range 0.0 500.0)))
+    (fun (xs, ys) ->
+      let mk samples =
+        let h = Obs.Histogram.create ~sub_buckets:16 () in
+        List.iter (Obs.Histogram.record h) samples;
+        h
+      in
+      let merged = Obs.Histogram.merge (mk xs) (mk ys) in
+      let whole = mk (xs @ ys) in
+      Obs.Histogram.count merged = Obs.Histogram.count whole
+      && Obs.Histogram.buckets merged = Obs.Histogram.buckets whole
+      && (Obs.Histogram.is_empty whole
+         || List.for_all
+              (fun q ->
+                Obs.Histogram.quantile merged q = Obs.Histogram.quantile whole q)
+              [ 0.0; 0.5; 0.99; 1.0 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Series decimation at the stride boundary                            *)
+
+(* Differential against the specification: after offering rows at
+   t = 0, 1, ..., n-1, the retained rows are exactly the multiples of
+   the final stride below n — uniform grid, first sample kept, no
+   off-grid stragglers around the capacity/decimation boundaries. *)
+let prop_series_stride_grid =
+  QCheck.Test.make ~name:"series retains exactly the stride-grid rows"
+    ~count:200
+    QCheck.(pair (int_range 2 12) (int_range 1 300))
+    (fun (capacity, n) ->
+      let s = Obs.Series.create ~capacity ~columns:[ "v" ] () in
+      (* create rounds an odd capacity up to even. *)
+      let effective = capacity + (capacity land 1) in
+      for i = 0 to n - 1 do
+        Obs.Series.sample s ~t_s:(float_of_int i) [| float_of_int i |]
+      done;
+      let stride = Obs.Series.stride s in
+      let expected =
+        List.init n Fun.id |> List.filter (fun i -> i mod stride = 0)
+      in
+      let retained =
+        List.init (Obs.Series.length s) (fun i ->
+            int_of_float (fst (Obs.Series.get s i)))
+      in
+      Obs.Series.total_samples s = n
+      && Obs.Series.length s <= effective
+      && retained = expected)
+
+let test_series_decimation_boundary () =
+  (* Pin the exact boundary behaviour at capacity 4: the offer that
+     fills the buffer triggers decimation and is itself dropped (it sits
+     off the doubled grid); retention snaps to the new grid. *)
+  let s = Obs.Series.create ~capacity:4 ~columns:[ "v" ] () in
+  let offer i = Obs.Series.sample s ~t_s:(float_of_int i) [| 0.0 |] in
+  let retained () =
+    List.init (Obs.Series.length s) (fun i ->
+        int_of_float (fst (Obs.Series.get s i)))
+  in
+  for i = 0 to 2 do offer i done;
+  Alcotest.(check (list int)) "below capacity: everything" [ 0; 1; 2 ]
+    (retained ());
+  Alcotest.(check int) "stride still 1" 1 (Obs.Series.stride s);
+  offer 3;
+  (* 4th row fills the buffer: decimate to evens, stride doubles. *)
+  Alcotest.(check (list int)) "decimated to evens" [ 0; 2 ] (retained ());
+  Alcotest.(check int) "stride doubled" 2 (Obs.Series.stride s);
+  offer 4;
+  Alcotest.(check (list int)) "next keep lands on the new grid" [ 0; 2; 4 ]
+    (retained ());
+  offer 5;
+  Alcotest.(check (list int)) "odd row dropped in O(1)" [ 0; 2; 4 ]
+    (retained ())
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let test_lifecycle_stamps_and_jsonl () =
+  let dir = Filename.temp_file "nu_lifecycle" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let path = Filename.concat dir "lifecycle.jsonl" in
+  let lc = Obs.Lifecycle.create ~path ~capacity:8 () in
+  Obs.Lifecycle.stamp lc ~id:7 ~tenant:"t-a" ~tick:0 ~t_s:0.0
+    Obs.Lifecycle.Arrived;
+  Obs.Lifecycle.stamp lc ~id:7 ~tick:0 ~t_s:0.0 Obs.Lifecycle.Admitted;
+  Obs.Lifecycle.stamp lc ~id:7 ~tick:1 ~t_s:0.05
+    (Obs.Lifecycle.Submitted { wait_ticks = 1 });
+  Obs.Lifecycle.stamp lc ~id:7 ~tick:1 ~t_s:0.05
+    (Obs.Lifecycle.Planned { round = 0; co_scheduled = true });
+  Alcotest.(check (option string))
+    "tenant inherited while in flight" (Some "t-a")
+    (Obs.Lifecycle.tenant_of lc 7);
+  Alcotest.(check int) "in flight" 1 (Obs.Lifecycle.in_flight lc);
+  Obs.Lifecycle.stamp lc ~id:7 ~tick:2 ~t_s:0.1
+    (Obs.Lifecycle.Completed { ect_s = 0.1 });
+  Alcotest.(check (option string))
+    "terminal stamp retires attribution" None
+    (Obs.Lifecycle.tenant_of lc 7);
+  Alcotest.(check int) "nothing in flight" 0 (Obs.Lifecycle.in_flight lc);
+  Alcotest.(check int) "five stamps" 5 (Obs.Lifecycle.stamped lc);
+  Obs.Lifecycle.close lc;
+  (* The streamed JSONL reads back as the in-memory ring. *)
+  (match Obs.Lifecycle.read_jsonl path with
+  | Error m -> Alcotest.failf "read_jsonl: %s" m
+  | Ok entries ->
+      Alcotest.(check int) "one line per stamp" 5 (List.length entries);
+      Alcotest.(check bool)
+        "file round-trips the ring" true
+        (entries = Obs.Lifecycle.entries lc);
+      let stages =
+        List.map (fun e -> Obs.Lifecycle.stage_name e.Obs.Lifecycle.stage)
+          entries
+      in
+      Alcotest.(check (list string))
+        "stage order preserved"
+        [ "arrived"; "admitted"; "submitted"; "planned"; "completed" ]
+        stages);
+  Sys.remove path;
+  Sys.rmdir dir
+
+let test_lifecycle_entry_json_roundtrip () =
+  let entries =
+    [
+      Obs.Lifecycle.Arrived;
+      Obs.Lifecycle.Admitted;
+      Obs.Lifecycle.Shed "tenant-quota";
+      Obs.Lifecycle.Deferred;
+      Obs.Lifecycle.Submitted { wait_ticks = 3 };
+      Obs.Lifecycle.Planned { round = 9; co_scheduled = false };
+      Obs.Lifecycle.Aborted { round = 9 };
+      Obs.Lifecycle.Retry_scheduled { ready_s = 1.25 };
+      Obs.Lifecycle.Completed { ect_s = 0.5 };
+      Obs.Lifecycle.Degraded { ect_s = 2.0; failed_items = 2 };
+    ]
+    |> List.mapi (fun i stage ->
+           { Obs.Lifecycle.id = i; tenant = "t"; tick = i; t_s = 0.1; stage })
+  in
+  List.iter
+    (fun e ->
+      match Obs.Lifecycle.entry_of_json (Obs.Lifecycle.entry_to_json e) with
+      | Ok e' ->
+          Alcotest.(check bool)
+            (Obs.Lifecycle.stage_name e.Obs.Lifecycle.stage ^ " round-trips")
+            true (e = e')
+      | Error m -> Alcotest.failf "entry_of_json: %s" m)
+    entries
+
+(* ------------------------------------------------------------------ *)
+(* Fairness                                                            *)
+
+let test_fairness_jain_and_windows () =
+  let f = Obs.Fairness.create ~window:2 () in
+  Alcotest.(check (option (float 0.0)))
+    "no completions, no index" None (Obs.Fairness.jain_index f);
+  Obs.Fairness.observe_admit f ~tenant:"a";
+  Obs.Fairness.observe_admit f ~tenant:"b";
+  Obs.Fairness.observe_shed f ~tenant:"b";
+  Obs.Fairness.observe_completion f ~tenant:"a" ~ect_s:1.0 ~degraded:false;
+  Obs.Fairness.observe_completion f ~tenant:"b" ~ect_s:1.0 ~degraded:true;
+  (* Equal means => perfectly fair. *)
+  (match Obs.Fairness.jain_index f with
+  | Some j -> Alcotest.(check (float 1e-9)) "equal means" 1.0 j
+  | None -> Alcotest.fail "index expected");
+  Obs.Fairness.observe_completion f ~tenant:"a" ~ect_s:1.0 ~degraded:false;
+  (* a: mean 1.0 over 2; b: mean 1.0 — still equal. Skew b hard. *)
+  Obs.Fairness.observe_completion f ~tenant:"b" ~ect_s:31.0 ~degraded:false;
+  (match Obs.Fairness.jain_index f with
+  | Some j ->
+      (* means 1 and 16: (17)^2 / (2 * 257) = 289/514. *)
+      Alcotest.(check (float 1e-6)) "skewed index" (289.0 /. 514.0) j
+  | None -> Alcotest.fail "index expected");
+  Alcotest.(check (list string))
+    "tenants sorted" [ "a"; "b" ] (Obs.Fairness.tenant_names f);
+  (match Obs.Fairness.view f with
+  | [ a; b ] ->
+      Alcotest.(check string) "a first" "a" a.Obs.Fairness.v_tenant;
+      Alcotest.(check int) "a completed" 2 a.Obs.Fairness.v_completed;
+      Alcotest.(check int) "b degraded" 1 b.Obs.Fairness.v_degraded;
+      Alcotest.(check (float 1e-9))
+        "b shed ratio" 0.5 b.Obs.Fairness.v_shed_ratio
+  | _ -> Alcotest.fail "two tenants expected");
+  (* Window rotation: nothing before the first full window. *)
+  Alcotest.(check int) "no window yet" 0 (Obs.Fairness.windows_completed f);
+  Alcotest.(check bool) "last_window empty" true (Obs.Fairness.last_window f = []);
+  Obs.Fairness.on_tick f;
+  Obs.Fairness.on_tick f;
+  Alcotest.(check int) "one window" 1 (Obs.Fairness.windows_completed f);
+  (match Obs.Fairness.last_window f with
+  | [ wa; wb ] ->
+      Alcotest.(check string) "window tenant a" "a" wa.Obs.Fairness.w_tenant;
+      Alcotest.(check int) "a window count" 2 wa.Obs.Fairness.w_count;
+      Alcotest.(check int) "b window count" 2 wb.Obs.Fairness.w_count
+  | _ -> Alcotest.fail "both tenants completed in window 0");
+  (* The frozen window is stable: a new completion lands in the next. *)
+  Obs.Fairness.observe_completion f ~tenant:"a" ~ect_s:9.0 ~degraded:false;
+  match Obs.Fairness.last_window f with
+  | [ wa; _ ] -> Alcotest.(check int) "frozen" 2 wa.Obs.Fairness.w_count
+  | _ -> Alcotest.fail "window changed shape"
+
+(* ------------------------------------------------------------------ *)
+(* Slo                                                                 *)
+
+let test_slo_rolling_and_breaches () =
+  let s =
+    Obs.Slo.create ~window:2 ~p99_target_s:0.5 ~max_queue:10 ~max_backlog:3 ()
+  in
+  Alcotest.(check (option (float 0.0))) "empty p99" None (Obs.Slo.p99 s);
+  Obs.Slo.observe_ect s 0.1;
+  Obs.Slo.observe_gauges s ~queue:4 ~backlog:1;
+  Obs.Slo.on_tick s ~tick:0;
+  Alcotest.(check int) "under targets: no breach" 0 (Obs.Slo.breach_count s);
+  (* Blow past the p99 target and the backlog cap. *)
+  for _ = 1 to 50 do Obs.Slo.observe_ect s 2.0 done;
+  Obs.Slo.observe_gauges s ~queue:4 ~backlog:7;
+  Obs.Slo.on_tick s ~tick:1;
+  Alcotest.(check bool)
+    "p99 reflects the spike" true
+    (match Obs.Slo.p99 s with Some v -> v > 1.5 | None -> false);
+  let metrics =
+    List.map (fun b -> b.Obs.Slo.b_metric) (Obs.Slo.breaches s)
+  in
+  Alcotest.(check bool) "p99 breach recorded" true
+    (List.mem "p99_ect_s" metrics);
+  Alcotest.(check bool) "backlog breach recorded" true
+    (List.mem "engine_backlog" metrics);
+  Alcotest.(check bool) "queue under cap: no breach" false
+    (List.mem "queue_depth" metrics);
+  List.iter
+    (fun b -> Alcotest.(check int) "breach stamped with tick" 1 b.Obs.Slo.b_tick)
+    (Obs.Slo.breaches s);
+  (* Rotation bounds history: after two full windows with no samples,
+     the rolling pair is empty again. *)
+  for t = 2 to 5 do Obs.Slo.on_tick s ~tick:t done;
+  Alcotest.(check bool)
+    "old spike aged out" true
+    (Obs.Histogram.is_empty (Obs.Slo.rolling s));
+  Alcotest.(check (option (float 0.0))) "p99 empty again" None (Obs.Slo.p99 s)
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics exposition                                              *)
+
+let test_expo_metric_name () =
+  List.iter
+    (fun (input, expected) ->
+      Alcotest.(check string) input expected (Obs.Expo.metric_name input))
+    [
+      ("serve.admission_wait_s", "nu_serve_admission_wait_seconds");
+      ("planner_plans", "nu_planner_plans");
+      ("Weird-Name.1", "nu_weird_name_1");
+      ("telemetry.expo_writes", "nu_telemetry_expo_writes");
+    ]
+
+let test_expo_render_validates () =
+  let f = Obs.Fairness.create ~window:2 () in
+  Obs.Fairness.observe_admit f ~tenant:"quoted\"tenant\nx";
+  Obs.Fairness.observe_completion f ~tenant:"quoted\"tenant\nx" ~ect_s:0.25
+    ~degraded:false;
+  let slo = Obs.Slo.create ~p99_target_s:0.1 () in
+  Obs.Slo.observe_ect slo 0.5;
+  Obs.Slo.observe_gauges slo ~queue:2 ~backlog:1;
+  Obs.Slo.on_tick slo ~tick:0;
+  let h = Obs.Histogram.create ~sub_buckets:4 () in
+  List.iter (Obs.Histogram.record h) [ 0.1; 0.2; 3.0 ];
+  let doc =
+    Obs.Expo.render
+      ~counters:(Obs.Counters.snapshot ())
+      ~histograms:[ ("serve.wait_s", h) ]
+      ~fairness:f ~slo ()
+  in
+  (match Obs.Expo.validate doc with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "rendered document rejected: %s" m);
+  Alcotest.(check bool)
+    "self-terminated" true
+    (String.length doc >= 6
+    && String.sub doc (String.length doc - 6) 6 = "# EOF\n");
+  (* Histogram families render cumulatively with a +Inf catch-all. *)
+  Alcotest.(check bool)
+    "+Inf bucket" true
+    (let substr = "nu_serve_wait_seconds_bucket{le=\"+Inf\"} 3" in
+     let rec find i =
+       i + String.length substr <= String.length doc
+       && (String.sub doc i (String.length substr) = substr || find (i + 1))
+     in
+     find 0);
+  (* Malformed documents are rejected with a line number. *)
+  List.iter
+    (fun (label, bad) ->
+      match Obs.Expo.validate bad with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "accepted %s" label)
+    [
+      ("missing EOF", "# TYPE nu_x counter\nnu_x_total 1\n");
+      ("undeclared family", "nu_ghost 1\n# EOF\n");
+      ("bad value", "# TYPE nu_x gauge\nnu_x yes\n# EOF\n");
+      ("unterminated label", "# TYPE nu_x gauge\nnu_x{a=\"b} 1\n# EOF\n");
+      ( "text after EOF",
+        "# TYPE nu_x gauge\nnu_x 1\n# EOF\nnu_x 2\n" );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Chrome flow events                                                  *)
+
+let test_chrome_flow_events () =
+  let mk ts attrs =
+    {
+      Obs.Trace.phase = Obs.Trace.Instant;
+      name = "lifecycle";
+      ts_ns = Int64.of_int ts;
+      depth = 0;
+      attrs;
+    }
+  in
+  let events =
+    [
+      mk 0 [ ("flow", Obs.Trace.Str "s"); ("id", Obs.Trace.Int 7) ];
+      mk 1000 [ ("flow", Obs.Trace.Str "t"); ("id", Obs.Trace.Int 7) ];
+      mk 2000 [ ("flow", Obs.Trace.Str "f"); ("id", Obs.Trace.Int 7) ];
+      (* No flow attrs: stays an ordinary instant. *)
+      mk 3000 [];
+    ]
+  in
+  match Obs.Json.member "traceEvents" (Obs.Export.chrome_of_events events) with
+  | Some (Obs.Json.List [ s; t; f; plain ]) ->
+      let ph v = Obs.Json.member "ph" v in
+      Alcotest.(check bool) "flow start" true (ph s = Some (Obs.Json.String "s"));
+      Alcotest.(check bool) "flow step" true (ph t = Some (Obs.Json.String "t"));
+      Alcotest.(check bool) "flow finish" true (ph f = Some (Obs.Json.String "f"));
+      Alcotest.(check bool)
+        "finish binds enclosing" true
+        (Obs.Json.member "bp" f = Some (Obs.Json.String "e"));
+      Alcotest.(check bool)
+        "flow id threaded" true
+        (Obs.Json.member "id" s = Some (Obs.Json.Int 7));
+      Alcotest.(check bool)
+        "plain instant untouched" true
+        (ph plain = Some (Obs.Json.String "i"))
+  | _ -> Alcotest.fail "expected four trace events"
+
+(* ------------------------------------------------------------------ *)
+(* Regress delta document                                              *)
+
+let test_regress_delta_json () =
+  let baseline = bench_doc [ ("lmtf", "aaaa", 2.0); ("gone", "gggg", 1.0) ] in
+  let current = bench_doc [ ("lmtf", "bbbb", 3.0); ("new", "nnnn", 1.0) ] in
+  let doc = Obs.Regress.delta_json ~baseline ~current () in
+  Alcotest.(check bool)
+    "digest change fails" true
+    (Obs.Json.member "result" doc = Some (Obs.Json.String "fail"));
+  (match Obs.Json.member "scenarios" doc with
+  | Some (Obs.Json.List [ lmtf; gone; fresh ]) ->
+      Alcotest.(check bool)
+        "digest mismatch flagged" true
+        (Obs.Json.member "digest_match" lmtf = Some (Obs.Json.Bool false));
+      Alcotest.(check bool)
+        "wall delta present" true
+        (Obs.Json.member "planning_wall_delta_pct" lmtf <> None);
+      Alcotest.(check bool)
+        "missing scenario statused" true
+        (Obs.Json.member "status" gone
+        = Some (Obs.Json.String "missing_from_current"));
+      Alcotest.(check bool)
+        "new scenario statused" true
+        (Obs.Json.member "status" fresh
+        = Some (Obs.Json.String "new_in_current"))
+  | _ -> Alcotest.fail "expected three scenario deltas");
+  (* Incomparable runs still carry best-effort deltas. *)
+  let quick = bench_doc ~mode:"quick" ~n_events:40 [ ("lmtf", "aaaa", 0.2) ] in
+  let doc = Obs.Regress.delta_json ~baseline ~current:quick () in
+  Alcotest.(check bool)
+    "incomparable result" true
+    (Obs.Json.member "result" doc = Some (Obs.Json.String "incomparable"));
+  Alcotest.(check bool) "reason present" true (Obs.Json.member "reason" doc <> None);
+  match Obs.Json.member "scenarios" doc with
+  | Some (Obs.Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "deltas expected even when incomparable"
+
 let test_null_sink_identical_results () =
   let run_once ~traced =
     let net = loaded_net () in
@@ -885,6 +1316,23 @@ let suite =
     ("regress wall gate", `Quick, test_regress_pass_and_wall_regression);
     ("regress digest gate", `Quick, test_regress_digest_and_missing_scenario);
     ("regress incomparable", `Quick, test_regress_incomparable);
+    ("regress delta json", `Quick, test_regress_delta_json);
+    ( "counters late registration",
+      `Quick,
+      test_counters_late_registration_diff );
+    QCheck_alcotest.to_alcotest prop_histogram_merge_mismatch_raises;
+    QCheck_alcotest.to_alcotest prop_histogram_merge_equals_concat;
+    QCheck_alcotest.to_alcotest prop_series_stride_grid;
+    ("series decimation boundary", `Quick, test_series_decimation_boundary);
+    ("lifecycle stamps + jsonl", `Quick, test_lifecycle_stamps_and_jsonl);
+    ( "lifecycle entry json round-trip",
+      `Quick,
+      test_lifecycle_entry_json_roundtrip );
+    ("fairness jain + windows", `Quick, test_fairness_jain_and_windows);
+    ("slo rolling + breaches", `Quick, test_slo_rolling_and_breaches);
+    ("expo metric names", `Quick, test_expo_metric_name);
+    ("expo render validates", `Quick, test_expo_render_validates);
+    ("chrome flow events", `Quick, test_chrome_flow_events);
     ("engine series + histograms", `Quick, test_engine_series_and_histograms);
     ("counters snapshot/diff", `Quick, test_counters_snapshot_diff);
     ("counters alist/json", `Quick, test_counters_alist_json);

@@ -439,6 +439,75 @@ let test_serve_shed_counters () =
   Alcotest.(check bool) "pressure sheds" true
     (Admission.total_shed (Serve.admission t) > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry: recording-only, digest-neutral                           *)
+
+let test_serve_telemetry_digest_differential () =
+  let plain = serve_uninterrupted ~ticks:27 () in
+  let dir = Filename.temp_file "nu_telemetry" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let tel =
+    Serve_telemetry.create
+      {
+        Serve_telemetry.default_config with
+        Serve_telemetry.metrics_dir = Some dir;
+        metrics_every = 5;
+        lifecycle_path = Some (Filename.concat dir "lifecycle.jsonl");
+        (* A deliberately absurd target: breaches must be recorded
+           without affecting one decision. *)
+        p99_target_s = Some 1e-9;
+      }
+  in
+  let s = scenario () in
+  let t =
+    Serve.create ~telemetry:tel (cfg ()) ~topology:s.Scenario.topology
+      ~net:s.Scenario.net ~source_spec:(spec_of ())
+  in
+  Serve.run ~ticks:27 t;
+  Serve.complete t;
+  Alcotest.(check string)
+    "digest identical with full telemetry attached" plain (Serve.digest t);
+  ignore (Serve.retire t);
+  (* The run actually produced telemetry. *)
+  let lc = Serve_telemetry.lifecycle tel in
+  Alcotest.(check bool) "stamps recorded" true (Obs.Lifecycle.stamped lc > 0);
+  Alcotest.(check bool)
+    "expo written" true
+    (Serve_telemetry.expo_writes tel > 0);
+  Alcotest.(check bool)
+    "breaches recorded" true
+    (Obs.Slo.breach_count (Serve_telemetry.slo tel) > 0);
+  Alcotest.(check bool)
+    "fairness saw completions" true
+    (Obs.Fairness.jain_index (Serve_telemetry.fairness tel) <> None);
+  (* The scrape file is well-formed exposition text. *)
+  let prom = Filename.concat dir "metrics.prom" in
+  let ic = open_in prom in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match Obs.Expo.validate body with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invalid exposition: %s" m);
+  (* The lifecycle stream reads back, every id's stamps in stage order
+     ending terminally for completed requests. *)
+  (match Obs.Lifecycle.read_jsonl (Filename.concat dir "lifecycle.jsonl") with
+  | Error m -> Alcotest.failf "lifecycle read: %s" m
+  | Ok entries ->
+      Alcotest.(check int)
+        "one JSONL line per stamp" (Obs.Lifecycle.stamped lc)
+        (List.length entries);
+      let terminal =
+        List.filter
+          (fun e -> Obs.Lifecycle.terminal e.Obs.Lifecycle.stage)
+          entries
+      in
+      Alcotest.(check int)
+        "one terminal stamp per completion" (Serve.completed t)
+        (List.length terminal));
+  Array.iter Sys.remove (Sys.readdir dir |> Array.map (Filename.concat dir));
+  Sys.rmdir dir
+
 let suite =
   [
     ("admission block defers", `Quick, test_admission_block);
@@ -468,4 +537,7 @@ let suite =
       `Quick,
       test_serve_checkpoint_json_roundtrip );
     ("overload sheds", `Quick, test_serve_shed_counters);
+    ( "telemetry digest differential",
+      `Quick,
+      test_serve_telemetry_digest_differential );
   ]
