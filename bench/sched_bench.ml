@@ -25,6 +25,8 @@ let quick = ref false
 let out_file = ref ""
 let baseline_file = ref ""
 let seed = ref 42
+let only : string list ref = ref []
+let domains = ref 1
 
 let args =
   [
@@ -34,9 +36,18 @@ let args =
       Arg.Set_string baseline_file,
       "FILE merge a prior run's JSON as the comparison baseline" );
     ("--seed", Arg.Set_int seed, "N scenario seed (default 42)");
+    ( "--scenario",
+      Arg.String (fun s -> only := s :: !only),
+      "NAME run only the named scenario (repeatable); digest cross-checks \
+       apply only when both sides ran" );
+    ( "--domains",
+      Arg.Set_int domains,
+      "N probe fan-out width for the *-mc scenarios (default 1 skips them)" );
   ]
 
-let usage = "sched_bench [--quick] [--out FILE] [--baseline FILE] [--seed N]"
+let usage =
+  "sched_bench [--quick] [--out FILE] [--baseline FILE] [--seed N] [--scenario \
+   NAME]... [--domains N]"
 
 (* ------------------------------------------------------------------ *)
 (* Stable digest of a run_result.                                      *)
@@ -101,7 +112,7 @@ type measurement = {
 let now_s () = Unix.gettimeofday ()
 
 let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false)
-    ?(stepper = false) ?(telemetry = false) () =
+    ?(stepper = false) ?(telemetry = false) ?(domains = 1) () =
   (* A fresh scenario per measurement: the run mutates its network. *)
   let s = Core.Scenario.prepare ~k:8 ~utilization:0.70 ~seed:!seed () in
   let events = Core.Scenario.events s ~n:n_events in
@@ -156,15 +167,15 @@ let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false)
         else None
       in
       let st =
-        Core.Engine.Stepper.create ~seed:3 ~churn ?injector ?series ?observer
-          ~net:s.Core.Scenario.net policy
+        Core.Engine.Stepper.create ~seed:3 ~domains ~churn ?injector ?series
+          ?observer ~net:s.Core.Scenario.net policy
       in
       Core.Engine.Stepper.submit st events;
       while Core.Engine.Stepper.step st <> `Idle do () done;
       Core.Engine.Stepper.result st
     end
     else
-      Core.Engine.run ~seed:3 ~churn ?injector ?series
+      Core.Engine.run ~seed:3 ~domains ~churn ?injector ?series
         ~net:s.Core.Scenario.net ~events policy
   in
   let wall = now_s () -. t0 in
@@ -258,11 +269,51 @@ let () =
         true );
     ]
   in
+  let scenarios =
+    (* Multicore counterparts run only when a fan-out width was asked
+       for; their digests are required (below) to equal the sequential
+       runs' bit for bit — the probe fan-out must never change a
+       decision, only the wall clock. *)
+    if !domains > 1 then
+      scenarios
+      @ [
+          ( "lmtf-churn-mc-k8",
+            Core.Policy.Lmtf { alpha = 4 },
+            `Off,
+            false,
+            false,
+            false );
+          ("reorder-churn-mc-k8", Core.Policy.Reorder, `Off, false, false, false);
+        ]
+    else scenarios
+  in
+  let scenarios =
+    match !only with
+    | [] -> scenarios
+    | names ->
+        List.iter
+          (fun n ->
+            if
+              not
+                (List.exists (fun (name, _, _, _, _, _) -> name = n) scenarios)
+            then begin
+              Printf.eprintf "bench: unknown scenario %s\n%!" n;
+              exit 2
+            end)
+          names;
+        List.filter (fun (name, _, _, _, _, _) -> List.mem name names) scenarios
+  in
   let measurements =
     List.map
       (fun (name, policy, faults, obs, stepper, telemetry) ->
-        Printf.eprintf "bench: running %s (%d events)...\n%!" name n_events;
-        measure ~name ~policy ~n_events ~faults ~obs ~stepper ~telemetry ())
+        let domains =
+          if Filename.check_suffix name "-mc-k8" then !domains else 1
+        in
+        Printf.eprintf "bench: running %s (%d events, %d domain%s)...\n%!" name
+          n_events domains
+          (if domains = 1 then "" else "s");
+        measure ~name ~policy ~n_events ~faults ~obs ~stepper ~telemetry
+          ~domains ())
       scenarios
   in
   let digest_must_match ~of_:other ~reference ~what =
@@ -287,6 +338,10 @@ let () =
     ~what:"serving ingest path";
   digest_must_match ~of_:"serve-telemetry-k8" ~reference:"serve-churn-k8"
     ~what:"attached serving telemetry";
+  digest_must_match ~of_:"lmtf-churn-mc-k8" ~reference:"lmtf-churn-k8"
+    ~what:"parallel probe fan-out (LMTF)";
+  digest_must_match ~of_:"reorder-churn-mc-k8" ~reference:"reorder-churn-k8"
+    ~what:"parallel probe fan-out (Reorder)";
   List.iter
     (fun m ->
       Printf.printf
@@ -361,7 +416,7 @@ let () =
       (List.concat
          [
            [
-             ("bench", Core.Obs.Json.String "sched_bench_pr6");
+             ("bench", Core.Obs.Json.String "sched_bench_pr7");
              ( "schema_version",
                Core.Obs.Json.Int Core.Obs.Regress.schema_version );
              ("mode", Core.Obs.Json.String (if !quick then "quick" else "full"));

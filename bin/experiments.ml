@@ -507,6 +507,14 @@ let steps_arg =
   let doc = "Max engine service rounds per tick." in
   Arg.(value & opt int 4 & info [ "steps" ] ~docv:"N" ~doc)
 
+let domains_arg =
+  let doc =
+    "Probe fan-out width (OCaml domains). Decisions and digests are \
+     bit-identical at any width; replay may use a different width than the \
+     recorded run."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
 let tick_dt_arg =
   let doc = "Simulated seconds per controller tick." in
   Arg.(value & opt float 0.05 & info [ "tick-dt" ] ~docv:"SECONDS" ~doc)
@@ -563,7 +571,7 @@ let metrics_every_arg =
    against the checkpoint's fingerprint. *)
 let serve_cfg_term =
   let mk seed alpha util policy_tag capacity admission drain steps tick_dt
-      churn =
+      churn domains =
     {
       Serve.policy = policy_of_tag ~alpha policy_tag;
       engine_seed = seed + 1;
@@ -584,11 +592,13 @@ let serve_cfg_term =
                churn_first_id = 10_000_000;
              }
          else None);
+      domains;
     }
   in
   Term.(
     const mk $ seed_arg $ alpha_arg $ util_arg $ policy_arg $ capacity_arg
-    $ admission_arg $ drain_arg $ steps_arg $ tick_dt_arg $ serve_churn_arg)
+    $ admission_arg $ drain_arg $ steps_arg $ tick_dt_arg $ serve_churn_arg
+    $ domains_arg)
 
 let source_spec_term =
   let mk seed rate flows_per_event tenants stream =

@@ -62,6 +62,7 @@ module Recovery = Nu_fault.Recovery
 module Policy = Nu_sched.Policy
 module Exec_model = Nu_sched.Exec_model
 module Engine = Nu_sched.Engine
+module Estimate_cache = Nu_sched.Estimate_cache
 module Metrics = Nu_sched.Metrics
 module Run_digest = Nu_sched.Run_digest
 module Run_report = Nu_sched.Run_report

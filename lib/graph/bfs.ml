@@ -1,5 +1,9 @@
 let default_usable (_ : Graph.edge) = true
 
+(* Traversals walk the CSR rows through [Graph.iter_out]/[iter_in] —
+   edge ids only, no per-visit list materialisation. The [usable]
+   callback still receives the edge record for API compatibility. *)
+
 (* One BFS from [src]; returns the hop-distance array (-1 = unreachable). *)
 let distances g usable src =
   let n = Graph.node_count g in
@@ -9,13 +13,12 @@ let distances g usable src =
   Queue.push src q;
   while not (Queue.is_empty q) do
     let v = Queue.pop q in
-    List.iter
-      (fun (e : Graph.edge) ->
-        if usable e && dist.(e.dst) < 0 then begin
-          dist.(e.dst) <- dist.(v) + 1;
-          Queue.push e.dst q
+    Graph.iter_out g v (fun id ->
+        let w = Graph.dst g id in
+        if dist.(w) < 0 && usable (Graph.edge g id) then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.push w q
         end)
-      (Graph.out_edges g v)
   done;
   dist
 
@@ -27,7 +30,7 @@ let shortest_path g ?(usable = default_usable) ~src ~dst () =
   if src = dst then None
   else begin
     let n = Graph.node_count g in
-    let parent_edge : Graph.edge option array = Array.make n None in
+    let parent_edge = Array.make n (-1) in
     let seen = Array.make n false in
     seen.(src) <- true;
     let q = Queue.create () in
@@ -35,22 +38,23 @@ let shortest_path g ?(usable = default_usable) ~src ~dst () =
     let found = ref false in
     while (not !found) && not (Queue.is_empty q) do
       let v = Queue.pop q in
-      List.iter
-        (fun (e : Graph.edge) ->
-          if usable e && not seen.(e.dst) then begin
-            seen.(e.dst) <- true;
-            parent_edge.(e.dst) <- Some e;
-            if e.dst = dst then found := true;
-            Queue.push e.dst q
+      Graph.iter_out g v (fun id ->
+          let w = Graph.dst g id in
+          if (not seen.(w)) && usable (Graph.edge g id) then begin
+            seen.(w) <- true;
+            parent_edge.(w) <- id;
+            if w = dst then found := true;
+            Queue.push w q
           end)
-        (Graph.out_edges g v)
     done;
     if not seen.(dst) then None
     else begin
       let rec collect v acc =
-        match parent_edge.(v) with
-        | None -> acc
-        | Some e -> collect e.src (e :: acc)
+        let id = parent_edge.(v) in
+        if id < 0 then acc
+        else
+          let e = Graph.edge g id in
+          collect e.Graph.src (e :: acc)
       in
       Some (Path.make g (collect dst []))
     end
@@ -70,13 +74,12 @@ let all_shortest_paths g ?(usable = default_usable) ?(max_paths = 64) ~src ~dst
     Queue.push dst q;
     while not (Queue.is_empty q) do
       let v = Queue.pop q in
-      List.iter
-        (fun (e : Graph.edge) ->
-          if usable e && dist_to_dst.(e.src) < 0 then begin
-            dist_to_dst.(e.src) <- dist_to_dst.(v) + 1;
-            Queue.push e.src q
+      Graph.iter_in g v (fun id ->
+          let u = Graph.src g id in
+          if dist_to_dst.(u) < 0 && usable (Graph.edge g id) then begin
+            dist_to_dst.(u) <- dist_to_dst.(v) + 1;
+            Queue.push u q
           end)
-        (Graph.in_edges g v)
     done;
     if dist_to_dst.(src) < 0 then []
     else begin
@@ -89,14 +92,13 @@ let all_shortest_paths g ?(usable = default_usable) ?(max_paths = 64) ~src ~dst
             incr count
           end
           else
-            List.iter
-              (fun (e : Graph.edge) ->
+            Graph.iter_out g v (fun id ->
+                let e = Graph.edge g id in
                 if
                   usable e
-                  && dist_to_dst.(e.dst) >= 0
-                  && dist_to_dst.(e.dst) = dist_to_dst.(v) - 1
-                then walk e.dst (e :: acc))
-              (Graph.out_edges g v)
+                  && dist_to_dst.(e.Graph.dst) >= 0
+                  && dist_to_dst.(e.Graph.dst) = dist_to_dst.(v) - 1
+                then walk e.Graph.dst (e :: acc))
         end
       in
       walk src [];

@@ -17,8 +17,8 @@ let shortest_path g ?(usable = default_usable) ~weight ~src ~dst () =
           if not settled.(v) then begin
             settled.(v) <- true;
             if v <> dst then begin
-              List.iter
-                (fun (e : Graph.edge) ->
+              Graph.iter_out g v (fun id ->
+                  let e = Graph.edge g id in
                   if usable e && not settled.(e.dst) then begin
                     let w = weight e in
                     if w < 0.0 then
@@ -29,8 +29,7 @@ let shortest_path g ?(usable = default_usable) ~weight ~src ~dst () =
                       parent_edge.(e.dst) <- Some e;
                       Pqueue.push pq nd e.dst
                     end
-                  end)
-                (Graph.out_edges g v);
+                  end);
               run ()
             end
           end
@@ -70,8 +69,8 @@ let widest_path g ?(usable = default_usable) ~width ~src ~dst () =
           if not settled.(v) then begin
             settled.(v) <- true;
             if v <> dst then begin
-              List.iter
-                (fun (e : Graph.edge) ->
+              Graph.iter_out g v (fun id ->
+                  let e = Graph.edge g id in
                   if usable e && not settled.(e.dst) then begin
                     let w = min best_width.(v) (width e) in
                     let h = best_hops.(v) + 1 in
@@ -82,8 +81,7 @@ let widest_path g ?(usable = default_usable) ~width ~src ~dst () =
                       (* Priority favours width first, then fewer hops. *)
                       Pqueue.push pq (-.w +. (1e-9 *. float_of_int h)) e.dst
                     end
-                  end)
-                (Graph.out_edges g v);
+                  end);
               run ()
             end
           end

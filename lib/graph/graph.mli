@@ -8,7 +8,16 @@
     The structure is append-only: topologies are built once and never
     shrink. Link failure is modelled by higher layers as an edge filter,
     not by mutation, which keeps a single graph shareable across
-    concurrent what-if computations. *)
+    concurrent what-if computations.
+
+    Storage is a flat CSR (compressed sparse row) layout: edge
+    attributes live in struct-of-arrays columns indexed by edge id, and
+    adjacency is an offsets-plus-edge-ids array pair rebuilt lazily
+    after appends. {!iter_out}/{!iter_in}/{!src}/{!dst}/{!capacity} read
+    it without allocating; {!out_edges}/{!in_edges} materialise the
+    historical record-list view on demand. Call {!freeze} after the last
+    append before sharing a graph across domains — the lazy rebuild is
+    not domain-safe, reads of a frozen graph are. *)
 
 type t
 
@@ -41,6 +50,26 @@ val edge_count : t -> int
 
 val edge : t -> int -> edge
 (** Edge by id. Raises [Invalid_argument] on an out-of-range id. *)
+
+val src : t -> int -> int
+(** Source node of an edge id — O(1) flat-array read, no allocation. *)
+
+val dst : t -> int -> int
+(** Destination node of an edge id — O(1) flat-array read. *)
+
+val capacity : t -> int -> float
+(** Capacity of an edge id — O(1) flat-array read. *)
+
+val iter_out : t -> int -> (int -> unit) -> unit
+(** [iter_out t v f] applies [f] to each outgoing edge id of [v] in
+    insertion order, straight off the CSR row — no allocation. *)
+
+val iter_in : t -> int -> (int -> unit) -> unit
+(** Incoming counterpart of {!iter_out}. *)
+
+val freeze : t -> unit
+(** Force the lazy CSR rebuild now. Required once after the final
+    append before the graph is read from multiple domains. *)
 
 val out_edges : t -> int -> edge list
 (** Outgoing edges of a node, in insertion order. *)

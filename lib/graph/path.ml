@@ -1,4 +1,14 @@
-type t = { edges : Graph.edge list; edge_id_set : (int, unit) Hashtbl.t }
+(* Edge ids and visited nodes are flat int arrays so the placement /
+   feasibility loops in Nu_net can walk a path without chasing list
+   cells or hashing; [edge_list] is kept as the historical list view for
+   the many cold call sites that still consume records. Paths are short
+   (fabric diameter), so membership tests are linear scans — faster than
+   the hashtable they replace and allocation-free. *)
+type t = {
+  edge_list : Graph.edge list;  (* traversal order, compatibility view *)
+  ids : int array;  (* edge ids, traversal order *)
+  node_arr : int array;  (* visited nodes, src first, dst last *)
+}
 
 let make _g edges =
   (match edges with
@@ -13,9 +23,16 @@ let make _g edges =
             check e.dst (e.dst :: seen) rest
       in
       check first.src [ first.src ] edges);
-  let edge_id_set = Hashtbl.create (List.length edges) in
-  List.iter (fun (e : Graph.edge) -> Hashtbl.replace edge_id_set e.id ()) edges;
-  { edges; edge_id_set }
+  let n = List.length edges in
+  let ids = Array.make n (-1) in
+  let node_arr = Array.make (n + 1) (-1) in
+  List.iteri
+    (fun i (e : Graph.edge) ->
+      ids.(i) <- e.id;
+      if i = 0 then node_arr.(0) <- e.src;
+      node_arr.(i + 1) <- e.dst)
+    edges;
+  { edge_list = edges; ids; node_arr }
 
 let of_nodes g node_list =
   match node_list with
@@ -30,40 +47,48 @@ let of_nodes g node_list =
       in
       make g (resolve first [] rest)
 
-let edges t = t.edges
+let edges t = t.edge_list
+let src t = t.node_arr.(0)
+let dst t = t.node_arr.(Array.length t.node_arr - 1)
+let edge_ids t = Array.to_list t.ids
 
-let src t =
-  match t.edges with
-  | e :: _ -> e.Graph.src
-  | [] -> assert false
+let hop_ids t = t.ids
 
-let dst t =
-  let rec last = function
-    | [ (e : Graph.edge) ] -> e.dst
-    | _ :: rest -> last rest
-    | [] -> assert false
-  in
-  last t.edges
+let nodes t = Array.to_list t.node_arr
+let hops t = Array.length t.ids
 
-let edge_ids t = List.map (fun (e : Graph.edge) -> e.id) t.edges
+let mentions_edge t id =
+  let ids = t.ids in
+  let n = Array.length ids in
+  let rec scan i = i < n && (Array.unsafe_get ids i = id || scan (i + 1)) in
+  scan 0
 
-let nodes t =
-  match t.edges with
-  | [] -> assert false
-  | first :: _ ->
-      first.Graph.src :: List.map (fun (e : Graph.edge) -> e.dst) t.edges
-
-let hops t = List.length t.edges
-let mentions_edge t id = Hashtbl.mem t.edge_id_set id
-let mentions_node t v = List.mem v (nodes t)
+let mentions_node t v =
+  let ns = t.node_arr in
+  let n = Array.length ns in
+  let rec scan i = i < n && (Array.unsafe_get ns i = v || scan (i + 1)) in
+  scan 0
 
 let bottleneck t ~capacity_of =
-  List.fold_left
-    (fun acc e -> min acc (capacity_of e))
-    infinity t.edges
+  List.fold_left (fun acc e -> min acc (capacity_of e)) infinity t.edge_list
 
-let equal a b = edge_ids a = edge_ids b
-let compare a b = Stdlib.compare (edge_ids a) (edge_ids b)
+(* Same order as the list-lexicographic compare the id lists used to
+   have: element-wise first, a strict prefix sorts before its
+   extension. (Plain polymorphic compare on arrays orders by length
+   first, which would reorder Yen's dedup keys.) *)
+let compare a b =
+  let la = Array.length a.ids and lb = Array.length b.ids in
+  let rec go i =
+    if i = la then if i = lb then 0 else -1
+    else if i = lb then 1
+    else
+      let c = Int.compare (Array.unsafe_get a.ids i) (Array.unsafe_get b.ids i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b =
+  Array.length a.ids = Array.length b.ids && compare a b = 0
 
 let pp ppf t =
   let ns = nodes t in

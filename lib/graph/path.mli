@@ -26,6 +26,11 @@ val edges : t -> Graph.edge list
 
 val edge_ids : t -> int list
 
+val hop_ids : t -> int array
+(** Edge ids in traversal order as the path's internal flat array —
+    zero-copy, so callers must not mutate it. This is the hot-path view:
+    {!Nu_net} walks it with plain [for] loops. *)
+
 val nodes : t -> int list
 (** Visited nodes in order, [src] first, [dst] last. *)
 

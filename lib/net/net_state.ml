@@ -1,24 +1,57 @@
 type placed = { record : Flow_record.t; path : Path.t }
 
-(* Undo-journal entry. Residual entries store the *applied* delta and are
-   undone by applying the opposite delta — the exact arithmetic the
-   symmetric plan/revert pair used to perform, so rollback is bit-
-   compatible with the historical revert-based probes. Table entries
-   store enough of the previous binding to restore it structurally. *)
-type jop =
-  | Jresidual of int * float  (* edge id, applied delta *)
-  | Jflow_put of int * placed option  (* flow id, previous binding *)
-  | Jflow_del of int * placed  (* flow id, removed binding *)
-  | Jon_edge_put of int * int * bool  (* edge id, flow id, was present *)
-  | Jon_edge_del of int * int * bool  (* edge id, flow id, was present *)
-  | Jdisabled of int * bool  (* edge id, previous flag *)
-  | Jdegraded of int * float  (* edge id, applied degradation delta *)
+(* Undo-journal entry tags. The journal is a flat struct-of-arrays log
+   (tag / int operands / float operand / binding slot) instead of a
+   variant list: a probe writes thousands of entries and the list cells
+   plus boxed floats dominated minor-heap traffic. Residual entries
+   store the *applied* delta and are undone by applying the opposite
+   delta — the exact arithmetic the symmetric plan/revert pair used to
+   perform, so rollback is bit-compatible with the historical
+   revert-based probes. Flow-table entries store the previous binding
+   in the [j_obj] slot. *)
+let tag_residual = 0 (* a = edge id, f = applied delta *)
+
+let tag_flow_put = 1 (* a = flow id, obj = previous binding *)
+let tag_flow_del = 2 (* a = flow id, obj = removed binding *)
+let tag_on_put_old = 3 (* a = edge id, b = flow id, was present *)
+let tag_on_put_new = 4 (* a = edge id, b = flow id, was absent *)
+let tag_on_del_old = 5 (* a = edge id, b = flow id, was present *)
+let tag_on_del_new = 6 (* a = edge id, b = flow id, was absent *)
+let tag_disabled_t = 7 (* a = edge id, previous flag = true *)
+let tag_disabled_f = 8 (* a = edge id, previous flag = false *)
+let tag_degraded = 9 (* a = edge id, f = applied degradation delta *)
+
+(* Redo-log opcodes. Unlike journal tags these describe the *forward*
+   effect, with every operand needed to re-apply it to an identical
+   state: a mirror replays them through the same primitives, so scans
+   (duplicate put, absent del) resolve identically on both sides. *)
+let rt_residual = 0 (* a = edge id, f = delta *)
+let rt_on_put = 1 (* a = edge id, b = flow id, f = demand, g = size *)
+let rt_on_del = 2 (* a = edge id, b = flow id *)
+let rt_flow_put = 3 (* a = flow id, obj = new binding *)
+let rt_flow_del = 4 (* a = flow id *)
+let rt_disable = 5 (* a = edge id (set the disabled flag) *)
+let rt_enable = 6 (* a = edge id (clear the disabled flag) *)
+let rt_degraded = 7 (* a = edge id, f = ledger delta *)
 
 type t = {
   topo : Topology.t;
   residual : float array;  (* indexed by edge id *)
   flows : (int, placed) Hashtbl.t;  (* flow id -> placement *)
-  on_edge : (int, unit) Hashtbl.t array;  (* edge id -> flow-id set *)
+  (* Per-edge flow-id sets as flat growable parallel arrays (used prefix
+     is [0, oe_len.(e))): flow id, its demand in Mbps and its size in
+     Mbit, side by side. Order within a set is insertion-and-swap-remove
+     order and carries no meaning: every consumer sorts
+     ({!flows_on_edge}), checks membership, or breaks ties explicitly by
+     flow id (the migration pool). The flat layout makes {!copy_into} a
+     plain [Array.copy] per edge — the dominant cost of per-domain probe
+     snapshots when these were hashtables — and the cached demand/size
+     let the migration pool rank a congested edge's flows without one
+     hashtable resolution per flow. *)
+  oe_data : int array array;
+  oe_dem : float array array;
+  oe_size : float array array;
+  oe_len : int array;
   disabled : bool array;  (* administratively failed edges *)
   degraded : float array;  (* exogenous capacity loss (fault model), Mbps *)
   versions : int array;  (* per-edge write stamp (committed writes only) *)
@@ -28,13 +61,40 @@ type t = {
   fabric_n : int;
   mutable util_sum : float;  (* running sum of fabric used/capacity *)
   mutable util_comp : float;  (* Kahan compensation for util_sum *)
-  mutable journal : jop list;  (* newest-first, non-empty only in a txn *)
-  mutable txns : jop list list;  (* savepoints: journal tails, innermost first *)
+  (* Flat undo journal; used prefix is [0, j_len). *)
+  mutable j_tag : int array;
+  mutable j_a : int array;
+  mutable j_b : int array;
+  mutable j_f : float array;
+  mutable j_g : float array;  (* second float operand (on-edge entries) *)
+  mutable j_obj : placed option array;
+  mutable j_len : int;
+  mutable txn_marks : int array;  (* journal positions of open txns *)
+  mutable txn_n : int;
   mutable disabled_n : int;  (* how many edges are administratively down *)
   mutable disabled_epoch : int;  (* bumped on every disable/enable *)
   mutable watch_on : bool;  (* probe read/write tracking active *)
   watch_seen : Bytes.t;  (* per-edge dedup mask for the probe set *)
-  mutable watch_acc : int list;  (* touched edges, newest first *)
+  watch_buf : int array;  (* touched edges, dedup'd: at most one per edge *)
+  mutable watch_n : int;
+  (* Committed-mutation redo log (flat, like the journal; used prefix is
+     [0, r_len)). When [redo_on], every mutation that survives — writes
+     outside any transaction as they happen, writes inside a transaction
+     at its outermost commit — is appended here, so a worker domain's
+     mirror of this state can be brought up to date by replaying the
+     drained log instead of re-copying the whole state. Rolled-back
+     transactions never reach the log (their journal span is discarded
+     before commit-time conversion), matching the fact that their
+     effects were undone exactly. *)
+  mutable redo_on : bool;
+  mutable r_tag : int array;
+  mutable r_a : int array;
+  mutable r_b : int array;
+  mutable r_f : float array;
+  mutable r_g : float array;
+  mutable r_obj : placed option array;
+  mutable r_len : int;
+  memo_ro : bool;  (* domain snapshot: never write the shared memo *)
   paths_memo : (int, Path.t list) Hashtbl.t;
       (* (src,dst) -> full candidate set; topology-pure, shared by copies *)
 }
@@ -47,24 +107,33 @@ let compute_fabric topo =
       if host.(e.src) || host.(e.dst) then acc else e.id :: acc)
   |> List.rev
 
+let journal_cap0 = 256
+
 let create topo =
   let g = topo.Topology.graph in
+  (* Force the CSR build while still single-domain: per-domain probe
+     snapshots share the graph, and the lazy rebuild is not
+     domain-safe. *)
+  Graph.freeze g;
   let n_edges = Graph.edge_count g in
-  let residual = Array.init n_edges (fun id -> (Graph.edge g id).capacity) in
+  let residual = Array.init n_edges (fun id -> Graph.capacity g id) in
   let fabric = compute_fabric topo in
   let is_fabric = Array.make n_edges false in
   let inv_cap = Array.make n_edges 0.0 in
   List.iter
     (fun id ->
       is_fabric.(id) <- true;
-      let cap = (Graph.edge g id).capacity in
+      let cap = Graph.capacity g id in
       if cap > 0.0 then inv_cap.(id) <- 1.0 /. cap)
     fabric;
   {
     topo;
     residual;
     flows = Hashtbl.create 1024;
-    on_edge = Array.init n_edges (fun _ -> Hashtbl.create 8);
+    oe_data = Array.init n_edges (fun _ -> Array.make 8 0);
+    oe_dem = Array.init n_edges (fun _ -> Array.make 8 0.0);
+    oe_size = Array.init n_edges (fun _ -> Array.make 8 0.0);
+    oe_len = Array.make n_edges 0;
     disabled = Array.make n_edges false;
     degraded = Array.make n_edges 0.0;
     versions = Array.make n_edges 0;
@@ -74,24 +143,64 @@ let create topo =
     fabric_n = List.length fabric;
     util_sum = 0.0;
     util_comp = 0.0;
-    journal = [];
-    txns = [];
+    j_tag = Array.make journal_cap0 0;
+    j_a = Array.make journal_cap0 0;
+    j_b = Array.make journal_cap0 0;
+    j_f = Array.make journal_cap0 0.0;
+    j_g = Array.make journal_cap0 0.0;
+    j_obj = Array.make journal_cap0 None;
+    j_len = 0;
+    txn_marks = Array.make 8 0;
+    txn_n = 0;
     disabled_n = 0;
     disabled_epoch = 0;
     watch_on = false;
     watch_seen = Bytes.make n_edges '\000';
-    watch_acc = [];
+    watch_buf = Array.make (max 1 n_edges) 0;
+    watch_n = 0;
+    redo_on = false;
+    r_tag = [||];
+    r_a = [||];
+    r_b = [||];
+    r_f = [||];
+    r_g = [||];
+    r_obj = [||];
+    r_len = 0;
+    memo_ro = false;
     paths_memo = Hashtbl.create 256;
   }
 
-let copy t =
-  if t.txns <> [] then invalid_arg "Net_state.copy: open transaction";
-  Nu_obs.Counters.incr Nu_obs.Counters.State_copies;
+let copy_into ?(memo_ro = false) t =
+  let flows = Hashtbl.copy t.flows in
+  (* Copy only each edge's used prefix. Speculative migration churn can
+     grow an edge's capacity far beyond its live occupancy (the arrays
+     never shrink), and trimming turns tens of megabytes of dead slack
+     into a few hundred kilobytes of live entries. 25% headroom keeps
+     speculative probe churn on a fresh copy from paying an immediate
+     re-grow (large-array allocation contends across domains);
+     [oe_append] re-grows a trimmed (even empty) array on demand. *)
+  let slack len = len + 4 + (len / 4) in
+  let sub_int len a =
+    let d = Array.make (slack len) 0 in
+    Array.blit a 0 d 0 len;
+    d
+  in
+  let sub_float len a =
+    let d = Array.make (slack len) 0.0 in
+    Array.blit a 0 d 0 len;
+    d
+  in
+  let oe_data = Array.mapi (fun e a -> sub_int t.oe_len.(e) a) t.oe_data in
+  let oe_dem = Array.mapi (fun e a -> sub_float t.oe_len.(e) a) t.oe_dem in
+  let oe_size = Array.mapi (fun e a -> sub_float t.oe_len.(e) a) t.oe_size in
   {
     topo = t.topo;
     residual = Array.copy t.residual;
-    flows = Hashtbl.copy t.flows;
-    on_edge = Array.map Hashtbl.copy t.on_edge;
+    flows;
+    oe_data;
+    oe_dem;
+    oe_size;
+    oe_len = Array.copy t.oe_len;
     disabled = Array.copy t.disabled;
     degraded = Array.copy t.degraded;
     versions = Array.copy t.versions;
@@ -101,15 +210,44 @@ let copy t =
     fabric_n = t.fabric_n;
     util_sum = t.util_sum;
     util_comp = t.util_comp;
-    journal = [];
-    txns = [];
+    j_tag = Array.make journal_cap0 0;
+    j_a = Array.make journal_cap0 0;
+    j_b = Array.make journal_cap0 0;
+    j_f = Array.make journal_cap0 0.0;
+    j_g = Array.make journal_cap0 0.0;
+    j_obj = Array.make journal_cap0 None;
+    j_len = 0;
+    txn_marks = Array.make 8 0;
+    txn_n = 0;
     disabled_n = t.disabled_n;
     disabled_epoch = t.disabled_epoch;
     watch_on = false;
     watch_seen = Bytes.make (Array.length t.residual) '\000';
-    watch_acc = [];
+    watch_buf = Array.make (max 1 (Array.length t.residual)) 0;
+    watch_n = 0;
+    redo_on = false;
+    r_tag = [||];
+    r_a = [||];
+    r_b = [||];
+    r_f = [||];
+    r_g = [||];
+    r_obj = [||];
+    r_len = 0;
+    memo_ro;
     paths_memo = t.paths_memo;
   }
+
+let copy t =
+  if t.txn_n > 0 then invalid_arg "Net_state.copy: open transaction";
+  Nu_obs.Counters.incr Nu_obs.Counters.State_copies;
+  copy_into t
+
+(* A probe snapshot for a worker domain. Unlike {!copy} it is allowed
+   inside an open transaction (the arrays hold the speculative values a
+   sequential probe would read), shares the path memo read-only, and is
+   deliberately uncounted so [Counters.diff] output stays independent of
+   the domain count. *)
+let snapshot t = copy_into ~memo_ro:true t
 
 let topology t = t.topo
 let graph t = t.topo.Topology.graph
@@ -135,7 +273,7 @@ type frozen = {
 }
 
 let freeze t =
-  if t.txns <> [] then invalid_arg "Net_state.freeze: open transaction";
+  if t.txn_n > 0 then invalid_arg "Net_state.freeze: open transaction";
   let flows =
     Hashtbl.fold (fun _ placed acc -> placed :: acc) t.flows []
     |> List.sort (fun a b ->
@@ -151,6 +289,52 @@ let freeze t =
     fz_util_sum = t.util_sum;
     fz_util_comp = t.util_comp;
   }
+
+(* Position of [fid] in edge [e]'s set, or -1. The sets are small (the
+   flows crossing one link) and contiguous, so the linear scan is
+   competitive with a hashtable probe and allocation-free. *)
+let[@inline] oe_index t e fid =
+  let data = Array.unsafe_get t.oe_data e in
+  let n = Array.unsafe_get t.oe_len e in
+  let rec go i =
+    if i >= n then -1
+    else if Array.unsafe_get data i = fid then i
+    else go (i + 1)
+  in
+  go 0
+
+let oe_append t e fid dem size =
+  let n = t.oe_len.(e) in
+  if n = Array.length t.oe_data.(e) then begin
+    (* [max 8] also covers exact-size (possibly empty) arrays from
+       {!copy_into}'s trimmed per-edge copies. *)
+    let grow_int a =
+      let d = Array.make (max 8 (2 * n)) 0 in
+      Array.blit a 0 d 0 n;
+      d
+    in
+    let grow_float a =
+      let d = Array.make (max 8 (2 * n)) 0.0 in
+      Array.blit a 0 d 0 n;
+      d
+    in
+    t.oe_data.(e) <- grow_int t.oe_data.(e);
+    t.oe_dem.(e) <- grow_float t.oe_dem.(e);
+    t.oe_size.(e) <- grow_float t.oe_size.(e)
+  end;
+  t.oe_data.(e).(n) <- fid;
+  t.oe_dem.(e).(n) <- dem;
+  t.oe_size.(e).(n) <- size;
+  t.oe_len.(e) <- n + 1
+
+(* Swap-remove: order inside a set is meaningless (see the field
+   comment), so filling the hole with the last element is safe. *)
+let[@inline] oe_remove_at t e i =
+  let n = t.oe_len.(e) - 1 in
+  t.oe_data.(e).(i) <- t.oe_data.(e).(n);
+  t.oe_dem.(e).(i) <- t.oe_dem.(e).(n);
+  t.oe_size.(e).(i) <- t.oe_size.(e).(n);
+  t.oe_len.(e) <- n
 
 let thaw topo fz =
   let t = create topo in
@@ -176,22 +360,29 @@ let thaw topo fz =
       Hashtbl.replace t.flows placed.record.Flow_record.id placed;
       List.iter
         (fun (e : Graph.edge) ->
-          Hashtbl.replace t.on_edge.(e.id) placed.record.Flow_record.id ())
+          let fid = placed.record.Flow_record.id in
+          if oe_index t e.id fid < 0 then
+            oe_append t e.id fid
+              (Flow_record.demand_mbps placed.record)
+              placed.record.Flow_record.size_mbit)
         (Path.edges placed.path))
     fz.fz_flows;
   t
 
 (* ------------------------------------------------------------------ *)
-(* Probe read-set tracking. A bytes mask dedups membership in O(1) with
-   no allocation on the hot path — probes touch edges millions of times
-   per run, so a hashtable here dominated the tracking cost. Disabled-
-   flag reads are deliberately *not* tracked per edge: [disabled_epoch]
-   stands in for all of them (see {!candidate_paths}). *)
+(* Probe read-set tracking. A bytes mask dedups membership in O(1), and
+   the touched ids land in a preallocated buffer (an edge can appear at
+   most once, so [watch_buf] never grows) — probes touch edges millions
+   of times per run, so a hashtable or accumulator list here dominated
+   the tracking cost. Disabled-flag reads are deliberately *not*
+   tracked per edge: [disabled_epoch] stands in for all of them (see
+   {!candidate_paths}). *)
 
 let[@inline] touch t edge_id =
   if t.watch_on && Bytes.unsafe_get t.watch_seen edge_id = '\000' then begin
     Bytes.unsafe_set t.watch_seen edge_id '\001';
-    t.watch_acc <- edge_id :: t.watch_acc
+    Array.unsafe_set t.watch_buf t.watch_n edge_id;
+    t.watch_n <- t.watch_n + 1
   end
 
 let start_probe t =
@@ -201,23 +392,117 @@ let start_probe t =
 let stop_probe t =
   if not t.watch_on then invalid_arg "Net_state.stop_probe: no active probe";
   t.watch_on <- false;
-  let acc = t.watch_acc in
-  t.watch_acc <- [];
-  List.iter (fun e -> Bytes.unsafe_set t.watch_seen e '\000') acc;
-  List.sort compare acc
+  let n = t.watch_n in
+  let acc = Array.sub t.watch_buf 0 n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set t.watch_seen (Array.unsafe_get acc i) '\000'
+  done;
+  t.watch_n <- 0;
+  Array.sort Int.compare acc;
+  acc
 
 (* ------------------------------------------------------------------ *)
 (* Transaction journal. *)
 
-let[@inline] journal_active t = t.txns <> []
+let[@inline] journal_active t = t.txn_n > 0
 
 let in_txn t = journal_active t
-let txn_depth t = List.length t.txns
+let txn_depth t = t.txn_n
 let disabled_epoch t = t.disabled_epoch
 let edge_version t id =
   if id < 0 || id >= Array.length t.versions then
     invalid_arg "Net_state.edge_version: edge id";
   t.versions.(id)
+
+let grow_journal t =
+  let cap = Array.length t.j_tag in
+  let cap' = 2 * cap in
+  let grow_int a = Array.append a (Array.make cap 0) in
+  t.j_tag <- grow_int t.j_tag;
+  t.j_a <- grow_int t.j_a;
+  t.j_b <- grow_int t.j_b;
+  t.j_f <- Array.append t.j_f (Array.make cap 0.0);
+  t.j_g <- Array.append t.j_g (Array.make cap 0.0);
+  t.j_obj <- Array.append t.j_obj (Array.make cap None);
+  ignore cap'
+
+(* Append a journal entry; [obj] is only non-None for flow-table ops. *)
+let[@inline] jpush t tag a b f =
+  if t.j_len = Array.length t.j_tag then grow_journal t;
+  let i = t.j_len in
+  Array.unsafe_set t.j_tag i tag;
+  Array.unsafe_set t.j_a i a;
+  Array.unsafe_set t.j_b i b;
+  Array.unsafe_set t.j_f i f;
+  t.j_len <- i + 1
+
+(* Variant carrying the second float operand (on-edge entries: the
+   removed/added flow's demand and size, needed to restore the parallel
+   arrays on undo). [jpush] leaves the slot stale, which is fine: undo
+   only reads [j_g] for on-edge tags. *)
+let[@inline] jpush2 t tag a b f g =
+  if t.j_len = Array.length t.j_tag then grow_journal t;
+  let i = t.j_len in
+  Array.unsafe_set t.j_tag i tag;
+  Array.unsafe_set t.j_a i a;
+  Array.unsafe_set t.j_b i b;
+  Array.unsafe_set t.j_f i f;
+  Array.unsafe_set t.j_g i g;
+  t.j_len <- i + 1
+
+let[@inline] jpush_obj t tag a obj =
+  if t.j_len = Array.length t.j_tag then grow_journal t;
+  let i = t.j_len in
+  Array.unsafe_set t.j_tag i tag;
+  Array.unsafe_set t.j_a i a;
+  Array.unsafe_set t.j_b i 0;
+  Array.unsafe_set t.j_f i 0.0;
+  Array.unsafe_set t.j_obj i obj;
+  t.j_len <- i + 1
+
+(* Redo-log append. Starts empty and doubles; the log is drained every
+   probe batch, so it stays at the high-water mark of one batch's
+   committed churn. *)
+let grow_redo t =
+  let cap = max 64 (2 * Array.length t.r_tag) in
+  let grow_int a = Array.append a (Array.make (max 64 (Array.length a)) 0) in
+  if Array.length t.r_tag = 0 then begin
+    t.r_tag <- Array.make cap 0;
+    t.r_a <- Array.make cap 0;
+    t.r_b <- Array.make cap 0;
+    t.r_f <- Array.make cap 0.0;
+    t.r_g <- Array.make cap 0.0;
+    t.r_obj <- Array.make cap None
+  end
+  else begin
+    t.r_tag <- grow_int t.r_tag;
+    t.r_a <- grow_int t.r_a;
+    t.r_b <- grow_int t.r_b;
+    t.r_f <- Array.append t.r_f (Array.make (Array.length t.r_f) 0.0);
+    t.r_g <- Array.append t.r_g (Array.make (Array.length t.r_g) 0.0);
+    t.r_obj <- Array.append t.r_obj (Array.make (Array.length t.r_obj) None)
+  end
+
+let[@inline] rpush t tag a b f g =
+  if t.r_len = Array.length t.r_tag then grow_redo t;
+  let i = t.r_len in
+  Array.unsafe_set t.r_tag i tag;
+  Array.unsafe_set t.r_a i a;
+  Array.unsafe_set t.r_b i b;
+  Array.unsafe_set t.r_f i f;
+  Array.unsafe_set t.r_g i g;
+  t.r_len <- i + 1
+
+let[@inline] rpush_obj t tag a obj =
+  if t.r_len = Array.length t.r_tag then grow_redo t;
+  let i = t.r_len in
+  Array.unsafe_set t.r_tag i tag;
+  Array.unsafe_set t.r_a i a;
+  Array.unsafe_set t.r_b i 0;
+  Array.unsafe_set t.r_f i 0.0;
+  Array.unsafe_set t.r_g i 0.0;
+  Array.unsafe_set t.r_obj i (Some obj);
+  t.r_len <- i + 1
 
 (* Kahan-compensated accumulation keeps the running fabric-utilisation
    sum accurate across millions of occupy/release pairs. *)
@@ -232,92 +517,192 @@ let[@inline] kadd t x =
    tracking and the incremental utilisation sum. *)
 let[@inline] apply_residual t e delta =
   touch t e;
-  if journal_active t then t.journal <- Jresidual (e, delta) :: t.journal
-  else t.versions.(e) <- t.versions.(e) + 1;
+  if journal_active t then jpush t tag_residual e 0 delta
+  else begin
+    t.versions.(e) <- t.versions.(e) + 1;
+    if t.redo_on then rpush t rt_residual e 0 delta 0.0
+  end;
   t.residual.(e) <- t.residual.(e) +. delta;
   (* used = capacity - residual, so utilisation moves opposite to the
      residual delta. *)
-  if t.is_fabric.(e) then kadd t (-.(delta *. t.inv_cap.(e)))
+  if Array.unsafe_get t.is_fabric e then
+    kadd t (-.(delta *. Array.unsafe_get t.inv_cap e))
 
-let[@inline] on_edge_put t e fid =
-  let tbl = t.on_edge.(e) in
+let[@inline] on_edge_put t e fid dem size =
+  let i = oe_index t e fid in
   if journal_active t then
-    t.journal <- Jon_edge_put (e, fid, Hashtbl.mem tbl fid) :: t.journal;
-  Hashtbl.replace tbl fid ()
+    jpush2 t (if i >= 0 then tag_on_put_old else tag_on_put_new) e fid dem size
+  else if t.redo_on then rpush t rt_on_put e fid dem size;
+  if i < 0 then oe_append t e fid dem size
 
 let[@inline] on_edge_del t e fid =
-  let tbl = t.on_edge.(e) in
-  if journal_active t then
-    t.journal <- Jon_edge_del (e, fid, Hashtbl.mem tbl fid) :: t.journal;
-  Hashtbl.remove tbl fid
+  let i = oe_index t e fid in
+  if journal_active t then begin
+    if i >= 0 then
+      (* Journal the entry's demand/size so undo can re-append it. *)
+      jpush2 t tag_on_del_old e fid t.oe_dem.(e).(i) t.oe_size.(e).(i)
+    else jpush2 t tag_on_del_new e fid 0.0 0.0
+  end
+  else if t.redo_on then rpush t rt_on_del e fid 0.0 0.0;
+  if i >= 0 then oe_remove_at t e i
 
 let[@inline] flow_put t id p =
   if journal_active t then
-    t.journal <- Jflow_put (id, Hashtbl.find_opt t.flows id) :: t.journal;
+    jpush_obj t tag_flow_put id (Hashtbl.find_opt t.flows id)
+  else if t.redo_on then rpush_obj t rt_flow_put id p;
   Hashtbl.replace t.flows id p
 
 let[@inline] flow_del t id p =
-  if journal_active t then t.journal <- Jflow_del (id, p) :: t.journal;
+  if journal_active t then jpush_obj t tag_flow_del id (Some p)
+  else if t.redo_on then rpush t rt_flow_del id 0 0.0 0.0;
   Hashtbl.remove t.flows id
 
-let undo t = function
-  | Jresidual (e, delta) ->
-      t.residual.(e) <- t.residual.(e) -. delta;
-      if t.is_fabric.(e) then kadd t (delta *. t.inv_cap.(e))
-  | Jflow_put (id, prev) -> (
-      match prev with
-      | None -> Hashtbl.remove t.flows id
-      | Some p -> Hashtbl.replace t.flows id p)
-  | Jflow_del (id, p) -> Hashtbl.replace t.flows id p
-  | Jon_edge_put (e, fid, existed) ->
-      if not existed then Hashtbl.remove t.on_edge.(e) fid
-  | Jon_edge_del (e, fid, existed) ->
-      if existed then Hashtbl.replace t.on_edge.(e) fid ()
-  | Jdisabled (e, prev) ->
-      t.disabled.(e) <- prev;
-      t.disabled_n <- t.disabled_n + (if prev then 1 else -1)
-  | Jdegraded (e, delta) -> t.degraded.(e) <- t.degraded.(e) -. delta
+(* Undo journal entry [i]; clears its binding slot. *)
+let undo t i =
+  let tag = t.j_tag.(i) and a = t.j_a.(i) in
+  if tag = tag_residual then begin
+    let delta = t.j_f.(i) in
+    t.residual.(a) <- t.residual.(a) -. delta;
+    if t.is_fabric.(a) then kadd t (delta *. t.inv_cap.(a))
+  end
+  else if tag = tag_flow_put then begin
+    (match t.j_obj.(i) with
+    | None -> Hashtbl.remove t.flows a
+    | Some p -> Hashtbl.replace t.flows a p);
+    t.j_obj.(i) <- None
+  end
+  else if tag = tag_flow_del then begin
+    (match t.j_obj.(i) with
+    | Some p -> Hashtbl.replace t.flows a p
+    | None -> assert false);
+    t.j_obj.(i) <- None
+  end
+  else if tag = tag_on_put_new then begin
+    let j = oe_index t a t.j_b.(i) in
+    assert (j >= 0);
+    oe_remove_at t a j
+  end
+  else if tag = tag_on_del_old then oe_append t a t.j_b.(i) t.j_f.(i) t.j_g.(i)
+  else if tag = tag_on_put_old || tag = tag_on_del_new then ()
+  else if tag = tag_disabled_t || tag = tag_disabled_f then begin
+    let prev = tag = tag_disabled_t in
+    t.disabled.(a) <- prev;
+    t.disabled_n <- t.disabled_n + (if prev then 1 else -1)
+  end
+  else if tag = tag_degraded then t.degraded.(a) <- t.degraded.(a) -. t.j_f.(i)
+  else assert false
 
-let begin_txn t = t.txns <- t.journal :: t.txns
+let begin_txn t =
+  if t.txn_n = Array.length t.txn_marks then
+    t.txn_marks <- Array.append t.txn_marks (Array.make t.txn_n 0);
+  t.txn_marks.(t.txn_n) <- t.j_len;
+  t.txn_n <- t.txn_n + 1
 
 let rollback t =
-  match t.txns with
-  | [] -> invalid_arg "Net_state.rollback: no open transaction"
-  | mark :: rest ->
-      Nu_obs.Counters.incr Nu_obs.Counters.Txn_rollbacks;
-      let rec undo_to j =
-        if j != mark then
-          match j with
-          | op :: tl ->
-              undo t op;
-              undo_to tl
-          | [] -> assert false (* mark is always a suffix of the journal *)
-      in
-      undo_to t.journal;
-      t.journal <- mark;
-      t.txns <- rest
+  if t.txn_n = 0 then invalid_arg "Net_state.rollback: no open transaction"
+  else begin
+    Nu_obs.Counters.incr Nu_obs.Counters.Txn_rollbacks;
+    let mark = t.txn_marks.(t.txn_n - 1) in
+    for i = t.j_len - 1 downto mark do
+      undo t i
+    done;
+    t.j_len <- mark;
+    t.txn_n <- t.txn_n - 1
+  end
+
+(* Convert the surviving journal — exactly the op stream of the
+   committing transaction, inner rollbacks already excised — into redo
+   entries. Flow-table entries journal the *previous* binding, so the
+   new one is read off the live table: only the final binding per id
+   matters to a replayer (no redo op in between reads the table), and
+   an [rt_flow_del] of an absent id replays as a no-op. *)
+let journal_to_redo t =
+  for i = 0 to t.j_len - 1 do
+    let tag = t.j_tag.(i) and a = t.j_a.(i) in
+    if tag = tag_residual then rpush t rt_residual a 0 t.j_f.(i) 0.0
+    else if tag = tag_on_put_old || tag = tag_on_put_new then
+      rpush t rt_on_put a t.j_b.(i) t.j_f.(i) t.j_g.(i)
+    else if tag = tag_on_del_old then rpush t rt_on_del a t.j_b.(i) 0.0 0.0
+    else if tag = tag_on_del_new then ()
+    else if tag = tag_flow_put || tag = tag_flow_del then begin
+      match Hashtbl.find_opt t.flows a with
+      | Some p -> rpush_obj t rt_flow_put a p
+      | None -> rpush t rt_flow_del a 0 0.0 0.0
+    end
+    else if tag = tag_disabled_t then rpush t rt_enable a 0 0.0 0.0
+    else if tag = tag_disabled_f then rpush t rt_disable a 0 0.0 0.0
+    else if tag = tag_degraded then rpush t rt_degraded a 0 t.j_f.(i) 0.0
+    else assert false
+  done
 
 let commit t =
-  match t.txns with
-  | [] -> invalid_arg "Net_state.commit: no open transaction"
-  | _ :: rest ->
-      t.txns <- rest;
-      if rest = [] then begin
-        (* Outermost commit: the journaled writes become permanent, so
-           stamp every edge they touched. Inner commits just merge into
-           the enclosing transaction. *)
-        Nu_obs.Counters.incr Nu_obs.Counters.Txn_commits;
-        List.iter
-          (fun op ->
-            match op with
-            | Jresidual (e, _) | Jdisabled (e, _) ->
-                t.versions.(e) <- t.versions.(e) + 1
-            (* Jdegraded rides on its paired Jresidual for stamping. *)
-            | Jdegraded _ | Jflow_put _ | Jflow_del _ | Jon_edge_put _
-            | Jon_edge_del _ -> ())
-          t.journal;
-        t.journal <- []
-      end
+  if t.txn_n = 0 then invalid_arg "Net_state.commit: no open transaction"
+  else begin
+    t.txn_n <- t.txn_n - 1;
+    if t.txn_n = 0 then begin
+      if t.redo_on then journal_to_redo t;
+      (* Outermost commit: the journaled writes become permanent, so
+         stamp every edge they touched (once per entry, matching the
+         per-write stamping outside transactions). Inner commits just
+         merge into the enclosing transaction. *)
+      Nu_obs.Counters.incr Nu_obs.Counters.Txn_commits;
+      for i = 0 to t.j_len - 1 do
+        let tag = t.j_tag.(i) in
+        if
+          tag = tag_residual || tag = tag_disabled_t || tag = tag_disabled_f
+        then begin
+          let e = t.j_a.(i) in
+          t.versions.(e) <- t.versions.(e) + 1
+        end
+        (* tag_degraded rides on its paired residual entry for stamping. *)
+        else if tag = tag_flow_put || tag = tag_flow_del then t.j_obj.(i) <- None
+      done;
+      t.j_len <- 0
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Redo log: public surface. *)
+
+type redo = {
+  rd_tag : int array;
+  rd_a : int array;
+  rd_b : int array;
+  rd_f : float array;
+  rd_g : float array;
+  rd_obj : placed option array;
+  rd_n : int;
+}
+
+let redo_start t =
+  t.redo_on <- true;
+  t.r_len <- 0
+
+let redo_stop t =
+  t.redo_on <- false;
+  Array.fill t.r_obj 0 (Array.length t.r_obj) None;
+  t.r_len <- 0
+
+let redo_active t = t.redo_on
+
+let redo_drain t =
+  let n = t.r_len in
+  let rd =
+    {
+      rd_tag = Array.sub t.r_tag 0 n;
+      rd_a = Array.sub t.r_a 0 n;
+      rd_b = Array.sub t.r_b 0 n;
+      rd_f = Array.sub t.r_f 0 n;
+      rd_g = Array.sub t.r_g 0 n;
+      rd_obj = Array.sub t.r_obj 0 n;
+      rd_n = n;
+    }
+  in
+  Array.fill t.r_obj 0 n None;
+  t.r_len <- 0;
+  rd
+
+let redo_size rd = rd.rd_n
 
 (* ------------------------------------------------------------------ *)
 (* Capacity accounting. *)
@@ -328,10 +713,10 @@ let residual t edge_id =
   touch t edge_id;
   t.residual.(edge_id)
 
-let used t edge_id = (Graph.edge (graph t) edge_id).capacity -. residual t edge_id
+let used t edge_id = Graph.capacity (graph t) edge_id -. residual t edge_id
 
 let edge_utilization t edge_id =
-  let cap = (Graph.edge (graph t) edge_id).capacity in
+  let cap = Graph.capacity (graph t) edge_id in
   if cap <= 0.0 then 0.0 else used t edge_id /. cap
 
 let mean_utilization ?edges t =
@@ -365,8 +750,12 @@ let check_edge_id t id name =
 let set_disabled t id v =
   if t.disabled.(id) <> v then begin
     if journal_active t then
-      t.journal <- Jdisabled (id, t.disabled.(id)) :: t.journal
-    else t.versions.(id) <- t.versions.(id) + 1;
+      jpush t (if t.disabled.(id) then tag_disabled_t else tag_disabled_f) id 0
+        0.0
+    else begin
+      t.versions.(id) <- t.versions.(id) + 1;
+      if t.redo_on then rpush t (if v then rt_disable else rt_enable) id 0 0.0 0.0
+    end;
     (* The epoch stays bumped even if the write is rolled back — a
        spurious cache invalidation at worst, never a stale hit. *)
     t.disabled_epoch <- t.disabled_epoch + 1;
@@ -399,7 +788,8 @@ let degrade_edge t id ~lost_mbps =
   if lost_mbps < 0.0 then invalid_arg "Net_state.degrade_edge: negative loss";
   if lost_mbps > 0.0 then begin
     apply_residual t id (-.lost_mbps);
-    if journal_active t then t.journal <- Jdegraded (id, lost_mbps) :: t.journal;
+    if journal_active t then jpush t tag_degraded id 0 lost_mbps
+    else if t.redo_on then rpush t rt_degraded id 0 lost_mbps 0.0;
     t.degraded.(id) <- t.degraded.(id) +. lost_mbps
   end
 
@@ -408,13 +798,43 @@ let restore_edge_capacity t id =
   let lost = t.degraded.(id) in
   if lost > 0.0 then begin
     apply_residual t id lost;
-    if journal_active t then t.journal <- Jdegraded (id, -.lost) :: t.journal;
+    if journal_active t then jpush t tag_degraded id 0 (-.lost)
+    else if t.redo_on then rpush t rt_degraded id 0 (-.lost) 0.0;
     t.degraded.(id) <- 0.0
   end
 
 let degraded_mbps t id =
   check_edge_id t id "degraded_mbps";
   t.degraded.(id)
+
+(* Replay a drained redo log against a mirror that was bit-identical to
+   the source when the log began. Ops funnel through the same
+   primitives the source executed, so membership scans, the Kahan
+   utilisation sum and swap-remove order all evolve exactly as they did
+   (or would have, for ops that only materialised at commit) on the
+   source. The mirror must be quiescent: no open transaction, no active
+   probe, redo logging off. *)
+let redo_apply t rd =
+  if t.txn_n > 0 then invalid_arg "Net_state.redo_apply: open transaction";
+  if t.watch_on then invalid_arg "Net_state.redo_apply: active probe";
+  if t.redo_on then invalid_arg "Net_state.redo_apply: redo logging active";
+  for i = 0 to rd.rd_n - 1 do
+    let tag = rd.rd_tag.(i) and a = rd.rd_a.(i) in
+    if tag = rt_residual then apply_residual t a rd.rd_f.(i)
+    else if tag = rt_on_put then
+      on_edge_put t a rd.rd_b.(i) rd.rd_f.(i) rd.rd_g.(i)
+    else if tag = rt_on_del then on_edge_del t a rd.rd_b.(i)
+    else if tag = rt_flow_put then begin
+      match rd.rd_obj.(i) with
+      | Some p -> flow_put t a p
+      | None -> assert false
+    end
+    else if tag = rt_flow_del then Hashtbl.remove t.flows a
+    else if tag = rt_disable then set_disabled t a true
+    else if tag = rt_enable then set_disabled t a false
+    else if tag = rt_degraded then t.degraded.(a) <- t.degraded.(a) +. rd.rd_f.(i)
+    else assert false
+  done
 
 let fabric_edges t = t.fabric
 
@@ -433,8 +853,12 @@ let flow t id =
       (* A probe that looked a flow up depends on its placement; its
          path's edges stand in for it in the read set (any reroute or
          removal of the flow re-stamps them). *)
-      if t.watch_on then
-        List.iter (fun (e : Graph.edge) -> touch t e.id) (Path.edges p.path);
+      if t.watch_on then begin
+        let ids = Path.hop_ids p.path in
+        for i = 0 to Array.length ids - 1 do
+          touch t (Array.unsafe_get ids i)
+        done
+      end;
       r
 
 let flow_count t = Hashtbl.length t.flows
@@ -445,20 +869,40 @@ let is_placed t id =
 let iter_flows t f = Hashtbl.iter (fun _ placed -> f placed) t.flows
 
 let flows_on_edge t edge_id =
-  if edge_id < 0 || edge_id >= Array.length t.on_edge then
+  if edge_id < 0 || edge_id >= Array.length t.oe_len then
     invalid_arg "Net_state.flows_on_edge: edge id";
   touch t edge_id;
-  (* One fold resolving placements directly, then one sort — the id list
-     detour (build, sort, re-look-up) doubled the hashtable traffic in
-     Migration.clear_path's inner loop. *)
-  let ps =
-    Hashtbl.fold
-      (fun id () acc -> Hashtbl.find t.flows id :: acc)
-      t.on_edge.(edge_id) []
-  in
-  List.sort
-    (fun a b -> Int.compare a.record.Flow_record.id b.record.Flow_record.id)
-    ps
+  (* Copy the id prefix, sort the ints in place, then resolve each
+     placement once — cheaper than sorting boxed records, and the output
+     (ascending flow id) is identical whatever internal order the
+     swap-removes left behind. *)
+  let ids = Array.sub t.oe_data.(edge_id) 0 t.oe_len.(edge_id) in
+  Array.sort Int.compare ids;
+  Array.fold_right (fun id acc -> Hashtbl.find t.flows id :: acc) ids []
+
+let edge_flow_count t edge_id =
+  if edge_id < 0 || edge_id >= Array.length t.oe_len then
+    invalid_arg "Net_state.edge_flow_count: edge id";
+  t.oe_len.(edge_id)
+
+(* Allocation-free feed for the migration pool: copy the edge's (id,
+   demand, size) columns into caller-owned scratch. Entry order is the
+   internal swap-remove order and carries no meaning — callers must
+   either sort or break ties by flow id. Touches the edge like
+   {!flows_on_edge} did, so probe read sets are unchanged. *)
+let edge_flows_blit t edge_id ~ids ~dem ~size =
+  if edge_id < 0 || edge_id >= Array.length t.oe_len then
+    invalid_arg "Net_state.edge_flows_blit: edge id";
+  touch t edge_id;
+  let n = t.oe_len.(edge_id) in
+  if Array.length ids < n || Array.length dem < n || Array.length size < n
+  then invalid_arg "Net_state.edge_flows_blit: scratch too small";
+  Array.blit t.oe_data.(edge_id) 0 ids 0 n;
+  Array.blit t.oe_dem.(edge_id) 0 dem 0 n;
+  Array.blit t.oe_size.(edge_id) 0 size 0 n;
+  n
+
+let peek_flow t id = Hashtbl.find_opt t.flows id
 
 let flows_through_node t v =
   let acc = ref [] in
@@ -475,20 +919,31 @@ let endpoints t (record : Flow_record.t) =
   (hosts.(record.src), hosts.(record.dst))
 
 let path_enabled t path =
-  List.for_all (fun (e : Graph.edge) -> not t.disabled.(e.id)) (Path.edges path)
+  let ids = Path.hop_ids path in
+  let n = Array.length ids in
+  let rec go i =
+    i >= n || ((not t.disabled.(Array.unsafe_get ids i)) && go (i + 1))
+  in
+  go 0
+
+let memo_key t ~src ~dst = (src * Graph.node_count (graph t)) + dst
 
 let candidate_paths t record =
   Nu_obs.Counters.incr Nu_obs.Counters.Path_enumerations;
   let src, dst = endpoints t record in
-  let key = (src * Graph.node_count (graph t)) + dst in
+  let key = memo_key t ~src ~dst in
   let all =
     (* The unfiltered candidate set is a pure function of the topology;
-       memoise it so repeated probes skip the path re-construction. *)
+       memoise it so repeated probes skip the path re-construction.
+       Domain snapshots ([memo_ro]) read the shared table but never
+       write it — the engine pre-warms every host pair before the first
+       parallel batch, so worker misses are a cold fallback, not the
+       norm. *)
     match Hashtbl.find_opt t.paths_memo key with
     | Some ps -> ps
     | None ->
         let ps = t.topo.Topology.candidate_paths ~src ~dst in
-        Hashtbl.add t.paths_memo key ps;
+        if not t.memo_ro then Hashtbl.add t.paths_memo key ps;
         ps
   in
   (* With no edge down — the overwhelmingly common case — the filter is
@@ -497,19 +952,54 @@ let candidate_paths t record =
      [disabled_epoch], which the estimate cache checks wholesale. *)
   if t.disabled_n = 0 then all else List.filter (path_enabled t) all
 
+let warm_all_paths t =
+  (* Populate the path memo (and any topology-internal cache) for every
+     ordered host pair, without counting the enumerations — this is a
+     cache fill, not planning work. Called once on the main domain
+     before probe snapshots start sharing the memo read-only. *)
+  if not t.memo_ro then begin
+    let hosts = t.topo.Topology.hosts in
+    Array.iter
+      (fun src ->
+        Array.iter
+          (fun dst ->
+            if src <> dst then begin
+              let key = memo_key t ~src ~dst in
+              if not (Hashtbl.mem t.paths_memo key) then
+                Hashtbl.add t.paths_memo key
+                  (t.topo.Topology.candidate_paths ~src ~dst)
+            end)
+          hosts)
+      hosts
+  end
+
 let path_feasible t path ~demand =
-  List.for_all
-    (fun (e : Graph.edge) ->
-      touch t e.id;
-      (not t.disabled.(e.id)) && t.residual.(e.id) >= demand)
-    (Path.edges path)
+  let ids = Path.hop_ids path in
+  let n = Array.length ids in
+  (* Short-circuits exactly like the List.for_all it replaces: edges
+     past the first infeasible one are not touched, keeping probe read
+     sets (and so estimate-cache stamps) bit-identical. *)
+  let rec go i =
+    i >= n
+    ||
+    let e = Array.unsafe_get ids i in
+    touch t e;
+    (not (Array.unsafe_get t.disabled e))
+    && Array.unsafe_get t.residual e >= demand
+    && go (i + 1)
+  in
+  go 0
 
 let congested_links t path ~demand =
-  List.filter
-    (fun (e : Graph.edge) ->
-      touch t e.id;
-      t.residual.(e.id) < demand)
-    (Path.edges path)
+  let ids = Path.hop_ids path in
+  let g = graph t in
+  let acc = ref [] in
+  for i = Array.length ids - 1 downto 0 do
+    let e = Array.unsafe_get ids i in
+    touch t e;
+    if Array.unsafe_get t.residual e < demand then acc := Graph.edge g e :: !acc
+  done;
+  !acc
 
 let capacity_gap t (e : Graph.edge) ~demand =
   touch t e.id;
@@ -519,19 +1009,34 @@ type place_error = Duplicate_flow | Congested of Graph.edge list
 
 let occupy t placed =
   let demand = Flow_record.demand_mbps placed.record in
-  List.iter
-    (fun (e : Graph.edge) ->
-      apply_residual t e.id (-.demand);
-      on_edge_put t e.id placed.record.id)
-    (Path.edges placed.path)
+  let size = placed.record.Flow_record.size_mbit in
+  let fid = placed.record.Flow_record.id in
+  let ids = Path.hop_ids placed.path in
+  for i = 0 to Array.length ids - 1 do
+    let e = Array.unsafe_get ids i in
+    apply_residual t e (-.demand);
+    on_edge_put t e fid demand size
+  done
 
 let release t placed =
   let demand = Flow_record.demand_mbps placed.record in
-  List.iter
-    (fun (e : Graph.edge) ->
-      apply_residual t e.id demand;
-      on_edge_del t e.id placed.record.id)
-    (Path.edges placed.path)
+  let fid = placed.record.Flow_record.id in
+  let ids = Path.hop_ids placed.path in
+  for i = 0 to Array.length ids - 1 do
+    let e = Array.unsafe_get ids i in
+    apply_residual t e demand;
+    on_edge_del t e fid
+  done
+
+let disabled_links t path =
+  let ids = Path.hop_ids path in
+  let g = graph t in
+  let acc = ref [] in
+  for i = Array.length ids - 1 downto 0 do
+    let e = Array.unsafe_get ids i in
+    if Array.unsafe_get t.disabled e then acc := Graph.edge g e :: !acc
+  done;
+  !acc
 
 let place t record path =
   if Hashtbl.mem t.flows record.Flow_record.id then Error Duplicate_flow
@@ -540,9 +1045,7 @@ let place t record path =
     if Path.src path <> src || Path.dst path <> dst then
       invalid_arg "Net_state.place: path does not connect the flow endpoints";
     let demand = Flow_record.demand_mbps record in
-    let dead =
-      List.filter (fun (e : Graph.edge) -> t.disabled.(e.id)) (Path.edges path)
-    in
+    let dead = disabled_links t path in
     match dead @ congested_links t path ~demand with
     | _ :: _ as blocked -> Error (Congested blocked)
     | [] ->
@@ -571,24 +1074,21 @@ let reroute ?(admit_disabled = false) t id new_path =
          or flow-table traffic. The additions match what release used to
          apply, keeping the comparisons bit-identical. *)
       let demand = Flow_record.demand_mbps placed.record in
-      let dead =
-        if admit_disabled then []
-        else
-          List.filter
-            (fun (e : Graph.edge) -> t.disabled.(e.id))
-            (Path.edges new_path)
-      in
+      let dead = if admit_disabled then [] else disabled_links t new_path in
       let congested =
-        List.filter
-          (fun (e : Graph.edge) ->
-            touch t e.id;
-            let avail =
-              if Path.mentions_edge placed.path e.id then
-                t.residual.(e.id) +. demand
-              else t.residual.(e.id)
-            in
-            avail < demand)
-          (Path.edges new_path)
+        let ids = Path.hop_ids new_path in
+        let g = graph t in
+        let acc = ref [] in
+        for i = Array.length ids - 1 downto 0 do
+          let e = Array.unsafe_get ids i in
+          touch t e;
+          let r = Array.unsafe_get t.residual e in
+          let avail =
+            if Path.mentions_edge placed.path e then r +. demand else r
+          in
+          if avail < demand then acc := Graph.edge g e :: !acc
+        done;
+        !acc
       in
       (match dead @ congested with
       | _ :: _ as blocked -> Error (Congested blocked)
@@ -609,7 +1109,7 @@ let invariants_ok t =
   let g = graph t in
   let expected =
     Array.init (Graph.edge_count g) (fun id ->
-        (Graph.edge g id).capacity -. t.degraded.(id))
+        Graph.capacity g id -. t.degraded.(id))
   in
   let err = ref None in
   Hashtbl.iter
@@ -620,7 +1120,7 @@ let invariants_ok t =
       List.iter
         (fun (e : Graph.edge) ->
           expected.(e.id) <- expected.(e.id) -. demand;
-          if not (Hashtbl.mem t.on_edge.(e.id) id) && !err = None then
+          if oe_index t e.id id < 0 && !err = None then
             err := Some (Printf.sprintf "flow %d missing from edge %d" id e.id))
         (Path.edges placed.path))
     t.flows;
@@ -638,27 +1138,27 @@ let invariants_ok t =
     expected;
   (* Every on-edge entry must refer to a placed flow crossing that edge. *)
   Array.iteri
-    (fun edge_id set ->
-      Hashtbl.iter
-        (fun fid () ->
-          if !err = None then
-            match Hashtbl.find_opt t.flows fid with
-            | None ->
-                err := Some (Printf.sprintf "edge %d lists ghost flow %d" edge_id fid)
-            | Some placed ->
-                if not (Path.mentions_edge placed.path edge_id) then
-                  err :=
-                    Some
-                      (Printf.sprintf "edge %d lists flow %d not crossing it"
-                         edge_id fid))
-        set)
-    t.on_edge;
+    (fun edge_id data ->
+      for i = 0 to t.oe_len.(edge_id) - 1 do
+        let fid = data.(i) in
+        if !err = None then
+          match Hashtbl.find_opt t.flows fid with
+          | None ->
+              err := Some (Printf.sprintf "edge %d lists ghost flow %d" edge_id fid)
+          | Some placed ->
+              if not (Path.mentions_edge placed.path edge_id) then
+                err :=
+                  Some
+                    (Printf.sprintf "edge %d lists flow %d not crossing it"
+                       edge_id fid)
+      done)
+    t.oe_data;
   (* The incremental fabric-utilisation sum must track a fresh fold. *)
   (if !err = None && t.fabric_n > 0 then begin
      let folded =
        List.fold_left
          (fun acc id ->
-           let cap = (Graph.edge g id).capacity in
+           let cap = Graph.capacity g id in
            if cap <= 0.0 then acc
            else acc +. ((cap -. t.residual.(id)) /. cap))
          0.0 t.fabric
@@ -669,7 +1169,7 @@ let invariants_ok t =
            (Printf.sprintf "fabric util sum %.9f, expected %.9f" t.util_sum
               folded)
    end);
-  (if !err = None && t.txns <> [] then
+  (if !err = None && t.txn_n > 0 then
      err := Some "transaction left open");
   match !err with Some msg -> Error msg | None -> Ok ()
 

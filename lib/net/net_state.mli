@@ -24,6 +24,21 @@ val copy : t -> t
     planning should prefer {!begin_txn}/{!rollback}, which undo in
     O(touched edges) instead of cloning every per-edge table. *)
 
+val snapshot : t -> t
+(** Probe snapshot for a worker domain. Like {!copy} but: allowed while
+    a transaction is open (the snapshot captures the speculative values
+    a sequential probe would read, with a clean journal of its own);
+    shares the candidate-path memo read-only (call {!warm_all_paths}
+    on the parent first); and bumps no counters, so [Counters.diff]
+    totals stay independent of the domain count. *)
+
+val warm_all_paths : t -> unit
+(** Fill the candidate-path memo for every ordered host pair, without
+    counting the enumerations as planning work. Must run on the main
+    domain before {!snapshot}s of this state are probed in parallel —
+    after it, snapshot reads of the shared memo (and of any
+    topology-internal path cache) race with no writer. *)
+
 val topology : t -> Topology.t
 val graph : t -> Graph.t
 
@@ -87,6 +102,46 @@ val in_txn : t -> bool
 val txn_depth : t -> int
 (** Number of open transactions. *)
 
+(** {2 Committed-mutation redo log}
+
+    Synchronises per-domain mirrors without re-copying the state. With
+    logging on, every mutation that {e survives} is recorded: writes
+    outside any transaction as they happen, writes inside a transaction
+    at its outermost {!commit} (rolled-back spans never appear). A
+    worker holding a mirror that was bit-identical when logging started
+    replays each drained batch with {!redo_apply} and stays
+    bit-identical — the paved road for the probe fan-out's persistent
+    lane states. *)
+
+type redo
+(** One drained batch of committed mutations, in execution order.
+    Immutable; safe to share across domains (flow bindings are carried
+    by pointer, and placements are immutable). *)
+
+val redo_start : t -> unit
+(** Start recording committed mutations (clears any previous log). *)
+
+val redo_stop : t -> unit
+(** Stop recording and discard the pending log. *)
+
+val redo_active : t -> bool
+
+val redo_drain : t -> redo
+(** Detach the mutations recorded since the last drain (or
+    {!redo_start}) and reset the log. May be called with transactions
+    open: ops journaled by a still-open transaction are not part of the
+    drain — they join the log if and when that transaction commits. *)
+
+val redo_size : redo -> int
+(** Number of ops in a drained batch. *)
+
+val redo_apply : t -> redo -> unit
+(** Replay a drained batch against a quiescent mirror (no open
+    transaction, no active probe, logging off — raises
+    [Invalid_argument] otherwise). Applying every batch, in drain
+    order, to a mirror that was bit-identical at {!redo_start} keeps
+    it bit-identical to the source at each drain point. *)
+
 (** {2 Edge versions and probe read sets}
 
     Support for memoising cost estimates: [edge_version] is a per-edge
@@ -111,9 +166,10 @@ val start_probe : t -> unit
 (** Begin recording the edge read/write set. Probes do not nest; raises
     [Invalid_argument] if one is already active. *)
 
-val stop_probe : t -> int list
-(** Stop recording and return the touched edge ids, sorted ascending.
-    Raises [Invalid_argument] without an active probe. *)
+val stop_probe : t -> int array
+(** Stop recording and return the touched edge ids as a fresh array,
+    sorted ascending. Raises [Invalid_argument] without an active
+    probe. *)
 
 (** {2 Capacity accounting} *)
 
@@ -190,6 +246,25 @@ val iter_flows : t -> (placed -> unit) -> unit
 
 val flows_on_edge : t -> int -> placed list
 (** Flows whose path crosses the edge id, sorted by flow id. *)
+
+val edge_flow_count : t -> int -> int
+(** Number of flows currently crossing the edge id. Does not record the
+    edge in an open probe's read set (pair with {!edge_flows_blit},
+    which does). *)
+
+val edge_flows_blit :
+  t -> int -> ids:int array -> dem:float array -> size:float array -> int
+(** Copy the edge's flow ids with their demands (Mbps) and sizes (Mbit)
+    into caller-owned scratch arrays, returning the entry count. Entry
+    order is unspecified — callers must sort or break ties by flow id
+    for determinism. Records the edge in an open probe's read set,
+    exactly like {!flows_on_edge}. Raises [Invalid_argument] if any
+    scratch array is shorter than {!edge_flow_count}. *)
+
+val peek_flow : t -> int -> placed option
+(** Current placement of a flow id without recording anything in an open
+    probe's read set ({!flows_on_edge}'s resolution step, exposed for
+    callers that already hold the edge read via {!edge_flows_blit}). *)
 
 val flows_through_node : t -> int -> placed list
 (** Flows whose path visits the node (as switch or endpoint), sorted by

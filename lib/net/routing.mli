@@ -39,6 +39,13 @@ val select_from :
     candidate set is restricted, e.g. migration targets that must avoid
     the congested links). *)
 
+val bottleneck_residual : Net_state.t -> Path.t -> float
+(** Minimum residual along the path — the [Widest] ranking key. *)
+
+val peak_utilization : Net_state.t -> Path.t -> float
+(** Maximum edge utilisation along the path — the [Least_loaded] ranking
+    key. *)
+
 val desired_path : Net_state.t -> Flow_record.t -> Path.t option
 (** The flow's *desired* path regardless of feasibility: the candidate
     picked by {!ecmp_index} over the flow's 5-tuple stand-in

@@ -27,6 +27,8 @@ type key =
   | Serve_deferred
   | Serve_drained
   | Serve_checkpoints
+  | Probe_parallel_batches
+  | Domain_probes
 
 let index = function
   | Planner_plans -> 0
@@ -57,6 +59,8 @@ let index = function
   | Serve_deferred -> 25
   | Serve_drained -> 26
   | Serve_checkpoints -> 27
+  | Probe_parallel_batches -> 28
+  | Domain_probes -> 29
 
 let all =
   [
@@ -88,6 +92,8 @@ let all =
     Serve_deferred;
     Serve_drained;
     Serve_checkpoints;
+    Probe_parallel_batches;
+    Domain_probes;
   ]
 
 let size = List.length all
@@ -121,44 +127,78 @@ let name = function
   | Serve_deferred -> "serve_deferred"
   | Serve_drained -> "serve_drained"
   | Serve_checkpoints -> "serve_checkpoints"
+  | Probe_parallel_batches -> "probe_parallel_batches"
+  | Domain_probes -> "domain_probes"
 
-let counts = Array.make size 0
+(* The registry is domain-local: each domain increments its own store
+   (no contention, no torn reads), and a probe worker's deltas are
+   merged into the spawning domain with {!absorb} after the join — in
+   domain-spawn order, so the merged totals are deterministic and, the
+   sums being commutative, independent of how probes were distributed
+   across domains. Everything below operates on the calling domain's
+   store; in a single-domain program that is exactly the historical
+   process-global behaviour. *)
+type store = { counts : int array; named : (string, int ref) Hashtbl.t }
+
+let store_key : store Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { counts = Array.make size 0; named = Hashtbl.create 16 })
+
+let store () = Domain.DLS.get store_key
 
 let incr k =
+  let counts = (store ()).counts in
   let i = index k in
   counts.(i) <- counts.(i) + 1
 
 let add k n =
+  let counts = (store ()).counts in
   let i = index k in
   counts.(i) <- counts.(i) + n
 
-let get k = counts.(index k)
+let get k = (store ()).counts.(index k)
 
 (* Dynamic named counters, created on first increment. *)
-let named : (string, int ref) Hashtbl.t = Hashtbl.create 16
 
 let add_named n k =
   if n = "" then invalid_arg "Counters.add_named: empty name";
+  let named = (store ()).named in
   match Hashtbl.find_opt named n with
   | Some r -> r := !r + k
   | None -> Hashtbl.add named n (ref k)
 
 let incr_named n = add_named n 1
-let get_named n = match Hashtbl.find_opt named n with Some r -> !r | None -> 0
+
+let get_named n =
+  match Hashtbl.find_opt (store ()).named n with Some r -> !r | None -> 0
 
 let reset () =
-  Array.fill counts 0 size 0;
-  Hashtbl.reset named
+  let s = store () in
+  Array.fill s.counts 0 size 0;
+  Hashtbl.reset s.named
 
 type snapshot = { fixed : int array; dyn : (string * int) list }
 
 let snapshot () =
+  let s = store () in
   {
-    fixed = Array.copy counts;
+    fixed = Array.copy s.counts;
     dyn =
-      Hashtbl.fold (fun n r acc -> (n, !r) :: acc) named []
+      Hashtbl.fold (fun n r acc -> (n, !r) :: acc) s.named []
       |> List.sort (fun (a, _) (b, _) -> compare a b);
   }
+
+let drain () =
+  let snap = snapshot () in
+  reset ();
+  snap
+
+let absorb snap =
+  if Array.length snap.fixed <> size then
+    invalid_arg "Counters.absorb: snapshot size mismatch";
+  let s = store () in
+  Array.iteri (fun i v -> s.counts.(i) <- s.counts.(i) + v) snap.fixed;
+  List.iter (fun (n, v) -> if v <> 0 then add_named n v) snap.dyn
 
 (* The named-counter diff is over the *union* of both snapshots' names:
    a counter first incremented between the two snapshots diffs against

@@ -1,14 +1,22 @@
-(** Global counter registry for the planner/scheduler pipeline.
+(** Counter registry for the planner/scheduler pipeline.
 
-    One process-wide set of integer counters covering the pipeline's
-    units of work — planner probes, migration moves, clear attempts,
-    state copies, service rounds. [incr]/[add] are single array stores,
-    cheap enough to leave permanently enabled on hot paths (unlike
-    {!Trace} spans, which are gated on an installed sink).
+    One set of integer counters covering the pipeline's units of work —
+    planner probes, migration moves, clear attempts, state copies,
+    service rounds. [incr]/[add] are single array stores, cheap enough
+    to leave permanently enabled on hot paths (unlike {!Trace} spans,
+    which are gated on an installed sink).
 
-    Because the registry is global, scoped measurement works by
-    snapshot/diff: take a {!snapshot} before the region of interest and
-    [diff] it against one taken after. *)
+    The registry is {e domain-local}: every function below reads and
+    writes the calling domain's store, so concurrent domains never
+    contend. A probe worker domain accumulates into its own store,
+    {!drain}s it on exit, and the spawning domain {!absorb}s the deltas
+    after the join — in domain-spawn order, making the merged totals
+    deterministic and (the sums being commutative) independent of how
+    the probes were distributed across domains.
+
+    Scoped measurement works by snapshot/diff: take a {!snapshot}
+    before the region of interest and [diff] it against one taken
+    after. *)
 
 type key =
   | Planner_plans  (** Applied plans ({!Nu_update.Planner.plan} calls). *)
@@ -42,6 +50,11 @@ type key =
       (** Admission attempts deferred to the next tick (Block policy). *)
   | Serve_drained  (** Requests handed from admission to the engine. *)
   | Serve_checkpoints  (** Durable checkpoints written. *)
+  | Probe_parallel_batches
+      (** Candidate-probe batches fanned out across worker domains. *)
+  | Domain_probes
+      (** Probes evaluated inside worker domains (cache misses of
+          parallel batches). *)
 
 val all : key list
 (** Every key, in rendering order. *)
@@ -79,6 +92,15 @@ type snapshot
     counters — at one instant. *)
 
 val snapshot : unit -> snapshot
+
+val drain : unit -> snapshot
+(** {!snapshot} then {!reset}, atomically from the calling domain's
+    point of view: a worker domain's parting gift, to be {!absorb}ed by
+    the domain that joins it. *)
+
+val absorb : snapshot -> unit
+(** Add a drained snapshot's values into the calling domain's counters.
+    Raises [Invalid_argument] on a fixed-size mismatch. *)
 
 val diff : before:snapshot -> after:snapshot -> snapshot
 (** Per-key [after - before]: the counts attributable to the region

@@ -209,12 +209,14 @@ module Registry = struct
   let on = ref false
   let table : (string, t) Hashtbl.t = Hashtbl.create 16
 
-  let enabled () = !on
+  (* Worker domains see the registry as off: the table is a
+     single-writer structure owned by the main domain. *)
+  let enabled () = !on && not (Obs_domain.in_worker ())
   let enable () = on := true
   let disable () = on := false
 
   let record name v =
-    if !on then begin
+    if !on && not (Obs_domain.in_worker ()) then begin
       let h =
         match Hashtbl.find_opt table name with
         | Some h -> h

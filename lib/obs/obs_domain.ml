@@ -1,0 +1,14 @@
+(* Per-domain observability mode. The trace sink and histogram registry
+   are process-global single-writer structures; probe worker domains
+   must not emit into them. Workers raise this flag on entry, and the
+   Trace/Histogram gates read it — a worker sees tracing and sampling
+   as disabled, while the main domain is unaffected. *)
+
+let worker_flag : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get worker_flag
+let enter_worker () = Domain.DLS.set worker_flag true
+
+let quietly f =
+  let prev = Domain.DLS.get worker_flag in
+  Domain.DLS.set worker_flag true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set worker_flag prev) f

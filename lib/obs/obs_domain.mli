@@ -1,0 +1,23 @@
+(** Per-domain observability mode.
+
+    The {!Trace} sink and {!Histogram.Registry} are process-global,
+    single-writer structures owned by the main domain. A probe worker
+    domain (see [Nu_sched.Probe_pool]) calls {!enter_worker} once on
+    startup; from then on the gates in {!Trace.enabled},
+    {!Histogram.Registry.enabled} and friends report "off" on that
+    domain, so code running in a worker emits no spans or samples and
+    never races the main domain's sinks. {!Counters} are unaffected —
+    they are domain-local and merged explicitly. *)
+
+val in_worker : unit -> bool
+(** True on a domain that called {!enter_worker}. *)
+
+val enter_worker : unit -> unit
+(** Mark the calling domain as an observability-silent worker. There is
+    deliberately no way back: worker domains are short-lived. *)
+
+val quietly : (unit -> 'a) -> 'a
+(** Run [f] with the calling domain marked observability-silent,
+    restoring the previous mode afterwards (exception-safe). Used by the
+    main domain when it runs probe-batch lanes alongside workers: every
+    parallel-batch probe is silent, whichever domain evaluates it. *)

@@ -25,7 +25,9 @@ let disabled_span = { sp_name = ""; sp_depth = -1; sp_closed = true }
 let sink : sink option ref = ref None
 let stack : span list ref = ref []
 
-let enabled () = Option.is_some !sink
+(* Worker domains see tracing as off: the sink and span stack are
+   single-writer structures owned by the main domain. *)
+let enabled () = Option.is_some !sink && not (Obs_domain.in_worker ())
 
 let install s =
   (match !sink with Some old -> old.flush () | None -> ());
@@ -38,7 +40,7 @@ let uninstall () =
   stack := []
 
 let span ?(attrs = []) name =
-  match !sink with
+  match if Obs_domain.in_worker () then None else !sink with
   | None -> disabled_span
   | Some s ->
       let depth = List.length !stack in
@@ -96,7 +98,7 @@ let unwind sp =
         else sp.sp_closed <- true (* sink reinstalled mid-span *)
 
 let with_span ?attrs name f =
-  match !sink with
+  match if Obs_domain.in_worker () then None else !sink with
   | None -> f ()
   | Some _ -> (
       let sp = span ?attrs name in
@@ -110,7 +112,7 @@ let with_span ?attrs name f =
           Printexc.raise_with_backtrace e bt)
 
 let instant ?(attrs = []) name =
-  match !sink with
+  match if Obs_domain.in_worker () then None else !sink with
   | None -> ()
   | Some s ->
       s.emit

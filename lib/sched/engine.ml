@@ -79,9 +79,15 @@ type ctx = {
   cache : Estimate_cache.t option;  (* memoised probes; None = disabled *)
   injector : Injector.t option;  (* fault schedule; None = fault-free *)
   series : Series.t option;  (* per-round gauge samples; None = off *)
+  domains : int;  (* probe fan-out width; 1 = sequential *)
   mutable next_churn_id : int;
   mutable units : int;  (* plan-time-billable probes *)
   mutable wall : float;  (* real planner CPU seconds *)
+  mutable memo_warmed : bool;  (* warm_all_paths ran (parallel mode) *)
+  mutable pool : Probe_pool.t option;
+      (* persistent worker domains; created at the first fanned-out
+         batch, torn down by [close] (the batch [run] does it on exit;
+         a stepper owner calls [Stepper.close]) *)
 }
 
 (* Expire flows whose departure has passed, then refill the background to
@@ -139,10 +145,15 @@ let schedule_departures ctx ~completion (plan : Planner.t) =
         | _ -> ())
       plan.Planner.items
 
+(* Monotonic wall clock, not [Sys.time]: getrusage is a real syscall on
+   the per-probe path, and process CPU time sums across domains — the
+   parallel fan-out would report more "planning wall" the more domains
+   it used. *)
 let timed ctx f =
-  let t0 = Sys.time () in
+  let t0 = Monotonic_clock.now () in
   let v = f () in
-  ctx.wall <- ctx.wall +. (Sys.time () -. t0);
+  ctx.wall <-
+    ctx.wall +. (Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) *. 1e-9);
   v
 
 let series_columns =
@@ -203,6 +214,114 @@ let probe_event ctx ev =
   ctx.units <- ctx.units + pr.Planner.probe_est.Planner.est_work_units;
   pr
 
+(* Probe a round's whole candidate list.
+
+   Sequentially this is exactly [List.map (probe_event ctx)]. With
+   [domains > 1] the cache-missing probes are fanned out across worker
+   domains ({!Probe_pool}), and the result is bit-identical to the
+   sequential pass:
+
+   - cache lookups run first, on the main domain, in candidate order —
+     probes commit nothing, so no lookup's answer depends on an earlier
+     probe of the same batch, and the hit/miss counters land exactly as
+     the interleaved sequential loop produced them;
+   - each worker probes against its own snapshot of the (quiescent)
+     round state — the same state every sequential probe saw, since
+     probes roll back;
+   - stores and unit billing replay on the main domain in candidate
+     order, stamping cache entries against the same edge versions the
+     sequential store observed (nothing committed in between).
+
+   Random-fit planning consumes PRNG draws inside the probe, so it pins
+   the batch to the sequential path (as the estimate cache already
+   does); the draws stay on the main domain in candidate order. *)
+
+(* Below this many cache-missing probes a round is evaluated on the
+   main domain even when [domains > 1]: waking the worker pool costs
+   microseconds, but a couple of sub-millisecond probes still amortise
+   nothing and the tail of a draining queue lives here. Either way the
+   decision — and the digest — is identical. *)
+let min_parallel_probes = 4
+
+let probe_batch ctx candidates =
+  if
+    ctx.domains <= 1
+    || ctx.config.Planner.policy = Routing.Random_fit
+    || match candidates with [] | [ _ ] -> true | _ -> false
+  then List.map (fun ev -> (probe_event ctx ev, ev)) candidates
+  else begin
+    let arr = Array.of_list candidates in
+    let n = Array.length arr in
+    let results = Array.make n None in
+    let misses = ref [] in
+    Array.iteri
+      (fun i ev ->
+        match ctx.cache with
+        | Some c -> (
+            match Estimate_cache.find c ctx.net ev.Event.id with
+            | Some pr -> results.(i) <- Some pr
+            | None -> misses := i :: !misses)
+        | None -> misses := i :: !misses)
+      arr;
+    let miss = Array.of_list (List.rev !misses) in
+    let store_result j pr =
+      (match ctx.cache with
+      | Some c -> Estimate_cache.store c ctx.net pr
+      | None -> ());
+      results.(j) <- Some pr
+    in
+    let n_miss = Array.length miss in
+    if n_miss > 0 && n_miss < min_parallel_probes then
+      (* Too small to amortise a fan-out: probe on the main domain, in
+         candidate order, exactly like the sequential loop would. *)
+      Array.iter
+        (fun i ->
+          store_result i
+            (timed ctx (fun () ->
+                 Planner.probe ~rng:ctx.rng ~config:ctx.config ctx.net arr.(i))))
+        miss
+    else if n_miss > 0 then begin
+      Counters.incr Counters.Probe_parallel_batches;
+      Counters.add Counters.Domain_probes n_miss;
+      let h_on = Histogram.Registry.enabled () in
+      let h_t0 = if h_on then Trace.now_ns () else 0L in
+      let fresh =
+        timed ctx (fun () ->
+            let pool =
+              match ctx.pool with
+              | Some p -> p
+              | None ->
+                  (* The memo must be fully warm before the mirrors are
+                     taken: mirrors share it read-only, so no lane may
+                     ever miss (and write) it. *)
+                  if not ctx.memo_warmed then begin
+                    Net_state.warm_all_paths ctx.net;
+                    ctx.memo_warmed <- true
+                  end;
+                  let p = Probe_pool.create ~domains:ctx.domains ~net:ctx.net in
+                  ctx.pool <- Some p;
+                  p
+            in
+            Probe_pool.map pool
+              ~f:(fun local i -> Planner.probe ~config:ctx.config local arr.(i))
+              miss)
+      in
+      if h_on then
+        Histogram.Registry.record "planner.probe_batch_s"
+          (Int64.to_float (Int64.sub (Trace.now_ns ()) h_t0) *. 1e-9);
+      Array.iteri (fun j i -> store_result i fresh.(j)) miss
+    end;
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           match r with
+           | Some pr ->
+               ctx.units <- ctx.units + pr.Planner.probe_est.Planner.est_work_units;
+               (pr, arr.(i))
+           | None -> assert false)
+         results)
+  end
+
 (* Re-apply the round winner's probe plan. Every losing probe rolled
    back, so the state is exactly the one the winner's plan was computed
    against: replaying its recorded operations is equivalent to (and much
@@ -262,7 +381,7 @@ let decide ctx policy queue =
   | _, [] -> invalid_arg "Engine.decide: empty queue"
   | Policy.Fifo, head :: _ -> [ (head, apply ctx ~billed:true head, false) ]
   | Policy.Reorder, _ ->
-      let costed = List.map (fun ev -> (probe_event ctx ev, ev)) queue in
+      let costed = probe_batch ctx queue in
       let win_pr, winner = pick_winner costed in
       [ (winner, apply_winner ctx win_pr, false) ]
   | Policy.Lmtf { alpha }, head :: tail | Policy.Plmtf { alpha }, head :: tail
@@ -278,7 +397,7 @@ let decide ctx policy queue =
         end
       in
       let candidates = head :: sampled in
-      let costed = List.map (fun ev -> (probe_event ctx ev, ev)) candidates in
+      let costed = probe_batch ctx candidates in
       let win_pr, winner = pick_winner costed in
       let winner_plan = apply_winner ctx win_pr in
       let batch = [ (winner, winner_plan, false) ] in
@@ -839,7 +958,8 @@ let run_flow_level ctx order events =
    flows already in the network (churn runs); a checkpoint thaw passes
    false and restores the frozen expiry queue verbatim instead. *)
 let make_ctx ~exec ~config ~rng ~churn ~co_max_cost_mbit ~estimate_cache
-    ~injector ~series ~init_expiry ~net =
+    ~injector ~series ~domains ~init_expiry ~net =
+  if domains < 1 then invalid_arg "Engine: domains must be >= 1";
   (* Memoised probes are only sound when planning is a deterministic
      function of the state it reads: Random_fit consumes PRNG draws
      inside the planner, so a cache hit would perturb the stream for
@@ -861,9 +981,12 @@ let make_ctx ~exec ~config ~rng ~churn ~co_max_cost_mbit ~estimate_cache
       cache;
       injector;
       series;
+      domains;
       next_churn_id = (match churn with Some c -> c.first_id | None -> 0);
       units = 0;
       wall = 0.0;
+      memo_warmed = false;
+      pool = None;
     }
   in
   (* Flows already in the network run out their remaining duration. *)
@@ -874,6 +997,16 @@ let make_ctx ~exec ~config ~rng ~churn ~co_max_cost_mbit ~estimate_cache
             placed.Net_state.record.Flow_record.id)
   | Some _ | None -> ());
   ctx
+
+(* Stop and join the probe workers (idempotent; no-op when no batch
+   ever fanned out). The worker domains spin between batches, so a
+   long-lived stepper owner should close as soon as planning is done. *)
+let close_ctx ctx =
+  match ctx.pool with
+  | Some p ->
+      Probe_pool.shutdown p;
+      ctx.pool <- None
+  | None -> ()
 
 (* Per-event distribution samples: service time (ECT) and queuing delay.
    One registry check when sampling is off. *)
@@ -909,7 +1042,7 @@ let assemble_result ctx policy (results, rounds, rounds_log) =
 
 let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
     ?(seed = 7) ?churn ?(co_max_cost_mbit = 0.0) ?(estimate_cache = true)
-    ?injector ?series ~net ~events policy =
+    ?injector ?series ?(domains = 1) ~net ~events policy =
   (match Policy.validate policy with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Engine.run: " ^ msg));
@@ -928,12 +1061,15 @@ let run ?(exec = Exec_model.default) ?(config = Planner.default_config) ?rng
   let rng = match rng with Some r -> r | None -> Prng.create seed in
   let ctx =
     make_ctx ~exec ~config ~rng ~churn ~co_max_cost_mbit ~estimate_cache
-      ~injector ~series ~init_expiry:true ~net
+      ~injector ~series ~domains ~init_expiry:true ~net
   in
   let outcome =
-    match policy with
-    | Policy.Flow_level order -> run_flow_level ctx order events
-    | _ -> run_event_level ctx policy events
+    Fun.protect
+      ~finally:(fun () -> close_ctx ctx)
+      (fun () ->
+        match policy with
+        | Policy.Flow_level order -> run_flow_level ctx order events
+        | _ -> run_event_level ctx policy events)
   in
   let result = assemble_result ctx policy outcome in
   record_event_histograms result.events;
@@ -965,7 +1101,7 @@ module Stepper = struct
 
   let create ?(exec = Exec_model.default) ?(config = Planner.default_config)
       ?rng ?(seed = 7) ?churn ?(co_max_cost_mbit = 0.0) ?(estimate_cache = true)
-      ?injector ?series ?observer ?(events = []) ~net policy =
+      ?injector ?series ?(domains = 1) ?observer ?(events = []) ~net policy =
     (match Policy.validate policy with
     | Ok () -> ()
     | Error msg -> invalid_arg ("Engine.Stepper.create: " ^ msg));
@@ -976,7 +1112,7 @@ module Stepper = struct
     let rng = match rng with Some r -> r | None -> Prng.create seed in
     let ctx =
       make_ctx ~exec ~config ~rng ~churn ~co_max_cost_mbit ~estimate_cache
-        ~injector ~series ~init_expiry:true ~net
+        ~injector ~series ~domains ~init_expiry:true ~net
     in
     make_stepper ?observer ctx policy events
 
@@ -995,6 +1131,7 @@ module Stepper = struct
     end
 
   let step = step
+  let close st = close_ctx st.ctx
   let has_work st = st.queue <> [] || st.pending <> [] || st.held <> []
 
   let backlog st =
@@ -1043,11 +1180,11 @@ module Stepper = struct
 
   let thaw ?(exec = Exec_model.default) ?(config = Planner.default_config)
       ?churn ?(co_max_cost_mbit = 0.0) ?(estimate_cache = true) ?injector
-      ?series ?observer ~net fz =
+      ?series ?(domains = 1) ?observer ~net fz =
     let rng = Prng.of_raw_state fz.fz_rng in
     let ctx =
       make_ctx ~exec ~config ~rng ~churn ~co_max_cost_mbit ~estimate_cache
-        ~injector ~series ~init_expiry:false ~net
+        ~injector ~series ~domains ~init_expiry:false ~net
     in
     (* Restore the departure queue in pop order: pushing in that order
        reproduces the original pop sequence exactly (FIFO tie-break on

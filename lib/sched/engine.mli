@@ -116,6 +116,7 @@ val run :
   ?estimate_cache:bool ->
   ?injector:Nu_fault.Injector.t ->
   ?series:Nu_obs.Series.t ->
+  ?domains:int ->
   net:Net_state.t ->
   events:Event.t list ->
   Policy.t ->
@@ -123,6 +124,13 @@ val run :
 (** Simulate the queue to completion. [events] need not be sorted. [rng]
     (or [seed], default 7; [rng] wins) drives LMTF/P-LMTF sampling and
     churn — given equal seeds, runs are exactly reproducible.
+    [domains] (default 1) sets the candidate-probe fan-out width: with
+    [domains > 1] each round's cache-missing probes are evaluated in
+    parallel on that many worker domains ({!Probe_pool}), with
+    bit-identical decisions, digests and counter totals at any width —
+    only the planning wall clock changes. Random-fit planning consumes
+    PRNG draws inside probes and therefore always runs sequentially.
+    Raises [Invalid_argument] when [domains < 1].
     [co_max_cost_mbit] (default 0) bounds opportunistic updating: a
     candidate is co-scheduled only when a scan-first plan alongside the
     in-flight batch fits within that migration budget — i.e. the
@@ -186,6 +194,7 @@ module Stepper : sig
     ?estimate_cache:bool ->
     ?injector:Nu_fault.Injector.t ->
     ?series:Nu_obs.Series.t ->
+    ?domains:int ->
     ?observer:(observation -> unit) ->
     ?events:Event.t list ->
     net:Net_state.t ->
@@ -210,6 +219,13 @@ module Stepper : sig
   (** Execute one service round (including any leading idle-time jump
       to the next arrival or retry instant). [`Idle] means no queued,
       pending or held work remained — nothing happened. *)
+
+  val close : t -> unit
+  (** Stop and join the probe-worker domains, if any batch ever fanned
+      out ([domains > 1]). Idempotent, and a no-op for sequential
+      steppers. The workers spin-wait between rounds, so a long-lived
+      owner (the serving layer) should close as soon as planning is
+      done; a later step simply re-creates the pool on demand. *)
 
   val has_work : t -> bool
   val backlog : t -> int
@@ -268,6 +284,7 @@ module Stepper : sig
     ?estimate_cache:bool ->
     ?injector:Nu_fault.Injector.t ->
     ?series:Nu_obs.Series.t ->
+    ?domains:int ->
     ?observer:(observation -> unit) ->
     net:Net_state.t ->
     frozen ->
@@ -278,7 +295,10 @@ module Stepper : sig
       likewise. The PRNG resumes from the frozen cursor — no [seed]
       parameter. The estimate cache restarts cold (hits bill the same
       simulated units a fresh probe would, so decisions are unaffected;
-      only real wall time differs). *)
+      only real wall time differs). [domains] may differ from the
+      original run's — the probe fan-out width is invisible to every
+      decision, so a checkpoint taken at one width replays identically
+      at any other. *)
 end
 
 val record_event_histograms : event_result array -> unit

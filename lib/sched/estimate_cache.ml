@@ -1,8 +1,14 @@
 module Counters = Nu_obs.Counters
 
+(* Stamps are parallel flat int arrays (edge id / version) rather than
+   an array of pairs: validation walks them on every cache lookup, and
+   the tuple boxes doubled the pointer chasing for no benefit. Edge ids
+   arrive sorted from the probe bracket and are kept that way — the
+   regression tests assert exact invalidation behaviour per edge id. *)
 type entry = {
   probe : Planner.probe;
-  stamps : (int * int) array;
+  stamp_edges : int array;  (* sorted ascending *)
+  stamp_versions : int array;  (* stamp_versions.(i) is for stamp_edges.(i) *)
   epoch : int;  (* Net_state.disabled_epoch at store time *)
 }
 
@@ -12,9 +18,15 @@ let create () = { table = Hashtbl.create 64 }
 
 let valid net entry =
   Net_state.disabled_epoch net = entry.epoch
-  && Array.for_all
-       (fun (e, v) -> Net_state.edge_version net e = v)
-       entry.stamps
+  &&
+  let n = Array.length entry.stamp_edges in
+  let rec go i =
+    i >= n
+    || Net_state.edge_version net (Array.unsafe_get entry.stamp_edges i)
+       = Array.unsafe_get entry.stamp_versions i
+       && go (i + 1)
+  in
+  go 0
 
 let find t net event_id =
   match Hashtbl.find_opt t.table event_id with
@@ -26,14 +38,17 @@ let find t net event_id =
       None
 
 let store t net (probe : Planner.probe) =
-  let stamps =
-    Array.of_list
-      (List.map
-         (fun e -> (e, Net_state.edge_version net e))
-         probe.Planner.probe_touched)
+  let edges = probe.Planner.probe_touched in
+  let versions =
+    Array.map (fun e -> Net_state.edge_version net e) edges
   in
   Hashtbl.replace t.table probe.Planner.probe_plan.Planner.event.Event.id
-    { probe; stamps; epoch = Net_state.disabled_epoch net }
+    {
+      probe;
+      stamp_edges = edges;
+      stamp_versions = versions;
+      epoch = Net_state.disabled_epoch net;
+    }
 
 let invalidate t event_id = Hashtbl.remove t.table event_id
 let clear t = Hashtbl.reset t.table

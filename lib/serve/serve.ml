@@ -26,6 +26,10 @@ type config = {
   co_max_cost_mbit : float;
   estimate_cache : bool;
   churn : churn_spec option;
+  domains : int;
+      (* Execution width only — never part of the checkpoint
+         fingerprint: decisions are width-independent, so a journal
+         recorded at one width replays identically at another. *)
 }
 
 let default_config policy =
@@ -40,6 +44,7 @@ let default_config policy =
     co_max_cost_mbit = 0.0;
     estimate_cache = true;
     churn = None;
+    domains = 1;
   }
 
 let validate_config cfg =
@@ -55,6 +60,7 @@ let validate_config cfg =
     invalid_arg "Serve: tick_dt_s must be finite and > 0";
   if cfg.co_max_cost_mbit < 0.0 || not (Float.is_finite cfg.co_max_cost_mbit)
   then invalid_arg "Serve: co_max_cost_mbit must be finite and >= 0";
+  if cfg.domains < 1 then invalid_arg "Serve: domains must be >= 1";
   match cfg.churn with
   | None -> ()
   | Some cs ->
@@ -167,7 +173,7 @@ let create ?source_params ?injector ?series ?telemetry ?journal cfg ~topology
       ~policy:cfg.admission_policy
   in
   let stepper =
-    Engine.Stepper.create ~seed:cfg.engine_seed
+    Engine.Stepper.create ~seed:cfg.engine_seed ~domains:cfg.domains
       ?churn:(engine_churn ~host_count cfg.churn)
       ~co_max_cost_mbit:cfg.co_max_cost_mbit
       ~estimate_cache:cfg.estimate_cache ?injector ?series
@@ -210,6 +216,7 @@ let set_journal t w = t.journal <- w
 
 let retire t =
   let r = result t in
+  Engine.Stepper.close t.stepper;
   Engine.record_event_histograms r.Engine.events;
   (match t.telemetry with Some tel -> Telemetry.on_retire tel | None -> ());
   (match t.journal with
@@ -372,7 +379,7 @@ let restore ?source_params ?series ?telemetry ?retry ?check_invariants
         Option.map (Injector.thaw ?retry ?check_invariants) cp.Checkpoint.injector
       in
       let stepper =
-        Engine.Stepper.thaw
+        Engine.Stepper.thaw ~domains:cfg.domains
           ?churn:(engine_churn ~host_count cfg.churn)
           ~co_max_cost_mbit:cfg.co_max_cost_mbit
           ~estimate_cache:cfg.estimate_cache ?injector ?series

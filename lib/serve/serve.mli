@@ -44,11 +44,18 @@ type config = {
   co_max_cost_mbit : float;  (** Co-scheduling budget (0 = off). *)
   estimate_cache : bool;
   churn : churn_spec option;
+  domains : int;
+      (** Probe fan-out width handed to the engine (see
+          {!Nu_sched.Engine.run}). Decisions are bit-identical at any
+          width, so this is an execution knob, not a semantic one — it
+          is deliberately excluded from the checkpoint {!fingerprint},
+          and a journal may be replayed at a different width than the
+          one it was recorded under. *)
 }
 
 val default_config : Policy.t -> config
 (** seed 42, capacity 64, Block admission, drain 8, steps 4, dt 50 ms,
-    co-scheduling off, estimate cache on, no churn. *)
+    co-scheduling off, estimate cache on, no churn, 1 domain. *)
 
 val config_to_json : config -> Nu_obs.Json.t
 val spec_to_json : Source.spec -> Nu_obs.Json.t
@@ -125,9 +132,10 @@ val digest : t -> string
 
 val retire : t -> Engine.run_result
 (** {!result} plus end-of-life histogram recording
-    ({!Engine.record_event_histograms}), a final telemetry exposition
-    write + lifecycle-stream close ({!Telemetry.on_retire}), and
-    journal close. *)
+    ({!Engine.record_event_histograms}), probe-worker shutdown
+    ({!Engine.Stepper.close}), a final telemetry exposition write +
+    lifecycle-stream close ({!Telemetry.on_retire}), and journal
+    close. *)
 
 val set_journal : t -> Journal.writer option -> unit
 (** Replace the journal writer (closing is the caller's concern). *)

@@ -26,104 +26,214 @@ type blocked = Cannot_free of Graph.edge
 let moves_cost_mbit moves =
   List.fold_left (fun acc m -> acc +. m.size_mbit) 0.0 moves
 
-let static_key order (p : Net_state.placed) =
-  let size = p.record.Flow_record.size_mbit in
-  let demand = Flow_record.demand_mbps p.record in
-  match order with
-  | Smallest_size_first -> size
-  | Largest_demand_first -> -.demand
-  | Best_ratio_first | Best_fit_first -> size /. demand
+(* The per-link selection loop below rescans its candidate pool after
+   every migration attempt. The pool lives in domain-local scratch
+   arrays fed straight from Net_state's per-edge columns
+   ({!Net_state.edge_flows_blit}) — no per-pool list, no sort, no
+   hashtable resolution per flow. Entries arrive in unspecified order,
+   so {!select_next} breaks key ties by flow id explicitly; that picks
+   the same flow the historical first-wins scan over an id-sorted pool
+   did. A [used] mask covers both "already selected" and "not eligible"
+   (the event's own flows and flows migrated earlier in this clear). *)
+type scratch = {
+  mutable ids : int array;  (* flow id *)
+  mutable dem : float array;  (* demand_mbps *)
+  mutable size : float array;  (* size_mbit *)
+  mutable skey : float array;  (* static key under the chosen order *)
+  mutable used : bool array;
+}
 
-(* Pick the next flow to migrate for the remaining [gap] and return it
-   with the rest of the pool. Best-fit is gap-dependent: prefer the
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        ids = Array.make 64 0;
+        dem = Array.make 64 0.0;
+        size = Array.make 64 0.0;
+        skey = Array.make 64 0.0;
+        used = Array.make 64 false;
+      })
+
+let ensure_scratch s n =
+  if Array.length s.ids < n then begin
+    let cap = ref (Array.length s.ids) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    s.ids <- Array.make !cap 0;
+    s.dem <- Array.make !cap 0.0;
+    s.size <- Array.make !cap 0.0;
+    s.skey <- Array.make !cap 0.0;
+    s.used <- Array.make !cap false
+  end
+
+(* Fill the domain's scratch with edge [edge_id]'s flows; returns the
+   entry count. Safe to reuse across the whole clear: nothing below
+   (try_relocate, reroute) builds another pool before this link's loop
+   finishes. *)
+let fill_pool order net edge_id ~exclude ~moved =
+  let s = Domain.DLS.get scratch_key in
+  ensure_scratch s (Net_state.edge_flow_count net edge_id);
+  let n =
+    Net_state.edge_flows_blit net edge_id ~ids:s.ids ~dem:s.dem ~size:s.size
+  in
+  for i = 0 to n - 1 do
+    let id = Array.unsafe_get s.ids i in
+    s.used.(i) <- exclude id || Hashtbl.mem moved id;
+    s.skey.(i) <-
+      (match order with
+      | Smallest_size_first -> Array.unsafe_get s.size i
+      | Largest_demand_first -> -.Array.unsafe_get s.dem i
+      | Best_ratio_first | Best_fit_first ->
+          Array.unsafe_get s.size i /. Array.unsafe_get s.dem i)
+  done;
+  (s, n)
+
+(* Pick the next flow to migrate for the remaining [gap] (index into the
+   scratch, or -1 when exhausted). Best-fit is gap-dependent: prefer the
    smallest flow that closes the gap alone; otherwise fall back to the
-   best size/demand ratio. The other orders are static. *)
-let select_next order ~gap candidates =
-  match candidates with
-  | [] -> None
-  | _ ->
-      let better key a b = if key b < key a then b else a in
-      let choice =
-        match order with
-        | Best_fit_first -> (
-            let covering =
-              List.filter
-                (fun (p : Net_state.placed) ->
-                  Flow_record.demand_mbps p.record >= gap)
-                candidates
-            in
-            match covering with
-            | first :: rest ->
-                List.fold_left
-                  (better (fun (p : Net_state.placed) ->
-                       p.record.Flow_record.size_mbit))
-                  first rest
-            | [] -> (
-                match candidates with
-                | first :: rest ->
-                    List.fold_left (better (static_key order)) first rest
-                | [] -> assert false))
-        | _ -> (
-            match candidates with
-            | first :: rest ->
-                List.fold_left (better (static_key order)) first rest
-            | [] -> assert false)
-      in
-      let rest =
-        List.filter
-          (fun (p : Net_state.placed) ->
-            p.record.Flow_record.id <> choice.record.Flow_record.id)
-          candidates
-      in
-      Some (choice, rest)
+   best static key. Lexicographic (key, flow id) minimisation with a
+   strict first comparison: entries whose key never beats infinity
+   (NaN, or an infinite ratio) stay unselectable, exactly as under the
+   strict [<] scan this replaces. *)
+let select_next order ~gap s n =
+  let best = ref (-1) and bk = ref infinity and bid = ref max_int in
+  let consider i k =
+    let id = Array.unsafe_get s.ids i in
+    if k < !bk || (!best >= 0 && k = !bk && id < !bid) then begin
+      best := i;
+      bk := k;
+      bid := id
+    end
+  in
+  (match order with
+  | Best_fit_first ->
+      for i = 0 to n - 1 do
+        if
+          (not (Array.unsafe_get s.used i))
+          && Array.unsafe_get s.dem i >= gap
+        then consider i (Array.unsafe_get s.size i)
+      done
+  | _ -> ());
+  if !best < 0 then
+    for i = 0 to n - 1 do
+      if not (Array.unsafe_get s.used i) then
+        consider i (Array.unsafe_get s.skey i)
+    done;
+  !best
 
 (* Relocation targets must leave the desired path entirely and be
    congestion-free for the migrated flow. Feasibility is judged by
    Net_state.reroute itself (which releases the flow's current usage
-   first), so partially-overlapping current/target paths are handled. *)
+   first), so partially-overlapping current/target paths are handled.
+
+   The candidate walk is fused: eligibility, feasibility, policy ranking
+   and the reroute attempts all run over the memoised candidate list
+   directly, with no intermediate filtered/ranked lists. Eligibility is
+   pure (path arrays and the caller's [forbidden] closure), so
+   re-evaluating it per phase is unobservable; feasibility and the
+   policy keys read net state, but in the same candidate order as the
+   filter-then-rank formulation, and probe read sets are deduplicated,
+   so recorded read sets and every decision are bit-identical.
+   Random_fit still builds the explicit feasible list — [Prng.choose]
+   must see the same array it historically did. *)
 let try_relocate ?policy ?rng ?(forbidden = fun _ -> false) ~work_units net
     ~desired_path (p : Net_state.placed) =
   let flow_id = p.record.Flow_record.id in
+  (* Disjointness test on the flat hop-id arrays: candidate sets are
+     ~16 paths of <=8 hops, so the nested scan beats any set building. *)
+  let desired_ids = Path.hop_ids desired_path in
+  let nd = Array.length desired_ids in
   let off_desired cand =
-    not
-      (List.exists
-         (fun (e : Graph.edge) -> Path.mentions_edge cand e.id)
-         (Path.edges desired_path))
+    let cand_ids = Path.hop_ids cand in
+    let nc = Array.length cand_ids in
+    let rec disjoint i =
+      i >= nc
+      ||
+      let id = Array.unsafe_get cand_ids i in
+      let rec absent j =
+        j >= nd || (Array.unsafe_get desired_ids j <> id && absent (j + 1))
+      in
+      absent 0 && disjoint (i + 1)
+    in
+    disjoint 0
   in
-  let candidates =
-    List.filter
-      (fun cand ->
-        off_desired cand
-        && (not (forbidden cand))
-        && not (Path.equal cand p.path))
-      (Net_state.candidate_paths net p.record)
+  let eligible cand =
+    off_desired cand
+    && (not (forbidden cand))
+    && not (Path.equal cand p.path)
   in
-  (* Rank candidates under the chosen policy using current residuals
-     (ignoring the flow's own usage, which only makes the ranking
-     conservative), then attempt reroutes in that order. *)
+  let all = Net_state.candidate_paths net p.record in
   let demand = Flow_record.demand_mbps p.record in
-  let ranked =
-    match Routing.select_from ?rng ?policy net ~demand candidates with
-    | Some best -> best :: List.filter (fun c -> not (Path.equal c best)) candidates
-    | None -> candidates
+  let feasible cand = Net_state.path_feasible net cand ~demand in
+  (* Best eligible+feasible candidate under the policy, or None. *)
+  let best =
+    match policy with
+    | None | Some Routing.First_fit ->
+        List.find_opt (fun c -> eligible c && feasible c) all
+    | Some Routing.Widest ->
+        let bp = ref None and bw = ref neg_infinity in
+        List.iter
+          (fun c ->
+            if eligible c && feasible c then begin
+              let w = Routing.bottleneck_residual net c in
+              if !bp = None || w > !bw then begin
+                bp := Some c;
+                bw := w
+              end
+            end)
+          all;
+        !bp
+    | Some Routing.Least_loaded ->
+        let bp = ref None and bu = ref infinity in
+        List.iter
+          (fun c ->
+            if eligible c && feasible c then begin
+              let u = Routing.peak_utilization net c in
+              if !bp = None || u < !bu then begin
+                bp := Some c;
+                bu := u
+              end
+            end)
+          all;
+        !bp
+    | Some Routing.Random_fit ->
+        Routing.select_from ?rng ~policy:Routing.Random_fit net ~demand
+          (List.filter eligible all)
   in
-  let rec attempt = function
+  (* Attempt reroutes: the ranked winner first, then the remaining
+     eligible candidates in enumeration order. *)
+  let attempt cand =
+    incr work_units;
+    match Net_state.reroute net flow_id cand with
+    | Ok old_path ->
+        Some
+          {
+            flow_id;
+            from_path = old_path;
+            to_path = cand;
+            size_mbit = p.record.size_mbit;
+            demand_mbps = demand;
+          }
+    | Error _ -> None
+  in
+  let rec attempt_rest skip = function
     | [] -> None
-    | cand :: rest -> (
-        incr work_units;
-        match Net_state.reroute net flow_id cand with
-        | Ok old_path ->
-            Some
-              {
-                flow_id;
-                from_path = old_path;
-                to_path = cand;
-                size_mbit = p.record.size_mbit;
-                demand_mbps = demand;
-              }
-        | Error _ -> attempt rest)
+    | cand :: rest ->
+        if
+          eligible cand
+          && not (match skip with Some b -> Path.equal cand b | None -> false)
+        then
+          match attempt cand with
+          | Some _ as ok -> ok
+          | None -> attempt_rest skip rest
+        else attempt_rest skip rest
   in
-  attempt ranked
+  match best with
+  | Some b -> (
+      match attempt b with
+      | Some _ as ok -> ok
+      | None -> attempt_rest (Some b) all)
+  | None -> attempt_rest None all
 
 let clear_path ?(order = Best_fit_first) ?policy ?rng ?forbidden
     ?(work_units = ref 0) net ~demand ~path ~exclude =
@@ -160,32 +270,35 @@ let clear_path ?(order = Best_fit_first) ?policy ?rng ?forbidden
     | (e : Graph.edge) :: rest ->
         if Net_state.capacity_gap net e ~demand <= 0.0 then clear_links rest
         else begin
-          let candidates =
-            List.filter
-              (fun (p : Net_state.placed) ->
-                let id = p.record.Flow_record.id in
-                (not (exclude id)) && not (Hashtbl.mem moved id))
-              (Net_state.flows_on_edge net e.id)
-          in
-          let rec free_gap pool =
+          let pool, n = fill_pool order net e.id ~exclude ~moved in
+          let rec free_gap () =
             let gap = Net_state.capacity_gap net e ~demand in
             if gap <= 0.0 then `Cleared
             else begin
-              match select_next order ~gap pool with
-              | None -> `Stuck
-              | Some (cand, rest) -> (
+              match select_next order ~gap pool n with
+              | -1 -> `Stuck
+              | i -> (
+                  pool.used.(i) <- true;
+                  (* Resolve the placement lazily: only selected flows
+                     are ever rerouted, so an unselected entry's
+                     placement cannot have changed since the blit. *)
+                  let placed =
+                    match Net_state.peek_flow net pool.ids.(i) with
+                    | Some p -> p
+                    | None -> assert false (* on-edge flows are placed *)
+                  in
                   match
                     try_relocate ?policy ?rng ?forbidden ~work_units net
-                      ~desired_path:path cand
+                      ~desired_path:path placed
                   with
                   | Some move ->
                       applied := move :: !applied;
                       Hashtbl.replace moved move.flow_id ();
-                      free_gap rest
-                  | None -> free_gap rest)
+                      free_gap ()
+                  | None -> free_gap ())
             end
           in
-          match free_gap candidates with
+          match free_gap () with
           | `Cleared -> clear_links rest
           | `Stuck ->
               rollback ();

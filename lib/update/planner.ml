@@ -433,7 +433,7 @@ let estimate_of p =
 type probe = {
   probe_est : estimate;
   probe_plan : t;
-  probe_touched : int list;
+  probe_touched : int array;
 }
 
 let probe ?rng ?config ?frozen net event =
@@ -468,7 +468,7 @@ let probe ?rng ?config ?frozen net event =
             ("est_cost_mbit", Trace.Float est.est_cost_mbit);
             ("est_failed", Trace.Int est.est_failed);
             ("units", Trace.Int est.est_work_units);
-            ("touched_edges", Trace.Int (List.length touched));
+            ("touched_edges", Trace.Int (Array.length touched));
           ]
   | None -> ());
   { probe_est = est; probe_plan = p; probe_touched = touched }

@@ -105,7 +105,7 @@ type probe = {
   probe_plan : t;
       (** The speculative plan itself — replayable via {!replay} while
           the state is unchanged on every touched edge. *)
-  probe_touched : int list;
+  probe_touched : int array;
       (** Edge ids the plan read or wrote, sorted ascending. *)
 }
 

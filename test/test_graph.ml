@@ -242,6 +242,60 @@ let prop_pqueue_sorted =
       out = List.sort compare prios)
 
 (* ------------------------------------------------------------------ *)
+(* CSR adjacency vs a reference model: the flat offsets+ids layout
+   behind {!Graph.iter_out}/{!Graph.iter_in} must agree, edge for edge
+   and in insertion order, with naive per-node adjacency lists recorded
+   at [add_edge] time — including across the lazy rebuild that a
+   post-freeze append triggers. *)
+
+let prop_csr_matches_reference =
+  QCheck.Test.make ~name:"CSR adjacency matches reference lists" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Prng.create (7000 + seed) in
+      let n = Prng.int_in rng 2 20 in
+      let g = Graph.create ~initial_nodes:n () in
+      let out_ref = Array.make n [] and in_ref = Array.make n [] in
+      let add_random_edge () =
+        let src = Prng.int rng n in
+        let dst = (src + 1 + Prng.int rng (n - 1)) mod n in
+        let capacity = Prng.float_in rng 1.0 100.0 in
+        let id = Graph.add_edge g ~src ~dst ~capacity in
+        out_ref.(src) <- id :: out_ref.(src);
+        in_ref.(dst) <- id :: in_ref.(dst)
+      in
+      let m = Prng.int_in rng 0 60 in
+      for _ = 1 to m do
+        add_random_edge ()
+      done;
+      Graph.freeze g;
+      (* Post-freeze appends exercise the lazy CSR rebuild. *)
+      let extra = Prng.int_in rng 0 10 in
+      for _ = 1 to extra do
+        add_random_edge ()
+      done;
+      let csr_out v =
+        let acc = ref [] in
+        Graph.iter_out g v (fun e -> acc := e :: !acc);
+        List.rev !acc
+      in
+      let csr_in v =
+        let acc = ref [] in
+        Graph.iter_in g v (fun e -> acc := e :: !acc);
+        List.rev !acc
+      in
+      let ids edges = List.map (fun e -> e.Graph.id) edges in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        let o = List.rev out_ref.(v) and i = List.rev in_ref.(v) in
+        if csr_out v <> o then ok := false;
+        if csr_in v <> i then ok := false;
+        (* The record-list view must agree with the CSR rows too. *)
+        if ids (Graph.out_edges g v) <> o then ok := false;
+        if ids (Graph.in_edges g v) <> i then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
 (* Bfs                                                                 *)
 
 let test_bfs_distance () =
@@ -402,6 +456,7 @@ let suite =
     ("pqueue to_list pop order", `Quick, test_pqueue_to_list_pop_order);
     ("pqueue size/clear", `Quick, test_pqueue_size_clear);
     QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+    QCheck_alcotest.to_alcotest prop_csr_matches_reference;
     ("bfs distance", `Quick, test_bfs_distance);
     ("bfs shortest path", `Quick, test_bfs_shortest_path);
     ("bfs all shortest", `Quick, test_bfs_all_shortest);

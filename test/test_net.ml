@@ -295,7 +295,7 @@ let test_probe_tracking () =
   Net_state.start_probe net;
   Alcotest.(check bool) "feasible" true
     (Net_state.path_feasible net path ~demand:10.0);
-  let touched = Net_state.stop_probe net in
+  let touched = Array.to_list (Net_state.stop_probe net) in
   List.iter
     (fun id ->
       Alcotest.(check bool) "path edge recorded" true (List.mem id touched))
@@ -303,7 +303,8 @@ let test_probe_tracking () =
   Alcotest.(check (list int)) "sorted" (List.sort compare touched) touched;
   (* The set resets between probes. *)
   Net_state.start_probe net;
-  Alcotest.(check (list int)) "empty probe" [] (Net_state.stop_probe net)
+  Alcotest.(check (list int)) "empty probe" []
+    (Array.to_list (Net_state.stop_probe net))
 
 (* The tentpole's correctness property: a rolled-back transaction leaves
    the state indistinguishable from a pre-transaction copy, whatever

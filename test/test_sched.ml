@@ -403,6 +403,116 @@ let contains ~needle hay =
   let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
   n = 0 || scan 0
 
+(* ------------------------------------------------------------------ *)
+(* Multicore probe fan-out: the parallel batch path must be a pure
+   wall-clock optimisation — every decision, and therefore the run
+   digest, bit-identical to the sequential pass at any domain count. *)
+
+let mc_churn seed =
+  let maker_rng = Prng.create (1000 + seed) in
+  {
+    Engine.make_flow =
+      (fun ~id ->
+        (Yahoo_trace.generate ~first_id:id maker_rng ~host_count:16 ~n:1).(0));
+    target_utilization = 0.3;
+    max_placements_per_round = 40;
+    first_id = 60_000;
+  }
+
+let prop_mc_digest_equal =
+  QCheck.Test.make ~name:"probe fan-out preserves the digest" ~count:6
+    QCheck.small_int (fun seed ->
+      (* Rotate through the probing schedulers: LMTF (bounded batches),
+         Reorder (whole-queue batches) and P-LMTF (whose co-attempts
+         commit transactions between batches — the redo log's
+         commit-time conversion path). *)
+      let policy =
+        match seed mod 3 with
+        | 0 -> Policy.Lmtf { alpha = 4 }
+        | 1 -> Policy.Reorder
+        | _ -> Policy.Plmtf { alpha = 4 }
+      in
+      let events = workload ~n:10 ~m:4 () in
+      let digest domains =
+        Run_digest.of_run
+          (Engine.run ~net:(loaded_net ()) ~events ~seed:(seed + 3)
+             ~churn:(mc_churn seed) ~co_max_cost_mbit:100.0 ~domains policy)
+      in
+      digest 1 = digest 4)
+
+let test_mc_digest_with_faults () =
+  (* Faults exercise the remaining redo-op kinds (disable/enable,
+     degrade/restore) and the round-guard transactions whose commits
+     feed the log; the fan-out must still not move a single bit. *)
+  let events = workload ~n:10 ~m:4 ~arrival:(fun i -> float_of_int i *. 0.01) () in
+  let fault_edges () =
+    match Net_state.fabric_edges (loaded_net ()) with
+    | a :: b :: _ -> (a, b)
+    | _ -> Alcotest.fail "expected at least two fabric edges"
+  in
+  let e1, e2 = fault_edges () in
+  let schedule =
+    [
+      { Fault_model.at_s = 0.0; action = Fault_model.Degrade { edge = e1; lost_mbps = 200.0 } };
+      { Fault_model.at_s = 0.05; action = Fault_model.Link_down e2 };
+      { Fault_model.at_s = 0.2; action = Fault_model.Restore e1 };
+      { Fault_model.at_s = 0.3; action = Fault_model.Link_up e2 };
+    ]
+  in
+  let digest domains =
+    Run_digest.of_run
+      (Engine.run ~net:(loaded_net ()) ~events ~seed:9 ~churn:(mc_churn 17)
+         ~injector:(Injector.create schedule) ~domains
+         (Policy.Lmtf { alpha = 4 }))
+  in
+  Alcotest.(check string) "fault run digest independent of domains"
+    (digest 1) (digest 4)
+
+(* Estimate cache invalidation granularity: a degrade→restore cycle
+   bumps exactly the touched edge's version, so cached probes that read
+   it miss afterwards while probes of disjoint read sets keep hitting. *)
+let test_cache_degrade_restore_exact_invalidation () =
+  let net = loaded_net () in
+  let mk i src dst =
+    Event.of_spec
+      {
+        Event_gen.event_id = i;
+        arrival_s = 0.0;
+        flows = [ flow ~id:(200 + i) ~demand:20.0 src dst ];
+      }
+  in
+  let ev_a = mk 0 0 1 and ev_b = mk 1 8 9 in
+  let cache = Estimate_cache.create () in
+  let pr_a = Planner.probe net ev_a in
+  let pr_b = Planner.probe net ev_b in
+  Estimate_cache.store cache net pr_a;
+  Estimate_cache.store cache net pr_b;
+  Alcotest.(check bool) "A cached" true (Estimate_cache.find cache net 0 <> None);
+  Alcotest.(check bool) "B cached" true (Estimate_cache.find cache net 1 <> None);
+  let b_touched = Array.to_list pr_b.Planner.probe_touched in
+  let e =
+    match
+      List.find_opt
+        (fun e -> not (List.mem e b_touched))
+        (Array.to_list pr_a.Planner.probe_touched)
+    with
+    | Some e -> e
+    | None -> Alcotest.fail "expected disjoint probe read sets"
+  in
+  let v0 = Net_state.edge_version net e in
+  Net_state.degrade_edge net e ~lost_mbps:5.0;
+  Net_state.restore_edge_capacity net e;
+  Alcotest.(check bool) "cycle dirties the edge" true
+    (Net_state.edge_version net e > v0);
+  Alcotest.(check bool) "A invalidated" true
+    (Estimate_cache.find cache net 0 = None);
+  Alcotest.(check bool) "B untouched, still hits" true
+    (Estimate_cache.find cache net 1 <> None);
+  (* Restore is exact, so a fresh probe re-arms the entry. *)
+  Estimate_cache.store cache net (Planner.probe net ev_a);
+  Alcotest.(check bool) "A hits after re-store" true
+    (Estimate_cache.find cache net 0 <> None)
+
 let test_metrics_comparison_renders () =
   let fifo = Metrics.of_run (run_policy Policy.Fifo) in
   let lmtf = Metrics.of_run (run_policy (Policy.Lmtf { alpha = 2 })) in
@@ -432,6 +542,9 @@ let suite =
     ("engine plmtf co-schedules", `Quick, test_engine_plmtf_co_schedules);
     ("engine cache determinism", `Quick, test_engine_cache_hits_and_determinism);
     ("engine cache determinism churn", `Quick, test_engine_cache_determinism_churn);
+    ("cache exact invalidation", `Quick, test_cache_degrade_restore_exact_invalidation);
+    QCheck_alcotest.to_alcotest prop_mc_digest_equal;
+    ("mc digest with faults", `Quick, test_mc_digest_with_faults);
     ("engine flow order variants", `Quick, test_engine_flow_level_orders_differ);
     ("engine round log", `Quick, test_engine_round_log);
     ("engine round log plmtf", `Quick, test_engine_round_log_plmtf_batches);

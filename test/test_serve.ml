@@ -215,6 +215,7 @@ let cfg ?(capacity = 8) ?(admission = Admission.Block) ?churn () =
     co_max_cost_mbit = 0.0;
     estimate_cache = true;
     churn;
+    domains = 1;
   }
 
 let test_stepper_equals_batch () =
