@@ -112,7 +112,7 @@ type measurement = {
 let now_s () = Unix.gettimeofday ()
 
 let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false)
-    ?(stepper = false) ?(telemetry = false) ?(domains = 1) () =
+    ?(stepper = false) ?(telemetry = false) ?(wal = false) ?(domains = 1) () =
   (* A fresh scenario per measurement: the run mutates its network. *)
   let s = Core.Scenario.prepare ~k:8 ~utilization:0.70 ~seed:!seed () in
   let events = Core.Scenario.events s ~n:n_events in
@@ -170,8 +170,51 @@ let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false)
         Core.Engine.Stepper.create ~seed:3 ~domains ~churn ?injector ?series
           ?observer ~net:s.Core.Scenario.net policy
       in
+      (* [wal] journals the whole workload through the CRC32-framed
+         write-ahead log alongside the run — measuring the durable
+         store's overhead on the ingest path while the digest must not
+         move — then reads it back and requires zero corrupt frames. *)
+      let journal =
+        if wal then begin
+          let path = Filename.temp_file "sched_bench_wal" ".wal" in
+          let w = Core.Journal.open_writer path in
+          List.iteri
+            (fun i ev ->
+              Core.Journal.write w
+                (Core.Journal.Arrive
+                   { tick = i; request = Core.Serve_request.v ~tenant:"bench" ev }))
+            events;
+          List.iteri (fun i _ -> Core.Journal.write w (Core.Journal.Tick_done i)) events;
+          Core.Journal.flush w;
+          Some (path, w)
+        end
+        else None
+      in
       Core.Engine.Stepper.submit st events;
       while Core.Engine.Stepper.step st <> `Idle do () done;
+      (match journal with
+      | None -> ()
+      | Some (path, w) ->
+          Core.Journal.close_writer w;
+          (match Core.Journal.read_report path with
+          | Error m ->
+              Printf.eprintf "bench: FAIL WAL read-back: %s\n%!" m;
+              exit 1
+          | Ok r ->
+              if r.Core.Journal.corrupt <> [] then begin
+                Printf.eprintf
+                  "bench: FAIL WAL read-back reported %d corrupt frame(s)\n%!"
+                  (List.length r.Core.Journal.corrupt);
+                exit 1
+              end;
+              if r.Core.Journal.frames <> 2 * List.length events then begin
+                Printf.eprintf
+                  "bench: FAIL WAL read-back lost frames (%d of %d)\n%!"
+                  r.Core.Journal.frames
+                  (2 * List.length events);
+                exit 1
+              end);
+          Sys.remove path);
       Core.Engine.Stepper.result st
     end
     else
@@ -267,6 +310,9 @@ let () =
         false,
         true,
         true );
+      (* Digest must equal serve-churn-k8's: CRC32-framed write-ahead
+         journaling is durable-store I/O, never a scheduling input. *)
+      ("serve-wal-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, true, false);
     ]
   in
   let scenarios =
@@ -313,7 +359,7 @@ let () =
           n_events domains
           (if domains = 1 then "" else "s");
         measure ~name ~policy ~n_events ~faults ~obs ~stepper ~telemetry
-          ~domains ())
+          ~wal:(name = "serve-wal-k8") ~domains ())
       scenarios
   in
   let digest_must_match ~of_:other ~reference ~what =
@@ -338,6 +384,8 @@ let () =
     ~what:"serving ingest path";
   digest_must_match ~of_:"serve-telemetry-k8" ~reference:"serve-churn-k8"
     ~what:"attached serving telemetry";
+  digest_must_match ~of_:"serve-wal-k8" ~reference:"serve-churn-k8"
+    ~what:"write-ahead journaling";
   digest_must_match ~of_:"lmtf-churn-mc-k8" ~reference:"lmtf-churn-k8"
     ~what:"parallel probe fan-out (LMTF)";
   digest_must_match ~of_:"reorder-churn-mc-k8" ~reference:"reorder-churn-k8"

@@ -702,7 +702,8 @@ let serve_cmd =
           in
           Serve.run ?checkpoint_path:checkpoint ~checkpoint_every ~ticks t;
           (match checkpoint with
-          | Some path when checkpoint_every = 0 -> Serve.save_checkpoint t path
+          | Some path when checkpoint_every = 0 ->
+              ignore (Serve.save_checkpoint t path : string)
           | _ -> ());
           if not no_complete then Serve.complete t;
           let result = Serve.retire t in
@@ -830,11 +831,30 @@ let replay_cmd =
         (match journal_path with
         | None -> ()
         | Some jp -> (
-            match Serve.replay ?upto ~journal:jp t with
+            match Journal.read_report jp with
             | Error m ->
-                Format.eprintf "replay: %s@." m;
+                Format.eprintf "replay: %s: %s@." jp m;
                 exit 1
-            | Ok n -> Format.printf "replay: re-drove %d committed tick(s)@." n));
+            | Ok report -> (
+                if report.Journal.corrupt <> [] then
+                  Format.printf "replay: skipped %d corrupt frame(s) in %s@."
+                    (List.length report.Journal.corrupt)
+                    jp;
+                match Journal.last_commit report.Journal.entries with
+                | Journal.Empty ->
+                    Format.eprintf
+                      "replay: %s holds no committed tick — the journal is \
+                       empty, header-only or fully torn; nothing to re-drive@."
+                      jp;
+                    exit 1
+                | Journal.Committed _ -> (
+                    match Serve.replay_entries ?upto t report.Journal.entries with
+                    | Error m ->
+                        Format.eprintf "replay: %s@." m;
+                        exit 1
+                    | Ok n ->
+                        Format.printf "replay: re-drove %d committed tick(s)@."
+                          n))));
         if not no_complete then Serve.complete t;
         let digest = Serve.digest t in
         print_serve_summary t (Serve.result t);
@@ -866,6 +886,162 @@ let replay_cmd =
       const run $ serve_cfg_term $ source_spec_term $ replay_checkpoint_arg
       $ replay_journal_arg $ upto_arg $ retry_max_arg $ no_complete_arg
       $ metrics_dir_arg $ metrics_every_arg $ expect_digest_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Crash storm: the same serving run twice — once uninterrupted, once
+   under seeded storage faults and supervision — asserting the storm
+   changes nothing about the decisions.                                 *)
+
+let crashes_arg =
+  let doc = "Number of seeded storage faults (crash/corrupt points)." in
+  Arg.(value & opt int 8 & info [ "crashes" ] ~docv:"N" ~doc)
+
+let storm_dir_arg =
+  let doc =
+    "Directory for the storm's durable store (journal + checkpoint chain) \
+     and report artifacts (faults.json, recovery.json, journal_report.json)."
+  in
+  Arg.(
+    value & opt string "crashstorm_out" & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let max_restarts_arg =
+  let doc = "Give up after $(docv) supervised restarts." in
+  Arg.(value & opt int 16 & info [ "max-restarts" ] ~docv:"N" ~doc)
+
+let crashstorm_cmd =
+  let run cfg spec seed util ticks crashes fault_seed max_restarts dir trace
+      counters =
+    with_obs ~trace ~counters (fun () ->
+        try
+          (* Reference: the identical run, uninterrupted and storeless. *)
+          let s0 = Scenario.prepare ~utilization:util ~seed () in
+          let t0 =
+            Serve.create cfg ~topology:s0.Scenario.topology
+              ~net:s0.Scenario.net ~source_spec:spec
+          in
+          Serve.run ~ticks t0;
+          Serve.complete t0;
+          let reference = Serve.digest t0 in
+          ignore (Serve.retire t0 : Engine.run_result);
+          Format.printf "uninterrupted digest: %s@." reference;
+          (* Stormed run: durable store under seeded fault pressure. *)
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let journal_path = Filename.concat dir "journal.wal" in
+          let checkpoint_path = Filename.concat dir "checkpoint.json" in
+          let stale =
+            (checkpoint_path ^ ".tmp")
+            :: List.map (Serve_checkpoint.Chain.gen_path checkpoint_path)
+                 (List.init 9 Fun.id)
+            @ List.map (Journal.segment_path journal_path) (List.init 9 Fun.id)
+          in
+          List.iter (fun p -> if Sys.file_exists p then Sys.remove p) stale;
+          let plan =
+            Store_fault.generate
+              ~config:
+                {
+                  Store_fault.default_config with
+                  Store_fault.n_faults = crashes;
+                  ops_span = max 40 (ticks * 3);
+                }
+              ~seed:fault_seed ()
+          in
+          let fault = Store_fault.create plan in
+          let storm = Scenario.prepare ~utilization:util ~seed () in
+          let fresh_net () =
+            (Scenario.prepare ~utilization:util ~seed ()).Scenario.net
+          in
+          let outcome =
+            Supervisor.run
+              ~sup:
+                {
+                  Supervisor.default_config with
+                  Supervisor.max_restarts;
+                }
+              ~fault
+              ~jitter_seed:(seed lxor (fault_seed * 0x9E3779B1))
+              ~serve_config:cfg ~source_spec:spec
+              ~topology:storm.Scenario.topology ~fresh_net ~journal_path
+              ~checkpoint_path ~ticks ()
+          in
+          let write_json path json =
+            Out_channel.with_open_text path (fun oc ->
+                output_string oc (Obs.Json.to_string json);
+                output_char oc '\n')
+          in
+          write_json (Filename.concat dir "faults.json")
+            (Store_fault.to_json fault);
+          write_json
+            (Filename.concat dir "recovery.json")
+            (Obs.Json.Obj
+               [
+                 ("reference_digest", Obs.Json.String reference);
+                 ("outcome", Supervisor.outcome_to_json outcome);
+               ]);
+          (match Journal.read_report journal_path with
+          | Ok report ->
+              write_json
+                (Filename.concat dir "journal_report.json")
+                (Journal.report_to_json report)
+          | Error m -> Format.eprintf "crashstorm: journal report: %s@." m);
+          Format.printf
+            "storm: %d fault(s) armed, %d fired, %d restart(s), %d corrupt \
+             frame(s) skipped@."
+            (List.length plan)
+            (Store_fault.fired_count fault)
+            outcome.Supervisor.restarts outcome.Supervisor.corrupt_frames;
+          List.iter
+            (fun e ->
+              match e with
+              | Supervisor.Failed { attempt; cls; reason; _ } ->
+                  Format.printf "  attempt %d died: [%s] %s@." attempt
+                    (Supervisor.class_name cls)
+                    reason
+              | Supervisor.Started { attempt; from_tick; fallback_depth; replayed }
+                when fallback_depth > 0 ->
+                  Format.printf
+                    "  attempt %d recovered from tick %d (fallback depth %d, \
+                     %d tick(s) replayed)@."
+                    attempt from_tick fallback_depth replayed
+              | _ -> ())
+            outcome.Supervisor.events;
+          Format.printf "recovery digest: %s@." outcome.Supervisor.recovery_digest;
+          if outcome.Supervisor.gave_up then begin
+            Format.eprintf "crashstorm: supervisor gave up after %d restart(s)@."
+              outcome.Supervisor.restarts;
+            exit 1
+          end;
+          let digest = Option.get outcome.Supervisor.digest in
+          Format.printf "digest: %s@." digest;
+          if digest <> reference then begin
+            Format.eprintf
+              "crashstorm: digest mismatch: storm %s, uninterrupted %s@."
+              digest reference;
+            exit 1
+          end;
+          Format.printf
+            "crashstorm: storm digest matches uninterrupted digest@."
+        with Invalid_argument m | Failure m ->
+          Format.eprintf "crashstorm: %s@." m;
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "crashstorm"
+       ~doc:
+         "Serve under seeded storage faults (torn writes, bit flips, ENOSPC, \
+          fsync loss, kills) with supervised recovery, and assert the \
+          decision digest matches the uninterrupted run bit-for-bit"
+       ~man:
+         [
+           `P
+             "The storm leaves its durable store in $(b,--dir); audit it \
+              externally with $(b,replay --checkpoint DIR/checkpoint.json \
+              --journal DIR/journal.wal --expect-digest D) where D is the \
+              printed digest.";
+         ])
+    Term.(
+      const run $ serve_cfg_term $ source_spec_term $ seed_arg $ util_arg
+      $ ticks_arg $ crashes_arg $ fault_seed_arg $ max_restarts_arg
+      $ storm_dir_arg $ trace_arg $ counters_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry summary: render a metrics dir (lifecycle JSONL + exposition
@@ -1042,6 +1218,7 @@ let main =
       serve_cmd;
       snapshot_cmd;
       replay_cmd;
+      crashstorm_cmd;
       telemetry_cmd;
       all_cmd;
     ]

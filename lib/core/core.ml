@@ -59,6 +59,7 @@ module Retry_policy = Nu_fault.Retry_policy
 module Injector = Nu_fault.Injector
 module Invariant = Nu_fault.Invariant
 module Recovery = Nu_fault.Recovery
+module Store_fault = Nu_fault.Store_fault
 module Policy = Nu_sched.Policy
 module Exec_model = Nu_sched.Exec_model
 module Engine = Nu_sched.Engine
@@ -74,6 +75,7 @@ module Serve_source = Nu_serve.Source
 module Serve_checkpoint = Nu_serve.Checkpoint
 module Serve_codec = Nu_serve.Codec
 module Serve_telemetry = Nu_serve.Telemetry
+module Supervisor = Nu_serve.Supervisor
 module Obs = Nu_obs
 
 (** Canned experiment scenarios: a loaded Fat-Tree plus generator

@@ -61,6 +61,12 @@ module Retry_policy = Nu_fault.Retry_policy
 module Injector = Nu_fault.Injector
 module Invariant = Nu_fault.Invariant
 module Recovery = Nu_fault.Recovery
+
+module Store_fault = Nu_fault.Store_fault
+(** Deterministic storage-fault injection (torn writes, bit flips,
+    short reads, ENOSPC, fsync loss, kills) for the durable serving
+    store. *)
+
 module Policy = Nu_sched.Policy
 module Exec_model = Nu_sched.Exec_model
 module Engine = Nu_sched.Engine
@@ -83,6 +89,11 @@ module Serve_codec = Nu_serve.Codec
 module Serve_telemetry = Nu_serve.Telemetry
 (** Live serving telemetry: request lifecycle stamps, per-tenant
     fairness/SLO tracking and OpenMetrics exposition. *)
+
+module Supervisor = Nu_serve.Supervisor
+(** Bounded-restart supervision of the serving loop: checkpoint-chain
+    fallback, tolerant journal replay, classified failures, recovery
+    log digest. *)
 
 module Obs = Nu_obs
 (** Observability: {!Nu_obs.Trace} spans, {!Nu_obs.Counters},

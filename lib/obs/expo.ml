@@ -169,13 +169,27 @@ let render ?counters ?(histograms = []) ?fairness ?slo () =
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
 
+(* Rename alone makes the swap atomic but not durable: on power loss
+   the directory entry can still point at nothing. Fsync the file
+   before the rename and the directory after it (best-effort — not
+   every filesystem hands out directory fds). *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
 let write_atomic ~dir ?(filename = "metrics.prom") content =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let tmp = Filename.concat dir ("." ^ filename ^ ".tmp") in
   let oc = open_out tmp in
   output_string oc content;
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
   close_out oc;
-  Sys.rename tmp (Filename.concat dir filename)
+  Sys.rename tmp (Filename.concat dir filename);
+  fsync_dir dir
 
 (* ------------------------------------------------------------------ *)
 (* Validation: the tiny OpenMetrics parser used by the CI smoke job.   *)

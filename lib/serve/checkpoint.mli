@@ -1,18 +1,33 @@
-(** Durable whole-controller checkpoint.
+(** Durable whole-controller checkpoint, verified and chained.
 
-    A checkpoint is the atomic triple-plus of frozen component states:
+    A checkpoint is the atomic bundle of frozen component states:
     engine stepper, network, optional fault injector, admission queue,
     deferred requests and the arrival-source cursor, stamped with the
     controller tick it was taken at and an opaque caller [meta] blob
     (the serving configuration fingerprint, validated on restore).
 
-    Saves are write-then-rename, so a crash mid-save never corrupts the
-    previous checkpoint. Loads validate everything — format tag,
-    version, field shapes, path resolvability — and return [Error]
-    rather than trusting the file. *)
+    On disk (format version 2) a checkpoint is one JSON object:
+    {v { "format": ..., "version": 2, "hash": <fnv64 of core>, "core": {...} } v}
+    The content hash covers the printed form of the core object and is
+    re-verified on every load, so a flipped bit anywhere in the state
+    is detected instead of thawed. Version-1 files (no hash) still
+    load.
+
+    Saves are write-then-rename with an fsync of the file before the
+    rename and of the containing directory after it — atomic {e and}
+    durable. Loads validate everything and return [Error] rather than
+    trusting the file.
+
+    {!Chain} keeps the last few generations on disk ([base] newest,
+    [base.1] its parent, ...), each recording its parent's content
+    hash, so recovery can fall back to the newest ancestor that still
+    verifies. *)
 
 type t = {
   tick : int;  (** Controller tick the snapshot was taken after. *)
+  seq : int;  (** Chain sequence number (0 for a first/standalone save). *)
+  parent : string option;
+      (** Content hash of the previous chain generation, if any. *)
   meta : Nu_obs.Json.t;  (** Caller blob, echoed verbatim. *)
   net : Net_state.frozen;
   stepper : Engine.Stepper.frozen;
@@ -22,10 +37,48 @@ type t = {
   source : Source.frozen;
 }
 
+val content_hash : t -> string
+(** FNV-1a 64 hash (16 hex digits) of the serialised core state. *)
+
 val to_json : t -> Nu_obs.Json.t
 val of_json : graph:Graph.t -> Nu_obs.Json.t -> (t, string) result
 
-val save : string -> t -> unit
-(** Atomic (write temp, rename over). *)
+val save : ?fault:Nu_fault.Store_fault.t -> string -> t -> string
+(** Atomic durable save; returns the content hash. Physical I/O routes
+    through [fault] when given. *)
 
-val load : graph:Graph.t -> string -> (t, string) result
+val load :
+  ?fault:Nu_fault.Store_fault.t ->
+  graph:Graph.t ->
+  string ->
+  (t, string) result
+(** Load and verify (format, version, content hash, field shapes). *)
+
+(** Rotated generations of one checkpoint path. *)
+module Chain : sig
+  val default_keep : int
+  (** Ancestors retained besides the newest (2). *)
+
+  val gen_path : string -> int -> string
+  (** [gen_path base i] is [base] for generation 0 (newest),
+      [base ^ "." ^ i] otherwise. *)
+
+  val save :
+    ?fault:Nu_fault.Store_fault.t -> ?keep:int -> string -> t -> string
+  (** Rotate generations (dropping the one beyond [keep]), then save
+      [cp] as the new newest with [seq]/[parent] threaded from the
+      previous newest. Returns the content hash. *)
+
+  val existing : ?keep:int -> string -> (int * string) list
+  (** The (generation, path) pairs present on disk, newest first. *)
+
+  val fallback :
+    ?fault:Nu_fault.Store_fault.t ->
+    ?keep:int ->
+    graph:Graph.t ->
+    string ->
+    (t * int, string) result
+  (** Newest generation that loads and verifies, with its generation
+      index (0 = newest) as the fallback depth. [Error] when no
+      generation verifies, listing each failure. *)
+end

@@ -151,7 +151,10 @@ type t = {
   topology : Topology.t;
   net : Net_state.t;
   source_spec : Source.spec;
-  source : Source.t;
+  source_params : Benson_trace.params option;
+      (* Kept so tolerant replay can rewind the source cursor by
+         re-thawing a pre-poll freeze. *)
+  mutable source : Source.t;
   admission : Admission.t;
   stepper : Engine.Stepper.t;
   injector : Injector.t option;
@@ -185,6 +188,7 @@ let create ?source_params ?injector ?series ?telemetry ?journal cfg ~topology
     topology;
     net;
     source_spec;
+    source_params;
     source;
     admission;
     stepper;
@@ -319,7 +323,10 @@ let tick t =
 
 let snapshot t =
   {
+    (* seq/parent are threaded in by [Checkpoint.Chain.save]. *)
     Checkpoint.tick = t.tick_count;
+    seq = 0;
+    parent = None;
     meta = fingerprint t.cfg t.source_spec;
     net = Net_state.freeze t.net;
     stepper = Engine.Stepper.freeze t.stepper;
@@ -329,9 +336,10 @@ let snapshot t =
     source = Source.freeze t.source;
   }
 
-let save_checkpoint t path =
-  Checkpoint.save path (snapshot t);
-  Counters.incr Counters.Serve_checkpoints
+let save_checkpoint ?fault ?keep t path =
+  let hash = Checkpoint.Chain.save ?fault ?keep path (snapshot t) in
+  Counters.incr Counters.Serve_checkpoints;
+  hash
 
 let run ?checkpoint_path ?(checkpoint_every = 0) ~ticks t =
   for _ = 1 to ticks do
@@ -339,7 +347,7 @@ let run ?checkpoint_path ?(checkpoint_every = 0) ~ticks t =
     match checkpoint_path with
     | Some path when checkpoint_every > 0 && t.tick_count mod checkpoint_every = 0
       ->
-        save_checkpoint t path
+        ignore (save_checkpoint t path : string)
     | _ -> ()
   done
 
@@ -360,10 +368,9 @@ let complete ?(max_ticks = 1_000_000) t =
 (* ------------------------------------------------------------------ *)
 (* Restore + replay.                                                   *)
 
-let restore ?source_params ?series ?telemetry ?retry ?check_invariants
-    ~config:cfg ~source_spec ~topology path =
+let restore_snapshot ?source_params ?series ?telemetry ?retry ?check_invariants
+    ~config:cfg ~source_spec ~topology cp =
   let* () = try Ok (validate_config cfg) with Invalid_argument m -> Error m in
-  let* cp = Checkpoint.load ~graph:topology.Topology.graph path in
   let expected = fingerprint cfg source_spec in
   if not (fingerprint_matches cp.Checkpoint.meta expected) then
     Error
@@ -399,6 +406,7 @@ let restore ?source_params ?series ?telemetry ?retry ?check_invariants
         topology;
         net;
         source_spec;
+        source_params;
         source;
         admission;
         stepper;
@@ -412,19 +420,23 @@ let restore ?source_params ?series ?telemetry ?retry ?check_invariants
     | t -> Ok t
     | exception Invalid_argument m -> Error ("checkpoint restore: " ^ m)
 
+let restore ?source_params ?series ?telemetry ?retry ?check_invariants
+    ?fault ~config ~source_spec ~topology path =
+  let* cp = Checkpoint.load ?fault ~graph:topology.Topology.graph path in
+  restore_snapshot ?source_params ?series ?telemetry ?retry ?check_invariants
+    ~config ~source_spec ~topology cp
+
 let request_eq a b =
   Json.to_string (Codec.request_to_json a) = Json.to_string (Codec.request_to_json b)
 
-let replay ?upto ~journal t =
-  let* entries = Journal.read journal in
-  let groups = Journal.committed_ticks entries in
-  let groups =
-    List.filter
-      (fun (k, _) ->
-        k >= t.tick_count
-        && match upto with None -> true | Some u -> k < u)
-      groups
-  in
+let committed_groups ?upto t entries =
+  List.filter
+    (fun (k, _) ->
+      k >= t.tick_count && match upto with None -> true | Some u -> k < u)
+    (Journal.committed_ticks entries)
+
+(* Strict: any gap or divergence is an error. *)
+let replay_entries ?upto t entries =
   let rec go n = function
     | [] -> Ok n
     | (k, journaled) :: rest ->
@@ -453,4 +465,42 @@ let replay ?upto ~journal t =
           end
         end
   in
-  go 0 groups
+  go 0 (committed_groups ?upto t entries)
+
+(* Tolerant: replay the longest clean prefix and stop at the first gap
+   or divergence (corruption ate a frame there) — the remaining ticks
+   are re-served live from the deterministic source. A stop rewinds
+   the source to its pre-poll cursor, because the mismatched poll
+   already consumed PRNG draws the live re-serve must make again. *)
+let replay_prefix t entries =
+  let host_count = Topology.host_count t.topology in
+  let rec go n = function
+    | [] -> (n, None)
+    | (k, journaled) :: rest ->
+        if k <> t.tick_count then
+          (n, Some (Printf.sprintf "journal gap at tick %d (found %d)" t.tick_count k))
+        else begin
+          let fz = Source.freeze t.source in
+          let polled = Source.poll t.source ~tick:t.tick_count ~now_s:(now_s t) in
+          if
+            List.length polled <> List.length journaled
+            || not (List.for_all2 request_eq polled journaled)
+          then begin
+            t.source <-
+              Source.thaw ?params:t.source_params ~host_count t.source_spec fz;
+            (n, Some (Printf.sprintf "journal divergence at tick %d" k))
+          end
+          else begin
+            execute_tick t journaled;
+            go (n + 1) rest
+          end
+        end
+  in
+  go 0 (committed_groups t entries)
+
+let replay ?upto ~journal t =
+  let* report = Journal.read_report journal in
+  if report.Journal.corrupt <> [] then
+    Counters.add_named "store.frames_corrupt"
+      (List.length report.Journal.corrupt);
+  replay_entries ?upto t report.Journal.entries

@@ -143,10 +143,30 @@ val set_journal : t -> Journal.writer option -> unit
 (** {2 Checkpoint, restore, replay} *)
 
 val snapshot : t -> Checkpoint.t
-(** Freeze the full controller state. Call between ticks. *)
+(** Freeze the full controller state. Call between ticks. [seq] and
+    [parent] are left at their defaults — {!Checkpoint.Chain.save}
+    threads them from the previous chain generation. *)
 
-val save_checkpoint : t -> string -> unit
-(** {!snapshot} + atomic {!Checkpoint.save}. *)
+val save_checkpoint :
+  ?fault:Nu_fault.Store_fault.t -> ?keep:int -> t -> string -> string
+(** {!snapshot} + {!Checkpoint.Chain.save}: rotates the chain
+    generations, saves atomically and durably, and returns the new
+    checkpoint's content hash. *)
+
+val restore_snapshot :
+  ?source_params:Benson_trace.params ->
+  ?series:Nu_obs.Series.t ->
+  ?telemetry:Telemetry.t ->
+  ?retry:Nu_fault.Retry_policy.t ->
+  ?check_invariants:bool ->
+  config:config ->
+  source_spec:Source.spec ->
+  topology:Topology.t ->
+  Checkpoint.t ->
+  (t, string) result
+(** Rebuild a controller from an already-loaded (and verified)
+    checkpoint — the chain-fallback path. Same validation as
+    {!restore}. *)
 
 val restore :
   ?source_params:Benson_trace.params ->
@@ -154,6 +174,7 @@ val restore :
   ?telemetry:Telemetry.t ->
   ?retry:Nu_fault.Retry_policy.t ->
   ?check_invariants:bool ->
+  ?fault:Nu_fault.Store_fault.t ->
   config:config ->
   source_spec:Source.spec ->
   topology:Topology.t ->
@@ -165,6 +186,19 @@ val restore :
     {!fingerprint} is validated and a mismatch is an [Error]. The
     restored controller has no journal attached (see {!set_journal}). *)
 
+val replay_entries :
+  ?upto:int -> t -> Journal.entry list -> (int, string) result
+(** Strict replay from in-memory journal entries: any tick gap or
+    source divergence is an [Error]. Returns ticks replayed. *)
+
+val replay_prefix : t -> Journal.entry list -> int * string option
+(** Tolerant replay for recovery: re-drive the longest clean prefix of
+    committed ticks and stop at the first gap or divergence (a corrupt
+    frame ate something there), returning the stop reason. The source
+    cursor is rewound to its pre-poll state on a stop, so the
+    remaining ticks can be re-served live and regenerate the exact
+    same arrivals. *)
+
 val replay : ?upto:int -> journal:string -> t -> (int, string) result
 (** Re-drive a restored controller from its operation journal: for
     every committed tick at or after the controller's current tick
@@ -172,5 +206,7 @@ val replay : ?upto:int -> journal:string -> t -> (int, string) result
     that it regenerates exactly the journaled arrivals — and execute
     the tick with the journaled requests. Trailing uncommitted
     arrivals (crash mid-tick) are ignored; the deterministic source
-    will regenerate them when serving resumes. Returns the number of
-    ticks replayed. *)
+    will regenerate them when serving resumes. The journal is read
+    tolerantly (corrupt frames are skipped and counted into the
+    [store.frames_corrupt] counter) but replayed strictly. Returns the
+    number of ticks replayed. *)

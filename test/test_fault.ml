@@ -406,6 +406,106 @@ let test_engine_flow_level_faults () =
   Alcotest.(check int) "no violations" 0 (Injector.violations inj);
   Alcotest.(check int) "both events reported" 2 (Array.length run.Engine.events)
 
+(* ------------------------------------------------------------------ *)
+(* Store_fault: the storage-fault injector                             *)
+
+let plan_str p = Obs.Json.to_string (Store_fault.plan_to_json p)
+
+let test_store_fault_plan_deterministic () =
+  List.iter
+    (fun seed ->
+      let a = Store_fault.generate ~seed () in
+      let b = Store_fault.generate ~seed () in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d reproduces" seed)
+        (plan_str a) (plan_str b);
+      (* Sorted by operation index. *)
+      ignore
+        (List.fold_left
+           (fun prev f ->
+             Alcotest.(check bool) "sorted by at_op" true
+               (f.Store_fault.at_op >= prev);
+             f.Store_fault.at_op)
+           0 a);
+      (* Every acknowledged-but-lost fsync is followed by a kill, so the
+         loss actually materialises during the run. *)
+      List.iter
+        (fun f ->
+          if f.Store_fault.kind = Store_fault.Fsync_loss then
+            Alcotest.(check bool) "fsync loss paired with a later kill" true
+              (List.exists
+                 (fun g ->
+                   g.Store_fault.kind = Store_fault.Kill
+                   && g.Store_fault.at_op > f.Store_fault.at_op)
+                 a))
+        a)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ];
+  Alcotest.(check bool) "different seeds differ" false
+    (plan_str (Store_fault.generate ~seed:1 ())
+    = plan_str (Store_fault.generate ~seed:2 ()))
+
+let test_store_fault_verdicts () =
+  (* ENOSPC: the append fails without dying. *)
+  let f =
+    Store_fault.create
+      [ { Store_fault.at_op = 1; kind = Store_fault.Enospc; knob = 0.0 } ]
+  in
+  Store_fault.register f ~path:"x" ~size:0;
+  (match Store_fault.on_append f ~path:"x" "0123456789" with
+  | exception Store_fault.Store_error m ->
+      Alcotest.(check bool) "names enospc" true
+        (String.lowercase_ascii m |> fun s ->
+         let rec go i =
+           i + 6 <= String.length s && (String.sub s i 6 = "enospc" || go (i + 1))
+         in
+         go 0)
+  | _ -> Alcotest.fail "expected Store_error");
+  Alcotest.(check int) "fired once" 1 (Store_fault.fired_count f);
+  (* Torn write: the verdict is a strict prefix the caller must persist
+     before crashing. *)
+  let f =
+    Store_fault.create
+      [ { Store_fault.at_op = 1; kind = Store_fault.Torn_write; knob = 0.5 } ]
+  in
+  Store_fault.register f ~path:"x" ~size:0;
+  match Store_fault.on_append f ~path:"x" "0123456789" with
+  | Store_fault.Torn prefix ->
+      Alcotest.(check bool) "shorter than the buffer" true
+        (String.length prefix < 10);
+      Alcotest.(check string) "a prefix of the buffer" prefix
+        (String.sub "0123456789" 0 (String.length prefix));
+      (* The paired crash raises. *)
+      (try Store_fault.crash f ~reason:"torn write" with
+      | Store_fault.Crash _ -> ())
+  | _ -> Alcotest.fail "expected Torn verdict"
+
+(* Delayed fsync loss, end to end on a real file: acknowledged sync,
+   bytes on disk, crash — and the file is rolled back to its last
+   durable length. *)
+let test_store_fault_fsync_loss_truncates () =
+  let path = Filename.temp_file "nu_store_fault" ".bin" in
+  let f =
+    Store_fault.create
+      [ { Store_fault.at_op = 2; kind = Store_fault.Fsync_loss; knob = 0.0 } ]
+  in
+  Store_fault.register f ~path ~size:0;
+  (match Store_fault.on_append f ~path "hello world" with
+  | Store_fault.Write bytes ->
+      let oc = open_out_bin path in
+      output_string oc bytes;
+      close_out oc;
+      Store_fault.note_written f ~path (String.length bytes)
+  | Store_fault.Torn _ -> Alcotest.fail "no torn write scheduled");
+  (* Op 2: the sync is acknowledged but lost. *)
+  Store_fault.on_sync f ~path;
+  Alcotest.(check int) "loss fired" 1 (Store_fault.fired_count f);
+  (try Store_fault.crash f ~reason:"test kill" with Store_fault.Crash _ -> ());
+  let ic = open_in_bin path in
+  let survived = in_channel_length ic in
+  close_in ic;
+  Alcotest.(check int) "bytes since the durable mark vanish" 0 survived;
+  Sys.remove path
+
 let suite =
   [
     Alcotest.test_case "schedule deterministic" `Quick test_schedule_deterministic;
@@ -424,4 +524,9 @@ let suite =
     Alcotest.test_case "engine abort then retry" `Quick test_engine_abort_then_retry;
     Alcotest.test_case "engine abort then degrade" `Quick test_engine_abort_then_degrade;
     Alcotest.test_case "engine flow-level faults" `Quick test_engine_flow_level_faults;
+    Alcotest.test_case "store-fault plan deterministic" `Quick
+      test_store_fault_plan_deterministic;
+    Alcotest.test_case "store-fault verdicts" `Quick test_store_fault_verdicts;
+    Alcotest.test_case "store-fault fsync loss truncates" `Quick
+      test_store_fault_fsync_loss_truncates;
   ]

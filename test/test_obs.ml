@@ -868,6 +868,40 @@ let test_counters_late_registration_diff () =
     (Invalid_argument "Counters.add_named: empty name") (fun () ->
       Obs.Counters.incr_named "")
 
+(* The robustness counters (durable store + supervisor) go through the
+   named registry, so they ride the same snapshot/diff machinery as the
+   fixed keys: a diff over a region that bumped them reports exactly
+   the deltas, symmetrically in both directions, whether or not the
+   names existed when [before] was taken. *)
+let test_robustness_counters_snapshot_diff () =
+  let bumps =
+    [
+      ("store.frames_corrupt", 2);
+      ("supervisor.restarts", 3);
+      ("recovery.fallback_depth", 1);
+    ]
+  in
+  let before = Obs.Counters.snapshot () in
+  List.iter (fun (name, n) -> Obs.Counters.add_named name n) bumps;
+  let after = Obs.Counters.snapshot () in
+  let d = Obs.Counters.diff ~before ~after in
+  List.iter
+    (fun (name, n) ->
+      Alcotest.(check int) (name ^ " delta") n (Obs.Counters.named_value d name);
+      Alcotest.(check bool)
+        (name ^ " listed") true
+        (List.assoc_opt name (Obs.Counters.to_alist d) = Some n))
+    bumps;
+  (* Symmetry: swapping before/after negates every delta. *)
+  let d' = Obs.Counters.diff ~before:after ~after:before in
+  List.iter
+    (fun (name, n) ->
+      Alcotest.(check int) (name ^ " negated") (-n)
+        (Obs.Counters.named_value d' name))
+    bumps;
+  Alcotest.(check bool) "self-diff is zero" true
+    (Obs.Counters.is_zero (Obs.Counters.diff ~before:after ~after))
+
 (* ------------------------------------------------------------------ *)
 (* Histogram merge with mismatched bucket configs                      *)
 
@@ -1320,6 +1354,9 @@ let suite =
     ( "counters late registration",
       `Quick,
       test_counters_late_registration_diff );
+    ( "robustness counters snapshot/diff",
+      `Quick,
+      test_robustness_counters_snapshot_diff );
     QCheck_alcotest.to_alcotest prop_histogram_merge_mismatch_raises;
     QCheck_alcotest.to_alcotest prop_histogram_merge_equals_concat;
     QCheck_alcotest.to_alcotest prop_series_stride_grid;

@@ -151,6 +151,174 @@ let test_journal_committed_ticks () =
        (fun r -> (Serve_request.event r).Event.id)
        (List.assoc 1 groups))
 
+let entry_str e = Obs.Json.to_string (Journal.entry_to_json e)
+
+let group_strs groups =
+  List.map
+    (fun (t, reqs) ->
+      Printf.sprintf "%d:%s" t
+        (String.concat ","
+           (List.map
+              (fun r -> Obs.Json.to_string (Serve_codec.request_to_json r))
+              reqs)))
+    groups
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+  | _ :: _, [] -> false
+
+let rec is_subseq xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | x :: xs', y :: ys' -> if x = y then is_subseq xs' ys' else is_subseq xs ys'
+
+(* A small WAL fixture shared by the damage properties: four committed
+   ticks of two arrivals each, as raw on-disk bytes. *)
+let wal_fixture =
+  lazy
+    (let path = Filename.temp_file "nu_wal_fixture" ".wal" in
+     let entries =
+       List.concat_map
+         (fun t ->
+           [
+             Journal.Arrive { tick = t; request = req ((10 * t) + 1) };
+             Journal.Arrive { tick = t; request = req ((10 * t) + 2) };
+             Journal.Tick_done t;
+           ])
+         [ 0; 1; 2; 3 ]
+     in
+     let w = Journal.open_writer path in
+     List.iter (Journal.write w) entries;
+     Journal.close_writer w;
+     let ic = open_in_bin path in
+     let data = really_input_string ic (in_channel_length ic) in
+     close_in ic;
+     Sys.remove path;
+     (entries, data))
+
+(* Satellite (c): truncating the journal at *every* byte offset must
+   yield a prefix of the committed ticks — never a decode exception,
+   never a phantom entry or tick. *)
+let test_journal_truncation_every_offset () =
+  let entries, data = Lazy.force wal_fixture in
+  let orig_entries = List.map entry_str entries in
+  let orig_groups = group_strs (Journal.committed_ticks entries) in
+  let path = Filename.temp_file "nu_wal_trunc" ".wal" in
+  let len = String.length data in
+  for k = 0 to len do
+    let oc = open_out_bin path in
+    output_string oc (String.sub data 0 k);
+    close_out oc;
+    match Journal.read_report path with
+    | Error m -> Alcotest.failf "offset %d: read_report errored: %s" k m
+    | Ok r ->
+        if not (is_prefix (List.map entry_str r.Journal.entries) orig_entries)
+        then Alcotest.failf "offset %d: decoded a phantom entry" k;
+        let groups = group_strs (Journal.committed_ticks r.Journal.entries) in
+        if not (is_prefix groups orig_groups) then
+          Alcotest.failf "offset %d: phantom committed tick" k;
+        if k = len && r.Journal.corrupt <> [] then
+          Alcotest.failf "untruncated journal reported corruption"
+  done;
+  Sys.remove path
+
+(* Any single flipped bit past the segment magic costs at most frames,
+   never correctness: the surviving entries are a subsequence of what
+   was written (CRC32 catches every single-bit error) and no unwritten
+   tick can appear committed. *)
+let prop_journal_bit_flip =
+  QCheck.Test.make ~name:"journal survives any single bit flip" ~count:150
+    QCheck.(pair small_nat (int_range 0 7))
+    (fun (off_raw, bit) ->
+      let entries, data = Lazy.force wal_fixture in
+      let magic = 8 in
+      let off = magic + (off_raw mod (String.length data - magic)) in
+      let b = Bytes.of_string data in
+      Bytes.set b off
+        (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl bit)));
+      let path = Filename.temp_file "nu_wal_flip" ".wal" in
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      let ok =
+        match Journal.read_report path with
+        | Error _ -> false
+        | Ok r ->
+            let orig = List.map entry_str entries in
+            let got = List.map entry_str r.Journal.entries in
+            let orig_ticks =
+              List.map fst (Journal.committed_ticks entries)
+            in
+            let got_ticks =
+              List.map fst (Journal.committed_ticks r.Journal.entries)
+            in
+            is_subseq got orig
+            && List.for_all (fun t -> List.mem t orig_ticks) got_ticks
+      in
+      Sys.remove path;
+      ok)
+
+let test_journal_last_commit () =
+  Alcotest.(check bool) "empty journal" true (Journal.last_commit [] = Journal.Empty);
+  Alcotest.(check bool) "arrivals only" true
+    (Journal.last_commit [ Journal.Arrive { tick = 0; request = req 1 } ]
+    = Journal.Empty);
+  Alcotest.(check bool) "tick 0 committed is not Empty" true
+    (Journal.last_commit [ Journal.Tick_done 0 ] = Journal.Committed 0);
+  Alcotest.(check bool) "highest commit wins" true
+    (Journal.last_commit
+       [
+         Journal.Tick_done 0;
+         Journal.Arrive { tick = 1; request = req 1 };
+         Journal.Tick_done 3;
+         Journal.Arrive { tick = 4; request = req 2 };
+       ]
+    = Journal.Committed 3)
+
+let remove_segments path =
+  List.iter
+    (fun i ->
+      let p = Journal.segment_path path i in
+      if Sys.file_exists p then Sys.remove p)
+    [ 0; 1; 2; 3; 4; 5 ]
+
+let test_journal_segment_rotation_and_append () =
+  let path = Filename.temp_file "nu_wal_seg" ".wal" in
+  let entries =
+    List.init 30 (fun i ->
+        if i mod 3 = 2 then Journal.Tick_done (i / 3)
+        else Journal.Arrive { tick = i / 3; request = req i })
+  in
+  let w = Journal.open_writer ~segment_bytes:512 path in
+  List.iter (Journal.write w) entries;
+  Journal.close_writer w;
+  Alcotest.(check bool) "rotated to a second segment" true
+    (Sys.file_exists (Journal.segment_path path 1));
+  (match Journal.read_report path with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      Alcotest.(check bool) "walked several segments" true (r.Journal.segments > 1);
+      Alcotest.(check int) "no corruption" 0 (List.length r.Journal.corrupt);
+      Alcotest.(check (list string)) "all entries, in order"
+        (List.map entry_str entries)
+        (List.map entry_str r.Journal.entries));
+  (* Re-open in append mode: the writer must continue in the newest
+     segment, not clobber the chain. *)
+  let w = Journal.open_writer ~append:true ~segment_bytes:512 path in
+  Journal.write w (Journal.Tick_done 99);
+  Journal.close_writer w;
+  (match Journal.read_report path with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      Alcotest.(check int) "one more entry" (List.length entries + 1)
+        (List.length r.Journal.entries);
+      Alcotest.(check bool) "appended commit visible" true
+        (Journal.last_commit r.Journal.entries = Journal.Committed 99));
+  remove_segments path
+
 (* ------------------------------------------------------------------ *)
 (* Source                                                              *)
 
@@ -276,6 +444,15 @@ let test_stepper_freeze_thaw_mid_run () =
 (* ------------------------------------------------------------------ *)
 (* Serve: controller-level differentials                               *)
 
+(* Checkpoint saves rotate a chain (cp, cp.1, cp.2, ...); tests that
+   rmdir their scratch directory must sweep every generation. *)
+let remove_chain cp =
+  List.iter
+    (fun i ->
+      let p = Serve_checkpoint.Chain.gen_path cp i in
+      if Sys.file_exists p then Sys.remove p)
+    [ 0; 1; 2; 3 ]
+
 let serve_uninterrupted ?injector ~ticks () =
   let s = scenario () in
   let t =
@@ -318,7 +495,7 @@ let test_serve_checkpoint_restore_differential () =
       | Ok n -> Alcotest.(check int) "re-drove the journal suffix" 3 n);
       Serve.complete t2;
       Alcotest.(check string) "digest equal" expected (Serve.digest t2);
-      Sys.remove cp;
+      remove_chain cp;
       Sys.remove jp;
       Sys.rmdir dir
 
@@ -373,7 +550,7 @@ let test_serve_crash_recovery_under_faults () =
       Serve.run ~ticks:5 t2;
       Serve.complete t2;
       Alcotest.(check string) "digest equal" expected (Serve.digest t2);
-      Sys.remove cp;
+      remove_chain cp;
       Sys.remove jp;
       Sys.rmdir dir
 
@@ -388,7 +565,7 @@ let test_serve_restore_rejects_config_mismatch () =
       ~source_spec:(spec_of ())
   in
   Serve.run ~ticks:5 t;
-  Serve.save_checkpoint t cp;
+  ignore (Serve.save_checkpoint t cp : string);
   let topology = Fat_tree.to_topology (Fat_tree.create ~k:4 ()) in
   (match
      Serve.restore ~config:(cfg ~capacity:99 ()) ~source_spec:(spec_of ())
@@ -397,7 +574,7 @@ let test_serve_restore_rejects_config_mismatch () =
   | Error m ->
       Alcotest.(check bool) "mentions mismatch" true (contains m "mismatch")
   | Ok _ -> Alcotest.fail "restore should refuse a different configuration");
-  Sys.remove cp;
+  remove_chain cp;
   Sys.rmdir dir
 
 let test_serve_checkpoint_json_roundtrip () =
@@ -509,6 +686,205 @@ let test_serve_telemetry_digest_differential () =
   Array.iter Sys.remove (Sys.readdir dir |> Array.map (Filename.concat dir));
   Sys.rmdir dir
 
+(* ------------------------------------------------------------------ *)
+(* Checkpoint verification and chain fallback                          *)
+
+(* Mutate one core field of a serialised v2 checkpoint while leaving
+   the stored hash alone: the load must refuse it. *)
+let test_checkpoint_hash_rejects_mutation () =
+  let s = scenario () in
+  let t =
+    Serve.create (cfg ()) ~topology:s.Scenario.topology ~net:s.Scenario.net
+      ~source_spec:(spec_of ())
+  in
+  Serve.run ~ticks:6 t;
+  let j = Serve_checkpoint.to_json (Serve.snapshot t) in
+  let mutate = function
+    | Obs.Json.Obj fields ->
+        Obs.Json.Obj
+          (List.map
+             (fun (k, v) ->
+               if k <> "core" then (k, v)
+               else
+                 match v with
+                 | Obs.Json.Obj core ->
+                     ( k,
+                       Obs.Json.Obj
+                         (List.map
+                            (fun (ck, cv) ->
+                              match (ck, cv) with
+                              | "tick", Obs.Json.Int n ->
+                                  (ck, Obs.Json.Int (n + 1))
+                              | _ -> (ck, cv))
+                            core) )
+                 | v -> (k, v))
+             fields)
+    | j -> j
+  in
+  (match
+     Serve_checkpoint.of_json ~graph:s.Scenario.topology.Topology.graph
+       (mutate j)
+   with
+  | Error m ->
+      Alcotest.(check bool) "names the hash" true (contains m "hash")
+  | Ok _ -> Alcotest.fail "a mutated core must not verify");
+  (* The untouched JSON still loads, so the rejection above is the
+     hash check and not an over-eager parser. *)
+  match
+    Serve_checkpoint.of_json ~graph:s.Scenario.topology.Topology.graph j
+  with
+  | Error m -> Alcotest.fail m
+  | Ok _ -> ()
+
+let corrupt_file path =
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let b = Bytes.of_string data in
+  let mid = Bytes.length b / 2 in
+  Bytes.set b mid (if Bytes.get b mid = 'X' then 'Y' else 'X');
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc
+
+let test_checkpoint_chain_rotation_and_fallback () =
+  let dir = Filename.temp_file "nu_chain" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let cp = Filename.concat dir "cp.json" in
+  let s = scenario () in
+  let t =
+    Serve.create (cfg ()) ~topology:s.Scenario.topology ~net:s.Scenario.net
+      ~source_spec:(spec_of ())
+  in
+  let graph = s.Scenario.topology.Topology.graph in
+  List.iter
+    (fun ticks ->
+      Serve.run ~ticks t;
+      ignore (Serve.save_checkpoint t cp : string))
+    [ 3; 3; 3 ];
+  (* Three saves: generations 0 (tick 9), 1 (tick 6), 2 (tick 3). *)
+  Alcotest.(check (list int)) "three generations on disk" [ 0; 1; 2 ]
+    (List.map fst (Serve_checkpoint.Chain.existing cp));
+  (match Serve_checkpoint.Chain.fallback ~graph cp with
+  | Error m -> Alcotest.fail m
+  | Ok (c, depth) ->
+      Alcotest.(check int) "newest wins" 9 c.Serve_checkpoint.tick;
+      Alcotest.(check int) "depth 0" 0 depth;
+      Alcotest.(check int) "chain sequence threaded" 2 c.Serve_checkpoint.seq;
+      Alcotest.(check bool) "parent hash recorded" true
+        (c.Serve_checkpoint.parent <> None));
+  (* Damage the newest generation: fallback must land on its parent. *)
+  corrupt_file cp;
+  (match Serve_checkpoint.Chain.fallback ~graph cp with
+  | Error m -> Alcotest.fail m
+  | Ok (c, depth) ->
+      Alcotest.(check int) "older ancestor restored" 6 c.Serve_checkpoint.tick;
+      Alcotest.(check int) "depth 1" 1 depth);
+  (* Damage every generation: fallback refuses, naming each failure. *)
+  corrupt_file (Serve_checkpoint.Chain.gen_path cp 1);
+  corrupt_file (Serve_checkpoint.Chain.gen_path cp 2);
+  (match Serve_checkpoint.Chain.fallback ~graph cp with
+  | Error m ->
+      Alcotest.(check bool) "names the chain" true
+        (contains m "no verifiable checkpoint")
+  | Ok _ -> Alcotest.fail "no generation should verify");
+  remove_chain cp;
+  Sys.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor: crash storms must change nothing about the decisions    *)
+
+let storm_dir () =
+  let dir = Filename.temp_file "nu_storm" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  dir
+
+let cleanup_storm_dir dir =
+  remove_segments (Filename.concat dir "journal.wal");
+  remove_chain (Filename.concat dir "cp.json");
+  Sys.rmdir dir
+
+(* Failure reasons quote file paths, so storm determinism is relative
+   to one on-disk location: reruns share [dir], with the previous
+   run's store swept first. *)
+let run_storm ?sup ~dir ~fault_seed ~ticks () =
+  let s = scenario () in
+  remove_segments (Filename.concat dir "journal.wal");
+  remove_chain (Filename.concat dir "cp.json");
+  let fault =
+    Store_fault.create
+      (Store_fault.generate
+         ~config:
+           { Store_fault.default_config with n_faults = 8; ops_span = 90 }
+         ~seed:fault_seed ())
+  in
+  Supervisor.run ?sup ~fault ~jitter_seed:7 ~serve_config:(cfg ())
+    ~source_spec:(spec_of ()) ~topology:s.Scenario.topology
+    ~fresh_net:(fun () -> (scenario ()).Scenario.net)
+    ~journal_path:(Filename.concat dir "journal.wal")
+    ~checkpoint_path:(Filename.concat dir "cp.json")
+    ~ticks ()
+
+let test_supervisor_storm_digest_differential () =
+  let expected = serve_uninterrupted ~ticks:20 () in
+  let dir = storm_dir () in
+  List.iter
+    (fun fault_seed ->
+      let o = run_storm ~dir ~fault_seed ~ticks:20 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d survives" fault_seed)
+        false o.Supervisor.gave_up;
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d actually crashed" fault_seed)
+        true
+        (o.Supervisor.restarts > 0);
+      Alcotest.(check (option string))
+        (Printf.sprintf "seed %d digest equals uninterrupted" fault_seed)
+        (Some expected) o.Supervisor.digest;
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d recovery digest is the event log's" fault_seed)
+        (Supervisor.log_digest o.Supervisor.events)
+        o.Supervisor.recovery_digest;
+      (* Replaying the identical storm reproduces the identical
+         supervision history, bit for bit. *)
+      let o2 = run_storm ~dir ~fault_seed ~ticks:20 () in
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d storm is deterministic" fault_seed)
+        o.Supervisor.recovery_digest o2.Supervisor.recovery_digest;
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d restart count is deterministic" fault_seed)
+        o.Supervisor.restarts o2.Supervisor.restarts)
+    [ 5; 6 ];
+  cleanup_storm_dir dir
+
+let test_supervisor_cold_start () =
+  let expected = serve_uninterrupted ~ticks:20 () in
+  (* One kill before the first checkpoint exists: recovery finds no
+     verifiable generation and must cold-start from segment 0. *)
+  let s = scenario () in
+  let dir = storm_dir () in
+  let fault =
+    Store_fault.create
+      [ { Store_fault.at_op = 12; kind = Store_fault.Kill; knob = 0.3 } ]
+  in
+  let outcome =
+    Supervisor.run ~fault ~jitter_seed:3 ~serve_config:(cfg ())
+      ~source_spec:(spec_of ()) ~topology:s.Scenario.topology
+      ~fresh_net:(fun () -> (scenario ()).Scenario.net)
+      ~journal_path:(Filename.concat dir "journal.wal")
+      ~checkpoint_path:(Filename.concat dir "cp.json")
+      ~ticks:20 ()
+  in
+  cleanup_storm_dir dir;
+  Alcotest.(check bool) "took the cold-start path" true
+    (List.exists
+       (function Supervisor.Cold_start _ -> true | _ -> false)
+       outcome.Supervisor.events);
+  Alcotest.(check (option string)) "digest equals uninterrupted"
+    (Some expected) outcome.Supervisor.digest
+
 let suite =
   [
     ("admission block defers", `Quick, test_admission_block);
@@ -520,6 +896,14 @@ let suite =
     ("admission freeze/thaw", `Quick, test_admission_freeze_thaw);
     ("journal round-trip", `Quick, test_journal_roundtrip);
     ("journal committed ticks", `Quick, test_journal_committed_ticks);
+    ( "journal truncation at every offset",
+      `Quick,
+      test_journal_truncation_every_offset );
+    QCheck_alcotest.to_alcotest prop_journal_bit_flip;
+    ("journal last commit", `Quick, test_journal_last_commit);
+    ( "journal segment rotation + append",
+      `Quick,
+      test_journal_segment_rotation_and_append );
     ("source deterministic", `Quick, test_source_deterministic);
     ("source freeze/thaw", `Quick, test_source_freeze_thaw);
     ("net freeze/thaw", `Quick, test_net_freeze_thaw);
@@ -541,4 +925,14 @@ let suite =
     ( "telemetry digest differential",
       `Quick,
       test_serve_telemetry_digest_differential );
+    ( "checkpoint hash rejects mutation",
+      `Quick,
+      test_checkpoint_hash_rejects_mutation );
+    ( "checkpoint chain rotation + fallback",
+      `Quick,
+      test_checkpoint_chain_rotation_and_fallback );
+    ( "supervisor storm digest differential",
+      `Quick,
+      test_supervisor_storm_digest_differential );
+    ("supervisor cold start", `Quick, test_supervisor_cold_start);
   ]
