@@ -112,7 +112,7 @@ type measurement = {
 let now_s () = Unix.gettimeofday ()
 
 let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false)
-    ?(stepper = false) ?(telemetry = false) ?(wal = false) ?(domains = 1) () =
+    ?(stepper = false) ?(telemetry = `Off) ?(wal = false) ?(domains = 1) () =
   (* A fresh scenario per measurement: the run mutates its network. *)
   let s = Core.Scenario.prepare ~k:8 ~utilization:0.70 ~seed:!seed () in
   let events = Core.Scenario.events s ~n:n_events in
@@ -158,14 +158,23 @@ let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false)
          [telemetry], a full Telemetry observer (lifecycle + fairness +
          SLO) is attached to the stepper — recording every round and
          completion while the digest must not move. *)
-      let observer =
-        if telemetry then
-          Some
-            (Core.Serve_telemetry.observer
-               (Core.Serve_telemetry.create
-                  Core.Serve_telemetry.default_config))
-        else None
+      let tel =
+        match telemetry with
+        | `Off -> None
+        | `On ->
+            Some (Core.Serve_telemetry.create Core.Serve_telemetry.default_config)
+        | `Watch ->
+            (* In-memory watchdog (no journal dir): detectors, health
+               machines and alert ring run over every tick while the
+               digest must not move. *)
+            Some
+              (Core.Serve_telemetry.create
+                 {
+                   Core.Serve_telemetry.default_config with
+                   Core.Serve_telemetry.watch = Some Core.Obs.Watch.default_config;
+                 })
       in
+      let observer = Option.map Core.Serve_telemetry.observer tel in
       let st =
         Core.Engine.Stepper.create ~seed:3 ~domains ~churn ?injector ?series
           ?observer ~net:s.Core.Scenario.net policy
@@ -191,7 +200,28 @@ let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false)
         else None
       in
       Core.Engine.Stepper.submit st events;
-      while Core.Engine.Stepper.step st <> `Idle do () done;
+      (match (telemetry, tel) with
+      | `Watch, Some tel ->
+          (* Drive the controller-side tick hooks around bounded step
+             batches so the watchdog sees a tick stream. Grouping steps
+             into ticks changes nothing: the stepper is stepped to idle
+             either way, and every hook is recording-only. *)
+          let tick = ref 0 in
+          let idle = ref false in
+          while not !idle do
+            Core.Serve_telemetry.on_tick_start tel ~tick:!tick
+              ~now_s:(float_of_int !tick *. 0.05);
+            let steps = ref 0 in
+            while (not !idle) && !steps < 4 do
+              if Core.Engine.Stepper.step st = `Idle then idle := true;
+              incr steps
+            done;
+            Core.Serve_telemetry.on_tick_end tel ~tick:!tick ~queue:0
+              ~backlog:(Core.Engine.Stepper.backlog st);
+            incr tick
+          done;
+          Core.Serve_telemetry.on_retire tel
+      | _ -> while Core.Engine.Stepper.step st <> `Idle do () done);
       (match journal with
       | None -> ()
       | Some (path, w) ->
@@ -279,28 +309,28 @@ let () =
   let n_events = if !quick then 40 else 120 in
   let scenarios =
     [
-      ("lmtf-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, false, false);
-      ("reorder-churn-k8", Core.Policy.Reorder, `Off, false, false, false);
+      ("lmtf-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, false, `Off);
+      ("reorder-churn-k8", Core.Policy.Reorder, `Off, false, false, `Off);
       (* Digest must equal lmtf-churn-k8's: an idle injector is free. *)
       ( "lmtf-empty-faults-k8",
         Core.Policy.Lmtf { alpha = 4 },
         `Empty,
         false,
         false,
-        false );
+        `Off );
       ( "lmtf-fault-churn-k8",
         Core.Policy.Lmtf { alpha = 4 },
         `Seeded,
         false,
         false,
-        false );
+        `Off );
       (* Digest must equal lmtf-churn-k8's: tracing, histograms and the
          per-round series are read-only observers of the run. *)
-      ("lmtf-obs-on-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, true, false, false);
+      ("lmtf-obs-on-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, true, false, `Off);
       (* Digest must equal lmtf-churn-k8's: the online controller's
          ingest path (stepper submit + incremental stepping) is a
          restructuring of the batch loop, not a re-decision. *)
-      ("serve-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, true, false);
+      ("serve-churn-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, true, `Off);
       (* Digest must equal serve-churn-k8's: the serving telemetry
          observer (lifecycle stamps, fairness, SLO) records every round
          and completion without perturbing one decision. *)
@@ -309,10 +339,19 @@ let () =
         `Off,
         false,
         true,
-        true );
+        `On );
       (* Digest must equal serve-churn-k8's: CRC32-framed write-ahead
          journaling is durable-store I/O, never a scheduling input. *)
-      ("serve-wal-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, true, false);
+      ("serve-wal-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, true, `Off);
+      (* Digest must equal serve-churn-k8's: the nu_watch watchdog
+         (CUSUM/slope/Jain detectors, health machines, alert ring) is
+         strictly recording-only even with tick hooks driven. *)
+      ( "serve-watch-k8",
+        Core.Policy.Lmtf { alpha = 4 },
+        `Off,
+        false,
+        true,
+        `Watch );
     ]
   in
   let scenarios =
@@ -328,8 +367,8 @@ let () =
             `Off,
             false,
             false,
-            false );
-          ("reorder-churn-mc-k8", Core.Policy.Reorder, `Off, false, false, false);
+            `Off );
+          ("reorder-churn-mc-k8", Core.Policy.Reorder, `Off, false, false, `Off);
         ]
     else scenarios
   in
@@ -384,6 +423,8 @@ let () =
     ~what:"serving ingest path";
   digest_must_match ~of_:"serve-telemetry-k8" ~reference:"serve-churn-k8"
     ~what:"attached serving telemetry";
+  digest_must_match ~of_:"serve-watch-k8" ~reference:"serve-churn-k8"
+    ~what:"attached watchdog";
   digest_must_match ~of_:"serve-wal-k8" ~reference:"serve-churn-k8"
     ~what:"write-ahead journaling";
   digest_must_match ~of_:"lmtf-churn-mc-k8" ~reference:"lmtf-churn-k8"
@@ -464,7 +505,7 @@ let () =
       (List.concat
          [
            [
-             ("bench", Core.Obs.Json.String "sched_bench_pr7");
+             ("bench", Core.Obs.Json.String "sched_bench_pr9");
              ( "schema_version",
                Core.Obs.Json.Int Core.Obs.Regress.schema_version );
              ("mode", Core.Obs.Json.String (if !quick then "quick" else "full"));

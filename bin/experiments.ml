@@ -566,6 +566,16 @@ let metrics_every_arg =
   let doc = "Rewrite the exposition file every $(docv) ticks." in
   Arg.(value & opt int 10 & info [ "metrics-every" ] ~docv:"N" ~doc)
 
+let watch_flag_arg =
+  let doc =
+    "Attach the streaming watchdog (requires $(b,--metrics-dir)): CUSUM \
+     change-point, backlog-slope, fairness-collapse and WAL/restart-rate \
+     detectors drive per-tenant health state machines; alerts stream to \
+     $(i,DIR)/alerts.jsonl, observations to $(i,DIR)/watch.jsonl, and \
+     alerts.json/health.json are written at retirement."
+  in
+  Arg.(value & flag & info [ "watch" ] ~doc)
+
 (* The serving configuration and source spec are rebuilt identically by
    serve and replay from the same flags — restore validates the pair
    against the checkpoint's fingerprint. *)
@@ -637,7 +647,11 @@ let print_serve_summary t result =
 (* Shared by serve and replay: telemetry is recording-only, so a replay
    may attach it even when the original run did not — the decision
    digest is unaffected either way. *)
-let make_telemetry ~metrics_every metrics_dir =
+let make_telemetry ~metrics_every ?(watch = false) metrics_dir =
+  if watch && metrics_dir = None then begin
+    Format.eprintf "serve: --watch requires --metrics-dir@.";
+    exit 2
+  end;
   Option.map
     (fun dir ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
@@ -647,8 +661,36 @@ let make_telemetry ~metrics_every metrics_dir =
           Serve_telemetry.metrics_dir = Some dir;
           metrics_every;
           lifecycle_path = Some (Filename.concat dir "lifecycle.jsonl");
+          watch =
+            (if watch then
+               Some { Obs.Watch.default_config with Obs.Watch.dir = Some dir }
+             else None);
         })
     metrics_dir
+
+let write_json path json =
+  Out_channel.with_open_text path (fun oc ->
+      output_string oc (Obs.Json.to_string json);
+      output_char oc '\n')
+
+(* After retirement: print the alert summary and drop the alerts.json /
+   health.json artifacts next to the journals. *)
+let finish_watch telemetry metrics_dir =
+  match Option.bind telemetry Serve_telemetry.watch with
+  | None -> None
+  | Some w ->
+      (match metrics_dir with
+      | Some dir ->
+          write_json (Filename.concat dir "alerts.json") (Obs.Watch.alerts_json w);
+          write_json (Filename.concat dir "health.json") (Obs.Watch.health_json w)
+      | None -> ());
+      Format.printf
+        "watch: %d alert(s) (%d critical), global health %s, digest %s@."
+        (Obs.Watch.alert_total w)
+        (Obs.Watch.critical_total w)
+        (Obs.Health.state_name (Obs.Watch.global_state w))
+        (Obs.Watch.alert_digest w);
+      Some w
 
 let print_telemetry_summary telemetry metrics_dir =
   match (telemetry, metrics_dir) with
@@ -661,8 +703,8 @@ let print_telemetry_summary telemetry metrics_dir =
 
 let serve_cmd =
   let run cfg spec seed util ticks fault_seed fault_rate retry_max checkpoint
-      checkpoint_every journal_path no_complete metrics_dir metrics_every out
-      trace counters hist =
+      checkpoint_every journal_path no_complete metrics_dir metrics_every watch
+      out trace counters hist =
     with_obs ~trace ~counters (fun () ->
         try
           let scenario = Scenario.prepare ~utilization:util ~seed () in
@@ -693,7 +735,7 @@ let serve_cmd =
             Obs.Histogram.Registry.reset ();
             Obs.Histogram.Registry.enable ()
           end;
-          let telemetry = make_telemetry ~metrics_every metrics_dir in
+          let telemetry = make_telemetry ~metrics_every ~watch metrics_dir in
           let before = Obs.Counters.snapshot () in
           let t =
             Serve.create ?injector ?telemetry ?journal cfg
@@ -720,17 +762,17 @@ let serve_cmd =
           print_serve_summary t result;
           Format.printf "digest: %s@." (Run_digest.of_run result);
           print_telemetry_summary telemetry metrics_dir;
+          let watcher = finish_watch telemetry metrics_dir in
           match out with
           | None -> ()
           | Some path ->
               let json =
                 Run_report.to_json ~counters:run_counters ?histograms
                   ?telemetry:(Option.map Serve_telemetry.to_json telemetry)
+                  ?alerts:(Option.map Obs.Watch.report_json watcher)
                   result
               in
-              Out_channel.with_open_text path (fun oc ->
-                  output_string oc (Obs.Json.to_string json);
-                  output_char oc '\n');
+              write_json path json;
               Format.printf "serve: wrote %s@." path
         with Invalid_argument m | Failure m ->
           Format.eprintf "serve: %s@." m;
@@ -746,8 +788,8 @@ let serve_cmd =
       const run $ serve_cfg_term $ source_spec_term $ seed_arg $ util_arg
       $ ticks_arg $ fault_seed_arg $ serve_fault_rate_arg $ retry_max_arg
       $ checkpoint_arg $ checkpoint_every_arg $ journal_arg $ no_complete_arg
-      $ metrics_dir_arg $ metrics_every_arg $ out_arg $ trace_arg
-      $ counters_arg $ hist_arg)
+      $ metrics_dir_arg $ metrics_every_arg $ watch_flag_arg $ out_arg
+      $ trace_arg $ counters_arg $ hist_arg)
 
 let checkpoint_file_arg =
   let doc = "Checkpoint file to inspect." in
@@ -813,12 +855,12 @@ let replay_checkpoint_arg =
 
 let replay_cmd =
   let run cfg spec checkpoint journal_path upto retry_max no_complete
-      metrics_dir metrics_every expect_digest =
+      metrics_dir metrics_every watch expect_digest =
     let topology = Fat_tree.to_topology (Fat_tree.create ~k:8 ()) in
     let retry =
       { Retry_policy.default with Retry_policy.max_attempts = retry_max }
     in
-    let telemetry = make_telemetry ~metrics_every metrics_dir in
+    let telemetry = make_telemetry ~metrics_every ~watch metrics_dir in
     match Serve.restore ~retry ?telemetry ~config:cfg ~source_spec:spec
             ~topology checkpoint
     with
@@ -862,6 +904,7 @@ let replay_cmd =
         (* Final exposition write + lifecycle flush. *)
         Option.iter Serve_telemetry.on_retire telemetry;
         print_telemetry_summary telemetry metrics_dir;
+        ignore (finish_watch telemetry metrics_dir);
         match expect_digest with
         | Some d when d <> digest ->
             Format.eprintf "replay: digest mismatch: expected %s, got %s@." d
@@ -885,7 +928,8 @@ let replay_cmd =
     Term.(
       const run $ serve_cfg_term $ source_spec_term $ replay_checkpoint_arg
       $ replay_journal_arg $ upto_arg $ retry_max_arg $ no_complete_arg
-      $ metrics_dir_arg $ metrics_every_arg $ expect_digest_arg)
+      $ metrics_dir_arg $ metrics_every_arg $ watch_flag_arg
+      $ expect_digest_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Crash storm: the same serving run twice — once uninterrupted, once
@@ -1076,7 +1120,13 @@ let telemetry_cmd =
       | Error m ->
           Format.eprintf "telemetry: %s: %s@." jsonl m;
           exit 1
-      | Ok entries ->
+      | Ok { Obs.Lifecycle.read = entries; torn } ->
+          (match torn with
+          | Some (n, _) ->
+              Format.printf
+                "lifecycle: torn trailing line %d skipped (crash mid-append)@."
+                n
+          | None -> ());
           (* Rebuild per-tenant stats from the stamp stream. Terminal
              stamps carry the tenant attribution; a degraded completion
              is counted as completed too. *)
@@ -1172,6 +1222,133 @@ let telemetry_cmd =
           table")
     Term.(const run $ telemetry_dir_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Offline watchdog evaluation over a recorded metrics directory.      *)
+
+let watch_dir_arg =
+  let doc =
+    "Metrics directory recorded by $(b,serve --metrics-dir) (ideally with \
+     $(b,--watch), so it holds the watch.jsonl observation journal)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc)
+
+let watch_out_arg =
+  let doc = "Write alerts.json and health.json into $(docv) (default DIR)." in
+  Arg.(value & opt (some string) None & info [ "o"; "out-dir" ] ~docv:"DIR" ~doc)
+
+let from_lifecycle_arg =
+  let doc =
+    "Reconstruct the observation stream from lifecycle.jsonl instead of \
+     watch.jsonl. Approximate (counter deltas are zero, gauges are \
+     rebuilt from stamps): alert digests are not comparable to a live \
+     watcher's, so no digest diff is performed."
+  in
+  Arg.(value & flag & info [ "from-lifecycle" ] ~doc)
+
+let watch_cmd =
+  let run dir out_dir from_lifecycle =
+    let watch_jsonl = Filename.concat dir "watch.jsonl" in
+    let alerts_jsonl = Filename.concat dir "alerts.jsonl" in
+    let fail fmt =
+      Format.kasprintf
+        (fun m ->
+          Format.eprintf "watch: %s@." m;
+          exit 2)
+        fmt
+    in
+    let w, live_comparable =
+      if (not from_lifecycle) && Sys.file_exists watch_jsonl then begin
+        match Obs.Watch.read_journal watch_jsonl with
+        | Error m -> fail "%s" m
+        | Ok j ->
+            (match j.Obs.Watch.j_torn with
+            | Some n ->
+                Format.printf
+                  "watch: torn trailing line %d of %s skipped (crash \
+                   mid-append)@."
+                  n watch_jsonl
+            | None -> ());
+            let cfg =
+              Option.value j.Obs.Watch.j_config
+                ~default:Obs.Watch.default_config
+            in
+            let w = Obs.Watch.create cfg in
+            List.iter (Obs.Watch.ingest w) j.Obs.Watch.j_obs;
+            Format.printf "watch: re-evaluated %d journaled tick(s) from %s@."
+              (List.length j.Obs.Watch.j_obs)
+              watch_jsonl;
+            (w, true)
+      end
+      else begin
+        let lifecycle = Filename.concat dir "lifecycle.jsonl" in
+        if not (Sys.file_exists lifecycle) then
+          fail "%s holds neither watch.jsonl nor lifecycle.jsonl" dir;
+        match Obs.Lifecycle.read_jsonl lifecycle with
+        | Error m -> fail "%s" m
+        | Ok { Obs.Lifecycle.read = entries; torn } ->
+            (match torn with
+            | Some (n, _) ->
+                Format.printf
+                  "watch: torn trailing line %d of %s skipped@." n lifecycle
+            | None -> ());
+            let w = Obs.Watch.create Obs.Watch.default_config in
+            let obs = Obs.Watch.obs_of_lifecycle entries in
+            List.iter (Obs.Watch.ingest w) obs;
+            Format.printf
+              "watch: reconstructed %d tick(s) from %d lifecycle stamp(s) \
+               (approximate: no counter deltas)@."
+              (List.length obs) (List.length entries);
+            (w, false)
+      end
+    in
+    let out = Option.value out_dir ~default:dir in
+    if not (Sys.file_exists out) then Sys.mkdir out 0o755;
+    write_json (Filename.concat out "alerts.json") (Obs.Watch.alerts_json w);
+    write_json (Filename.concat out "health.json") (Obs.Watch.health_json w);
+    Format.printf
+      "watch: %d alert(s) (%d critical), global health %s, digest %s@."
+      (Obs.Watch.alert_total w)
+      (Obs.Watch.critical_total w)
+      (Obs.Health.state_name (Obs.Watch.global_state w))
+      (Obs.Watch.alert_digest w);
+    Format.printf "watch: wrote %s and %s@."
+      (Filename.concat out "alerts.json")
+      (Filename.concat out "health.json");
+    (* Differential check against the live run's alert journal: the
+       offline re-evaluation must reproduce it bit for bit. *)
+    if live_comparable && Sys.file_exists alerts_jsonl then begin
+      match Obs.Watch.read_alerts_digest alerts_jsonl with
+      | Error m -> fail "%s" m
+      | Ok (live_digest, lines) ->
+          if live_digest <> Obs.Watch.alert_digest w then begin
+            Format.eprintf
+              "watch: digest mismatch: live journal %s (%d line(s)) vs \
+               offline %s@."
+              live_digest lines
+              (Obs.Watch.alert_digest w);
+            exit 3
+          end;
+          Format.printf "watch: digest matches live journal (%d line(s))@."
+            lines
+    end;
+    if Obs.Watch.critical_total w > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Evaluate the watchdog detectors offline over a recorded metrics \
+          directory, write alerts.json/health.json, diff the alert digest \
+          against the live journal, and exit non-zero when Critical alerts \
+          are present"
+       ~man:
+         [
+           `P
+             "Exit status: 0 = healthy, 1 = Critical alerts present, 2 = \
+              unreadable input, 3 = offline digest diverges from the live \
+              alert journal.";
+         ])
+    Term.(const run $ watch_dir_arg $ watch_out_arg $ from_lifecycle_arg)
+
 let all_cmd =
   let run seeds alpha trace counters =
     with_obs ~trace ~counters (fun () ->
@@ -1220,6 +1397,7 @@ let main =
       replay_cmd;
       crashstorm_cmd;
       telemetry_cmd;
+      watch_cmd;
       all_cmd;
     ]
 

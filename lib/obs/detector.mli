@@ -1,0 +1,70 @@
+(** Streaming change-point and trend detectors for the watchdog layer.
+
+    All detectors are deterministic pure-state machines over the values
+    fed to them: no wall clock, no RNG, no allocation beyond the fixed
+    rings created at construction time. Feeding the same sequence of
+    samples to two instances with the same configuration produces the
+    same sequence of statuses bit for bit, which is what lets the
+    watchdog replay a journaled observation stream and reproduce the
+    live run's alerts exactly. *)
+
+module Cusum : sig
+  (** EWMA baseline + two-sided CUSUM change-point detector.
+
+      The statistic is kept in sigma units and interpreted as a level,
+      not an edge: [firing] stays true while the statistic exceeds the
+      decision threshold and decays naturally as the EWMA baseline
+      absorbs the shift. That level semantics is what the health state
+      machine's consecutive-tick hysteresis counts over. *)
+
+  type config = {
+    alpha : float;  (** EWMA weight for the baseline and deviation. *)
+    k_sigma : float;  (** slack, in sigma units, subtracted per step *)
+    h_sigma : float;  (** decision threshold, in sigma units *)
+    warmup : int;  (** samples consumed before the statistic arms *)
+    rel_floor : float;  (** sigma floor as a fraction of |baseline| *)
+    abs_floor : float;  (** absolute sigma floor *)
+  }
+
+  val default : config
+
+  type direction = Up | Down
+
+  type status = {
+    firing : bool;  (** statistic currently above the threshold *)
+    changed : bool;  (** rising edge: firing now, quiet last sample *)
+    direction : direction option;  (** dominant side while firing *)
+    score : float;  (** max of the two one-sided statistics, sigma units *)
+    mean : float;  (** EWMA baseline before this sample *)
+    sigma : float;  (** floored EWMA absolute deviation *)
+  }
+
+  type t
+
+  val create : config -> t
+  val observe : t -> float -> status
+  val samples : t -> int
+  val last : t -> status
+end
+
+module Slope : sig
+  (** Ordinary-least-squares slope over a fixed-size ring of samples.
+      [observe] returns the per-step slope once the ring is full. *)
+
+  type t
+
+  val create : window:int -> t
+  val observe : t -> float -> float option
+end
+
+module Rate : sig
+  (** Windowed sum of per-tick integer deltas (events per [window]
+      ticks). Backs the WAL corrupt-frame and supervisor-restart
+      detectors, which fire when the windowed sum exceeds a budget. *)
+
+  type t
+
+  val create : window:int -> t
+  val observe : t -> int -> int
+  val sum : t -> int
+end

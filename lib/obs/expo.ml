@@ -158,14 +158,54 @@ let render_slo buf s =
   family buf "nu_slo_engine_backlog" "gauge";
   sample buf "nu_slo_engine_backlog" [] (float_of_int (Slo.engine_backlog s));
   family buf "nu_slo_breaches_total" "counter";
-  sample buf "nu_slo_breaches_total" [] (float_of_int (Slo.breach_count s))
+  sample buf "nu_slo_breaches_total" [] (float_of_int (Slo.breach_count s));
+  family buf "nu_slo_breaches_dropped_total" "counter";
+  sample buf "nu_slo_breaches_dropped_total" []
+    (float_of_int (Slo.breaches_dropped s))
 
-let render ?counters ?(histograms = []) ?fairness ?slo () =
+let render_watch buf w =
+  family buf "nu_alerts_total" "counter";
+  List.iter
+    (fun sev ->
+      let v =
+        Option.value ~default:0 (List.assoc_opt sev (Watch.by_severity w))
+      in
+      sample buf "nu_alerts_total" [ ("severity", sev) ] (float_of_int v))
+    [ "info"; "warning"; "critical" ];
+  let dets = Watch.by_detector w in
+  if dets <> [] then begin
+    family buf "nu_alerts_detector_total" "counter";
+    List.iter
+      (fun (det, v) ->
+        sample buf "nu_alerts_detector_total"
+          [ ("detector", det) ]
+          (float_of_int v))
+      dets
+  end;
+  family buf "nu_alerts_dropped_total" "counter";
+  sample buf "nu_alerts_dropped_total" [] (float_of_int (Watch.dropped w));
+  family buf "nu_health_state" "gauge";
+  sample buf "nu_health_state"
+    [ ("scope", "global") ]
+    (float_of_int (Health.state_rank (Watch.global_state w)));
+  let tenants = Watch.tenant_states w in
+  if tenants <> [] then begin
+    family buf "nu_tenant_health_state" "gauge";
+    List.iter
+      (fun (tenant, st) ->
+        sample buf "nu_tenant_health_state"
+          [ ("tenant", tenant) ]
+          (float_of_int (Health.state_rank st)))
+      tenants
+  end
+
+let render ?counters ?(histograms = []) ?fairness ?slo ?watch () =
   let buf = Buffer.create 4096 in
   (match counters with Some snap -> render_counters buf snap | None -> ());
   render_histograms buf histograms;
   (match fairness with Some f -> render_fairness buf f | None -> ());
   (match slo with Some s -> render_slo buf s | None -> ());
+  (match watch with Some w -> render_watch buf w | None -> ());
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
 

@@ -24,10 +24,16 @@ val render :
   ?histograms:(string * Histogram.t) list ->
   ?fairness:Fairness.t ->
   ?slo:Slo.t ->
+  ?watch:Watch.t ->
   unit ->
   string
 (** Render the given sources into one exposition document. All sources
-    are optional; the result always ends with [# EOF]. *)
+    are optional; the result always ends with [# EOF]. A [watch]
+    source adds the alerting families: [nu_alerts_total{severity}],
+    [nu_alerts_detector_total{detector}], [nu_alerts_dropped_total],
+    [nu_health_state{scope="global"}] and
+    [nu_tenant_health_state{tenant}] (gauge value is
+    {!Health.state_rank}: 0 ok, 1 warn, 2 critical, 3 recovering). *)
 
 val write_atomic : dir:string -> ?filename:string -> string -> unit
 (** Write [content] to [dir/filename] (default ["metrics.prom"]) via a

@@ -197,19 +197,32 @@ let to_jsonl t =
     t.recent;
   Buffer.contents buf
 
+type read_result = { read : entry list; torn : (int * string) option }
+
+(* A parse failure on the last non-blank line is a torn tail (crash
+   mid-append) — the same tolerance the WAL reader applies to its final
+   frame — and is reported, not raised. A bad line anywhere else means
+   the file is corrupt and stays a hard error. *)
 let read_jsonl path =
   match In_channel.with_open_text path In_channel.input_lines with
   | exception Sys_error m -> Error m
   | lines ->
-      let rec go acc n = function
-        | [] -> Ok (List.rev acc)
-        | line :: rest when String.trim line = "" -> go acc (n + 1) rest
-        | line :: rest -> (
-            match Json.of_string line with
-            | Error m -> Error (Printf.sprintf "%s:%d: %s" path n m)
-            | Ok j -> (
-                match entry_of_json j with
-                | Error m -> Error (Printf.sprintf "%s:%d: %s" path n m)
-                | Ok e -> go (e :: acc) (n + 1) rest))
+      let numbered =
+        List.mapi (fun i l -> (i + 1, l)) lines
+        |> List.filter (fun (_, l) -> String.trim l <> "")
       in
-      go [] 1 lines
+      let parse line =
+        Result.bind (Json.of_string line) entry_of_json
+      in
+      let rec go acc = function
+        | [] -> Ok { read = List.rev acc; torn = None }
+        | [ (n, line) ] -> (
+            match parse line with
+            | Ok e -> Ok { read = List.rev (e :: acc); torn = None }
+            | Error _ -> Ok { read = List.rev acc; torn = Some (n, line) })
+        | (n, line) :: rest -> (
+            match parse line with
+            | Ok e -> go (e :: acc) rest
+            | Error m -> Error (Printf.sprintf "%s:%d: %s" path n m))
+      in
+      go [] numbered

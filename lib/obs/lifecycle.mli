@@ -85,6 +85,16 @@ val to_jsonl : t -> string
 val close : t -> unit
 (** Flush and close the JSONL stream (idempotent). *)
 
-val read_jsonl : string -> (entry list, string) result
+type read_result = {
+  read : entry list;  (** parsed entries, file order *)
+  torn : (int * string) option;
+      (** a trailing line that failed to parse: (line number, raw
+          line). A crash mid-append tears at most the final line. *)
+}
+
+val read_jsonl : string -> (read_result, string) result
 (** Parse a lifecycle JSONL file (blank lines skipped); the inverse of
-    the streaming writer. *)
+    the streaming writer. A torn trailing line — the stream's writer
+    died mid-append — is skipped and reported in [torn], mirroring the
+    WAL torn-tail policy; a malformed line anywhere else is still an
+    [Error]. *)

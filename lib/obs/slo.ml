@@ -26,6 +26,7 @@ type t = {
   mutable queue_depth : int;
   mutable backlog : int;
   mutable breaches_rev : breach list;  (* newest-first, bounded *)
+  mutable retained : int;  (* List.length breaches_rev, kept O(1) *)
   mutable breach_total : int;
 }
 
@@ -45,6 +46,7 @@ let create ?(window = 50) ?(sub_buckets = 64) ?p99_target_s ?p999_target_s
     queue_depth = 0;
     backlog = 0;
     breaches_rev = [];
+    retained = 0;
     breach_total = 0;
   }
 
@@ -72,9 +74,12 @@ let record_breach t ~tick ~metric ~value ~threshold =
   in
   t.breach_total <- t.breach_total + 1;
   t.breaches_rev <- b :: t.breaches_rev;
-  if List.length t.breaches_rev > max_retained_breaches then
+  t.retained <- t.retained + 1;
+  if t.retained > max_retained_breaches then begin
     t.breaches_rev <-
-      List.filteri (fun i _ -> i < max_retained_breaches) t.breaches_rev
+      List.filteri (fun i _ -> i < max_retained_breaches) t.breaches_rev;
+    t.retained <- max_retained_breaches
+  end
 
 let check t ~tick ~metric ~value = function
   | Some threshold when value > threshold ->
@@ -104,6 +109,10 @@ let on_tick t ~tick =
 let breaches t = List.rev t.breaches_rev
 let breach_count t = t.breach_total
 
+(* Breaches evicted from the retained list: the cap used to drop them
+   silently, with nothing in the report saying the list was partial. *)
+let breaches_dropped t = t.breach_total - t.retained
+
 let breach_to_json b =
   Json.Obj
     [
@@ -124,5 +133,6 @@ let to_json t =
       ("queue_depth", Json.Int t.queue_depth);
       ("engine_backlog", Json.Int t.backlog);
       ("breach_total", Json.Int t.breach_total);
+      ("breaches_dropped", Json.Int (breaches_dropped t));
       ("breaches", Json.List (List.map breach_to_json (breaches t)));
     ]

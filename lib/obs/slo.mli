@@ -64,4 +64,9 @@ val breaches : t -> breach list
 val breach_count : t -> int
 (** Exact total, including events evicted from the retained list. *)
 
+val breaches_dropped : t -> int
+(** Breach events evicted from the retained list by the 256-record
+    cap: [breach_count t - List.length (breaches t)]. Non-zero means
+    {!breaches} is a suffix of the true sequence. *)
+
 val to_json : t -> Json.t

@@ -44,7 +44,7 @@ let round_to_json (r : Engine.round_info) =
       ("fabric_utilization", Json.Float r.Engine.fabric_utilization);
     ]
 
-let to_json ?counters ?recovery ?histograms ?series ?profile ?telemetry
+let to_json ?counters ?recovery ?histograms ?series ?profile ?telemetry ?alerts
     (run : Engine.run_result) =
   let summary = Metrics.of_run run in
   Json.Obj
@@ -83,7 +83,10 @@ let to_json ?counters ?recovery ?histograms ?series ?profile ?telemetry
     @ (match profile with
       | None -> []
       | Some p -> [ ("profile", Nu_obs.Profile.to_json p) ])
+    @ (match telemetry with
+      | None -> []
+      | Some j -> [ ("telemetry", (j : Nu_obs.Json.t)) ])
     @
-    match telemetry with
+    match alerts with
     | None -> []
-    | Some j -> [ ("telemetry", (j : Nu_obs.Json.t)) ])
+    | Some j -> [ ("alerts", (j : Nu_obs.Json.t)) ])

@@ -22,6 +22,7 @@ val to_json :
   ?series:Nu_obs.Series.t ->
   ?profile:Nu_obs.Profile.t ->
   ?telemetry:Nu_obs.Json.t ->
+  ?alerts:Nu_obs.Json.t ->
   Engine.run_result ->
   Nu_obs.Json.t
 (** The full report: policy, summary, events (event-id order), round
@@ -35,4 +36,7 @@ val to_json :
     adds a ["series"] block; [profile] (a {!Nu_obs.Profile.of_events}
     span tree) adds a ["profile"] block; [telemetry] (a serving run's
     [Nu_serve.Telemetry.to_json] — passed pre-rendered, since this
-    library sits below [Nu_serve]) adds a ["telemetry"] block. *)
+    library sits below [Nu_serve]) adds a ["telemetry"] block;
+    [alerts] (a watchdog run's {!Nu_obs.Watch.report_json} — alert
+    counts by detector/severity, first/last breach ticks, per-scope
+    health timelines) adds an ["alerts"] incident block. *)

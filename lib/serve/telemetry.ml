@@ -14,6 +14,7 @@ module Lifecycle = Nu_obs.Lifecycle
 module Fairness = Nu_obs.Fairness
 module Slo = Nu_obs.Slo
 module Expo = Nu_obs.Expo
+module Watch = Nu_obs.Watch
 
 type config = {
   metrics_dir : string option;
@@ -26,6 +27,7 @@ type config = {
   p999_target_s : float option;
   max_queue : int option;
   max_backlog : int option;
+  watch : Watch.config option;
 }
 
 let default_config =
@@ -40,6 +42,7 @@ let default_config =
     p999_target_s = None;
     max_queue = None;
     max_backlog = None;
+    watch = None;
   }
 
 type t = {
@@ -47,6 +50,12 @@ type t = {
   lifecycle : Lifecycle.t;
   fairness : Fairness.t;
   slo : Slo.t;
+  watch : Watch.t option;
+  (* Counter baselines so the watcher sees per-tick deltas: the named
+     counters are process-global and carry values from earlier runs in
+     the same process (tests, crashstorm restarts). *)
+  mutable last_corrupt : int;
+  mutable last_restarts : int;
   mutable tick : int;
   mutable now_s : float;
   mutable expo_writes : int;
@@ -68,6 +77,9 @@ let create cfg =
       Slo.create ~window:cfg.slo_window ?p99_target_s:cfg.p99_target_s
         ?p999_target_s:cfg.p999_target_s ?max_queue:cfg.max_queue
         ?max_backlog:cfg.max_backlog ();
+    watch = Option.map Watch.create cfg.watch;
+    last_corrupt = Counters.get_named "store.frames_corrupt";
+    last_restarts = Counters.get_named "supervisor.restarts";
     tick = 0;
     now_s = 0.0;
     expo_writes = 0;
@@ -77,6 +89,7 @@ let config t = t.cfg
 let lifecycle t = t.lifecycle
 let fairness t = t.fairness
 let slo t = t.slo
+let watch t = t.watch
 let expo_writes t = t.expo_writes
 
 (* Fairness attribution for engine-side observations: the lifecycle
@@ -93,7 +106,7 @@ let render t =
     ~histograms:
       (if Histogram.Registry.enabled () then Histogram.Registry.snapshot ()
        else [])
-    ~fairness:t.fairness ~slo:t.slo ()
+    ~fairness:t.fairness ~slo:t.slo ?watch:t.watch ()
 
 let write_expo t =
   match t.cfg.metrics_dir with
@@ -140,11 +153,22 @@ let on_tick_end t ~tick ~queue ~backlog =
   Slo.observe_gauges t.slo ~queue ~backlog;
   Slo.on_tick t.slo ~tick;
   Fairness.on_tick t.fairness;
+  (match t.watch with
+  | Some w ->
+      let corrupt = Counters.get_named "store.frames_corrupt" in
+      let restarts = Counters.get_named "supervisor.restarts" in
+      Watch.on_tick w ~tick ~queue ~backlog
+        ~corrupt_d:(max 0 (corrupt - t.last_corrupt))
+        ~restarts_d:(max 0 (restarts - t.last_restarts));
+      t.last_corrupt <- corrupt;
+      t.last_restarts <- restarts
+  | None -> ());
   if t.cfg.metrics_dir <> None && (tick + 1) mod t.cfg.metrics_every = 0 then
     write_expo t
 
 let on_retire t =
   write_expo t;
+  Option.iter Watch.close t.watch;
   Lifecycle.close t.lifecycle
 
 (* ------------------------------------------------------------------ *)
@@ -157,6 +181,9 @@ let complete t (r : Engine.event_result) ~degraded =
   let tenant = tenant_for t id in
   Fairness.observe_completion t.fairness ~tenant ~ect_s ~degraded;
   Slo.observe_ect t.slo ect_s;
+  (match t.watch with
+  | Some w -> Watch.observe_ect w ~tenant ~ect_s
+  | None -> ());
   let stage =
     if degraded then
       Lifecycle.Degraded { ect_s; failed_items = r.Engine.failed_items }
@@ -187,10 +214,13 @@ let observer t (obs : Engine.observation) =
 
 let to_json t =
   Json.Obj
-    [
+    ([
       ("stamped", Json.Int (Lifecycle.stamped t.lifecycle));
       ("in_flight", Json.Int (Lifecycle.in_flight t.lifecycle));
       ("expo_writes", Json.Int t.expo_writes);
       ("fairness", Fairness.to_json t.fairness);
       ("slo", Slo.to_json t.slo);
     ]
+    @ match t.watch with
+      | Some w -> [ ("watch", Watch.report_json w) ]
+      | None -> [])

@@ -37,6 +37,13 @@ type config = {
   p999_target_s : float option;  (** never evaluated. *)
   max_queue : int option;
   max_backlog : int option;
+  watch : Nu_obs.Watch.config option;
+      (** Attach an {!Nu_obs.Watch} watchdog: ECT samples and per-tick
+          queue/backlog gauges plus WAL-corruption and supervisor-
+          restart counter deltas are fed to it each tick, its alert
+          families join the exposition, and its journals (when
+          [Watch.config.dir] is set) follow the run. [None] disables
+          it. *)
 }
 
 val default_config : config
@@ -53,6 +60,9 @@ val config : t -> config
 val lifecycle : t -> Nu_obs.Lifecycle.t
 val fairness : t -> Nu_obs.Fairness.t
 val slo : t -> Nu_obs.Slo.t
+
+val watch : t -> Nu_obs.Watch.t option
+(** The attached watchdog, when the config carried one. *)
 
 val expo_writes : t -> int
 (** Exposition files written so far (also counted in the
@@ -76,11 +86,13 @@ val on_drain : t -> Request.t -> wait_ticks:int -> unit
 (** Stamp [Submitted] with the queueing delay in ticks. *)
 
 val on_tick_end : t -> tick:int -> queue:int -> backlog:int -> unit
-(** Record gauges, advance the fairness/SLO window clocks, and write
-    the exposition file on the [metrics_every] cadence. *)
+(** Record gauges, advance the fairness/SLO window clocks, feed the
+    watchdog its per-tick observation, and write the exposition file
+    on the [metrics_every] cadence. *)
 
 val on_retire : t -> unit
-(** Final exposition write and lifecycle-stream close. *)
+(** Final exposition write, watchdog-journal close and
+    lifecycle-stream close. *)
 
 val observer : t -> Engine.observation -> unit
 (** Engine-side progress: pass [observer t] to

@@ -1030,7 +1030,8 @@ let test_lifecycle_stamps_and_jsonl () =
   (* The streamed JSONL reads back as the in-memory ring. *)
   (match Obs.Lifecycle.read_jsonl path with
   | Error m -> Alcotest.failf "read_jsonl: %s" m
-  | Ok entries ->
+  | Ok { Obs.Lifecycle.read = entries; torn } ->
+      Alcotest.(check bool) "no torn tail" true (torn = None);
       Alcotest.(check int) "one line per stamp" 5 (List.length entries);
       Alcotest.(check bool)
         "file round-trips the ring" true
@@ -1320,6 +1321,386 @@ let test_null_sink_identical_results () =
   Alcotest.(check bool)
     "summaries identical with and without tracing" true (plain = traced)
 
+(* ------------------------------------------------------------------ *)
+(* Watchdog: streaming detectors                                       *)
+
+let contains_sub doc sub =
+  let n = String.length sub in
+  let rec find i =
+    i + n <= String.length doc && (String.sub doc i n = sub || find (i + 1))
+  in
+  find 0
+
+let test_cusum_step_change () =
+  let open Obs.Detector.Cusum in
+  let c = create default in
+  (* A stable, slightly dithered baseline never fires. *)
+  for i = 0 to 29 do
+    let st = observe c (1.0 +. (0.01 *. float_of_int (i mod 3))) in
+    Alcotest.(check bool) "quiet on stable signal" false st.firing
+  done;
+  (* A level shift fires within a handful of samples, direction Up. *)
+  let fired = ref None in
+  for i = 0 to 9 do
+    let st = observe c 5.0 in
+    if st.firing && !fired = None then fired := Some (i, st.direction)
+  done;
+  (match !fired with
+  | None -> Alcotest.fail "step change never detected"
+  | Some (i, dir) ->
+      Alcotest.(check bool) "detected within 5 samples" true (i <= 5);
+      Alcotest.(check bool) "shift direction is up" true (dir = Some Up));
+  (* Determinism: a twin fed the same stream agrees on every status. *)
+  let a = create default and b = create default in
+  for i = 0 to 59 do
+    let v = if i < 30 then 1.0 else 7.5 +. (0.1 *. float_of_int (i mod 4)) in
+    Alcotest.(check bool) "twin statuses equal" true (observe a v = observe b v)
+  done
+
+let test_slope_and_rate () =
+  let s = Obs.Detector.Slope.create ~window:5 in
+  let last = ref None in
+  for i = 0 to 3 do
+    last := Obs.Detector.Slope.observe s (float_of_int i)
+  done;
+  Alcotest.(check bool) "no slope before the window fills" true (!last = None);
+  (match Obs.Detector.Slope.observe s 4.0 with
+  | Some sl -> Alcotest.(check (float 1e-9)) "unit ramp" 1.0 sl
+  | None -> Alcotest.fail "slope expected once the window is full");
+  for _ = 1 to 5 do
+    last := Obs.Detector.Slope.observe s 4.0
+  done;
+  (match !last with
+  | Some sl -> Alcotest.(check (float 1e-9)) "flat signal" 0.0 sl
+  | None -> Alcotest.fail "slope expected");
+  let r = Obs.Detector.Rate.create ~window:3 in
+  ignore (Obs.Detector.Rate.observe r 1 : int);
+  ignore (Obs.Detector.Rate.observe r 2 : int);
+  Alcotest.(check int) "windowed sum" 3 (Obs.Detector.Rate.observe r 0);
+  Alcotest.(check int) "window slides" 2 (Obs.Detector.Rate.observe r 0);
+  Alcotest.(check int) "oldest aged out" 0 (Obs.Detector.Rate.observe r 0)
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog: hysteretic health machine                                 *)
+
+let test_health_full_transition_sequence () =
+  let cfg =
+    { Obs.Health.warn_after = 2; crit_after = 3; clear_after = 2; recover_after = 2 }
+  in
+  let h = Obs.Health.create cfg in
+  let obs firing = Obs.Health.observe h ~firing in
+  Alcotest.(check bool) "one firing tick stays Ok" true (obs true = None);
+  Alcotest.(check bool) "warn after 2 sustained" true
+    (obs true = Some Obs.Health.Warn);
+  Alcotest.(check bool) "no transition repeat" true (obs true = None);
+  Alcotest.(check bool) "still warn" true (obs true = None);
+  Alcotest.(check bool) "critical after 3 more" true
+    (obs true = Some Obs.Health.Critical);
+  Alcotest.(check bool) "one quiet tick holds" true (obs false = None);
+  Alcotest.(check bool) "recovering after 2 quiet" true
+    (obs false = Some Obs.Health.Recovering);
+  Alcotest.(check bool) "relapse straight to critical" true
+    (obs true = Some Obs.Health.Critical);
+  Alcotest.(check bool) "quiet again" true (obs false = None);
+  Alcotest.(check bool) "recovering again" true
+    (obs false = Some Obs.Health.Recovering);
+  Alcotest.(check bool) "recovery needs sustained quiet" true (obs false = None);
+  Alcotest.(check bool) "ok after recover_after" true
+    (obs false = Some Obs.Health.Ok)
+
+let test_health_no_flapping () =
+  (* A signal oscillating at the detector threshold: a consecutive-tick
+     requirement of 2 means alternating fire/quiet never transitions. *)
+  let cfg =
+    { Obs.Health.warn_after = 2; crit_after = 2; clear_after = 2; recover_after = 2 }
+  in
+  let h = Obs.Health.create cfg in
+  for i = 0 to 99 do
+    match Obs.Health.observe h ~firing:(i mod 2 = 0) with
+    | Some s ->
+        Alcotest.failf "flapped into %s at tick %d" (Obs.Health.state_name s) i
+    | None -> ()
+  done;
+  Alcotest.(check bool) "still Ok" true (Obs.Health.state h = Obs.Health.Ok)
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog: nu_watch over a synthetic observation stream              *)
+
+let synthetic_obs ?(n = 60) ?(spike_at = 30) () =
+  List.init n (fun tick ->
+      let spiking = tick >= spike_at in
+      {
+        Obs.Watch.o_tick = tick;
+        o_queue = (if spiking then 40 + (tick mod 3) else 2 + (tick mod 2));
+        o_backlog = (if spiking then 2 * (tick - spike_at + 1) else 1);
+        o_ects =
+          [
+            ( "tenant-a",
+              if spiking then 1.5 +. (0.01 *. float_of_int (tick mod 5))
+              else 0.05 );
+            ("tenant-b", 0.05 +. (0.001 *. float_of_int (tick mod 7)));
+          ];
+        o_corrupt_d = (if tick = spike_at + 5 then 2 else 0);
+        o_restarts_d = (if tick = spike_at + 6 then 1 else 0);
+      })
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "nu_watch" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter Sys.remove (Sys.readdir dir |> Array.map (Filename.concat dir));
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_watch_deterministic_twins () =
+  let stream = synthetic_obs () in
+  let run () =
+    let w = Obs.Watch.create Obs.Watch.default_config in
+    List.iter (Obs.Watch.ingest w) stream;
+    w
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "spike raises alerts" true (Obs.Watch.alert_total a > 0);
+  Alcotest.(check bool) "criticals raised" true (Obs.Watch.critical_total a > 0);
+  Alcotest.(check string) "digests bit-identical" (Obs.Watch.alert_digest a)
+    (Obs.Watch.alert_digest b);
+  Alcotest.(check bool) "alert sequences equal" true
+    (Obs.Watch.alerts a = Obs.Watch.alerts b);
+  Alcotest.(check int) "severity counts cover every alert"
+    (Obs.Watch.alert_total a)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 (Obs.Watch.by_severity a));
+  Alcotest.(check bool) "spiking tenant tracked" true
+    (List.mem_assoc "tenant-a" (Obs.Watch.tenant_states a));
+  (* The alert block renders and the health timeline is non-empty. *)
+  match Obs.Json.member "alert_total" (Obs.Watch.report_json a) with
+  | Some (Obs.Json.Int n) ->
+      Alcotest.(check int) "report totals agree" (Obs.Watch.alert_total a) n
+  | _ -> Alcotest.fail "report_json lacks alert_total"
+
+let test_watch_journal_roundtrip () =
+  with_temp_dir (fun dir ->
+      let stream = synthetic_obs () in
+      let live =
+        Obs.Watch.create
+          { Obs.Watch.default_config with Obs.Watch.dir = Some dir }
+      in
+      List.iter (Obs.Watch.ingest live) stream;
+      Obs.Watch.close live;
+      match Obs.Watch.read_journal (Filename.concat dir "watch.jsonl") with
+      | Error m -> Alcotest.failf "read_journal: %s" m
+      | Ok { Obs.Watch.j_config; j_obs; j_torn } -> (
+          Alcotest.(check bool) "no torn tail" true (j_torn = None);
+          Alcotest.(check bool) "observations round-trip" true (j_obs = stream);
+          let cfg =
+            match j_config with
+            | Some c -> c
+            | None -> Alcotest.fail "config header missing"
+          in
+          (* Offline re-evaluation from the journal alone reproduces the
+             live digest bit for bit. *)
+          let offline = Obs.Watch.create cfg in
+          List.iter (Obs.Watch.ingest offline) j_obs;
+          Alcotest.(check string) "offline digest equals live"
+            (Obs.Watch.alert_digest live)
+            (Obs.Watch.alert_digest offline);
+          Alcotest.(check int) "offline totals equal live"
+            (Obs.Watch.alert_total live)
+            (Obs.Watch.alert_total offline);
+          (* And the journaled alert lines hash to the same digest. *)
+          match
+            Obs.Watch.read_alerts_digest (Filename.concat dir "alerts.jsonl")
+          with
+          | Error m -> Alcotest.failf "read_alerts_digest: %s" m
+          | Ok (digest, lines) ->
+              Alcotest.(check string) "alerts.jsonl digest"
+                (Obs.Watch.alert_digest live) digest;
+              Alcotest.(check int) "alerts.jsonl line count"
+                (Obs.Watch.alert_total live) lines))
+
+let read_file path =
+  let ic = open_in_bin path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  body
+
+let test_watch_resume_matches_uninterrupted () =
+  let stream = synthetic_obs () in
+  let cut = 35 in
+  with_temp_dir (fun dir_a ->
+      with_temp_dir (fun dir_b ->
+          let full =
+            Obs.Watch.create
+              { Obs.Watch.default_config with Obs.Watch.dir = Some dir_a }
+          in
+          List.iter (Obs.Watch.ingest full) stream;
+          Obs.Watch.close full;
+          (* Crash after [cut] ticks, then a fresh watcher resumes on the
+             same directory: its first observation at tick [cut] > 0
+             triggers the journal-replay path. *)
+          let before =
+            Obs.Watch.create
+              { Obs.Watch.default_config with Obs.Watch.dir = Some dir_b }
+          in
+          List.iter (Obs.Watch.ingest before)
+            (List.filter (fun o -> o.Obs.Watch.o_tick < cut) stream);
+          Obs.Watch.close before;
+          let resumed =
+            Obs.Watch.create
+              { Obs.Watch.default_config with Obs.Watch.dir = Some dir_b }
+          in
+          List.iter (Obs.Watch.ingest resumed)
+            (List.filter (fun o -> o.Obs.Watch.o_tick >= cut) stream);
+          Obs.Watch.close resumed;
+          Alcotest.(check string) "alert digest equals uninterrupted"
+            (Obs.Watch.alert_digest full)
+            (Obs.Watch.alert_digest resumed);
+          Alcotest.(check int) "alert totals equal"
+            (Obs.Watch.alert_total full)
+            (Obs.Watch.alert_total resumed);
+          Alcotest.(check string) "alerts.jsonl byte-identical"
+            (read_file (Filename.concat dir_a "alerts.jsonl"))
+            (read_file (Filename.concat dir_b "alerts.jsonl"));
+          Alcotest.(check string) "watch.jsonl byte-identical"
+            (read_file (Filename.concat dir_a "watch.jsonl"))
+            (read_file (Filename.concat dir_b "watch.jsonl"))))
+
+let test_watch_torn_tail_tolerated () =
+  with_temp_dir (fun dir ->
+      let stream = synthetic_obs ~n:20 ~spike_at:99 () in
+      let w =
+        Obs.Watch.create
+          { Obs.Watch.default_config with Obs.Watch.dir = Some dir }
+      in
+      List.iter (Obs.Watch.ingest w) stream;
+      Obs.Watch.close w;
+      let path = Filename.concat dir "watch.jsonl" in
+      (* A crash mid-append leaves a torn trailing line: tolerated. *)
+      let oc = open_out_gen [ Open_append ] 0o600 path in
+      output_string oc "{\"o_tick\": 20, \"o_que";
+      close_out oc;
+      (match Obs.Watch.read_journal path with
+      | Error m -> Alcotest.failf "torn tail rejected: %s" m
+      | Ok { Obs.Watch.j_obs; j_torn; _ } ->
+          Alcotest.(check bool) "torn line reported" true (j_torn <> None);
+          Alcotest.(check int) "intact prefix read" 20 (List.length j_obs));
+      (* Garbage in the middle is a hard error, not silent data loss. *)
+      let body = read_file path in
+      let lines = String.split_on_char '\n' body in
+      let corrupted =
+        String.concat "\n"
+          (List.mapi (fun i l -> if i = 3 then "garbage" else l) lines)
+      in
+      let oc = open_out_bin path in
+      output_string oc corrupted;
+      close_out oc;
+      match Obs.Watch.read_journal path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "mid-file garbage accepted")
+
+let test_lifecycle_torn_tail_tolerated () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "lifecycle.jsonl" in
+      let entry i =
+        {
+          Obs.Lifecycle.id = i;
+          tenant = "t";
+          tick = i;
+          t_s = 0.05 *. float_of_int i;
+          stage = Obs.Lifecycle.Arrived;
+        }
+      in
+      let oc = open_out_bin path in
+      for i = 0 to 4 do
+        output_string oc
+          (Obs.Json.to_string (Obs.Lifecycle.entry_to_json (entry i)));
+        output_char oc '\n'
+      done;
+      (* Torn trailing line (crash mid-append). *)
+      output_string oc "{\"id\": 5, \"tena";
+      close_out oc;
+      (match Obs.Lifecycle.read_jsonl path with
+      | Error m -> Alcotest.failf "torn tail rejected: %s" m
+      | Ok { Obs.Lifecycle.read; torn } ->
+          Alcotest.(check int) "intact prefix read" 5 (List.length read);
+          (match torn with
+          | Some (line, _) -> Alcotest.(check int) "torn line number" 6 line
+          | None -> Alcotest.fail "torn tail not reported"));
+      (* Mid-file garbage stays a hard error. *)
+      let body = read_file path in
+      let lines = String.split_on_char '\n' body in
+      let corrupted =
+        String.concat "\n"
+          (List.mapi (fun i l -> if i = 2 then "not json" else l) lines)
+      in
+      let oc = open_out_bin path in
+      output_string oc corrupted;
+      close_out oc;
+      match Obs.Lifecycle.read_jsonl path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "mid-file garbage accepted")
+
+let test_slo_breach_cap_counts_dropped () =
+  let s =
+    Obs.Slo.create ~window:1 ~p99_target_s:1e-9 ~max_queue:0 ~max_backlog:0 ()
+  in
+  for tick = 0 to 99 do
+    Obs.Slo.observe_ect s 1.0;
+    Obs.Slo.observe_gauges s ~queue:5 ~backlog:5;
+    Obs.Slo.on_tick s ~tick
+  done;
+  (* 3 breaches per tick: p99, queue, backlog. *)
+  Alcotest.(check int) "exact total" 300 (Obs.Slo.breach_count s);
+  Alcotest.(check int) "retained list bounded" 256
+    (List.length (Obs.Slo.breaches s));
+  Alcotest.(check int) "dropped counted, not silent" 44
+    (Obs.Slo.breaches_dropped s);
+  (* The truncation is visible in the report and the exposition. *)
+  (match Obs.Json.member "breaches_dropped" (Obs.Slo.to_json s) with
+  | Some (Obs.Json.Int n) -> Alcotest.(check int) "report agrees" 44 n
+  | _ -> Alcotest.fail "breaches_dropped missing from to_json");
+  let doc = Obs.Expo.render ~slo:s () in
+  (match Obs.Expo.validate doc with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "slo exposition rejected: %s" m);
+  Alcotest.(check bool) "dropped counter exposed" true
+    (contains_sub doc "nu_slo_breaches_dropped_total 44")
+
+let test_expo_watch_families_validate () =
+  let w = Obs.Watch.create Obs.Watch.default_config in
+  List.iter (Obs.Watch.ingest w) (synthetic_obs ());
+  let doc = Obs.Expo.render ~watch:w () in
+  (match Obs.Expo.validate doc with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "watch exposition rejected: %s" m);
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (sub ^ " present") true (contains_sub doc sub))
+    [
+      "# TYPE nu_alerts_total counter";
+      "nu_alerts_total{severity=\"critical\"}";
+      "# TYPE nu_alerts_detector_total counter";
+      "nu_alerts_dropped_total";
+      "nu_health_state{scope=\"global\"}";
+      "nu_tenant_health_state{tenant=\"tenant-a\"}";
+    ]
+
+let prop_watch_digest_deterministic =
+  (* Any spike position and stream length: twin watchers agree, and an
+     offline journal re-evaluation reproduces the live digest. *)
+  QCheck.Test.make ~name:"watch digest is a pure function of the obs stream"
+    ~count:25
+    QCheck.(pair (int_range 5 80) (int_range 1 80))
+    (fun (n, spike_at) ->
+      let stream = synthetic_obs ~n ~spike_at () in
+      let run () =
+        let w = Obs.Watch.create Obs.Watch.default_config in
+        List.iter (Obs.Watch.ingest w) stream;
+        Obs.Watch.alert_digest w
+      in
+      String.equal (run ()) (run ()))
+
 let suite =
   [
     ("json round-trip", `Quick, test_json_roundtrip);
@@ -1367,6 +1748,22 @@ let suite =
       test_lifecycle_entry_json_roundtrip );
     ("fairness jain + windows", `Quick, test_fairness_jain_and_windows);
     ("slo rolling + breaches", `Quick, test_slo_rolling_and_breaches);
+    ("slo breach cap counts dropped", `Quick, test_slo_breach_cap_counts_dropped);
+    ("cusum step change", `Quick, test_cusum_step_change);
+    ("slope + rate detectors", `Quick, test_slope_and_rate);
+    ("health transition sequence", `Quick, test_health_full_transition_sequence);
+    ("health no flapping", `Quick, test_health_no_flapping);
+    ("watch deterministic twins", `Quick, test_watch_deterministic_twins);
+    ("watch journal round-trip", `Quick, test_watch_journal_roundtrip);
+    ( "watch resume matches uninterrupted",
+      `Quick,
+      test_watch_resume_matches_uninterrupted );
+    ("watch torn tail tolerated", `Quick, test_watch_torn_tail_tolerated);
+    ( "lifecycle torn tail tolerated",
+      `Quick,
+      test_lifecycle_torn_tail_tolerated );
+    ("expo watch families validate", `Quick, test_expo_watch_families_validate);
+    QCheck_alcotest.to_alcotest prop_watch_digest_deterministic;
     ("expo metric names", `Quick, test_expo_metric_name);
     ("expo render validates", `Quick, test_expo_render_validates);
     ("chrome flow events", `Quick, test_chrome_flow_events);

@@ -371,7 +371,8 @@ let test_source_freeze_thaw () =
 
 let scenario () = Scenario.prepare ~k:4 ~utilization:0.6 ~seed:11 ()
 
-let cfg ?(capacity = 8) ?(admission = Admission.Block) ?churn () =
+let cfg ?(capacity = 8) ?(admission = Admission.Block) ?churn ?(domains = 1) ()
+    =
   {
     Serve.policy = Policy.Plmtf { alpha = 2 };
     engine_seed = 5;
@@ -383,7 +384,7 @@ let cfg ?(capacity = 8) ?(admission = Admission.Block) ?churn () =
     co_max_cost_mbit = 0.0;
     estimate_cache = true;
     churn;
-    domains = 1;
+    domains;
   }
 
 let test_stepper_equals_batch () =
@@ -671,7 +672,7 @@ let test_serve_telemetry_digest_differential () =
      ending terminally for completed requests. *)
   (match Obs.Lifecycle.read_jsonl (Filename.concat dir "lifecycle.jsonl") with
   | Error m -> Alcotest.failf "lifecycle read: %s" m
-  | Ok entries ->
+  | Ok { Obs.Lifecycle.read = entries; torn = _ } ->
       Alcotest.(check int)
         "one JSONL line per stamp" (Obs.Lifecycle.stamped lc)
         (List.length entries);
@@ -685,6 +686,179 @@ let test_serve_telemetry_digest_differential () =
         (List.length terminal));
   Array.iter Sys.remove (Sys.readdir dir |> Array.map (Filename.concat dir));
   Sys.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog: recording-only, alert digest replay-stable                *)
+
+let temp_dir () =
+  let d = Filename.temp_file "nu_watch_serve" "" in
+  Sys.remove d;
+  Sys.mkdir d 0o700;
+  d
+
+let rm_rf dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+(* A watchdog tuned to fire constantly: the backlog-slope threshold is
+   below zero, so the detector is firing from the moment its window
+   fills and the health machine escalates within a few ticks. The
+   stronger the alert storm, the stronger the recording-only proof. *)
+let aggressive_watch dir =
+  {
+    Obs.Watch.default_config with
+    Obs.Watch.slope_window = 4;
+    max_backlog_slope = -1.0;
+    health =
+      {
+        Obs.Health.warn_after = 2;
+        crit_after = 3;
+        clear_after = 3;
+        recover_after = 3;
+      };
+    dir;
+  }
+
+let watch_telemetry ?metrics_dir dir =
+  Serve_telemetry.create
+    {
+      Serve_telemetry.default_config with
+      Serve_telemetry.metrics_dir;
+      metrics_every = 5;
+      watch = Some (aggressive_watch dir);
+    }
+
+let test_serve_watch_digest_differential () =
+  let plain = serve_uninterrupted ~ticks:27 () in
+  let dir = temp_dir () in
+  let tel = watch_telemetry ~metrics_dir:dir (Some dir) in
+  let s = scenario () in
+  let t =
+    Serve.create ~telemetry:tel (cfg ()) ~topology:s.Scenario.topology
+      ~net:s.Scenario.net ~source_spec:(spec_of ())
+  in
+  Serve.run ~ticks:27 t;
+  Serve.complete t;
+  Alcotest.(check string)
+    "digest identical with an alert storm in flight" plain (Serve.digest t);
+  let w =
+    match Serve_telemetry.watch tel with
+    | Some w -> w
+    | None -> Alcotest.fail "watcher not attached"
+  in
+  Alcotest.(check bool) "alerts fired" true (Obs.Watch.alert_total w > 0);
+  Alcotest.(check bool)
+    "global health escalated" true
+    (Obs.Watch.global_state w <> Obs.Health.Ok);
+  ignore (Serve.retire t);
+  (* The journalled alert stream hashes to the live digest, and the
+     exposition carries the nu_alerts_* families. *)
+  (match Obs.Watch.read_alerts_digest (Filename.concat dir "alerts.jsonl") with
+  | Error m -> Alcotest.failf "read_alerts_digest: %s" m
+  | Ok (digest, lines) ->
+      Alcotest.(check string) "journal digest" (Obs.Watch.alert_digest w) digest;
+      Alcotest.(check int) "journal lines" (Obs.Watch.alert_total w) lines);
+  let prom = Filename.concat dir "metrics.prom" in
+  let ic = open_in prom in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match Obs.Expo.validate body with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invalid exposition: %s" m);
+  Alcotest.(check bool)
+    "alert families exposed" true
+    (contains body "nu_alerts_total");
+  rm_rf dir
+
+let prop_watch_replay_alert_digest =
+  (* Crash/restore/replay must reproduce not only the decision digest
+     but the watchdog's alert journal digest, bit for bit, for any
+     source seed. *)
+  QCheck.Test.make ~name:"replay reproduces the live watch alert digest"
+    ~count:3
+    QCheck.(int_range 20 39)
+    (fun seed ->
+      let dir_a = temp_dir () and dir_b = temp_dir () in
+      let cp = Filename.concat dir_b "cp.json" in
+      let jp = Filename.concat dir_b "journal.jsonl" in
+      Fun.protect
+        ~finally:(fun () ->
+          remove_chain cp;
+          rm_rf dir_a;
+          rm_rf dir_b)
+        (fun () ->
+          let finish t tel =
+            Serve.complete t;
+            let w = Option.get (Serve_telemetry.watch tel) in
+            let out =
+              ( Serve.digest t,
+                Obs.Watch.alert_digest w,
+                Obs.Watch.alert_total w )
+            in
+            ignore (Serve.retire t);
+            out
+          in
+          let uninterrupted =
+            let tel = watch_telemetry (Some dir_a) in
+            let s = scenario () in
+            let t =
+              Serve.create ~telemetry:tel (cfg ())
+                ~topology:s.Scenario.topology ~net:s.Scenario.net
+                ~source_spec:(spec_of ~seed ())
+            in
+            Serve.run ~ticks:20 t;
+            finish t tel
+          in
+          (* Interrupted twin: checkpoint every 8 ticks, journal every
+             tick, crash dead after tick 20 (no close, no retire). *)
+          let s = scenario () in
+          let w = Journal.open_writer jp in
+          let t =
+            Serve.create ~telemetry:(watch_telemetry (Some dir_b)) ~journal:w
+              (cfg ()) ~topology:s.Scenario.topology ~net:s.Scenario.net
+              ~source_spec:(spec_of ~seed ())
+          in
+          Serve.run ~checkpoint_path:cp ~checkpoint_every:8 ~ticks:20 t;
+          Journal.close_writer w;
+          let topology = Fat_tree.to_topology (Fat_tree.create ~k:4 ()) in
+          match
+            Serve.restore ~config:(cfg ())
+              ~telemetry:(watch_telemetry (Some dir_b))
+              ~source_spec:(spec_of ~seed ()) ~topology cp
+          with
+          | Error m -> Alcotest.failf "restore: %s" m
+          | Ok t2 -> (
+              match Serve.replay ~journal:jp t2 with
+              | Error m -> Alcotest.failf "replay: %s" m
+              | Ok _ ->
+                  let tel2 = Option.get (Serve.telemetry t2) in
+                  uninterrupted = finish t2 tel2)))
+
+let prop_watch_domains_alert_digest =
+  (* The probe fan-out width is a wall-clock knob: the watchdog's alert
+     stream over a 4-domain run must equal the sequential run's. *)
+  QCheck.Test.make ~name:"watch alert digest equal at 1 vs 4 domains" ~count:3
+    QCheck.(int_range 40 59)
+    (fun seed ->
+      let run domains =
+        let tel = watch_telemetry None in
+        let s = scenario () in
+        let t =
+          Serve.create ~telemetry:tel
+            (cfg ~domains ())
+            ~topology:s.Scenario.topology ~net:s.Scenario.net
+            ~source_spec:(spec_of ~seed ())
+        in
+        Serve.run ~ticks:18 t;
+        Serve.complete t;
+        let w = Option.get (Serve_telemetry.watch tel) in
+        let out =
+          (Serve.digest t, Obs.Watch.alert_digest w, Obs.Watch.alert_total w)
+        in
+        ignore (Serve.retire t);
+        out
+      in
+      run 1 = run 4)
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint verification and chain fallback                          *)
@@ -925,6 +1099,11 @@ let suite =
     ( "telemetry digest differential",
       `Quick,
       test_serve_telemetry_digest_differential );
+    ( "watch digest differential",
+      `Quick,
+      test_serve_watch_digest_differential );
+    QCheck_alcotest.to_alcotest prop_watch_replay_alert_digest;
+    QCheck_alcotest.to_alcotest prop_watch_domains_alert_digest;
     ( "checkpoint hash rejects mutation",
       `Quick,
       test_checkpoint_hash_rejects_mutation );
