@@ -112,11 +112,21 @@ type measurement = {
 let now_s () = Unix.gettimeofday ()
 
 let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false)
-    ?(stepper = false) ?(telemetry = `Off) ?(wal = false) ?(domains = 1) () =
+    ?(stepper = false) ?(telemetry = `Off) ?(wal = false) ?(domains = 1)
+    ?(shards = 0) ?(churn_big = false) () =
   (* A fresh scenario per measurement: the run mutates its network. *)
   let s = Core.Scenario.prepare ~k:8 ~utilization:0.70 ~seed:!seed () in
   let events = Core.Scenario.events s ~n:n_events in
-  let churn = Core.Scenario.churn ~target:0.70 s in
+  let churn =
+    if churn_big then
+      (* The million-flow churn cap scenario: a hotter refill setpoint
+         and a deeper per-round refill, flow ids drawn from the churn
+         window above 10M. The run loop hard-caps churn placements at
+         one million. *)
+      { (Core.Scenario.churn ~target:0.85 s) with
+        Core.Engine.max_placements_per_round = 2000 }
+    else Core.Scenario.churn ~target:0.70 s
+  in
   (* [obs] turns the whole observability stack on for the run — memory
      trace sink, histogram registry, per-round series — to measure its
      overhead and prove it does not perturb a single decision. *)
@@ -150,8 +160,167 @@ let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false)
   in
   let before = Core.Obs.Counters.snapshot () in
   let t0 = now_s () in
+  (* Sharded fabric digest override: the shard scenarios digest the
+     combined fabric decision stream (per-shard digests folded with the
+     coordinator journal digest), which for one shard collapses to the
+     single-controller digest. *)
+  let fabric_digest = ref None in
   let run =
-    if stepper then begin
+    if shards > 0 then begin
+      (* The sharded serving ingest path, raw: N wave-synchronised
+         steppers over the shared net, the workload routed by the
+         deterministic partition map, cross-shard migration sets
+         escalated to the global coordinator. Shard 0 owns the
+         background churn; siblings share the flow generator with a
+         zero refill setpoint so placements happen exactly once. *)
+      assert (injector = None);
+      let host_count = s.Core.Scenario.host_count in
+      let part =
+        Core.Shard_partition.create ~host_count ~regions:8 ~shards
+      in
+      let steppers =
+        Array.init shards (fun k ->
+            let churn_k =
+              if k = 0 then churn
+              else { churn with Core.Engine.target_utilization = 0.0 }
+            in
+            Core.Engine.Stepper.create
+              ~seed:(if k = 0 then 3 else 3 + (k * 7919))
+              ~domains:1 ~churn:churn_k ~init_expiry:(k = 0) ?series
+              ~net:s.Core.Scenario.net policy)
+      in
+      List.iter
+        (fun ev ->
+          Core.Engine.Stepper.submit
+            steppers.(Core.Shard_partition.home_of_event part ev)
+            [ ev ])
+        events;
+      let coordinator =
+        Core.Shard_coord.create ~seed:(3 lxor 0x5eed)
+          Core.Shard_coord.default_config
+      in
+      let pool =
+        if shards > 1 then
+          Some (Core.Probe_pool.create ~domains:shards ~net:s.Core.Scenario.net)
+        else None
+      in
+      let shard_of_flow fid =
+        match Core.Net_state.flow s.Core.Scenario.net fid with
+        | Some placed ->
+            Some
+              (Core.Shard_partition.shard_of_region part
+                 (Core.Shard_partition.region_of_host part
+                    placed.Core.Net_state.record.Core.Flow_record.src))
+        | None -> None
+      in
+      let escalate =
+        if shards = 1 then None
+        else
+          Some
+            (fun ~shard plan ->
+              List.exists
+                (fun fid ->
+                  match shard_of_flow fid with
+                  | Some home -> home <> shard
+                  | None -> false)
+                (Core.Shard_coord.moved_flow_ids plan))
+      in
+      let placements0 = Core.Obs.Counters.get Core.Obs.Counters.Churn_placements in
+      let on_commit ~home ~result ~degraded:_ plan =
+        Core.Engine.Stepper.register_departures steppers.(home)
+          ~completion:result.Core.Engine.completion_s plan
+      in
+      let external_commit =
+        match escalate with
+        | None -> None
+        | Some _ ->
+            Some
+              (fun ~shard ~event ~moved ~txn_open ~attempt ->
+                Core.Shard_coord.commit_escalated coordinator
+                  ~net:s.Core.Scenario.net ~tick:0 ~now_floor_s:0.0
+                  ~home:shard ~event ~moved ~shard_of_flow
+                  ~backlogs:(Array.map Core.Engine.Stepper.backlog steppers)
+                  ~txn_open ~attempt ~on_commit)
+      in
+      let wave = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let stepped =
+          match
+            Core.Engine.Stepper.step_group ?pool ?escalate ?external_commit
+              steppers
+          with
+          | `Stepped (_, escalations) ->
+              List.iter
+                (fun (e : Core.Engine.Stepper.escalation) ->
+                  Core.Shard_coord.submit coordinator ~tick:!wave
+                    ~home:e.Core.Engine.Stepper.esc_shard
+                    e.Core.Engine.Stepper.esc_event)
+                escalations;
+              true
+          | `Idle -> false
+        in
+        Core.Shard_coord.attempt_due coordinator ~net:s.Core.Scenario.net
+          ~tick:!wave ~now_floor_s:0.0 ~shard_of_flow
+          ~backlogs:(Array.map Core.Engine.Stepper.backlog steppers)
+          ~on_commit;
+        (* Wave barrier: every shard reads the fabric-wide clock. *)
+        let now_max =
+          Array.fold_left
+            (fun acc st -> Float.max acc (Core.Engine.Stepper.now_s st))
+            (Core.Shard_coord.now_s coordinator)
+            steppers
+        in
+        Array.iter
+          (fun st -> Core.Engine.Stepper.advance_clock st ~to_s:now_max)
+          steppers;
+        incr wave;
+        let churned =
+          Core.Obs.Counters.get Core.Obs.Counters.Churn_placements - placements0
+        in
+        continue_ :=
+          (stepped || Core.Shard_coord.pending_count coordinator > 0)
+          && churned < 1_000_000
+      done;
+      (match pool with Some p -> Core.Probe_pool.shutdown p | None -> ());
+      let runs = Array.map Core.Engine.Stepper.result steppers in
+      Array.iter Core.Engine.Stepper.close steppers;
+      let shard_digests =
+        Array.to_list (Array.map Core.Run_digest.of_run runs)
+      in
+      fabric_digest :=
+        Some
+          (Core.Run_digest.combine
+             (if Core.Shard_coord.entries coordinator > 0 then
+                shard_digests @ [ Core.Shard_coord.digest coordinator ]
+              else shard_digests));
+      let coord_events = Array.of_list (Core.Shard_coord.results coordinator) in
+      let sum f = Array.fold_left (fun acc r -> acc + f r) 0 runs in
+      let sumf f = Array.fold_left (fun acc r -> acc +. f r) 0.0 runs in
+      {
+        runs.(0) with
+        Core.Engine.events =
+          Array.concat
+            (Array.to_list (Array.map (fun r -> r.Core.Engine.events) runs)
+            @ [ coord_events ]);
+        rounds = sum (fun r -> r.Core.Engine.rounds);
+        rounds_log =
+          List.concat
+            (Array.to_list (Array.map (fun r -> r.Core.Engine.rounds_log) runs));
+        total_plan_units =
+          sum (fun r -> r.Core.Engine.total_plan_units)
+          + Core.Shard_coord.units coordinator;
+        total_plan_time_s = sumf (fun r -> r.Core.Engine.total_plan_time_s);
+        total_cost_mbit = sumf (fun r -> r.Core.Engine.total_cost_mbit);
+        makespan_s =
+          Array.fold_left
+            (fun acc r -> Float.max acc r.Core.Engine.makespan_s)
+            (Core.Shard_coord.now_s coordinator)
+            runs;
+        planning_wall_s = sumf (fun r -> r.Core.Engine.planning_wall_s);
+      }
+    end
+    else if stepper then begin
       (* The serving ingest path: the same workload submitted through the
          incremental stepper and stepped round by round. Required to be a
          bit-identical (and near-free) rewrite of the batch loop. With
@@ -274,7 +443,8 @@ let measure ~name ~policy ~n_events ?(faults = `Off) ?(obs = false)
          /. float_of_int run.Core.Engine.rounds
        else 0.0);
     m_total_cost_mbit = run.Core.Engine.total_cost_mbit;
-    m_digest = digest_of_run run;
+    m_digest =
+      (match !fabric_digest with Some d -> d | None -> digest_of_run run);
     m_recovery_digest =
       Option.map
         (fun inj -> Core.Recovery.digest (Core.Injector.recovery inj))
@@ -352,7 +522,30 @@ let () =
         false,
         true,
         `Watch );
+      (* Sharded fabric ladder. serve-shard1-k8's digest must equal
+         serve-churn-k8's: one shard IS the single controller, wave for
+         step. The wider rungs scale events/s with the shard count (a
+         probe domain per shard). *)
+      ("serve-shard1-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, true, `Off);
+      ("serve-shard2-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, true, `Off);
+      ("serve-shard4-k8", Core.Policy.Lmtf { alpha = 4 }, `Off, false, true, `Off);
     ]
+  in
+  let scenarios =
+    (* Full mode tops the ladder with the million-flow churn cap: a
+       hotter, deeper churn (ids in the 10M+ window) under four shards,
+       the run hard-capped at one million churn placements. *)
+    if !quick then scenarios
+    else
+      scenarios
+      @ [
+          ( "serve-shard4-churn1m-k8",
+            Core.Policy.Lmtf { alpha = 4 },
+            `Off,
+            false,
+            true,
+            `Off );
+        ]
   in
   let scenarios =
     (* Multicore counterparts run only when a fan-out width was asked
@@ -394,11 +587,20 @@ let () =
         let domains =
           if Filename.check_suffix name "-mc-k8" then !domains else 1
         in
+        let shards =
+          match name with
+          | "serve-shard1-k8" -> 1
+          | "serve-shard2-k8" -> 2
+          | "serve-shard4-k8" | "serve-shard4-churn1m-k8" -> 4
+          | _ -> 0
+        in
+        let churn_big = name = "serve-shard4-churn1m-k8" in
+        let n_events = if churn_big then n_events * 4 else n_events in
         Printf.eprintf "bench: running %s (%d events, %d domain%s)...\n%!" name
           n_events domains
           (if domains = 1 then "" else "s");
         measure ~name ~policy ~n_events ~faults ~obs ~stepper ~telemetry
-          ~wal:(name = "serve-wal-k8") ~domains ())
+          ~wal:(name = "serve-wal-k8") ~domains ~shards ~churn_big ())
       scenarios
   in
   let digest_must_match ~of_:other ~reference ~what =
@@ -427,6 +629,8 @@ let () =
     ~what:"attached watchdog";
   digest_must_match ~of_:"serve-wal-k8" ~reference:"serve-churn-k8"
     ~what:"write-ahead journaling";
+  digest_must_match ~of_:"serve-shard1-k8" ~reference:"serve-churn-k8"
+    ~what:"sharded fabric with one shard";
   digest_must_match ~of_:"lmtf-churn-mc-k8" ~reference:"lmtf-churn-k8"
     ~what:"parallel probe fan-out (LMTF)";
   digest_must_match ~of_:"reorder-churn-mc-k8" ~reference:"reorder-churn-k8"
@@ -505,7 +709,7 @@ let () =
       (List.concat
          [
            [
-             ("bench", Core.Obs.Json.String "sched_bench_pr9");
+             ("bench", Core.Obs.Json.String "sched_bench_pr10");
              ( "schema_version",
                Core.Obs.Json.Int Core.Obs.Regress.schema_version );
              ("mode", Core.Obs.Json.String (if !quick then "quick" else "full"));

@@ -701,12 +701,159 @@ let print_telemetry_summary telemetry metrics_dir =
         dir
   | _ -> ()
 
+let shards_arg =
+  let doc =
+    "Serve through the sharded fabric with $(docv) shard controllers \
+     (0 = classic single-controller path). One shard executes the exact \
+     single-controller schedule, so its digest is bit-identical."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+
+let regions_arg =
+  let doc =
+    "Partition-map regions for --shards (0 = auto: max 8 shards). On the \
+     pod-major Fat-Tree host numbering, 8 regions make a region a pod."
+  in
+  Arg.(value & opt int 0 & info [ "regions" ] ~docv:"R" ~doc)
+
+let kill_shard_arg =
+  let doc =
+    "Crash-injection: abort shard $(docv)'s write-ahead journal mid-run \
+     (with --kill-at), then recover the whole fabric from the checkpoint \
+     + journals and keep serving. Requires --shards, --journal and \
+     --checkpoint."
+  in
+  Arg.(value & opt int (-1) & info [ "kill-shard" ] ~docv:"K" ~doc)
+
+let kill_at_arg =
+  let doc = "Tick at which --kill-shard strikes (a checkpoint is saved \
+             halfway there)." in
+  Arg.(value & opt int 0 & info [ "kill-at" ] ~docv:"T" ~doc)
+
+let print_shard_summary t =
+  Format.printf
+    "serve: %d tick(s), %d shard(s), %d event(s) completed, backlog %d, \
+     coordinator %d journal entr(ies) %d pending@."
+    (Shard_fabric.tick_count t)
+    (Shard_fabric.shard_count t)
+    (Shard_fabric.completed t)
+    (let n = ref 0 in
+     for k = 0 to Shard_fabric.shard_count t - 1 do
+       n := !n + Shard_fabric.backlog t k
+     done;
+     !n)
+    (Shard_coord.entries (Shard_fabric.coord t))
+    (Shard_coord.pending_count (Shard_fabric.coord t));
+  List.iteri
+    (fun k d -> Format.printf "  shard %d digest %s@." k d)
+    (Shard_fabric.shard_digests t)
+
+(* The sharded serve path: N wave-synchronised controllers over one
+   fabric, per-shard WAL segments plus a coordinator journal, optional
+   mid-run crash of one shard's WAL followed by whole-fabric recovery.
+   The printed digest must be bit-identical to the same run without the
+   crash — and, with one shard, to the classic serve path. *)
+let run_sharded cfg spec ~shards ~regions ~util ~seed ~ticks ~checkpoint
+    ~journal_path ~no_complete ~kill_shard ~kill_at ~telemetry ~metrics_dir =
+  let rec ensure_parent path =
+    let dir = Filename.dirname path in
+    if dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+      ensure_parent dir;
+      Sys.mkdir dir 0o755
+    end
+  in
+  Option.iter ensure_parent journal_path;
+  Option.iter ensure_parent checkpoint;
+  let scenario = Scenario.prepare ~utilization:util ~seed () in
+  let fcfg =
+    Shard_fabric.default_config
+      ?regions:(if regions > 0 then Some regions else None)
+      cfg ~shards
+  in
+  let t =
+    Shard_fabric.create ?telemetry ?journal_base:journal_path fcfg
+      ~topology:scenario.Scenario.topology ~net:scenario.Scenario.net
+      ~source_spec:spec
+  in
+  let finish t =
+    if not no_complete then Shard_fabric.complete t;
+    print_shard_summary t;
+    Format.printf "digest: %s@." (Shard_fabric.digest t);
+    ignore (Shard_fabric.retire t : Engine.run_result list);
+    print_telemetry_summary telemetry metrics_dir;
+    ignore (finish_watch telemetry metrics_dir)
+  in
+  if kill_shard >= 0 && kill_at > 0 then begin
+    let journal_base, cp_path =
+      match (journal_path, checkpoint) with
+      | Some jb, Some cp -> (jb, cp)
+      | _ ->
+          Format.eprintf "serve: --kill-shard requires --journal and \
+                          --checkpoint@.";
+          exit 2
+    in
+    if kill_shard >= shards then begin
+      Format.eprintf "serve: --kill-shard %d out of range (shards %d)@."
+        kill_shard shards;
+      exit 2
+    end;
+    let cp_at = max 1 (kill_at / 2) in
+    Shard_fabric.run t ~ticks:cp_at;
+    Shard_fabric.save_checkpoint t ~path:cp_path;
+    Shard_fabric.run t ~ticks:(kill_at - cp_at);
+    Shard_fabric.kill_shard_journal t kill_shard;
+    Format.printf "serve: killed shard %d's journal at tick %d@." kill_shard
+      (Shard_fabric.tick_count t);
+    (* The crashed fabric is abandoned where it stands; recovery works
+       from durable state alone. *)
+    match
+      Shard_fabric.recover ?telemetry fcfg ~topology:scenario.Scenario.topology
+        ~source_spec:spec ~checkpoint_path:cp_path ~journal_base
+    with
+    | Error m ->
+        Format.eprintf "serve: recovery failed: %s@." m;
+        exit 1
+    | Ok (t2, replayed) ->
+        Format.printf "serve: recovered at tick %d (%d tick(s) replayed)@."
+          (Shard_fabric.tick_count t2)
+          replayed;
+        let remaining = ticks - Shard_fabric.tick_count t2 in
+        if remaining > 0 then Shard_fabric.run t2 ~ticks:remaining;
+        finish t2
+  end
+  else begin
+    Shard_fabric.run t ~ticks;
+    (match checkpoint with
+    | Some path -> Shard_fabric.save_checkpoint t ~path
+    | None -> ());
+    finish t
+  end
+
 let serve_cmd =
   let run cfg spec seed util ticks fault_seed fault_rate retry_max checkpoint
       checkpoint_every journal_path no_complete metrics_dir metrics_every watch
-      out trace counters hist =
+      out trace counters hist shards regions kill_shard kill_at =
     with_obs ~trace ~counters (fun () ->
         try
+          if shards > 0 then begin
+            if fault_rate > 0.0 then begin
+              Format.eprintf
+                "serve: fault injection is unsupported with --shards@.";
+              exit 2
+            end;
+            if out <> None then
+              Format.eprintf
+                "serve: note: --out is ignored with --shards@.";
+            if hist then begin
+              Obs.Histogram.Registry.reset ();
+              Obs.Histogram.Registry.enable ()
+            end;
+            let telemetry = make_telemetry ~metrics_every ~watch metrics_dir in
+            run_sharded cfg spec ~shards ~regions ~util ~seed ~ticks
+              ~checkpoint ~journal_path ~no_complete ~kill_shard ~kill_at
+              ~telemetry ~metrics_dir
+          end
+          else begin
           let scenario = Scenario.prepare ~utilization:util ~seed () in
           let injector =
             if fault_rate <= 0.0 then None
@@ -774,6 +921,7 @@ let serve_cmd =
               in
               write_json path json;
               Format.printf "serve: wrote %s@." path
+          end
         with Invalid_argument m | Failure m ->
           Format.eprintf "serve: %s@." m;
           exit 1)
@@ -789,7 +937,8 @@ let serve_cmd =
       $ ticks_arg $ fault_seed_arg $ serve_fault_rate_arg $ retry_max_arg
       $ checkpoint_arg $ checkpoint_every_arg $ journal_arg $ no_complete_arg
       $ metrics_dir_arg $ metrics_every_arg $ watch_flag_arg $ out_arg
-      $ trace_arg $ counters_arg $ hist_arg)
+      $ trace_arg $ counters_arg $ hist_arg $ shards_arg $ regions_arg
+      $ kill_shard_arg $ kill_at_arg)
 
 let checkpoint_file_arg =
   let doc = "Checkpoint file to inspect." in
@@ -847,16 +996,75 @@ let replay_journal_arg =
   Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
 
 let replay_checkpoint_arg =
-  let doc = "Checkpoint file to restore from." in
-  Arg.(
-    required
-    & opt (some string) None
-    & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  let doc =
+    "Checkpoint file to restore from. Required without --shards; with \
+     --shards the fabric cold-starts from the journals when omitted."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+(* Shard-fabric external audit: rebuild the whole fabric (N shard WALs
+   + coordinator journal) from durable state alone and assert the
+   digest. Cold-starts the fabric net from the same scenario seed the
+   serving run used, unless a checkpoint narrows the replay window. *)
+let replay_sharded cfg spec ~shards ~regions ~seed ~util ~checkpoint
+    ~journal_path ~no_complete ~telemetry ~metrics_dir ~expect_digest =
+  let journal_base =
+    match journal_path with
+    | Some jb -> jb
+    | None ->
+        Format.eprintf "replay: --shards requires --journal BASE@.";
+        exit 2
+  in
+  let scenario = Scenario.prepare ~utilization:util ~seed () in
+  let fcfg =
+    Shard_fabric.default_config
+      ?regions:(if regions > 0 then Some regions else None)
+      cfg ~shards
+  in
+  match
+    Shard_fabric.replay ?telemetry ?checkpoint_path:checkpoint fcfg
+      ~topology:scenario.Scenario.topology ~net:scenario.Scenario.net
+      ~source_spec:spec ~journal_base
+  with
+  | Error m ->
+      Format.eprintf "replay: %s@." m;
+      exit 1
+  | Ok (t, replayed) -> (
+      Format.printf "replay: re-drove %d committed tick(s) across %d \
+                     shard WAL(s)@."
+        replayed shards;
+      if not no_complete then Shard_fabric.complete t;
+      let digest = Shard_fabric.digest t in
+      print_shard_summary t;
+      Format.printf "digest: %s@." digest;
+      ignore (Shard_fabric.retire t : Engine.run_result list);
+      print_telemetry_summary telemetry metrics_dir;
+      ignore (finish_watch telemetry metrics_dir);
+      match expect_digest with
+      | Some d when d <> digest ->
+          Format.eprintf "replay: digest mismatch: expected %s, got %s@." d
+            digest;
+          exit 1
+      | Some _ -> Format.printf "replay: digest matches@."
+      | None -> ())
 
 let replay_cmd =
   let run cfg spec checkpoint journal_path upto retry_max no_complete
-      metrics_dir metrics_every watch expect_digest =
+      metrics_dir metrics_every watch expect_digest shards regions seed util =
     let topology = Fat_tree.to_topology (Fat_tree.create ~k:8 ()) in
+    if shards > 0 then begin
+      let telemetry = make_telemetry ~metrics_every ~watch metrics_dir in
+      replay_sharded cfg spec ~shards ~regions ~seed ~util ~checkpoint
+        ~journal_path ~no_complete ~telemetry ~metrics_dir ~expect_digest;
+      exit 0
+    end;
+    let checkpoint =
+      match checkpoint with
+      | Some cp -> cp
+      | None ->
+          Format.eprintf "replay: --checkpoint is required without --shards@.";
+          exit 2
+    in
     let retry =
       { Retry_policy.default with Retry_policy.max_attempts = retry_max }
     in
@@ -929,7 +1137,7 @@ let replay_cmd =
       const run $ serve_cfg_term $ source_spec_term $ replay_checkpoint_arg
       $ replay_journal_arg $ upto_arg $ retry_max_arg $ no_complete_arg
       $ metrics_dir_arg $ metrics_every_arg $ watch_flag_arg
-      $ expect_digest_arg)
+      $ expect_digest_arg $ shards_arg $ regions_arg $ seed_arg $ util_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Crash storm: the same serving run twice — once uninterrupted, once

@@ -18,7 +18,9 @@
     {- inter-event scheduling: {!Policy}, {!Exec_model}, {!Engine},
        {!Metrics};}
     {- online serving: {!Serve}, {!Admission}, {!Journal},
-       {!Serve_source}, {!Serve_checkpoint}.}}
+       {!Serve_source}, {!Serve_checkpoint};}
+    {- sharded multi-controller serving: {!Shard_partition},
+       {!Shard_coord}, {!Shard_fabric}.}}
 
     The typical flow is {!Scenario.prepare} (build a loaded Fat-Tree),
     {!Scenario.events} (a workload), {!Engine.run} (simulate a policy),
@@ -64,6 +66,7 @@ module Policy = Nu_sched.Policy
 module Exec_model = Nu_sched.Exec_model
 module Engine = Nu_sched.Engine
 module Estimate_cache = Nu_sched.Estimate_cache
+module Probe_pool = Nu_sched.Probe_pool
 module Metrics = Nu_sched.Metrics
 module Run_digest = Nu_sched.Run_digest
 module Run_report = Nu_sched.Run_report
@@ -76,6 +79,9 @@ module Serve_checkpoint = Nu_serve.Checkpoint
 module Serve_codec = Nu_serve.Codec
 module Serve_telemetry = Nu_serve.Telemetry
 module Supervisor = Nu_serve.Supervisor
+module Shard_partition = Nu_shard.Partition
+module Shard_coord = Nu_shard.Coord
+module Shard_fabric = Nu_shard.Shard_fabric
 module Obs = Nu_obs
 
 (** Canned experiment scenarios: a loaded Fat-Tree plus generator

@@ -20,7 +20,9 @@
     {- inter-event scheduling: {!Policy}, {!Exec_model}, {!Engine},
        {!Metrics};}
     {- online serving: {!Serve}, {!Admission}, {!Journal},
-       {!Serve_source}, {!Serve_checkpoint}.}}
+       {!Serve_source}, {!Serve_checkpoint};}
+    {- sharded multi-controller serving: {!Shard_partition},
+       {!Shard_coord}, {!Shard_fabric}.}}
 
     The typical flow is {!Scenario.prepare} (build a loaded Fat-Tree),
     {!Scenario.events} (a workload), {!Engine.run} (simulate a policy),
@@ -71,6 +73,7 @@ module Policy = Nu_sched.Policy
 module Exec_model = Nu_sched.Exec_model
 module Engine = Nu_sched.Engine
 module Estimate_cache = Nu_sched.Estimate_cache
+module Probe_pool = Nu_sched.Probe_pool
 module Metrics = Nu_sched.Metrics
 module Run_report = Nu_sched.Run_report
 module Run_digest = Nu_sched.Run_digest
@@ -94,6 +97,18 @@ module Supervisor = Nu_serve.Supervisor
 (** Bounded-restart supervision of the serving loop: checkpoint-chain
     fallback, tolerant journal replay, classified failures, recovery
     log digest. *)
+
+module Shard_partition = Nu_shard.Partition
+(** Deterministic region-keyed partition map: which shard controller
+    owns which slice of the fabric. *)
+
+module Shard_coord = Nu_shard.Coord
+(** Global coordinator two-phase-committing cross-shard migration
+    sets against the shared fabric. *)
+
+module Shard_fabric = Nu_shard.Shard_fabric
+(** Sharded multi-controller serving: N planners over one fabric,
+    synchronised waves, weighted-fair drain, crash recovery. *)
 
 module Obs = Nu_obs
 (** Observability: {!Nu_obs.Trace} spans, {!Nu_obs.Counters},

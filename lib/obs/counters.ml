@@ -29,6 +29,12 @@ type key =
   | Serve_checkpoints
   | Probe_parallel_batches
   | Domain_probes
+  | Shard_escalations
+  | Shard_wave_replans
+  | Shard_coord_commits
+  | Shard_coord_aborts
+  | Shard_coord_degraded
+  | Shard_rebalances
 
 let index = function
   | Planner_plans -> 0
@@ -61,6 +67,12 @@ let index = function
   | Serve_checkpoints -> 27
   | Probe_parallel_batches -> 28
   | Domain_probes -> 29
+  | Shard_escalations -> 30
+  | Shard_wave_replans -> 31
+  | Shard_coord_commits -> 32
+  | Shard_coord_aborts -> 33
+  | Shard_coord_degraded -> 34
+  | Shard_rebalances -> 35
 
 let all =
   [
@@ -94,6 +106,12 @@ let all =
     Serve_checkpoints;
     Probe_parallel_batches;
     Domain_probes;
+    Shard_escalations;
+    Shard_wave_replans;
+    Shard_coord_commits;
+    Shard_coord_aborts;
+    Shard_coord_degraded;
+    Shard_rebalances;
   ]
 
 let size = List.length all
@@ -129,6 +147,12 @@ let name = function
   | Serve_checkpoints -> "serve_checkpoints"
   | Probe_parallel_batches -> "probe_parallel_batches"
   | Domain_probes -> "domain_probes"
+  | Shard_escalations -> "shard_escalations"
+  | Shard_wave_replans -> "shard_wave_replans"
+  | Shard_coord_commits -> "shard_coord_commits"
+  | Shard_coord_aborts -> "shard_coord_aborts"
+  | Shard_coord_degraded -> "shard_coord_degraded"
+  | Shard_rebalances -> "shard_rebalances"
 
 (* The registry is domain-local: each domain increments its own store
    (no contention, no torn reads), and a probe worker's deltas are

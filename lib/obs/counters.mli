@@ -55,6 +55,18 @@ type key =
   | Domain_probes
       (** Probes evaluated inside worker domains (cache misses of
           parallel batches). *)
+  | Shard_escalations
+      (** Wave rounds whose winner was handed to the global coordinator
+          (cross-shard migration set). *)
+  | Shard_wave_replans
+      (** Wave winners invalidated by an earlier commit of the same
+          wave and re-planned live. *)
+  | Shard_coord_commits  (** Coordinator two-phase commits. *)
+  | Shard_coord_aborts  (** Coordinator aborts (veto or infeasible). *)
+  | Shard_coord_degraded
+      (** Coordinator events executed best-effort after the retry
+          budget. *)
+  | Shard_rebalances  (** Hot-shard region reassignments. *)
 
 val all : key list
 (** Every key, in rendering order. *)

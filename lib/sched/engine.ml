@@ -46,6 +46,7 @@ type observation =
     }
   | Event_completed of { result : event_result; degraded : bool }
   | Event_retry of { event_id : int; ready_s : float }
+  | Round_escalated of { round : int; start_s : float; event_id : int }
 
 type run_result = {
   policy : Policy.t;
@@ -804,6 +805,515 @@ let step st =
     `Stepped
   end
 
+(* ------------------------------------------------------------------ *)
+(* Wave-based group stepping: the sharded fabric's inner loop.         *)
+
+(* [step_group] advances a set of steppers that share one network by a
+   single synchronised wave. Phase A walks the steppers in array order
+   and runs exactly [step]'s preamble for each (empty-queue time jump,
+   background churn sync, series sample, candidate selection with PRNG
+   draws on the calling domain); then every cache-missing probe across
+   all steppers is evaluated in one batch — optionally fanned out
+   through a shared {!Probe_pool} — against the quiescent wave-start
+   state. Phase B commits the winners sequentially in array order: a
+   winner whose probe plan is still valid (no touched edge changed
+   since the wave start — the estimate cache's own soundness rule) is
+   replayed; one invalidated by an earlier commit of the same wave is
+   re-planned live, deterministically. With a single stepper a wave is
+   bit-identical to {!step}: probes roll back, so nothing can
+   invalidate the lone winner, and every mutation happens in the same
+   order as the sequential round. *)
+
+type escalation = {
+  esc_shard : int;  (* index into the caller's stepper array *)
+  esc_event : Event.t;
+  esc_moved : int list;  (* flow ids the withdrawn local plan migrated *)
+}
+
+type group_pre = {
+  gp_index : int;
+  gp_st : stepper;
+  gp_round_start_s : float;
+  gp_round_utilization : float;
+  gp_units_before : int;
+  gp_candidates : Event.t array;
+}
+
+type group_decision = {
+  gd_pre : group_pre;
+  gd_win : Planner.probe * Event.t;
+  gd_stamps : (int * int) array;  (* (edge, version) at decision time *)
+  gd_epoch : int;  (* disabled_epoch at decision time *)
+}
+
+(* Pre-round bookkeeping, exactly [step]'s preamble. Returns [None]
+   only when the stepper has no work at all (the caller filters on
+   [has_work], so the guard is belt-and-braces). *)
+let group_pre_round ~index st =
+  if st.queue = [] && st.pending = [] && st.held = [] then None
+  else begin
+    let ctx = st.ctx in
+    if st.queue = [] then begin
+      let t = next_work_s st in
+      st.now <- max st.now t;
+      promote st;
+      release_held st
+    end;
+    match st.queue with
+    | [] -> None
+    | head :: tail ->
+        sync_background ctx st.now;
+        let round_start_s = st.now in
+        let round_utilization = Net_state.mean_fabric_utilization ctx.net in
+        sample_series ctx ~round:st.rounds ~t_s:round_start_s
+          ~queue_len:(List.length st.queue)
+          ~retry_backlog:(List.length st.held);
+        let candidates =
+          match st.policy with
+          | Policy.Fifo -> [ head ]
+          | Policy.Reorder -> st.queue
+          | Policy.Lmtf { alpha } | Policy.Plmtf { alpha } ->
+              let sampled =
+                if tail = [] then []
+                else begin
+                  let arr = Array.of_list tail in
+                  let picks =
+                    Prng.sample_without_replacement ctx.rng alpha
+                      (Array.length arr)
+                  in
+                  List.map (fun i -> arr.(i)) picks
+                end
+              in
+              head :: sampled
+          | Policy.Flow_level _ ->
+              invalid_arg
+                "Engine.step_group: flow-level policies are batch-only"
+        in
+        Some
+          {
+            gp_index = index;
+            gp_st = st;
+            gp_round_start_s = round_start_s;
+            gp_round_utilization = round_utilization;
+            gp_units_before = ctx.units;
+            gp_candidates = Array.of_list candidates;
+          }
+  end
+
+(* All steppers' probes in one batch, mirroring [probe_batch]'s
+   discipline across stepper boundaries: cache lookups on the calling
+   domain in (stepper, candidate) order; misses probed either
+   sequentially in that same order or fanned out through [pool]; stores
+   and unit billing replayed in (stepper, candidate) order. Probes
+   commit nothing, so every lane sees the same quiescent wave-start
+   state regardless of fan-out — decisions are bit-identical either
+   way. *)
+let group_probe ?pool pres =
+  let slots =
+    List.map (fun gp -> Array.make (Array.length gp.gp_candidates) None) pres
+  in
+  let misses = ref [] in
+  List.iter2
+    (fun gp slot ->
+      let ctx = gp.gp_st.ctx in
+      Array.iteri
+        (fun i ev ->
+          match ctx.cache with
+          | Some c -> (
+              match Estimate_cache.find c ctx.net ev.Event.id with
+              | Some pr -> slot.(i) <- Some pr
+              | None -> misses := (gp, slot, i) :: !misses)
+          | None -> misses := (gp, slot, i) :: !misses)
+        gp.gp_candidates)
+    pres slots;
+  let miss = Array.of_list (List.rev !misses) in
+  let n_miss = Array.length miss in
+  let sequential =
+    Option.is_none pool
+    || n_miss < min_parallel_probes
+    || List.exists
+         (fun gp ->
+           gp.gp_st.ctx.config.Planner.policy = Routing.Random_fit)
+         pres
+  in
+  let store (gp, (slot : Planner.probe option array), i) pr =
+    let ctx = gp.gp_st.ctx in
+    (match ctx.cache with
+    | Some c -> Estimate_cache.store c ctx.net pr
+    | None -> ());
+    slot.(i) <- Some pr
+  in
+  if n_miss > 0 then
+    if sequential then
+      Array.iter
+        (fun ((gp, _, i) as m) ->
+          let ctx = gp.gp_st.ctx in
+          store m
+            (timed ctx (fun () ->
+                 Planner.probe ~rng:ctx.rng ~config:ctx.config ctx.net
+                   gp.gp_candidates.(i))))
+        miss
+    else begin
+      let pool = Option.get pool in
+      Counters.incr Counters.Probe_parallel_batches;
+      Counters.add Counters.Domain_probes n_miss;
+      let t0 = Monotonic_clock.now () in
+      let fresh =
+        Probe_pool.map pool
+          ~f:(fun local (gp, _, i) ->
+            Planner.probe ~config:gp.gp_st.ctx.config local
+              gp.gp_candidates.(i))
+          miss
+      in
+      let dt =
+        Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) *. 1e-9
+      in
+      (* Attribute the batch wall to the participating steppers in
+         proportion to the probes each contributed. *)
+      let total = float_of_int n_miss in
+      List.iter
+        (fun gp ->
+          let mine =
+            Array.fold_left
+              (fun acc (g, _, _) -> if g == gp then acc + 1 else acc)
+              0 miss
+          in
+          if mine > 0 then
+            gp.gp_st.ctx.wall <-
+              gp.gp_st.ctx.wall +. (dt *. float_of_int mine /. total))
+        pres;
+      if Histogram.Registry.enabled () then
+        Histogram.Registry.record "planner.probe_batch_s" dt;
+      Array.iteri (fun j m -> store m fresh.(j)) miss
+    end;
+  List.map2
+    (fun gp slot ->
+      Array.to_list
+        (Array.mapi
+           (fun i r ->
+             match r with
+             | Some pr ->
+                 let ctx = gp.gp_st.ctx in
+                 ctx.units <-
+                   ctx.units + pr.Planner.probe_est.Planner.est_work_units;
+                 (pr, gp.gp_candidates.(i))
+             | None -> assert false)
+           slot))
+    pres slots
+
+let plan_moved_flow_ids (plan : Planner.t) =
+  List.concat_map
+    (fun (item : Planner.item_plan) ->
+      match item.outcome with
+      | Planner.Installed { moves; _ } | Planner.Rerouted { moves; _ } ->
+          List.map (fun (m : Migration.move) -> m.Migration.flow_id) moves
+      | Planner.Failed _ -> [])
+    plan.Planner.items
+
+(* A wave round that hands its winner to the global coordinator instead
+   of executing it: the shard paid the planning time (the probes are
+   billed), the event leaves its queue, and the round logs with an
+   empty batch. *)
+let group_escalation_round gd ~moved =
+  let gp = gd.gd_pre in
+  let st = gp.gp_st in
+  let ctx = st.ctx in
+  let _, winner = gd.gd_win in
+  let round_units = ctx.units - gp.gp_units_before in
+  let plan_time = Exec_model.plan_time ctx.exec ~work_units:round_units in
+  st.queue <-
+    List.filter (fun ev -> ev.Event.id <> winner.Event.id) st.queue;
+  st.rounds <- st.rounds + 1;
+  Counters.incr Counters.Engine_rounds;
+  Counters.incr Counters.Shard_escalations;
+  st.log <-
+    {
+      round_start_s = gp.gp_round_start_s;
+      executed = [];
+      co_count = 0;
+      round_units;
+      fabric_utilization = gp.gp_round_utilization;
+    }
+    :: st.log;
+  st.now <- gp.gp_round_start_s +. plan_time;
+  notify st
+    (Round_escalated
+       {
+         round = st.rounds - 1;
+         start_s = gp.gp_round_start_s;
+         event_id = winner.Event.id;
+       });
+  promote st;
+  release_held st;
+  { esc_shard = gp.gp_index; esc_event = winner; esc_moved = moved }
+
+(* Commit one wave decision: replay the winner if its touched edges are
+   untouched since the wave start, re-plan live otherwise, then run
+   [step]'s whole post-decide bookkeeping. Returns the escalation when
+   the caller's predicate claimed the winner for the coordinator. *)
+let group_commit ?escalate ?external_commit gd =
+  let gp = gd.gd_pre in
+  let st = gp.gp_st in
+  let ctx = st.ctx in
+  let win_pr, winner = gd.gd_win in
+  let valid =
+    Net_state.disabled_epoch ctx.net = gd.gd_epoch
+    && Array.for_all
+         (fun (e, v) -> Net_state.edge_version ctx.net e = v)
+         gd.gd_stamps
+  in
+  let claim plan =
+    match escalate with
+    | Some f -> f ~shard:gp.gp_index plan
+    | None -> false
+  in
+  let outcome =
+    if valid then begin
+      if claim win_pr.Planner.probe_plan then begin
+        let moved = plan_moved_flow_ids win_pr.Planner.probe_plan in
+        match external_commit with
+        | Some f ->
+            (* Inline two-phase commit: the coordinator wraps the
+               already-probed plan's replay in its own transaction and
+               vote round — no second planning pass. The callback owns
+               the outcome (commit now, or queue for retry). *)
+            ignore
+              (f ~shard:gp.gp_index ~event:winner ~moved ~txn_open:false
+                 ~attempt:(fun () -> apply_winner ctx win_pr)
+                : bool);
+            `Escalate_handled moved
+        | None -> `Escalate moved
+      end
+      else `Commit (apply_winner ctx win_pr)
+    end
+    else begin
+      (* An earlier commit of this wave touched one of the winner's
+         edges: the probe plan is stale. Re-plan on the live state, in
+         a transaction so an escalation can withdraw it. *)
+      Counters.incr Counters.Shard_wave_replans;
+      (match ctx.cache with
+      | Some c -> Estimate_cache.invalidate c winner.Event.id
+      | None -> ());
+      Net_state.begin_txn ctx.net;
+      let plan = apply ctx ~billed:false winner in
+      if claim plan then begin
+        let moved = plan_moved_flow_ids plan in
+        match external_commit with
+        | Some f ->
+            (* The replan already ran inside the open transaction; the
+               coordinator decides whether it commits or rolls back. *)
+            ignore
+              (f ~shard:gp.gp_index ~event:winner ~moved ~txn_open:true
+                 ~attempt:(fun () -> plan)
+                : bool);
+            `Escalate_handled moved
+        | None ->
+            timed ctx (fun () -> Net_state.rollback ctx.net);
+            `Escalate moved
+      end
+      else begin
+        Net_state.commit ctx.net;
+        `Commit plan
+      end
+    end
+  in
+  match outcome with
+  | `Escalate moved -> Some (group_escalation_round gd ~moved)
+  | `Escalate_handled moved ->
+      ignore (group_escalation_round gd ~moved : escalation);
+      None
+  | `Commit winner_plan ->
+      let round_sp =
+        if Trace.enabled () then
+          Some
+            (Trace.span "round"
+               ~attrs:
+                 [
+                   ("start_s", Trace.Float gp.gp_round_start_s);
+                   ("queue", Trace.Int (List.length st.queue));
+                 ])
+        else None
+      in
+      let batch = [ (winner, winner_plan, false) ] in
+      let batch =
+        match st.policy with
+        | Policy.Plmtf _ ->
+            let protected = Hashtbl.create 64 in
+            List.iter
+              (fun id -> Hashtbl.replace protected id ())
+              (work_flow_ids winner_plan);
+            let others =
+              List.sort Event.compare_by_arrival
+                (List.filter
+                   (fun ev -> ev.Event.id <> winner.Event.id)
+                   (Array.to_list gp.gp_candidates))
+            in
+            let co_config =
+              { ctx.config with Planner.admission = Planner.Scan_first }
+            in
+            let co =
+              List.filter_map
+                (fun ev ->
+                  Net_state.begin_txn ctx.net;
+                  let plan =
+                    apply ctx ~billed:true ~config:co_config
+                      ~frozen:(Hashtbl.mem protected) ev
+                  in
+                  if
+                    plan.Planner.failed_count = 0
+                    && plan.Planner.cost_mbit <= ctx.co_max_cost_mbit
+                  then begin
+                    Net_state.commit ctx.net;
+                    (match ctx.cache with
+                    | Some c -> Estimate_cache.invalidate c ev.Event.id
+                    | None -> ());
+                    List.iter
+                      (fun id -> Hashtbl.replace protected id ())
+                      (work_flow_ids plan);
+                    Some (ev, plan, true)
+                  end
+                  else begin
+                    timed ctx (fun () -> Net_state.rollback ctx.net);
+                    None
+                  end)
+                others
+            in
+            batch @ co
+        | _ -> batch
+      in
+      let round_units = ctx.units - gp.gp_units_before in
+      let plan_time = Exec_model.plan_time ctx.exec ~work_units:round_units in
+      let start_s = st.now +. plan_time in
+      let timings =
+        List.map
+          (fun (ev, plan, co) ->
+            (ev, plan, co, start_s +. Exec_model.execution_time ctx.exec plan))
+          batch
+      in
+      let head_finish =
+        List.fold_left
+          (fun acc (_, _, co, c) -> if co then acc else max acc c)
+          start_s timings
+      in
+      let executed = List.map (fun (ev, _, _) -> ev.Event.id) batch in
+      let executed_set = Hashtbl.create (List.length executed) in
+      List.iter (fun id -> Hashtbl.replace executed_set id ()) executed;
+      st.queue <-
+        List.filter
+          (fun ev -> not (Hashtbl.mem executed_set ev.Event.id))
+          st.queue;
+      st.rounds <- st.rounds + 1;
+      let co_count =
+        List.length (List.filter (fun (_, _, co, _) -> co) timings)
+      in
+      Counters.incr Counters.Engine_rounds;
+      Counters.add Counters.Events_executed (List.length batch);
+      Counters.add Counters.Co_scheduled_events co_count;
+      st.log <-
+        {
+          round_start_s = gp.gp_round_start_s;
+          executed;
+          co_count;
+          round_units;
+          fabric_utilization = gp.gp_round_utilization;
+        }
+        :: st.log;
+      notify st
+        (Round_executed
+           {
+             round = st.rounds - 1;
+             start_s = gp.gp_round_start_s;
+             executed;
+             co_ids =
+               List.filter_map
+                 (fun (ev, _, co, _) -> if co then Some ev.Event.id else None)
+                 timings;
+             degraded = false;
+           });
+      List.iter
+        (fun (ev, plan, co_scheduled, completion_s) ->
+          schedule_departures ctx ~completion:completion_s plan;
+          let result =
+            {
+              event_id = ev.Event.id;
+              arrival_s = ev.Event.arrival_s;
+              start_s;
+              completion_s;
+              cost_mbit = plan.Planner.cost_mbit;
+              plan_work_units = plan.Planner.work_units;
+              failed_items = plan.Planner.failed_count;
+              co_scheduled;
+            }
+          in
+          st.results <- result :: st.results;
+          notify st (Event_completed { result; degraded = false }))
+        timings;
+      st.now <- head_finish;
+      (match round_sp with
+      | Some sp ->
+          Trace.finish sp
+            ~attrs:
+              [
+                ( "executed",
+                  Trace.Str
+                    (String.concat "," (List.map string_of_int executed)) );
+                ("batch", Trace.Int (List.length executed));
+                ("co_count", Trace.Int co_count);
+                ("units", Trace.Int round_units);
+                ("head_finish_s", Trace.Float head_finish);
+              ]
+      | None -> ());
+      promote st;
+      release_held st;
+      None
+
+let step_group ?pool ?escalate ?external_commit steppers =
+  let n = Array.length steppers in
+  if n = 0 then `Idle
+  else begin
+    let net0 = steppers.(0).ctx.net in
+    Array.iter
+      (fun st ->
+        if st.ctx.net != net0 then
+          invalid_arg "Engine.step_group: steppers must share one network";
+        if st.fault_mode then
+          invalid_arg
+            "Engine.step_group: fault injection is unsupported in group mode")
+      steppers;
+    let pres = ref [] in
+    Array.iteri
+      (fun i st ->
+        match group_pre_round ~index:i st with
+        | Some gp -> pres := gp :: !pres
+        | None -> ())
+      steppers;
+    let pres = List.rev !pres in
+    if pres = [] then `Idle
+    else begin
+      let costeds = group_probe ?pool pres in
+      let decisions =
+        List.map2
+          (fun gp costed ->
+            let win_pr, winner = pick_winner costed in
+            let ctx = gp.gp_st.ctx in
+            {
+              gd_pre = gp;
+              gd_win = (win_pr, winner);
+              gd_stamps =
+                Array.map
+                  (fun e -> (e, Net_state.edge_version ctx.net e))
+                  win_pr.Planner.probe_touched;
+              gd_epoch = Net_state.disabled_epoch ctx.net;
+            })
+          pres costeds
+      in
+      let escs =
+        List.filter_map (fun gd -> group_commit ?escalate ?external_commit gd) decisions
+      in
+      `Stepped (List.length decisions, escs)
+    end
+  end
+
 let make_stepper ?observer ctx policy events =
   let st =
     {
@@ -1101,7 +1611,8 @@ module Stepper = struct
 
   let create ?(exec = Exec_model.default) ?(config = Planner.default_config)
       ?rng ?(seed = 7) ?churn ?(co_max_cost_mbit = 0.0) ?(estimate_cache = true)
-      ?injector ?series ?(domains = 1) ?observer ?(events = []) ~net policy =
+      ?injector ?series ?(domains = 1) ?(init_expiry = true) ?observer
+      ?(events = []) ~net policy =
     (match Policy.validate policy with
     | Ok () -> ()
     | Error msg -> invalid_arg ("Engine.Stepper.create: " ^ msg));
@@ -1112,7 +1623,7 @@ module Stepper = struct
     let rng = match rng with Some r -> r | None -> Prng.create seed in
     let ctx =
       make_ctx ~exec ~config ~rng ~churn ~co_max_cost_mbit ~estimate_cache
-        ~injector ~series ~domains ~init_expiry:true ~net
+        ~injector ~series ~domains ~init_expiry ~net
     in
     make_stepper ?observer ctx policy events
 
@@ -1131,6 +1642,20 @@ module Stepper = struct
     end
 
   let step = step
+
+  type nonrec escalation = escalation = {
+    esc_shard : int;
+    esc_event : Event.t;
+    esc_moved : int list;
+  }
+
+  let step_group = step_group
+
+  let register_departures st ~completion plan =
+    schedule_departures st.ctx ~completion plan
+
+  let advance_clock st ~to_s = st.now <- Float.max st.now to_s
+
   let close st = close_ctx st.ctx
   let has_work st = st.queue <> [] || st.pending <> [] || st.held <> []
 

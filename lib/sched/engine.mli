@@ -65,6 +65,10 @@ type observation =
   | Event_completed of { result : event_result; degraded : bool }
   | Event_retry of { event_id : int; ready_s : float }
       (** Aborted event held until [ready_s] (bounded backoff). *)
+  | Round_escalated of { round : int; start_s : float; event_id : int }
+      (** A {!Stepper.step_group} wave round whose winner was claimed by
+          the caller's escalation predicate for the global coordinator:
+          the event left the shard's queue without executing there. *)
 
 type run_result = {
   policy : Policy.t;
@@ -195,6 +199,7 @@ module Stepper : sig
     ?injector:Nu_fault.Injector.t ->
     ?series:Nu_obs.Series.t ->
     ?domains:int ->
+    ?init_expiry:bool ->
     ?observer:(observation -> unit) ->
     ?events:Event.t list ->
     net:Net_state.t ->
@@ -203,8 +208,12 @@ module Stepper : sig
   (** Same optional knobs (and defaults) as {!run}. [events] (default
       []) seeds the arrival queue. [observer] receives an
       {!observation} after each round and completion — recording only,
-      never decision-relevant. Raises [Invalid_argument] on an invalid
-      policy, or on a flow-level policy — those are batch-only. *)
+      never decision-relevant. [init_expiry] (default true) registers
+      churn departures for the flows already placed in [net]; a sharded
+      fabric passes [false] for every shard but the one that owns the
+      background churn, so the shared pre-placed flows are expired
+      exactly once. Raises [Invalid_argument] on an invalid policy, or
+      on a flow-level policy — those are batch-only. *)
 
   val set_observer : t -> (observation -> unit) option -> unit
   (** Attach or detach the progress observer. *)
@@ -219,6 +228,78 @@ module Stepper : sig
   (** Execute one service round (including any leading idle-time jump
       to the next arrival or retry instant). [`Idle] means no queued,
       pending or held work remained — nothing happened. *)
+
+  type escalation = {
+    esc_shard : int;  (** Index into the caller's stepper array. *)
+    esc_event : Event.t;  (** The winner claimed by the predicate. *)
+    esc_moved : int list;
+        (** Flow ids the withdrawn local plan would have migrated to
+            make room — the cross-shard migration set. *)
+  }
+
+  val step_group :
+    ?pool:Probe_pool.t ->
+    ?escalate:(shard:int -> Planner.t -> bool) ->
+    ?external_commit:
+      (shard:int ->
+      event:Event.t ->
+      moved:int list ->
+      txn_open:bool ->
+      attempt:(unit -> Planner.t) ->
+      bool) ->
+    t array ->
+    [ `Stepped of int * escalation list | `Idle ]
+  (** Advance every stepper that has work by one synchronised wave.
+      The steppers must share one network and be fault-free (raises
+      [Invalid_argument] otherwise). Phase A runs {!step}'s pre-round
+      bookkeeping per stepper in array order — empty-queue time jump,
+      background churn sync, candidate selection with PRNG draws on the
+      calling domain — then evaluates every cache-missing candidate
+      probe across all steppers in one batch against the quiescent
+      wave-start state, fanned out through [pool] when given (decisions
+      are bit-identical with or without it). Phase B commits winners
+      sequentially in array order: a winner whose touched edges are
+      unchanged since the wave start replays its probe plan; one
+      invalidated by an earlier commit of the same wave re-plans live,
+      deterministically. With one stepper a wave is bit-identical to
+      {!step}.
+
+      [escalate] (default: never) inspects each winner's plan before it
+      commits; returning [true] withdraws the round — the event leaves
+      the shard's queue unexecuted and is reported in the escalation
+      list for the caller's global coordinator, with the make-room flow
+      ids the withdrawn plan migrated. The predicate must be a
+      deterministic function of the plan.
+
+      [external_commit] (default: none) turns a claimed winner over to an
+      inline committer instead of the escalation list: the callback
+      receives the cross-shard migration set and an [attempt] thunk
+      that applies the plan — a cheap validated replay of the probe
+      plan when [txn_open] is [false], or the already-applied live
+      replan when [txn_open] is [true] (the engine's transaction is
+      open and the callback must commit or roll it back, typically by
+      wrapping its own two-phase vote round). Whatever the callback
+      returns, the round is booked as escalated on the shard and the
+      event is {e not} reported in the escalation list — the callback
+      owns its fate (committed, or queued for a later retry).
+
+      [`Stepped (rounds, escalations)] counts the wave's rounds
+      (committed + escalated); [`Idle] means no stepper had work. *)
+
+  val register_departures : t -> completion:float -> Planner.t -> unit
+  (** Register churn departures for the flows an externally executed
+      plan installed (the coordinator's cross-shard commits), exactly
+      as the stepper does for its own rounds. No-op without churn. *)
+
+  val advance_clock : t -> to_s:float -> unit
+  (** Wave-barrier time sync for multi-controller fabrics: lift the
+      stepper's virtual clock to [to_s] (never backwards). All steppers
+      sharing a fabric read one wall clock, so after each wave the
+      caller advances every shard to the fabric-wide maximum — without
+      it a shard whose events all escalate never sees time pass, its
+      background churn stalls, and the shared fabric's utilisation
+      drifts away from the refill setpoint. A no-op at or behind the
+      current clock (in particular for a lone stepper). *)
 
   val close : t -> unit
   (** Stop and join the probe-worker domains, if any batch ever fanned

@@ -8,6 +8,20 @@ let fnv64 h x =
 let fnv_float h f = fnv64 h (Int64.bits_of_float f)
 let fnv_int h i = fnv64 h (Int64.of_int i)
 
+let fnv_string h s =
+  String.fold_left (fun h c -> fnv_int h (Char.code c)) h s
+
+(* A single digest passes through unchanged, so a one-shard fabric's
+   combined digest equals its lone controller's — the N=1 differential
+   against single-controller serving compares raw strings. *)
+let combine = function
+  | [ d ] -> d
+  | ds ->
+      let h =
+        List.fold_left (fun h d -> fnv_int (fnv_string h d) 0x1f) fnv_basis ds
+      in
+      Printf.sprintf "%016Lx" h
+
 let of_run (r : Engine.run_result) =
   let h = ref fnv_basis in
   Array.iter

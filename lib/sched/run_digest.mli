@@ -14,3 +14,10 @@
 
 val of_run : Engine.run_result -> string
 (** 16-hex-digit digest, e.g. ["a3f0c2..."]. *)
+
+val combine : string list -> string
+(** Fold a list of component digests (per-shard runs, a coordinator
+    log) into one fabric digest. [combine [d] = d], so a one-shard
+    fabric digests exactly like its lone controller; with several
+    components the result is an FNV-1a fold over the ordered,
+    separator-delimited digest strings. *)

@@ -65,6 +65,22 @@ val fingerprint : config -> Source.spec -> Nu_obs.Json.t
     validated on {!restore}: a restore under a different configuration
     or source spec is refused rather than silently diverging. *)
 
+val fingerprint_matches : Nu_obs.Json.t -> Nu_obs.Json.t -> bool
+(** Printed-form equality — sound because printing is canonical for
+    this Json library even where parsing widens types. *)
+
+val validate_config : config -> unit
+(** Raises [Invalid_argument] on out-of-range knobs or a batch-only
+    policy. {!create} calls this; embedding layers (the sharded
+    fabric) call it on the shared base configuration. *)
+
+val engine_churn :
+  host_count:int -> churn_spec option -> Nu_sched.Engine.churn option
+(** Lower a serving churn spec to the engine's churn record (each flow
+    drawn from a fresh stream keyed by its id). Exposed so the sharded
+    fabric can hand every shard the identical flow generator while
+    zeroing the refill setpoint on all but the churn-owning shard. *)
+
 (** {2 Lifecycle} *)
 
 type t

@@ -211,6 +211,11 @@ let observer t (obs : Engine.observation) =
         (Lifecycle.Retry_scheduled { ready_s })
   | Engine.Event_completed { result; degraded } ->
       complete t result ~degraded
+  | Engine.Round_escalated { round; start_s; event_id } ->
+      (* The event leaves its shard for the global coordinator; the
+         completion stamp arrives later from the coordinator's result. *)
+      Lifecycle.stamp t.lifecycle ~id:event_id ~tick:t.tick ~t_s:start_s
+        (Lifecycle.Planned { round; co_scheduled = false })
 
 let to_json t =
   Json.Obj

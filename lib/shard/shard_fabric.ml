@@ -1,0 +1,1004 @@
+(* Sharded multi-controller serving: one fabric, N planners.
+
+   The fabric owns N shard controllers — each an Engine.Stepper with
+   its own bounded admission queue and WAL segment namespace — over
+   ONE shared Net_state. A deterministic partition map routes every
+   arriving request to its home shard; the shards advance in
+   synchronised waves (Engine.Stepper.step_group), and a round whose
+   make-room migration set crosses shard boundaries is withdrawn and
+   escalated to the global Coord, which two-phase-commits it against
+   the shared fabric.
+
+   Determinism contract, mirrored from Serve:
+   - same config, topology, net and source spec -> bit-identical
+     fabric digest (per-shard decision digests folded with the
+     coordinator's journal digest);
+   - with one shard the fabric executes the exact single-controller
+     schedule: routing is the identity, waves degenerate to steps,
+     weighted-fair drain degenerates to drain_per_tick, nothing ever
+     escalates — the combined digest IS the Serve digest;
+   - per-shard write-ahead journals + the fabric checkpoint make a
+     crash (even a torn shard WAL) recoverable to the uninterrupted
+     run's digest: restore the whole fabric from the checkpoint,
+     strictly replay every shard's committed ticks up to the minimum
+     commit horizon, re-serve the rest live from the deterministic
+     source. *)
+
+module Json = Nu_obs.Json
+module Counters = Nu_obs.Counters
+module Histogram = Nu_obs.Histogram
+module Watch = Nu_obs.Watch
+
+let ( let* ) = Result.bind
+
+type config = {
+  base : Serve.config;  (** Per-shard controller knobs. *)
+  shards : int;
+  regions : int;
+  hot_factor : float;  (** Hot iff load EWMA > factor x mean EWMA. *)
+  hot_ticks : int;  (** Consecutive hot ticks before a rebalance. *)
+  rebalance_min_load : int;  (** Ignore "hot" shards lighter than this. *)
+  coord : Coord.config;
+}
+
+let default_config ?(regions = 8) base ~shards =
+  {
+    base;
+    shards;
+    regions = max regions shards;
+    hot_factor = 2.0;
+    hot_ticks = 3;
+    rebalance_min_load = 8;
+    coord = Coord.default_config;
+  }
+
+let validate_config cfg =
+  Serve.validate_config cfg.base;
+  Coord.validate_config cfg.coord;
+  if cfg.shards < 1 then invalid_arg "Shard_fabric: shards must be >= 1";
+  if cfg.regions < cfg.shards then
+    invalid_arg "Shard_fabric: regions must be >= shards";
+  if cfg.hot_factor <= 1.0 || not (Float.is_finite cfg.hot_factor) then
+    invalid_arg "Shard_fabric: hot_factor must be finite and > 1";
+  if cfg.hot_ticks < 1 then invalid_arg "Shard_fabric: hot_ticks must be >= 1";
+  if cfg.rebalance_min_load < 0 then
+    invalid_arg "Shard_fabric: rebalance_min_load must be >= 0"
+
+let fingerprint cfg spec =
+  Json.Obj
+    [
+      ("config", Serve.config_to_json cfg.base);
+      ("source", Serve.spec_to_json spec);
+      ("shards", Json.Int cfg.shards);
+      ("regions", Json.Int cfg.regions);
+      ("hot_factor", Json.Float cfg.hot_factor);
+      ("hot_ticks", Json.Int cfg.hot_ticks);
+      ("rebalance_min_load", Json.Int cfg.rebalance_min_load);
+      ("coord", Coord.config_to_json cfg.coord);
+    ]
+
+(* Journal namespace: shard k's WAL segments live under
+   <base>.shard<k>, the coordinator's JSONL audit under
+   <base>.coord.jsonl. *)
+let shard_journal_path base k = Printf.sprintf "%s.shard%d" base k
+let coord_journal_path base = base ^ ".coord.jsonl"
+
+type t = {
+  cfg : config;
+  topology : Topology.t;
+  net : Net_state.t;
+  source_spec : Source.spec;
+  mutable source : Source.t;
+  partition : Partition.t;
+  coord : Coord.t;
+  steppers : Engine.Stepper.t array;
+  admissions : Admission.t array;
+  deferred : Request.t list array;
+  journals : Journal.writer option array;
+  telemetry : Telemetry.t option;
+  mutable pool : Probe_pool.t option;  (* shared probe fan-out, lazy *)
+  ewma : float array;  (* per-shard load EWMA (hot detection) *)
+  hot_streak : int array;
+  mutable tick_count : int;
+}
+
+(* Shard k's engine-side observer: per-shard ECT stream into the watch
+   layer (tenant "shard<k>") on top of the regular telemetry
+   observations. Recording only — never decision-relevant. *)
+let shard_observer telemetry k =
+  Option.map
+    (fun tel obs ->
+      (match obs with
+      | Engine.Event_completed { result; _ } -> (
+          match Telemetry.watch tel with
+          | Some w ->
+              Watch.observe_ect w
+                ~tenant:("shard" ^ string_of_int k)
+                ~ect_s:(Engine.ect result)
+          | None -> ())
+      | _ -> ());
+      Telemetry.observer tel obs)
+    telemetry
+
+(* Shard k's churn: the churn-owning shard (0) runs the base spec and
+   expires the pre-placed flows; every other shard shares the exact
+   flow generator but with a zero refill setpoint and no initial
+   expiry, so churn placements happen once and ids never collide. *)
+let shard_churn ~host_count base k =
+  match Serve.engine_churn ~host_count base.Serve.churn with
+  | None -> None
+  | Some ch ->
+      if k = 0 then Some ch
+      else Some { ch with Engine.target_utilization = 0.0 }
+
+let shard_seed base k =
+  if k = 0 then base.Serve.engine_seed else base.Serve.engine_seed + (k * 7919)
+
+let make_stepper ?telemetry cfg ~host_count ~net k =
+  Engine.Stepper.create
+    ~seed:(shard_seed cfg.base k)
+    ~domains:1
+    ?churn:(shard_churn ~host_count cfg.base k)
+    ~co_max_cost_mbit:cfg.base.Serve.co_max_cost_mbit
+    ~estimate_cache:cfg.base.Serve.estimate_cache
+    ~init_expiry:(k = 0)
+    ?observer:(shard_observer telemetry k)
+    ~net cfg.base.Serve.policy
+
+let create ?telemetry ?journal_base cfg ~topology ~net ~source_spec =
+  validate_config cfg;
+  let host_count = Topology.host_count topology in
+  let partition =
+    Partition.create ~host_count ~regions:cfg.regions ~shards:cfg.shards
+  in
+  let source = Source.create ~host_count source_spec in
+  let steppers =
+    Array.init cfg.shards (fun k -> make_stepper ?telemetry cfg ~host_count ~net k)
+  in
+  let admissions =
+    Array.init cfg.shards (fun _ ->
+        Admission.create ~capacity:cfg.base.Serve.admission_capacity
+          ~policy:cfg.base.Serve.admission_policy)
+  in
+  let journals =
+    match journal_base with
+    | None -> Array.make cfg.shards None
+    | Some base ->
+        Array.init cfg.shards (fun k ->
+            Some (Journal.open_writer (shard_journal_path base k)))
+  in
+  let coord_sink =
+    Option.map (fun base -> open_out (coord_journal_path base)) journal_base
+  in
+  let coord =
+    Coord.create ?sink:coord_sink
+      ~seed:(cfg.base.Serve.engine_seed lxor 0x5eed)
+      cfg.coord
+  in
+  {
+    cfg;
+    topology;
+    net;
+    source_spec;
+    source;
+    partition;
+    coord;
+    steppers;
+    admissions;
+    deferred = Array.make cfg.shards [];
+    journals;
+    telemetry;
+    pool = None;
+    ewma = Array.make cfg.shards 0.0;
+    hot_streak = Array.make cfg.shards 0;
+    tick_count = 0;
+  }
+
+let tick_count t = t.tick_count
+let now_s t = float_of_int t.tick_count *. t.cfg.base.Serve.tick_dt_s
+let partition t = t.partition
+let coord t = t.coord
+let shard_count t = t.cfg.shards
+let stepper t k = t.steppers.(k)
+let admission t k = t.admissions.(k)
+
+let backlog t k =
+  Admission.size t.admissions.(k) + Engine.Stepper.backlog t.steppers.(k)
+
+let quiescent t =
+  Array.for_all (fun a -> Admission.size a = 0) t.admissions
+  && Array.for_all (fun d -> d = []) t.deferred
+  && Array.for_all (fun st -> not (Engine.Stepper.has_work st)) t.steppers
+  && Coord.pending_count t.coord = 0
+
+let completed t =
+  Array.fold_left (fun n st -> n + Engine.Stepper.completed st) 0 t.steppers
+  + List.length (Coord.results t.coord)
+
+(* The fabric digest: per-shard decision digests in shard order, plus
+   the coordinator's journal digest when it ever decided anything.
+   Run_digest.combine passes a singleton through unchanged, so a
+   one-shard fabric (whose coordinator is structurally idle) digests
+   exactly like the single-controller Serve run. *)
+let shard_digests t =
+  Array.to_list
+    (Array.map (fun st -> Run_digest.of_run (Engine.Stepper.result st)) t.steppers)
+
+let digest t =
+  let ds = shard_digests t in
+  Run_digest.combine
+    (if Coord.entries t.coord > 0 then ds @ [ Coord.digest t.coord ] else ds)
+
+(* ------------------------------------------------------------------ *)
+(* Weighted-fair drain.                                                *)
+
+(* Apportion the fabric drain budget across shards in proportion to
+   admission backlog, largest-remainder, ties to the lower shard
+   index; quotas are capped at the backlog and freed capacity is
+   re-dealt round-robin to shards that can still use it. Pure, total:
+   sum quota = min budget (sum backlogs), quota.(k) <= backlogs.(k).
+   With one shard this is min budget backlog — exactly Serve's
+   drain_per_tick cap. *)
+let apportion ~budget ~backlogs =
+  let n = Array.length backlogs in
+  let total = Array.fold_left ( + ) 0 backlogs in
+  let quota = Array.make n 0 in
+  if total > 0 && budget > 0 then begin
+    let rem = Array.make n 0 in
+    let assigned = ref 0 in
+    for k = 0 to n - 1 do
+      let num = budget * backlogs.(k) in
+      quota.(k) <- num / total;
+      rem.(k) <- num mod total;
+      assigned := !assigned + quota.(k)
+    done;
+    let order = Array.init n (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        match compare rem.(b) rem.(a) with 0 -> compare a b | c -> c)
+      order;
+    let left = ref (budget - !assigned) in
+    Array.iter
+      (fun k ->
+        if !left > 0 then begin
+          quota.(k) <- quota.(k) + 1;
+          decr left
+        end)
+      order;
+    (* Cap at backlog, then re-deal the freed capacity round-robin. *)
+    for k = 0 to n - 1 do
+      if quota.(k) > backlogs.(k) then quota.(k) <- backlogs.(k)
+    done;
+    let spent = Array.fold_left ( + ) 0 quota in
+    let left = ref (min budget total - spent) in
+    let progressed = ref true in
+    while !left > 0 && !progressed do
+      progressed := false;
+      for k = 0 to n - 1 do
+        if !left > 0 && quota.(k) < backlogs.(k) then begin
+          quota.(k) <- quota.(k) + 1;
+          decr left;
+          progressed := true
+        end
+      done
+    done
+  end;
+  quota
+
+(* ------------------------------------------------------------------ *)
+(* Escalation predicate.                                               *)
+
+(* A flow's home shard: the region of its source host under the
+   current assignment. None once the flow has left the network. *)
+let shard_of_flow t fid =
+  match Net_state.flow t.net fid with
+  | Some placed ->
+      Some
+        (Partition.shard_of_region t.partition
+           (Partition.region_of_host t.partition
+              placed.Net_state.record.Flow_record.src))
+  | None -> None
+
+(* Escalate a winner iff its make-room migration set touches a flow
+   homed on another shard — the two-level planner's boundary. A pure
+   function of the plan and the live flow table, so replay reproduces
+   every escalation decision. One shard never escalates. *)
+let escalate_predicate t =
+  if t.cfg.shards = 1 then None
+  else
+    Some
+      (fun ~shard (plan : Planner.t) ->
+        List.exists
+          (fun fid ->
+            match shard_of_flow t fid with
+            | Some home -> home <> shard
+            | None -> false)
+          (Coord.moved_flow_ids plan))
+
+(* ------------------------------------------------------------------ *)
+(* Hot-shard detection + rebalance.                                    *)
+
+(* EWMA the per-shard load each tick; a shard hot for [hot_ticks]
+   consecutive ticks (and actually loaded, and owning a spare region)
+   triggers one rebalance: its busiest region moves to the coldest
+   shard. The decision is journaled through the coordinator so the
+   audit stream (and digest) records the assignment history. *)
+let update_hot t =
+  let n = t.cfg.shards in
+  if n > 1 then begin
+    let loads = Array.init n (fun k -> backlog t k) in
+    for k = 0 to n - 1 do
+      t.ewma.(k) <- (0.8 *. t.ewma.(k)) +. (0.2 *. float_of_int loads.(k))
+    done;
+    let mean = Array.fold_left ( +. ) 0.0 t.ewma /. float_of_int n in
+    for k = 0 to n - 1 do
+      let hot =
+        t.ewma.(k) > t.cfg.hot_factor *. mean
+        && loads.(k) >= t.cfg.rebalance_min_load
+        && Partition.owned t.partition k >= 2
+      in
+      t.hot_streak.(k) <- (if hot then t.hot_streak.(k) + 1 else 0)
+    done;
+    let hottest = ref (-1) in
+    for k = n - 1 downto 0 do
+      if
+        t.hot_streak.(k) >= t.cfg.hot_ticks
+        && (!hottest < 0 || t.ewma.(k) > t.ewma.(!hottest))
+      then hottest := k
+    done;
+    if !hottest >= 0 then begin
+      let hot = !hottest in
+      match Partition.busiest_region t.partition ~shard:hot with
+      | None -> Array.fill t.hot_streak 0 n 0
+      | Some region ->
+          let coldest = ref 0 in
+          for k = 1 to n - 1 do
+            if t.ewma.(k) < t.ewma.(!coldest) then coldest := k
+          done;
+          if !coldest <> hot then begin
+            Partition.move t.partition ~region ~to_shard:!coldest;
+            Coord.note_rebalance t.coord ~tick:t.tick_count ~region
+              ~from_shard:hot ~to_shard:!coldest
+              ~generation:(Partition.generation t.partition);
+            Counters.incr Counters.Shard_rebalances
+          end;
+          Array.fill t.hot_streak 0 n 0
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Tick execution.                                                     *)
+
+let pool t =
+  if t.cfg.base.Serve.domains <= 1 then None
+  else
+    match t.pool with
+    | Some _ as p -> p
+    | None ->
+        let p =
+          Probe_pool.create ~domains:t.cfg.base.Serve.domains ~net:t.net
+        in
+        t.pool <- Some p;
+        Some p
+
+let coord_pass t =
+  Coord.attempt_due t.coord ~net:t.net ~tick:t.tick_count
+    ~now_floor_s:(now_s t)
+    ~shard_of_flow:(shard_of_flow t)
+    ~backlogs:(Array.init t.cfg.shards (fun k -> backlog t k))
+    ~on_commit:(fun ~home ~result ~degraded plan ->
+      Engine.Stepper.register_departures t.steppers.(home)
+        ~completion:result.Engine.completion_s plan;
+      match t.telemetry with
+      | Some tel ->
+          Telemetry.observer tel (Engine.Event_completed { result; degraded })
+      | None -> ())
+
+(* One tick's admission + execution for already-routed (journaled or
+   replayed) arrivals. Per shard this mirrors Serve.execute_tick
+   hook-for-hook and counter-for-counter; across shards the drain
+   budget is apportioned by backlog and the steppers advance in
+   synchronised waves with a coordinator pass after each. *)
+let execute_tick t routed =
+  let tick = t.tick_count in
+  let now = now_s t in
+  (match t.telemetry with
+  | Some tel ->
+      Telemetry.on_tick_start tel ~tick ~now_s:now;
+      Array.iter (List.iter (Telemetry.on_arrival tel)) routed
+  | None -> ());
+  (* Admission, shard by shard; deferred requests re-offer first. *)
+  Array.iteri
+    (fun k fresh ->
+      let candidates = t.deferred.(k) @ fresh in
+      t.deferred.(k) <- [];
+      let deferred_rev = ref [] in
+      List.iter
+        (fun req ->
+          let outcome = Admission.offer t.admissions.(k) ~tick req in
+          (match t.telemetry with
+          | Some tel -> Telemetry.on_admission tel req outcome
+          | None -> ());
+          match outcome with
+          | Admission.Admitted -> Counters.incr Counters.Serve_admitted
+          | Admission.Shed _ -> Counters.incr Counters.Serve_shed
+          | Admission.Deferred ->
+              Counters.incr Counters.Serve_deferred;
+              deferred_rev := req :: !deferred_rev)
+        candidates;
+      t.deferred.(k) <- List.rev !deferred_rev)
+    routed;
+  (* Weighted-fair drain: the fabric budget splits by backlog. *)
+  let backlogs = Array.map Admission.size t.admissions in
+  let budget = t.cfg.base.Serve.drain_per_tick * t.cfg.shards in
+  let quotas = apportion ~budget ~backlogs in
+  Array.iteri
+    (fun k quota ->
+      if quota > 0 then begin
+        let drained = Admission.drain t.admissions.(k) ~max:quota in
+        if drained <> [] then begin
+          Counters.add Counters.Serve_drained (List.length drained);
+          if Histogram.Registry.enabled () then
+            List.iter
+              (fun (_, enq_tick) ->
+                Histogram.Registry.record "serve.admission_wait_s"
+                  (float_of_int (tick - enq_tick)
+                  *. t.cfg.base.Serve.tick_dt_s))
+              drained;
+          (match t.telemetry with
+          | Some tel ->
+              List.iter
+                (fun (req, enq_tick) ->
+                  Telemetry.on_drain tel req ~wait_ticks:(tick - enq_tick))
+                drained
+          | None -> ());
+          Engine.Stepper.submit t.steppers.(k)
+            (List.map (fun (req, _) -> req.Request.event) drained)
+        end
+      end)
+    quotas;
+  (* Synchronised waves. Cross-shard winners two-phase-commit inline —
+     the coordinator replays the wave's own probed plan inside a fabric
+     transaction, so nothing is planned twice — and vetoed ones join
+     the coordinator's retry queue, drained after each wave. *)
+  let escalate = escalate_predicate t in
+  let external_commit =
+    match escalate with
+    | None -> None
+    | Some _ ->
+        Some
+          (fun ~shard ~event ~moved ~txn_open ~attempt ->
+            Coord.commit_escalated t.coord ~net:t.net ~tick
+              ~now_floor_s:(now_s t) ~home:shard ~event ~moved
+              ~shard_of_flow:(shard_of_flow t)
+              ~backlogs:(Array.init t.cfg.shards (fun k -> backlog t k))
+              ~txn_open ~attempt
+              ~on_commit:(fun ~home ~result ~degraded plan ->
+                Engine.Stepper.register_departures t.steppers.(home)
+                  ~completion:result.Engine.completion_s plan;
+                match t.telemetry with
+                | Some tel ->
+                    Telemetry.observer tel
+                      (Engine.Event_completed { result; degraded })
+                | None -> ()))
+  in
+  let steps = ref 0 in
+  let continue = ref true in
+  while !continue && !steps < t.cfg.base.Serve.steps_per_tick do
+    (match
+       Engine.Stepper.step_group ?pool:(pool t) ?escalate ?external_commit
+         t.steppers
+     with
+    | `Stepped (_, escalations) ->
+        incr steps;
+        (* With the inline committer every escalated winner is already
+           handled; the list is empty. Submit any stragglers anyway so
+           a future hookless configuration stays correct. *)
+        List.iter
+          (fun (e : Engine.Stepper.escalation) ->
+            Coord.submit t.coord ~tick ~home:e.Engine.Stepper.esc_shard
+              e.Engine.Stepper.esc_event)
+          escalations
+    | `Idle -> continue := false);
+    coord_pass t;
+    (* Wave barrier: every shard reads the fabric-wide clock, so a
+       shard whose winners keep escalating still sees time pass and
+       its background churn tracks the fabric. *)
+    let now_max =
+      Array.fold_left
+        (fun acc st -> Float.max acc (Engine.Stepper.now_s st))
+        (Coord.now_s t.coord) t.steppers
+    in
+    Array.iter
+      (fun st -> Engine.Stepper.advance_clock st ~to_s:now_max)
+      t.steppers
+  done;
+  update_hot t;
+  let queue = Array.fold_left (fun n a -> n + Admission.size a) 0 t.admissions in
+  let engine_backlog =
+    Array.fold_left (fun n st -> n + Engine.Stepper.backlog st) 0 t.steppers
+  in
+  if Histogram.Registry.enabled () then begin
+    Histogram.Registry.record "serve.queue_depth" (float_of_int queue);
+    Histogram.Registry.record "serve.engine_backlog"
+      (float_of_int engine_backlog)
+  end;
+  (match t.telemetry with
+  | Some tel ->
+      Telemetry.on_tick_end tel ~tick ~queue ~backlog:engine_backlog
+  | None -> ());
+  Counters.incr Counters.Serve_ticks;
+  t.tick_count <- t.tick_count + 1
+
+(* Route one tick's arrivals to their home shards, counting per-region
+   arrivals for the rebalance step. Oldest-first within a shard. *)
+let route t arrivals =
+  let routed = Array.make t.cfg.shards [] in
+  List.iter
+    (fun req ->
+      let region =
+        Partition.home_region_of_event t.partition req.Request.event
+      in
+      Partition.note_arrival t.partition ~region;
+      let k = Partition.shard_of_region t.partition region in
+      routed.(k) <- req :: routed.(k))
+    arrivals;
+  for k = 0 to t.cfg.shards - 1 do
+    routed.(k) <- List.rev routed.(k)
+  done;
+  routed
+
+let tick t =
+  let arrivals = Source.poll t.source ~tick:t.tick_count ~now_s:(now_s t) in
+  let routed = route t arrivals in
+  (* Write-ahead per shard: each shard journals exactly its own slice,
+     so a single controller's recovery never depends on a sibling's
+     WAL being readable. *)
+  Array.iteri
+    (fun k w ->
+      match w with
+      | Some w ->
+          List.iter
+            (fun req ->
+              Journal.write w
+                (Journal.Arrive { tick = t.tick_count; request = req }))
+            routed.(k);
+          Journal.flush w
+      | None -> ())
+    t.journals;
+  execute_tick t routed;
+  Array.iter
+    (fun w ->
+      match w with
+      | Some w ->
+          Journal.write w (Journal.Tick_done (t.tick_count - 1));
+          Journal.flush w
+      | None -> ())
+    t.journals
+
+let run t ~ticks =
+  for _ = 1 to ticks do
+    tick t
+  done
+
+(* Completion ticks poll nothing and journal nothing — pure functions
+   of fabric state, reproduced by recovery without any record. *)
+let complete ?(max_ticks = 1_000_000) t =
+  let n = ref 0 in
+  let empty = Array.make t.cfg.shards [] in
+  while not (quiescent t) do
+    if !n >= max_ticks then
+      failwith
+        (Printf.sprintf "Shard_fabric.complete: not quiescent after %d ticks"
+           max_ticks);
+    incr n;
+    execute_tick t empty
+  done
+
+let kill_shard_journal t k =
+  match t.journals.(k) with
+  | Some w ->
+      Journal.abort_writer w;
+      t.journals.(k) <- None
+  | None -> ()
+
+let close t =
+  Array.iter Engine.Stepper.close t.steppers;
+  (match t.pool with
+  | Some p ->
+      Probe_pool.shutdown p;
+      t.pool <- None
+  | None -> ());
+  Array.iteri
+    (fun k w ->
+      match w with
+      | Some w ->
+          Journal.close_writer w;
+          t.journals.(k) <- None
+      | None -> ())
+    t.journals;
+  Coord.close t.coord
+
+let retire t =
+  let results =
+    Array.to_list (Array.map (fun st -> Engine.Stepper.result st) t.steppers)
+  in
+  List.iter (fun r -> Engine.record_event_histograms r.Engine.events) results;
+  (match t.telemetry with Some tel -> Telemetry.on_retire tel | None -> ());
+  close t;
+  results
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing.                                                      *)
+
+type shard_frozen = {
+  sh_stepper : Engine.Stepper.frozen;
+  sh_admission : Admission.frozen;
+  sh_deferred : Request.t list;
+}
+
+type checkpoint = {
+  cp_tick : int;
+  cp_meta : Json.t;
+  cp_net : Net_state.frozen;
+  cp_source : Source.frozen;
+  cp_partition : Partition.frozen;
+  cp_coord : Coord.frozen;
+  cp_shards : shard_frozen list;
+  cp_ewma : float list;
+  cp_streak : int list;
+}
+
+let snapshot t =
+  {
+    cp_tick = t.tick_count;
+    cp_meta = fingerprint t.cfg t.source_spec;
+    cp_net = Net_state.freeze t.net;
+    cp_source = Source.freeze t.source;
+    cp_partition = Partition.freeze t.partition;
+    cp_coord = Coord.freeze t.coord;
+    cp_shards =
+      List.init t.cfg.shards (fun k ->
+          {
+            sh_stepper = Engine.Stepper.freeze t.steppers.(k);
+            sh_admission = Admission.freeze t.admissions.(k);
+            sh_deferred = t.deferred.(k);
+          });
+    cp_ewma = Array.to_list t.ewma;
+    cp_streak = Array.to_list t.hot_streak;
+  }
+
+let format_tag = "nu_shard_checkpoint"
+let version = 1
+
+let core_to_json cp =
+  Json.Obj
+    [
+      ("tick", Json.Int cp.cp_tick);
+      ("meta", cp.cp_meta);
+      ("net", Codec.net_frozen_to_json cp.cp_net);
+      ("source", Source.frozen_to_json cp.cp_source);
+      ("partition", Partition.frozen_to_json cp.cp_partition);
+      ("coord", Coord.frozen_to_json cp.cp_coord);
+      ( "shards",
+        Json.List
+          (List.map
+             (fun sh ->
+               Json.Obj
+                 [
+                   ("stepper", Codec.stepper_frozen_to_json sh.sh_stepper);
+                   ("admission", Codec.admission_frozen_to_json sh.sh_admission);
+                   ( "deferred",
+                     Json.List (List.map Codec.request_to_json sh.sh_deferred)
+                   );
+                 ])
+             cp.cp_shards) );
+      ("ewma", Json.List (List.map (fun f -> Json.Float f) cp.cp_ewma));
+      ("streak", Json.List (List.map (fun n -> Json.Int n) cp.cp_streak));
+    ]
+
+let checkpoint_to_json cp =
+  let core = core_to_json cp in
+  Json.Obj
+    [
+      ("format", Json.String format_tag);
+      ("version", Json.Int version);
+      ("hash", Json.String (Codec.fnv64_hex (Json.to_string core)));
+      ("core", core);
+    ]
+
+let core_of_json ~graph j =
+  let* cp_tick = Codec.int_field "tick" j in
+  let cp_meta = Option.value (Codec.opt_field "meta" j) ~default:Json.Null in
+  let* nj = Codec.field "net" j in
+  let* cp_net = Codec.net_frozen_of_json graph nj in
+  let* srcj = Codec.field "source" j in
+  let* cp_source = Source.frozen_of_json srcj in
+  let* pj = Codec.field "partition" j in
+  let* cp_partition = Partition.frozen_of_json pj in
+  let* cj = Codec.field "coord" j in
+  let* cp_coord = Coord.frozen_of_json cj in
+  let* shl = Codec.list_field "shards" j in
+  let* cp_shards =
+    Codec.map_m
+      (fun sj ->
+        let* stj = Codec.field "stepper" sj in
+        let* sh_stepper = Codec.stepper_frozen_of_json stj in
+        let* aj = Codec.field "admission" sj in
+        let* sh_admission = Codec.admission_frozen_of_json aj in
+        let* dl = Codec.list_field "deferred" sj in
+        let* sh_deferred = Codec.map_m Codec.request_of_json dl in
+        Ok { sh_stepper; sh_admission; sh_deferred })
+      shl
+  in
+  let* el = Codec.list_field "ewma" j in
+  let* cp_ewma = Codec.map_m Codec.as_float el in
+  let* kl = Codec.list_field "streak" j in
+  let* cp_streak = Codec.map_m Codec.as_int kl in
+  Ok
+    {
+      cp_tick;
+      cp_meta;
+      cp_net;
+      cp_source;
+      cp_partition;
+      cp_coord;
+      cp_shards;
+      cp_ewma;
+      cp_streak;
+    }
+
+let checkpoint_of_json ~graph j =
+  let* tag = Codec.string_field "format" j in
+  if tag <> format_tag then Error (Printf.sprintf "not a fabric checkpoint: %S" tag)
+  else
+    let* v = Codec.int_field "version" j in
+    if v <> version then
+      Error (Printf.sprintf "unsupported fabric checkpoint version %d" v)
+    else
+      let* claimed = Codec.string_field "hash" j in
+      let* core = Codec.field "core" j in
+      let actual = Codec.fnv64_hex (Json.to_string core) in
+      if claimed <> actual then
+        Error
+          (Printf.sprintf
+             "fabric checkpoint content hash mismatch: file says %s, core \
+              hashes to %s"
+             claimed actual)
+      else core_of_json ~graph core
+
+(* Write-then-rename: a crash mid-save leaves the previous checkpoint
+   intact, never a torn file. *)
+let save_checkpoint t ~path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (Json.to_string (checkpoint_to_json (snapshot t)));
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp path;
+  Counters.incr Counters.Serve_checkpoints
+
+let load_checkpoint ~graph path =
+  if not (Sys.file_exists path) then
+    Error (Printf.sprintf "no fabric checkpoint at %s" path)
+  else
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let raw = really_input_string ic len in
+    close_in ic;
+    let* j = Json.of_string raw in
+    checkpoint_of_json ~graph j
+
+(* ------------------------------------------------------------------ *)
+(* Restore + replay.                                                   *)
+
+let restore_snapshot ?telemetry cfg ~topology ~source_spec cp =
+  let* () = try Ok (validate_config cfg) with Invalid_argument m -> Error m in
+  let expected = fingerprint cfg source_spec in
+  if not (Serve.fingerprint_matches cp.cp_meta expected) then
+    Error
+      (Printf.sprintf
+         "fabric checkpoint configuration mismatch:\n\
+         \  checkpoint: %s\n\
+         \  requested:  %s"
+         (Json.to_string cp.cp_meta)
+         (Json.to_string expected))
+  else if
+    List.length cp.cp_shards <> cfg.shards
+    || List.length cp.cp_ewma <> cfg.shards
+    || List.length cp.cp_streak <> cfg.shards
+  then Error "fabric checkpoint shard count mismatch"
+  else
+    match
+      let host_count = Topology.host_count topology in
+      let net = Net_state.thaw topology cp.cp_net in
+      let steppers =
+        Array.of_list
+          (List.mapi
+             (fun k sh ->
+               Engine.Stepper.thaw ~domains:1
+                 ?churn:(shard_churn ~host_count cfg.base k)
+                 ~co_max_cost_mbit:cfg.base.Serve.co_max_cost_mbit
+                 ~estimate_cache:cfg.base.Serve.estimate_cache
+                 ?observer:(shard_observer telemetry k)
+                 ~net sh.sh_stepper)
+             cp.cp_shards)
+      in
+      let admissions =
+        Array.of_list
+          (List.map
+             (fun sh ->
+               Admission.thaw ~capacity:cfg.base.Serve.admission_capacity
+                 ~policy:cfg.base.Serve.admission_policy sh.sh_admission)
+             cp.cp_shards)
+      in
+      let deferred =
+        Array.of_list (List.map (fun sh -> sh.sh_deferred) cp.cp_shards)
+      in
+      let partition =
+        Partition.thaw ~host_count ~regions:cfg.regions ~shards:cfg.shards
+          cp.cp_partition
+      in
+      let source = Source.thaw ~host_count source_spec cp.cp_source in
+      {
+        cfg;
+        topology;
+        net;
+        source_spec;
+        source;
+        partition;
+        coord = Coord.thaw cfg.coord cp.cp_coord;
+        steppers;
+        admissions;
+        deferred;
+        journals = Array.make cfg.shards None;
+        telemetry;
+        pool = None;
+        ewma = Array.of_list cp.cp_ewma;
+        hot_streak = Array.of_list cp.cp_streak;
+        tick_count = cp.cp_tick;
+      }
+    with
+    | t -> Ok t
+    | exception Invalid_argument m -> Error ("fabric checkpoint restore: " ^ m)
+
+let request_eq a b =
+  Json.to_string (Codec.request_to_json a)
+  = Json.to_string (Codec.request_to_json b)
+
+(* Strict replay of one committed tick: re-poll the deterministic
+   source, re-route, and validate that every shard's regenerated slice
+   matches what its WAL recorded — then execute. The journaled record
+   stays authoritative; any divergence is an error, not a warning. *)
+let replay_tick t ~per_shard_groups tk =
+  if tk <> t.tick_count then
+    Error
+      (Printf.sprintf "journal gap: expected tick %d, found committed tick %d"
+         t.tick_count tk)
+  else begin
+    let arrivals = Source.poll t.source ~tick:t.tick_count ~now_s:(now_s t) in
+    let routed = route t arrivals in
+    let rec check k =
+      if k >= t.cfg.shards then Ok ()
+      else
+        let journaled =
+          match List.assoc_opt tk per_shard_groups.(k) with
+          | Some reqs -> reqs
+          | None -> []
+        in
+        if
+          List.length routed.(k) <> List.length journaled
+          || not (List.for_all2 request_eq routed.(k) journaled)
+        then
+          Error
+            (Printf.sprintf
+               "replay divergence at tick %d shard %d: source regenerated %d \
+                request(s), journal recorded %d (or contents differ)"
+               tk k
+               (List.length routed.(k))
+               (List.length journaled))
+        else check (k + 1)
+    in
+    let* () = check 0 in
+    execute_tick t routed;
+    Ok ()
+  end
+
+(* Recover a fabric after a crash (including a torn shard WAL):
+   restore the whole fabric from the checkpoint, strictly replay every
+   shard's committed ticks up to the minimum commit horizon across
+   shards, then re-roll the per-shard journals — fresh segment chains
+   rewriting exactly the committed groups, never appending past a torn
+   tail. The caller then re-serves the remaining ticks live; the
+   deterministic source makes the continuation bit-identical to the
+   uninterrupted run. Returns the fabric and the number of ticks
+   replayed. *)
+let recover ?telemetry cfg ~topology ~source_spec ~checkpoint_path
+    ~journal_base =
+  let* cp =
+    load_checkpoint ~graph:topology.Topology.graph checkpoint_path
+  in
+  let* t = restore_snapshot ?telemetry cfg ~topology ~source_spec cp in
+  (* Tolerant read: a torn tail (or a shard WAL torn to nothing)
+     truncates that shard's history, it does not fail recovery. *)
+  let per_shard_groups =
+    Array.init cfg.shards (fun k ->
+        match Journal.read_report (shard_journal_path journal_base k) with
+        | Ok report -> Journal.committed_ticks report.Journal.entries
+        | Error _ -> [])
+  in
+  let horizon_of groups =
+    List.fold_left (fun acc (tk, _) -> max acc (tk + 1)) cp.cp_tick groups
+  in
+  let target =
+    Array.fold_left
+      (fun acc groups -> min acc (horizon_of groups))
+      max_int per_shard_groups
+  in
+  let target = max target cp.cp_tick in
+  (* Re-attach the coordinator audit sink before replay so regenerated
+     decisions land in a fresh JSONL (the pre-checkpoint history lives
+     on in the frozen digest cursor). *)
+  Coord.set_sink t.coord
+    (Some (open_out (coord_journal_path journal_base)));
+  let rec replay_from n =
+    if t.tick_count >= target then Ok n
+    else
+      let* () = replay_tick t ~per_shard_groups t.tick_count in
+      replay_from (n + 1)
+  in
+  let* replayed = replay_from 0 in
+  (* Re-roll the WALs: fresh writers, committed groups only. *)
+  Array.iteri
+    (fun k groups ->
+      let w = Journal.open_writer (shard_journal_path journal_base k) in
+      List.iter
+        (fun (tk, reqs) ->
+          if tk < t.tick_count then begin
+            List.iter
+              (fun req ->
+                Journal.write w (Journal.Arrive { tick = tk; request = req }))
+              reqs;
+            Journal.write w (Journal.Tick_done tk)
+          end)
+        (List.sort (fun (a, _) (b, _) -> compare a b) groups);
+      Journal.flush w;
+      t.journals.(k) <- Some w)
+    per_shard_groups;
+  Ok (t, replayed)
+
+(* External audit: rebuild a fabric from nothing but its journals (and
+   optionally a checkpoint), replay every committed tick, drain to
+   quiescence and hand back the digest. *)
+let replay ?telemetry ?checkpoint_path cfg ~topology ~net ~source_spec
+    ~journal_base =
+  let* t =
+    match checkpoint_path with
+    | Some path when Sys.file_exists path ->
+        let* cp = load_checkpoint ~graph:topology.Topology.graph path in
+        restore_snapshot ?telemetry cfg ~topology ~source_spec cp
+    | _ -> Ok (create ?telemetry cfg ~topology ~net ~source_spec)
+  in
+  let per_shard_groups =
+    Array.init cfg.shards (fun k ->
+        match Journal.read_report (shard_journal_path journal_base k) with
+        | Ok report -> Journal.committed_ticks report.Journal.entries
+        | Error _ -> [])
+  in
+  let horizon_of groups =
+    List.fold_left (fun acc (tk, _) -> max acc (tk + 1)) t.tick_count groups
+  in
+  let target =
+    Array.fold_left
+      (fun acc groups -> min acc (horizon_of groups))
+      max_int per_shard_groups
+  in
+  let target = max target t.tick_count in
+  let rec replay_from n =
+    if t.tick_count >= target then Ok n
+    else
+      let* () = replay_tick t ~per_shard_groups t.tick_count in
+      replay_from (n + 1)
+  in
+  let* replayed = replay_from 0 in
+  Ok (t, replayed)

@@ -1,0 +1,180 @@
+(** Sharded multi-controller serving: one fabric, N planners.
+
+    N shard controllers — each an {!Nu_sched.Engine.Stepper} with its
+    own bounded {!Nu_serve.Admission} queue and WAL segment namespace —
+    share one {!Nu_net.Net_state}. A deterministic {!Partition} map
+    routes every request to its home shard; shards advance in
+    synchronised waves ({!Nu_sched.Engine.Stepper.step_group}); rounds
+    whose make-room migration set crosses shard boundaries escalate to
+    the global {!Coord}, which two-phase-commits them against the
+    shared fabric. The drain budget is apportioned across shards
+    weighted by backlog, and persistent hot shards shed their busiest
+    region to the coldest shard.
+
+    Determinism contract: same config, topology, net and source spec
+    → bit-identical fabric {!digest}; with one shard the fabric
+    executes the exact single-controller schedule, so the digest IS
+    the {!Nu_serve.Serve} digest; per-shard WALs + the fabric
+    checkpoint make a crash — including a torn shard WAL — recoverable
+    to the uninterrupted run's digest. *)
+
+(** {2 Configuration} *)
+
+type config = {
+  base : Serve.config;  (** Per-shard controller knobs. *)
+  shards : int;
+  regions : int;
+      (** Routing granularity; on pod-major Fat-Tree host numbering,
+          [regions = pod count] makes a region a pod. *)
+  hot_factor : float;  (** Hot iff load EWMA > factor × mean EWMA. *)
+  hot_ticks : int;  (** Consecutive hot ticks before a rebalance. *)
+  rebalance_min_load : int;  (** Ignore "hot" shards lighter than this. *)
+  coord : Coord.config;
+}
+
+val default_config : ?regions:int -> Serve.config -> shards:int -> config
+(** [regions] defaults to [max 8 shards]; hot_factor 2.0, hot_ticks 3,
+    rebalance_min_load 8, default coordinator config. *)
+
+val validate_config : config -> unit
+val fingerprint : config -> Source.spec -> Nu_obs.Json.t
+
+val shard_journal_path : string -> int -> string
+(** [<base>.shard<k>] — shard [k]'s WAL segment namespace. *)
+
+val coord_journal_path : string -> string
+(** [<base>.coord.jsonl] — the coordinator's decisions journal. *)
+
+val apportion : budget:int -> backlogs:int array -> int array
+(** Weighted-fair split of the fabric drain budget: proportional to
+    backlog, largest-remainder (ties to the lower shard index), capped
+    at each backlog with freed capacity re-dealt round-robin. Pure;
+    [sum = min budget (sum backlogs)] and [quota.(k) <= backlogs.(k)].
+    With one shard this is [min budget backlog] — exactly the
+    single-controller drain cap. *)
+
+(** {2 Lifecycle} *)
+
+type t
+
+val create :
+  ?telemetry:Telemetry.t ->
+  ?journal_base:string ->
+  config ->
+  topology:Topology.t ->
+  net:Net_state.t ->
+  source_spec:Source.spec ->
+  t
+(** [journal_base] attaches one write-ahead WAL per shard (under
+    {!shard_journal_path}) plus the coordinator JSONL. *)
+
+val tick : t -> unit
+(** Poll → route → write-ahead per shard → execute → commit markers. *)
+
+val run : t -> ticks:int -> unit
+
+val complete : ?max_ticks:int -> t -> unit
+(** Drain to quiescence (no admissions, deferred, engine work or
+    pending coordinator events). Completion ticks poll nothing and
+    journal nothing. *)
+
+val tick_count : t -> int
+val now_s : t -> float
+val shard_count : t -> int
+val partition : t -> Partition.t
+val coord : t -> Coord.t
+val stepper : t -> int -> Engine.Stepper.t
+val admission : t -> int -> Admission.t
+
+val backlog : t -> int -> int
+(** Shard load: admission queue + engine backlog. *)
+
+val quiescent : t -> bool
+val completed : t -> int
+
+val shard_digests : t -> string list
+(** Per-shard decision digests, shard order. *)
+
+val digest : t -> string
+(** {!Run_digest.combine} of the shard digests plus the coordinator
+    journal digest (when any coordinator entry exists). A one-shard
+    fabric digests exactly like its lone controller. *)
+
+val kill_shard_journal : t -> int -> unit
+(** Crash-injection helper: abort shard [k]'s WAL writer, leaving a
+    torn tail on disk exactly as a mid-write crash would. *)
+
+val close : t -> unit
+(** Close steppers, probe pool, journals and the coordinator sink. *)
+
+val retire : t -> Engine.run_result list
+(** {!close} plus telemetry retirement and end-of-life histogram
+    recording; returns the per-shard run results. *)
+
+(** {2 Checkpoint / restore / replay} *)
+
+type shard_frozen = {
+  sh_stepper : Engine.Stepper.frozen;
+  sh_admission : Admission.frozen;
+  sh_deferred : Request.t list;
+}
+
+type checkpoint = {
+  cp_tick : int;
+  cp_meta : Nu_obs.Json.t;
+  cp_net : Net_state.frozen;
+  cp_source : Source.frozen;
+  cp_partition : Partition.frozen;
+  cp_coord : Coord.frozen;
+  cp_shards : shard_frozen list;
+  cp_ewma : float list;
+  cp_streak : int list;
+}
+
+val snapshot : t -> checkpoint
+val checkpoint_to_json : checkpoint -> Nu_obs.Json.t
+val checkpoint_of_json : graph:Graph.t -> Nu_obs.Json.t -> (checkpoint, string) result
+
+val save_checkpoint : t -> path:string -> unit
+(** Atomic write-then-rename with an embedded content hash. *)
+
+val load_checkpoint : graph:Graph.t -> string -> (checkpoint, string) result
+
+val restore_snapshot :
+  ?telemetry:Telemetry.t ->
+  config ->
+  topology:Topology.t ->
+  source_spec:Source.spec ->
+  checkpoint ->
+  (t, string) result
+(** Rebuild the whole fabric from a checkpoint (journals detached).
+    Refuses a configuration/source fingerprint mismatch. *)
+
+val recover :
+  ?telemetry:Telemetry.t ->
+  config ->
+  topology:Topology.t ->
+  source_spec:Source.spec ->
+  checkpoint_path:string ->
+  journal_base:string ->
+  (t * int, string) result
+(** Crash recovery: restore from the checkpoint, strictly replay every
+    shard's committed ticks up to the minimum commit horizon across
+    shards (tolerating torn WAL tails), re-roll the per-shard journals
+    as fresh segment chains holding exactly the committed groups, and
+    re-attach everything. Returns the fabric and the number of ticks
+    replayed; the caller re-serves the remaining horizon live. *)
+
+val replay :
+  ?telemetry:Telemetry.t ->
+  ?checkpoint_path:string ->
+  config ->
+  topology:Topology.t ->
+  net:Net_state.t ->
+  source_spec:Source.spec ->
+  journal_base:string ->
+  (t * int, string) result
+(** External audit: rebuild a fabric from its journals (cold-starting
+    from [net] unless a checkpoint exists at [checkpoint_path]),
+    strictly replaying every committed tick. Returns the fabric (not
+    yet drained — call {!complete}) and the tick count replayed. *)

@@ -18,4 +18,5 @@ let () =
       ("cli", Test_cli.suite);
       ("expt", Test_expt.suite);
       ("scenario", Test_scenario.suite);
+      ("shard", Test_shard.suite);
     ]

@@ -1,0 +1,421 @@
+(* nu_shard: partition map, weighted-fair apportion, coordinator 2PC
+   and the sharded fabric.
+
+   The load-bearing properties are differential: a one-shard fabric
+   must reproduce the single-controller Serve digest bit for bit; an
+   N-shard fabric that loses a shard's WAL mid-run must recover to the
+   uninterrupted run's digest; a coordinator abort must leave the
+   fabric exactly as it found it. *)
+
+let dummy_flow ?(src = 0) ?dst id =
+  let dst = match dst with Some d -> d | None -> (src + 1) mod 16 in
+  Flow_record.v ~id ~src ~dst ~size_mbit:1.0 ~duration_s:1.0 ~arrival_s:0.0
+
+let install_event ~src id =
+  {
+    Event.id;
+    arrival_s = 0.0;
+    kind = Event.Additions;
+    work = [ Event.Install (dummy_flow ~src (100 + id)) ];
+  }
+
+let reroute_event ~flow_id id =
+  {
+    Event.id;
+    arrival_s = 0.0;
+    kind = Event.Switch_upgrade 0;
+    work = [ Event.Reroute { flow_id; avoid = Event.Unconstrained } ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Partition map                                                       *)
+
+let test_partition_shape () =
+  let p = Shard_partition.create ~host_count:16 ~regions:8 ~shards:4 in
+  Alcotest.(check int) "regions" 8 (Shard_partition.regions p);
+  Alcotest.(check int) "shards" 4 (Shard_partition.shards p);
+  (* Every shard owns at least one region; together they own all. *)
+  let owned = List.init 4 (Shard_partition.owned p) in
+  List.iter (fun n -> Alcotest.(check bool) "owns >= 1" true (n >= 1)) owned;
+  Alcotest.(check int) "total" 8 (List.fold_left ( + ) 0 owned);
+  (* Contiguous balanced blocks: region r -> r * shards / regions. *)
+  for r = 0 to 7 do
+    Alcotest.(check int)
+      (Printf.sprintf "region %d" r)
+      (r * 4 / 8)
+      (Shard_partition.shard_of_region p r)
+  done
+
+let prop_partition_total =
+  QCheck.Test.make ~name:"routing is total: every event has one home"
+    ~count:200
+    QCheck.(triple (int_bound 15) (int_bound 1_000_000) bool)
+    (fun (src, fid, reroute) ->
+      let p = Shard_partition.create ~host_count:16 ~regions:8 ~shards:3 in
+      let ev =
+        if reroute then reroute_event ~flow_id:fid (1 + fid)
+        else install_event ~src (1 + src)
+      in
+      let home = Shard_partition.home_of_event p ev in
+      home >= 0 && home < 3)
+
+let prop_partition_stable =
+  QCheck.Test.make
+    ~name:"routing is stable: arrival history never changes a home"
+    ~count:100
+    QCheck.(pair (int_bound 15) (small_list (int_bound 7)))
+    (fun (src, arrivals) ->
+      let p = Shard_partition.create ~host_count:16 ~regions:8 ~shards:4 in
+      let ev = install_event ~src 1 in
+      let before = Shard_partition.home_of_event p ev in
+      List.iter (fun r -> Shard_partition.note_arrival p ~region:r) arrivals;
+      Shard_partition.home_of_event p ev = before)
+
+let prop_partition_order_independent =
+  QCheck.Test.make
+    ~name:"routing is order-independent: any query order, same homes"
+    ~count:100
+    QCheck.(small_list (int_bound 15))
+    (fun srcs ->
+      let events = List.mapi (fun i s -> install_event ~src:s (1 + i)) srcs in
+      let p = Shard_partition.create ~host_count:16 ~regions:8 ~shards:4 in
+      let forward = List.map (Shard_partition.home_of_event p) events in
+      let backward =
+        List.rev (List.map (Shard_partition.home_of_event p) (List.rev events))
+      in
+      forward = backward)
+
+let test_partition_move_freeze_thaw () =
+  let p = Shard_partition.create ~host_count:16 ~regions:8 ~shards:4 in
+  Shard_partition.note_arrival p ~region:0;
+  Shard_partition.note_arrival p ~region:0;
+  Shard_partition.move p ~region:0 ~to_shard:3;
+  Alcotest.(check int) "moved" 3 (Shard_partition.shard_of_region p 0);
+  Alcotest.(check int) "generation" 1 (Shard_partition.generation p);
+  let json =
+    Shard_partition.frozen_to_json (Shard_partition.freeze p)
+    |> Nu_obs.Json.to_string
+  in
+  match Nu_obs.Json.of_string json with
+  | Error m -> Alcotest.fail m
+  | Ok j -> (
+      match Shard_partition.frozen_of_json j with
+      | Error m -> Alcotest.fail m
+      | Ok fz ->
+          let q = Shard_partition.thaw ~host_count:16 ~regions:8 ~shards:4 fz in
+          Alcotest.(check int) "thawed assignment" 3
+            (Shard_partition.shard_of_region q 0);
+          Alcotest.(check int) "thawed generation" 1
+            (Shard_partition.generation q))
+
+(* ------------------------------------------------------------------ *)
+(* Weighted-fair apportion                                             *)
+
+let prop_apportion_sum_and_cap =
+  QCheck.Test.make
+    ~name:"apportion: sum = min budget backlog, quota <= backlog" ~count:300
+    QCheck.(pair (int_bound 64) (list_of_size Gen.(1 -- 8) (int_bound 40)))
+    (fun (budget, backlogs) ->
+      let backlogs = Array.of_list backlogs in
+      let quota = Shard_fabric.apportion ~budget ~backlogs in
+      let total_backlog = Array.fold_left ( + ) 0 backlogs in
+      let total_quota = Array.fold_left ( + ) 0 quota in
+      total_quota = min budget total_backlog
+      && Array.for_all2 (fun q b -> q >= 0 && q <= b) quota backlogs)
+
+let test_apportion_single_shard () =
+  (* One shard: exactly the single-controller drain cap. *)
+  Alcotest.(check (array int))
+    "min budget backlog" [| 3 |]
+    (Shard_fabric.apportion ~budget:3 ~backlogs:[| 7 |]);
+  Alcotest.(check (array int))
+    "backlog under budget" [| 2 |]
+    (Shard_fabric.apportion ~budget:5 ~backlogs:[| 2 |])
+
+let test_apportion_proportional () =
+  (* 3:1 backlog split at budget 4 -> 3:1 quota split. *)
+  Alcotest.(check (array int))
+    "proportional" [| 3; 1 |]
+    (Shard_fabric.apportion ~budget:4 ~backlogs:[| 9; 3 |])
+
+(* ------------------------------------------------------------------ *)
+(* Differential harness                                                *)
+
+let scenario () = Scenario.prepare ~k:4 ~utilization:0.6 ~seed:11 ()
+
+let cfg () =
+  {
+    Serve.policy = Policy.Plmtf { alpha = 2 };
+    engine_seed = 5;
+    admission_capacity = 8;
+    admission_policy = Admission.Block;
+    drain_per_tick = 2;
+    steps_per_tick = 3;
+    tick_dt_s = 0.05;
+    co_max_cost_mbit = 0.0;
+    estimate_cache = true;
+    churn = None;
+    domains = 1;
+  }
+
+let spec_of ?(seed = 21) () =
+  Serve_source.Synthetic
+    {
+      seed;
+      rate_per_tick = 0.7;
+      flows_per_event = 2;
+      tenants = [ "a"; "b" ];
+      first_event_id = 1;
+      first_flow_id = 1_000_000;
+    }
+
+let fabric_digest ?journal_base ?(shards = 4) ?coord ~ticks () =
+  let s = scenario () in
+  let fcfg = Shard_fabric.default_config (cfg ()) ~shards in
+  let fcfg = match coord with None -> fcfg | Some c -> { fcfg with Shard_fabric.coord = c } in
+  let t =
+    Shard_fabric.create ?journal_base fcfg ~topology:s.Scenario.topology
+      ~net:s.Scenario.net ~source_spec:(spec_of ())
+  in
+  Shard_fabric.run t ~ticks;
+  Shard_fabric.complete t;
+  let d = Shard_fabric.digest t in
+  ignore (Shard_fabric.retire t : Engine.run_result list);
+  d
+
+(* The headline contract: one fabric shard executes the exact
+   single-controller schedule — same digest, bit for bit. *)
+let test_one_shard_equals_serve () =
+  let s = scenario () in
+  let t =
+    Serve.create (cfg ()) ~topology:s.Scenario.topology ~net:s.Scenario.net
+      ~source_spec:(spec_of ())
+  in
+  Serve.run ~ticks:40 t;
+  Serve.complete t;
+  Alcotest.(check string) "digest equal" (Serve.digest t)
+    (fabric_digest ~shards:1 ~ticks:40 ())
+
+let test_fabric_deterministic () =
+  Alcotest.(check string) "same run twice"
+    (fabric_digest ~shards:4 ~ticks:40 ())
+    (fabric_digest ~shards:4 ~ticks:40 ())
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator 2PC                                                     *)
+
+(* A vetoed inline commit must roll the open fabric transaction back
+   and leave the event queued for retry — the fabric afterwards is
+   indistinguishable from one where the attempt never started. *)
+let test_coord_veto_rolls_back () =
+  let s = scenario () in
+  let net = s.Scenario.net in
+  let edge = List.hd (Net_state.fabric_edges net) in
+  let flows_before = Net_state.flow_count net in
+  let util_before = Net_state.mean_utilization net in
+  let coord =
+    Shard_coord.create ~seed:7
+      { Shard_coord.default_config with Shard_coord.veto_backlog = 0 }
+  in
+  (* The engine left a transaction open with staged work in it. *)
+  Net_state.begin_txn net;
+  Net_state.disable_edge net edge;
+  let committed =
+    Shard_coord.commit_escalated coord ~net ~tick:3 ~now_floor_s:0.0 ~home:0
+      ~event:(install_event ~src:0 1)
+      ~moved:[ 42 ]
+      ~shard_of_flow:(fun _ -> Some 2)
+      ~backlogs:[| 0; 0; 9; 0 |]
+      ~txn_open:true
+      ~attempt:(fun () -> Alcotest.fail "attempt ran on the veto path")
+      ~on_commit:(fun ~home:_ ~result:_ ~degraded:_ _ ->
+        Alcotest.fail "on_commit fired on the veto path")
+  in
+  Alcotest.(check bool) "vetoed" false committed;
+  Alcotest.(check bool) "txn closed" false (Net_state.in_txn net);
+  Alcotest.(check bool) "staged work undone" false
+    (Net_state.edge_disabled net edge);
+  Alcotest.(check int) "no flow moved" flows_before (Net_state.flow_count net);
+  Alcotest.(check (float 1e-9)) "utilization untouched" util_before
+    (Net_state.mean_utilization net);
+  Alcotest.(check int) "event queued for retry" 1
+    (Shard_coord.pending_count coord);
+  (* Prepare + abort were journaled — the abort is part of the audit
+     trail and of the digest. *)
+  Alcotest.(check int) "prepare + abort journaled" 2
+    (Shard_coord.entries coord);
+  Shard_coord.close coord
+
+(* End-to-end: a fabric whose coordinator vetoes everything still
+   terminates (degrade path) and stays deterministic, and the abort
+   counter proves the 2PC abort path actually ran. *)
+let test_fabric_abort_path_deterministic () =
+  let coord =
+    {
+      Shard_coord.default_config with
+      Shard_coord.veto_backlog = 0;
+      max_attempts = 2;
+    }
+  in
+  let before = Obs.Counters.snapshot () in
+  let a = fabric_digest ~shards:4 ~coord ~ticks:40 () in
+  let d = Obs.Counters.diff ~before ~after:(Obs.Counters.snapshot ()) in
+  let b = fabric_digest ~shards:4 ~coord ~ticks:40 () in
+  Alcotest.(check string) "deterministic under aborts" a b;
+  if Obs.Counters.value d Obs.Counters.Shard_escalations > 0 then
+    Alcotest.(check bool) "abort path exercised" true
+      (Obs.Counters.value d Obs.Counters.Shard_coord_aborts > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / crash / replay                                         *)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "nu_shard" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> Sys.remove (Filename.concat dir e))
+        (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_checkpoint_json_roundtrip () =
+  let expected = fabric_digest ~shards:4 ~ticks:36 () in
+  let s = scenario () in
+  let fcfg = Shard_fabric.default_config (cfg ()) ~shards:4 in
+  let t =
+    Shard_fabric.create fcfg ~topology:s.Scenario.topology ~net:s.Scenario.net
+      ~source_spec:(spec_of ())
+  in
+  Shard_fabric.run t ~ticks:18;
+  let json =
+    Shard_fabric.checkpoint_to_json (Shard_fabric.snapshot t)
+    |> Nu_obs.Json.to_string
+  in
+  Shard_fabric.close t;
+  let graph = s.Scenario.topology.Topology.graph in
+  match Nu_obs.Json.of_string json with
+  | Error m -> Alcotest.fail m
+  | Ok j -> (
+      match Shard_fabric.checkpoint_of_json ~graph j with
+      | Error m -> Alcotest.fail m
+      | Ok cp -> (
+          Alcotest.(check int) "tick survives" 18 cp.Shard_fabric.cp_tick;
+          match
+            Shard_fabric.restore_snapshot fcfg ~topology:s.Scenario.topology
+              ~source_spec:(spec_of ()) cp
+          with
+          | Error m -> Alcotest.fail m
+          | Ok t2 ->
+              Shard_fabric.run t2 ~ticks:18;
+              Shard_fabric.complete t2;
+              Alcotest.(check string) "digest equal" expected
+                (Shard_fabric.digest t2);
+              Shard_fabric.close t2))
+
+let test_restore_rejects_config_mismatch () =
+  let s = scenario () in
+  let fcfg = Shard_fabric.default_config (cfg ()) ~shards:4 in
+  let t =
+    Shard_fabric.create fcfg ~topology:s.Scenario.topology ~net:s.Scenario.net
+      ~source_spec:(spec_of ())
+  in
+  Shard_fabric.run t ~ticks:5;
+  let cp = Shard_fabric.snapshot t in
+  Shard_fabric.close t;
+  let other = Shard_fabric.default_config (cfg ()) ~shards:2 in
+  match
+    Shard_fabric.restore_snapshot other ~topology:s.Scenario.topology
+      ~source_spec:(spec_of ()) cp
+  with
+  | Error _ -> ()
+  | Ok t2 ->
+      Shard_fabric.close t2;
+      Alcotest.fail "restore accepted a mismatched shard count"
+
+(* Kill one shard's WAL mid-run, recover the whole fabric from the
+   checkpoint + journals, keep serving: the digest must equal the
+   uninterrupted run's. *)
+let test_crash_recover_differential () =
+  with_tmp_dir @@ fun dir ->
+  let jb = Filename.concat dir "wal" in
+  let cp_path = Filename.concat dir "cp.json" in
+  let expected = fabric_digest ~shards:4 ~ticks:40 () in
+  let s = scenario () in
+  let fcfg = Shard_fabric.default_config (cfg ()) ~shards:4 in
+  let t =
+    Shard_fabric.create ~journal_base:jb fcfg ~topology:s.Scenario.topology
+      ~net:s.Scenario.net ~source_spec:(spec_of ())
+  in
+  Shard_fabric.run t ~ticks:20;
+  Shard_fabric.save_checkpoint t ~path:cp_path;
+  Shard_fabric.run t ~ticks:10;
+  Shard_fabric.kill_shard_journal t 2;
+  (* The crashed fabric is abandoned where it stands. *)
+  match
+    Shard_fabric.recover fcfg ~topology:s.Scenario.topology
+      ~source_spec:(spec_of ()) ~checkpoint_path:cp_path ~journal_base:jb
+  with
+  | Error m -> Alcotest.fail m
+  | Ok (t2, replayed) ->
+      Alcotest.(check bool) "replayed beyond the checkpoint" true
+        (replayed >= 0);
+      Alcotest.(check bool) "recovered at or before the kill" true
+        (Shard_fabric.tick_count t2 <= 30);
+      Shard_fabric.run t2 ~ticks:(40 - Shard_fabric.tick_count t2);
+      Shard_fabric.complete t2;
+      Alcotest.(check string) "digest equal" expected
+        (Shard_fabric.digest t2);
+      Shard_fabric.close t2
+
+(* External audit: rebuild the fabric from its journals alone. *)
+let test_replay_from_journals () =
+  with_tmp_dir @@ fun dir ->
+  let jb = Filename.concat dir "wal" in
+  let expected = fabric_digest ~journal_base:jb ~shards:4 ~ticks:30 () in
+  let s = scenario () in
+  let fcfg = Shard_fabric.default_config (cfg ()) ~shards:4 in
+  match
+    Shard_fabric.replay fcfg ~topology:s.Scenario.topology
+      ~net:s.Scenario.net ~source_spec:(spec_of ()) ~journal_base:jb
+  with
+  | Error m -> Alcotest.fail m
+  | Ok (t, replayed) ->
+      Alcotest.(check bool) "replayed ticks" true (replayed > 0);
+      Shard_fabric.complete t;
+      Alcotest.(check string) "digest equal" expected (Shard_fabric.digest t);
+      Shard_fabric.close t
+
+let suite =
+  [
+    Alcotest.test_case "partition: shape and ownership" `Quick
+      test_partition_shape;
+    QCheck_alcotest.to_alcotest prop_partition_total;
+    QCheck_alcotest.to_alcotest prop_partition_stable;
+    QCheck_alcotest.to_alcotest prop_partition_order_independent;
+    Alcotest.test_case "partition: move + freeze/thaw" `Quick
+      test_partition_move_freeze_thaw;
+    QCheck_alcotest.to_alcotest prop_apportion_sum_and_cap;
+    Alcotest.test_case "apportion: one shard = drain cap" `Quick
+      test_apportion_single_shard;
+    Alcotest.test_case "apportion: proportional split" `Quick
+      test_apportion_proportional;
+    Alcotest.test_case "one-shard fabric = serve digest" `Quick
+      test_one_shard_equals_serve;
+    Alcotest.test_case "fabric digest deterministic" `Quick
+      test_fabric_deterministic;
+    Alcotest.test_case "coord: veto rolls the txn back" `Quick
+      test_coord_veto_rolls_back;
+    Alcotest.test_case "coord: abort path deterministic" `Quick
+      test_fabric_abort_path_deterministic;
+    Alcotest.test_case "checkpoint JSON round-trip" `Quick
+      test_checkpoint_json_roundtrip;
+    Alcotest.test_case "restore rejects config mismatch" `Quick
+      test_restore_rejects_config_mismatch;
+    Alcotest.test_case "crash + recover = uninterrupted digest" `Quick
+      test_crash_recover_differential;
+    Alcotest.test_case "replay from journals alone" `Quick
+      test_replay_from_journals;
+  ]
